@@ -1,0 +1,111 @@
+// Ablation (§III-B2): switch kernel views immediately at the context switch
+// vs. deferred to resume-userspace (Algorithm 1's ENABLE_RESUME_SPACE_TRAP).
+//
+// Deferring has two effects the paper calls out:
+//  1. it avoids remapping kernel code in the middle of the context-switch /
+//     interrupt window ("may cause the application to miss interrupts");
+//  2. it coalesces kernel-only scheduling rounds — a task that wakes in
+//     kernel code and blocks again before returning to user space never
+//     triggers the resume trap, so no EPT switch is paid at all.
+// This bench runs two disk-bound applications with *different* kernel views
+// time-slicing against each other and counts EPT view applications plus
+// achieved throughput under both policies, and repeats the Apache I/O
+// experiment at a mid-range request rate.
+#include <cstdio>
+
+#include "ubench_models.hpp"
+
+using namespace fc;
+
+namespace {
+
+struct TwoAppResult {
+  u64 view_switches = 0;
+  u64 ctx_traps = 0;
+  u64 combined_ops = 0;  // fs bytes moved by both apps
+  Cycles elapsed = 0;
+};
+
+TwoAppResult run_two_apps(bool switch_at_resume) {
+  harness::GuestSystem sys;
+  core::EngineOptions options;
+  options.switch_at_resume = switch_at_resume;
+  core::FaceChangeEngine engine(sys.hv(), sys.os().kernel(), options);
+  engine.enable();
+  engine.bind("gzip", engine.load_view(harness::profile_of("gzip")));
+  engine.bind("eog", engine.load_view(harness::profile_of("eog")));
+
+  apps::AppScenario gzip = apps::make_app("gzip", 60);
+  apps::AppScenario eog = apps::make_app("eog", 60);
+  u32 p1 = sys.os().spawn("gzip", gzip.model);
+  u32 p2 = sys.os().spawn("eog", eog.model);
+  gzip.install_environment(sys.os());
+  eog.install_environment(sys.os());
+
+  Cycles start = sys.vcpu().cycles();
+  sys.hv().run([&] {
+    return (sys.os().task_zombie_or_dead(p1) &&
+            sys.os().task_zombie_or_dead(p2)) ||
+           sys.vcpu().cycles() - start > 600'000'000;
+  });
+
+  TwoAppResult r;
+  r.view_switches = engine.stats().view_switches;
+  r.ctx_traps = engine.stats().context_switch_traps;
+  r.combined_ops =
+      sys.os().counters().fs_bytes_read + sys.os().counters().fs_bytes_written;
+  r.elapsed = sys.vcpu().cycles() - start;
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Ablation — view-switch point: immediate (context switch) vs deferred "
+      "(resume-userspace)\n\n");
+  harness::profile_all_apps();
+
+  TwoAppResult deferred = run_two_apps(/*switch_at_resume=*/true);
+  TwoAppResult immediate = run_two_apps(/*switch_at_resume=*/false);
+
+  std::printf("two disk-bound apps (gzip + eog) with different views:\n");
+  std::printf("%-34s %14s %14s\n", "", "deferred", "immediate");
+  std::printf("%-34s %14llu %14llu\n", "context-switch traps",
+              (unsigned long long)deferred.ctx_traps,
+              (unsigned long long)immediate.ctx_traps);
+  std::printf("%-34s %14llu %14llu\n", "EPT view applications",
+              (unsigned long long)deferred.view_switches,
+              (unsigned long long)immediate.view_switches);
+  std::printf("%-34s %14.1f %14.1f\n", "workload completion (Mcycles)",
+              deferred.elapsed / 1e6, immediate.elapsed / 1e6);
+
+  // Apache I/O at mid-range offered load.
+  ubench::HttperfOptions base_opt;
+  double base = ubench::run_httperf(40.0, base_opt);
+  ubench::HttperfOptions dopt;
+  dopt.face_change = true;
+  double dthr = ubench::run_httperf(40.0, dopt);
+  ubench::HttperfOptions iopt = dopt;
+  iopt.engine.switch_at_resume = false;
+  double ithr = ubench::run_httperf(40.0, iopt);
+  std::printf("\nApache throughput at 40 req/s offered:\n");
+  std::printf("  baseline               %7.1f req/s\n", base);
+  std::printf("  FACE-CHANGE deferred   %7.1f req/s (ratio %.3f)\n", dthr,
+              dthr / base);
+  std::printf("  FACE-CHANGE immediate  %7.1f req/s (ratio %.3f)\n", ithr,
+              ithr / base);
+
+  // In this simulator the EPT remap is atomic, so the hardware-level
+  // missed-interrupt race that motivated the paper's deferral cannot occur;
+  // the measurable claim here is that deferral costs nothing: both policies
+  // complete the workload with equivalent throughput and trap counts
+  // (see DESIGN.md's substitution notes).
+  bool ok = deferred.elapsed <= immediate.elapsed * 105 / 100 &&
+            dthr >= ithr * 0.97 && dthr / base > 0.95;
+  std::printf(
+      "\ndeferred switching costs nothing while avoiding the in-switch "
+      "remap window: %s\n",
+      ok ? "OK" : "FAILED");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,139 @@
+// Extension (§V-A, the paper's future work): behavioural profiling against
+// in-view attacks.
+//
+// The paper: "It is still possible, however, that the kernel code used by
+// the malicious attack is within the subset of the application's kernel
+// view. For example, suppose a web server is compromised and a parasite
+// command-and-control (C&C) server is installed… it would be impossible for
+// us to detect its existence in this case. This problem may require a
+// deeper understanding and finer-grained profiling of the semantic
+// behaviors of each application."
+//
+// This bench stages exactly that attack — a C&C parasite inside apache that
+// binds its own port using only kernel code apache's view already maps —
+// and shows: (a) kernel-view enforcement is blind to it; (b) the
+// behavioural profile (syscall set + bind/connect/execve arguments) exposes
+// it; (c) what the extra syscall-entry trapping costs.
+#include <cstdio>
+
+#include "core/behavior.hpp"
+#include "ubench_models.hpp"
+
+using namespace fc;
+namespace abi = fc::abi;
+
+namespace {
+
+core::BehaviorProfile profile_behavior(const std::string& app) {
+  harness::GuestSystem sys;
+  core::BehaviorProfiler profiler(sys.hv(), sys.os().kernel());
+  profiler.add_target(app);
+  profiler.attach();
+  apps::AppScenario scenario = apps::make_app(app, 15);
+  u32 pid = sys.os().spawn(app, scenario.model);
+  scenario.install_environment(sys.os());
+  sys.run_until_exit(pid, 900'000'000);
+  profiler.detach();
+  return profiler.export_profile(app);
+}
+
+void deploy_cnc_parasite(os::OsRuntime& osr, u32 pid) {
+  os::UserCodeBuilder b(osr.next_inject_addr(pid));
+  b.syscall(abi::kSysSocket, 2, 1);
+  b.a().mov(isa::Reg::SI, isa::Reg::A);
+  b.a().mov(isa::Reg::B, isa::Reg::SI);
+  b.a().mov_imm(isa::Reg::C, 4444);
+  b.a().mov_imm(isa::Reg::A, abi::kSysBind);
+  b.a().int_(abi::kSyscallVector);
+  b.a().mov(isa::Reg::B, isa::Reg::SI);
+  b.a().mov_imm(isa::Reg::A, abi::kSysListen);
+  b.a().int_(abi::kSyscallVector);
+  b.jmp_abs(osr.task_entry_va(pid));
+  osr.detour(pid, osr.inject_code(pid, b.finish()));
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Extension — behavioural profiling vs the in-view C&C attack "
+              "(§V-A)\n\n");
+
+  std::printf("profiling apache (kernel view + behaviour)...\n");
+  core::BehaviorProfile behavior = profile_behavior("apache");
+  const core::KernelViewConfig& view_cfg = harness::profile_of("apache");
+  std::printf("  behaviour profile: %zu syscalls; bind targets:",
+              behavior.syscalls.size());
+  for (u32 port : behavior.constrained_args[abi::kSysBind])
+    std::printf(" %u", port);
+  std::printf("\n\n");
+
+  // --- the staged attack under both layers ---
+  harness::GuestSystem sys;
+  core::FaceChangeEngine engine(sys.hv(), sys.os().kernel());
+  engine.enable();
+  engine.bind("apache", engine.load_view(view_cfg));
+  core::BehaviorMonitor monitor(sys.hv(), sys.os().kernel());
+  monitor.bind("apache", behavior);
+  monitor.enable(&engine);
+
+  apps::AppScenario apache = apps::make_app("apache", 30);
+  u32 pid = sys.os().spawn("apache", apache.model);
+  apache.install_environment(sys.os());
+  sys.run_for(4'000'000);
+  std::printf("deploying the C&C parasite (socket/bind(4444)/listen — all "
+              "kernel code already in apache's view)...\n\n");
+  deploy_cnc_parasite(sys.os(), pid);
+  sys.run_until_exit(pid, 900'000'000);
+
+  bool view_blind = !engine.recovery_log().recovered_function("inet_bind") &&
+                    !engine.recovery_log().recovered_function(
+                        "inet_csk_get_port");
+  std::printf("kernel-view enforcement:   %s (recovery events about the "
+              "payload: none — the paper's blind case)\n",
+              view_blind ? "BLIND" : "detected (unexpected)");
+  bool caught = false;
+  for (const auto& v : monitor.violations()) {
+    std::printf("behaviour monitor:         %s\n", v.render().c_str());
+    if (v.argument_violation && v.argument == 4444) caught = true;
+  }
+  if (monitor.violations().empty())
+    std::printf("behaviour monitor:         no violations (unexpected)\n");
+
+  // --- the cost of the extension: syscall-entry trapping ---
+  std::printf("\ncost of the extra syscall-entry trap (System Call Overhead "
+              "subtest):\n");
+  auto suite = ubench::unixbench_suite();
+  const ubench::Subtest* syscall_test = nullptr;
+  for (const auto& subtest : suite)
+    if (subtest.name == "System Call Overhead") syscall_test = &subtest;
+  ubench::MeasureOptions base;
+  double baseline = ubench::measure_subtest(*syscall_test, base).ops_per_second;
+  // Measure with the monitor active.
+  double with_monitor;
+  {
+    harness::GuestSystem msys;
+    core::BehaviorMonitor m(msys.hv(), msys.os().kernel());
+    core::BehaviorProfile everything;
+    everything.app_name = "ubench";
+    for (u32 nr = 0; nr < 512; ++nr) everything.syscalls.insert(nr);
+    m.bind("ubench", everything);
+    m.enable();
+    msys.os().spawn("ubench", syscall_test->factory());
+    msys.run_for(3'000'000);
+    u64 ops0 = msys.os().counters().responses_completed;
+    Cycles c0 = msys.vcpu().cycles();
+    msys.run_for(20'000'000);
+    double seconds = static_cast<double>(msys.vcpu().cycles() - c0) /
+                     msys.vcpu().perf_model().cycles_per_second;
+    with_monitor =
+        (msys.os().counters().responses_completed - ops0) / seconds;
+  }
+  std::printf("  baseline:      %10.0f syscalls/s\n", baseline);
+  std::printf("  with monitor:  %10.0f syscalls/s (%.2fx slower — the\n"
+              "  extension trades syscall latency for in-view coverage)\n",
+              with_monitor, baseline / with_monitor);
+
+  bool ok = view_blind && caught;
+  std::printf("\nextension check: %s\n", ok ? "OK" : "FAILED");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,71 @@
+// Figure 6: Normalized System Performance Results from UnixBench.
+//
+// Methodology follows §IV-B1:
+//  (i)   baseline: FACE-CHANGE disabled;
+//  (ii)  FACE-CHANGE enabled with one kernel view loaded (Apache);
+//  (iii) more views loaded one at a time (gzip excluded, footnote 5) —
+//        the benchmark itself runs under the full view, so the measured
+//        overhead is the context-switch trapping, which should be 5–7%
+//        overall, worst on Pipe-based Context Switching, and flat in the
+//        number of loaded views.
+#include <cstdio>
+
+#include "ubench_models.hpp"
+
+int main() {
+  using namespace fc;
+  std::printf("Figure 6 — Normalized system performance (UnixBench-like suite)\n\n");
+
+  // Warm the profile cache once (view configs for the loaded views).
+  harness::profile_all_apps();
+
+  const std::vector<u32> view_counts = {1, 3, 6, 11};
+  auto suite = ubench::unixbench_suite();
+
+  // Baseline.
+  std::vector<double> baseline;
+  for (const auto& subtest : suite) {
+    ubench::MeasureOptions opt;
+    baseline.push_back(ubench::measure_subtest(subtest, opt).ops_per_second);
+  }
+
+  std::printf("%-30s %10s", "Subtest", "baseline");
+  for (u32 k : view_counts) std::printf("  FC(%2u views)", k);
+  std::printf("\n%s\n", std::string(90, '-').c_str());
+
+  std::vector<double> overall(view_counts.size(), 0.0);
+  std::vector<double> worst(view_counts.size(), 1.0);
+  for (std::size_t s = 0; s < suite.size(); ++s) {
+    std::printf("%-30s %10.0f", suite[s].name.c_str(), baseline[s]);
+    for (std::size_t vi = 0; vi < view_counts.size(); ++vi) {
+      ubench::MeasureOptions opt;
+      opt.face_change = true;
+      opt.loaded_views = view_counts[vi];
+      double score = ubench::measure_subtest(suite[s], opt).ops_per_second;
+      double normalized = baseline[s] > 0 ? score / baseline[s] : 0.0;
+      overall[vi] += normalized;
+      worst[vi] = std::min(worst[vi], normalized);
+      std::printf("        %5.3f", normalized);
+    }
+    std::printf("\n");
+  }
+  std::printf("%s\n", std::string(90, '-').c_str());
+  std::printf("%-30s %10s", "GEOMEAN-ish (arith mean)", "1.000");
+  for (std::size_t vi = 0; vi < view_counts.size(); ++vi)
+    std::printf("        %5.3f", overall[vi] / suite.size());
+  std::printf("\n\n");
+
+  double mean1 = overall[0] / suite.size();
+  double mean_last = overall.back() / suite.size();
+  std::printf("whole-system overhead with 1 view: %.1f%% (paper: 5–7%%)\n",
+              (1.0 - mean1) * 100.0);
+  std::printf("extra overhead from %u views vs 1: %.1f%% (paper: trivial)\n",
+              view_counts.back(), (mean1 - mean_last) * 100.0);
+  std::printf("worst subtest (expect Pipe-based Context Switching): %.3f\n",
+              worst[0]);
+
+  bool ok = mean1 > 0.85 && mean1 < 1.0 &&
+            std::abs(mean1 - mean_last) < 0.05;
+  std::printf("shape check: %s\n", ok ? "OK" : "FAILED");
+  return ok ? 0 : 1;
+}

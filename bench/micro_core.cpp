@@ -1,0 +1,143 @@
+// Microbenchmarks (google-benchmark) for the primitives underlying every
+// FACE-CHANGE operation: range-list algebra, similarity computation, the
+// two-stage MMU, EPT view application, function-boundary search, view
+// building, and the UD2 recovery path.
+#include <benchmark/benchmark.h>
+
+#include "core/engine.hpp"
+#include "core/profiler.hpp"
+#include "core/similarity.hpp"
+#include "harness/harness.hpp"
+
+namespace {
+
+using namespace fc;
+
+void BM_RangeListInsert(benchmark::State& state) {
+  Rng rng(42);
+  for (auto _ : state) {
+    core::RangeList list;
+    for (int i = 0; i < state.range(0); ++i) {
+      u32 begin = rng.below(1u << 20);
+      list.insert(begin, begin + rng.between(8, 512));
+    }
+    benchmark::DoNotOptimize(list.size_bytes());
+  }
+}
+BENCHMARK(BM_RangeListInsert)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_RangeListIntersect(benchmark::State& state) {
+  Rng rng(43);
+  core::RangeList a, b;
+  for (int i = 0; i < state.range(0); ++i) {
+    u32 begin_a = rng.below(1u << 20);
+    a.insert(begin_a, begin_a + rng.between(8, 256));
+    u32 begin_b = rng.below(1u << 20);
+    b.insert(begin_b, begin_b + rng.between(8, 256));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.intersect(b).size_bytes());
+  }
+}
+BENCHMARK(BM_RangeListIntersect)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_SimilarityMatrix12Apps(benchmark::State& state) {
+  const auto& configs = harness::profile_all_apps(8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::compute_similarity(configs));
+  }
+}
+BENCHMARK(BM_SimilarityMatrix12Apps);
+
+void BM_TwoStageTranslation(benchmark::State& state) {
+  harness::GuestSystem sys;
+  mem::Mmu& mmu = sys.hv().machine().mmu();
+  GVirt text = sys.os().kernel().text_base;
+  u32 i = 0;
+  for (auto _ : state) {
+    // Rotate across pages so hit rate reflects the TLB, not one entry.
+    benchmark::DoNotOptimize(
+        mmu.translate_page(page_base(text + (i++ % 64) * kPageSize)));
+  }
+}
+BENCHMARK(BM_TwoStageTranslation);
+
+void BM_GuestInstructionRate(benchmark::State& state) {
+  harness::GuestSystem sys;
+  apps::AppScenario scenario = apps::make_app("gzip", 1u << 30);
+  sys.os().spawn("gzip", scenario.model);
+  for (auto _ : state) {
+    u64 before = sys.vcpu().instructions_retired();
+    sys.run_for(1'000'000);
+    benchmark::DoNotOptimize(sys.vcpu().instructions_retired() - before);
+  }
+  state.SetItemsProcessed(
+      static_cast<int64_t>(sys.vcpu().instructions_retired()));
+}
+BENCHMARK(BM_GuestInstructionRate);
+
+void BM_ViewBuild(benchmark::State& state) {
+  const core::KernelViewConfig& cfg = harness::profile_of("apache");
+  harness::GuestSystem sys;
+  core::FaceChangeEngine engine(sys.hv(), sys.os().kernel());
+  for (auto _ : state) {
+    u32 id = engine.load_view(cfg);
+    benchmark::DoNotOptimize(engine.view(id));
+    engine.unload_view(id);
+  }
+}
+BENCHMARK(BM_ViewBuild);
+
+void BM_EptViewSwitch(benchmark::State& state) {
+  const core::KernelViewConfig& cfg = harness::profile_of("top");
+  harness::GuestSystem sys;
+  core::FaceChangeEngine engine(sys.hv(), sys.os().kernel());
+  engine.enable();
+  u32 id = engine.load_view(cfg);
+  bool to_view = true;
+  for (auto _ : state) {
+    engine.force_activate(to_view ? id : core::kFullKernelViewId);
+    to_view = !to_view;
+  }
+}
+BENCHMARK(BM_EptViewSwitch);
+
+void BM_FunctionBoundarySearch(benchmark::State& state) {
+  harness::GuestSystem sys;
+  core::ViewBuilder builder(sys.hv(), sys.os().kernel());
+  const os::KernelImage& kernel = sys.os().kernel();
+  Rng rng(7);
+  for (auto _ : state) {
+    GVirt addr = kernel.text_base +
+                 rng.below(static_cast<u32>(kernel.text.size() - 16));
+    benchmark::DoNotOptimize(
+        builder.function_bounds(addr, kernel.text_base, kernel.text_end()));
+  }
+}
+BENCHMARK(BM_FunctionBoundarySearch);
+
+void BM_RecoveryPath(benchmark::State& state) {
+  // Measures the full UD2 trap → backtrace → search → fill → resume path by
+  // running `top` under gvim's (mostly wrong) view.
+  const core::KernelViewConfig& wrong = harness::profile_of("gvim");
+  for (auto _ : state) {
+    state.PauseTiming();
+    harness::GuestSystem sys;
+    core::FaceChangeEngine engine(sys.hv(), sys.os().kernel());
+    engine.enable();
+    core::KernelViewConfig cfg = wrong;
+    cfg.app_name = "top";
+    engine.bind("top", engine.load_view(cfg));
+    apps::AppScenario scenario = apps::make_app("top", 3);
+    u32 pid = sys.os().spawn("top", scenario.model);
+    scenario.install_environment(sys.os());
+    state.ResumeTiming();
+    sys.run_until_exit(pid, 300'000'000);
+    benchmark::DoNotOptimize(engine.recovery_stats().recoveries);
+  }
+}
+BENCHMARK(BM_RecoveryPath)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

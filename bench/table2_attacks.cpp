@@ -1,0 +1,54 @@
+// Table II: Results of Security Evaluation Against a Spectrum of
+// User/Kernel Malware.
+//
+// Runs each of the 16 attacks against its victim's per-application kernel
+// view (detection expected), and — as in the paper's case studies — against
+// the system-wide "union" minimized kernel, where attacks whose kernel
+// needs are covered by *some* application go undetected (the blind spot).
+#include <cstdio>
+
+#include "harness/harness.hpp"
+
+int main() {
+  using namespace fc;
+  std::printf(
+      "Table II — Security evaluation against a spectrum of user/kernel "
+      "malware\n");
+  std::printf(
+      "%-14s %-46s %-34s %-8s %-10s %-12s %s\n", "Name", "Infection Method",
+      "Payload", "Victim", "Detected", "UnionBlind", "Recoveries(sample)");
+  std::printf("%s\n", std::string(150, '-').c_str());
+
+  int detected = 0, total = 0, union_blind = 0;
+  for (auto& attack : attacks::make_all_attacks()) {
+    ++total;
+    harness::AttackRunResult per_app = harness::run_attack(*attack);
+
+    // Union-view comparison (system-wide minimization baseline).
+    harness::AttackRunOptions union_opts;
+    union_opts.use_union_view = true;
+    harness::AttackRunResult with_union =
+        harness::run_attack(*attack, union_opts);
+    bool blind = !with_union.detected;
+
+    if (per_app.detected) ++detected;
+    if (blind) ++union_blind;
+
+    std::string sample;
+    for (const auto& sym : per_app.matched_symbols) {
+      if (!sample.empty()) sample += ", ";
+      sample += sym;
+    }
+    std::printf("%-14s %-46s %-34s %-8s %-10s %-12s %s\n",
+                attack->name().c_str(), attack->infection_method().c_str(),
+                attack->payload().c_str(), attack->victim().c_str(),
+                per_app.detected ? "YES" : "NO", blind ? "YES" : "no",
+                sample.c_str());
+  }
+  std::printf("%s\n", std::string(150, '-').c_str());
+  std::printf(
+      "Detected %d/%d attacks with per-application views; %d/%d invisible "
+      "to the system-wide union view (the paper's blind spot).\n",
+      detected, total, union_blind, total);
+  return detected == total ? 0 : 1;
+}

@@ -1,0 +1,72 @@
+// In-guest benchmark workloads for Figures 6/7: a UnixBench-like subtest
+// suite and a tunable Apache-style server. Shared by fig6/fig7 and the
+// ablation benches.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "harness/harness.hpp"
+
+namespace fc::ubench {
+
+namespace abi = fc::abi;
+
+/// A subtest model loops forever and bumps the OS "responses" counter once
+/// per completed work unit; the harness measures units per simulated second.
+using ModelFactory = std::function<std::shared_ptr<os::AppModel>()>;
+
+struct Subtest {
+  std::string name;
+  ModelFactory factory;
+  bool needs_binaries = false;  // needs the ls/cat/sh utility binaries
+};
+
+/// The UnixBench-like suite (compute, syscall overhead, pipe throughput,
+/// pipe-based context switching, process creation, execl, file copy,
+/// shell-script combo).
+std::vector<Subtest> unixbench_suite();
+
+/// Measure one subtest: ops per simulated second over `measure_cycles`
+/// after `warmup_cycles`, in an optionally FACE-CHANGE-enabled system with
+/// `loaded_views` application views loaded (bound to their — not running —
+/// applications, exactly the paper's Figure 6 methodology).
+struct MeasureOptions {
+  bool face_change = false;
+  u32 loaded_views = 0;
+  Cycles warmup_cycles = 3'000'000;
+  Cycles measure_cycles = 20'000'000;
+  /// Engine knobs for the ablation benches.
+  core::EngineOptions engine;
+  /// Bind the benchmark process itself to its own profiled view instead of
+  /// the full view (used by ablations that need view switching on the hot
+  /// path).
+  bool bind_benchmark_view = false;
+};
+
+struct MeasureResult {
+  double ops_per_second = 0;
+  u64 context_switch_traps = 0;
+  u64 view_switches = 0;
+  u64 recoveries = 0;
+};
+
+MeasureResult measure_subtest(const Subtest& subtest,
+                              const MeasureOptions& options);
+
+/// Figure 7's server: accept → read(conn) → open/read file → compute →
+/// write(conn) → close, bumping the response counter per request.
+std::shared_ptr<os::AppModel> make_http_server(Cycles per_request_compute);
+
+/// Drive the server at `rate` requests/second for `total_requests`
+/// connections; returns achieved responses/second.
+struct HttperfOptions {
+  bool face_change = false;
+  u32 total_requests = 100;
+  Cycles per_request_compute = 1'480'000;
+  core::EngineOptions engine;  // ablation knobs
+};
+double run_httperf(double rate_per_second, const HttperfOptions& options);
+
+}  // namespace fc::ubench

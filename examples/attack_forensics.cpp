@@ -1,0 +1,82 @@
+// Attack forensics: hijack `top` with the Injectso shared-object injection
+// (its payload runs a UDP server inside top's address space), then read the
+// kernel code recovery log the way an administrator would — the full attack
+// provenance, libc call by libc call, exactly as in the paper's Figure 4 /
+// Case Study I.
+//
+// Build & run:  ./build/examples/attack_forensics
+#include <cstdio>
+
+#include "harness/harness.hpp"
+
+using namespace fc;
+
+int main() {
+  std::printf("=== FACE-CHANGE attack forensics: Injectso vs top ===\n\n");
+
+  // Profiling phase: top's legitimate kernel needs (proc reads, tty writes,
+  // nanosleep — no networking whatsoever).
+  std::printf("profiling the victim...\n");
+  core::KernelViewConfig config = harness::profile_app("top", 20);
+
+  // Runtime phase with the attack.
+  harness::GuestSystem sys;
+  core::FaceChangeEngine engine(sys.hv(), sys.os().kernel());
+  engine.enable();
+  engine.bind("top", engine.load_view(config));
+
+  apps::AppScenario scenario = apps::make_app("top", 60);
+  u32 pid = sys.os().spawn("top", scenario.model);
+  scenario.install_environment(sys.os());
+  sys.run_for(4'000'000);  // victim runs normally for a while
+
+  std::printf("deploying Injectso (detours EIP into injected shellcode)...\n\n");
+  auto attack = attacks::make_attack("Injectso");
+  attack->deploy(sys.os(), pid);
+  sys.run_until_exit(pid, 400'000'000);
+
+  const core::RecoveryLog& log = engine.recovery_log();
+  std::printf("--- kernel code recovery log (%zu events) ---\n\n",
+              log.size());
+  for (std::size_t i = 0; i < log.events().size() && i < 6; ++i)
+    std::printf("%s\n", log.events()[i].render().c_str());
+  if (log.events().size() > 6)
+    std::printf("... %zu further events elided ...\n\n",
+                log.events().size() - 6);
+
+  // Interpret the log like the paper does: group recovered functions under
+  // the payload's libc calls.
+  struct Chain {
+    const char* call;
+    std::vector<const char*> fns;
+  };
+  const Chain chains[] = {
+      {"socket", {"inet_create"}},
+      {"bind",
+       {"sys_bind", "security_socket_bind", "apparmor_socket_bind",
+        "inet_bind", "udp_v4_get_port", "udp_lib_get_port", "release_sock"}},
+      {"recvfrom",
+       {"sys_recvfrom", "sock_recvmsg", "sock_common_recvmsg", "udp_recvmsg",
+        "__skb_recv_datagram"}},
+  };
+  std::printf("--- provenance summary (payload → recovered kernel code) ---\n");
+  bool detected = false;
+  for (const Chain& chain : chains) {
+    std::printf("  %s:\n", chain.call);
+    for (const char* fn : chain.fns) {
+      bool seen = false;
+      for (const core::RecoveryEvent& ev : log.events())
+        if (ev.symbol.rfind(fn, 0) == 0) seen = true;
+      if (seen) detected = true;
+      std::printf("    <%s>%s\n", fn, seen ? "   ← recovered" : "");
+    }
+  }
+
+  std::printf("\nverdict: %s\n",
+              detected
+                  ? "ATTACK DETECTED — top's kernel view contains no "
+                    "networking code, so every kernel function the parasite "
+                    "touched is in the log"
+                  : "no anomaly observed");
+  return detected ? 0 : 1;
+}

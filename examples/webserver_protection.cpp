@@ -1,0 +1,99 @@
+// Web-server protection: the paper's production scenario. Profile Apache
+// under a realistic request workload, enforce its kernel view, serve live
+// traffic under enforcement, and measure the throughput cost — then show
+// the payoff: a KBeast-style kernel rootkit installed on the same machine
+// is exposed the moment the protected bash session touches its hook.
+//
+// Build & run:  ./build/examples/webserver_protection
+#include <cstdio>
+
+#include "harness/harness.hpp"
+
+using namespace fc;
+
+namespace {
+
+/// Serve `count` requests; returns achieved responses/second.
+double serve(harness::GuestSystem& sys, u32 count, double rate) {
+  const u64 cps = sys.vcpu().perf_model().cycles_per_second;
+  Cycles gap = static_cast<Cycles>(cps / rate);
+  Cycles start = sys.vcpu().cycles() + 1'000'000;
+  for (u32 i = 0; i < count; ++i)
+    sys.os().schedule_connection(start + i * gap, 80, 512);
+  u64 ops0 = sys.os().counters().responses_completed;
+  Cycles c0 = sys.vcpu().cycles();
+  sys.hv().run([&] {
+    return sys.os().counters().responses_completed - ops0 >= count ||
+           sys.vcpu().cycles() > start + count * gap + 4 * cps;
+  });
+  double seconds = static_cast<double>(sys.vcpu().cycles() - c0) / cps;
+  return (sys.os().counters().responses_completed - ops0) / seconds;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== FACE-CHANGE web-server protection ===\n\n");
+
+  std::printf("[1/3] profiling apache under its production workload...\n");
+  core::KernelViewConfig apache_view = harness::profile_app("apache", 25);
+  core::KernelViewConfig bash_view = harness::profile_app("bash", 15);
+  std::printf("      apache view: %llu KB; bash view: %llu KB\n\n",
+              (unsigned long long)(apache_view.size_bytes() >> 10),
+              (unsigned long long)(bash_view.size_bytes() >> 10));
+
+  std::printf("[2/3] serving traffic under enforcement...\n");
+  harness::GuestSystem sys;
+  core::FaceChangeEngine engine(sys.hv(), sys.os().kernel());
+  engine.enable();
+  engine.bind("apache", engine.load_view(apache_view));
+  engine.bind("bash", engine.load_view(bash_view));
+
+  apps::AppScenario apache = apps::make_app("apache", 100000);
+  sys.os().spawn("apache", apache.model);
+  sys.run_for(2'000'000);
+  double throughput = serve(sys, 60, 30.0);
+  std::printf("      30 req/s offered → %.1f req/s served under the "
+              "minimized kernel view\n",
+              throughput);
+  std::printf("      recoveries so far: %zu (benign profile gaps, if any)\n\n",
+              engine.recovery_log().size());
+  std::size_t benign = engine.recovery_log().size();
+
+  std::printf("[3/3] an attacker installs the KBeast keystroke-sniffing "
+              "rootkit, then the admin uses bash...\n");
+  auto rootkit = attacks::make_attack("KBeast");
+  rootkit->deploy(sys.os(), 0);  // insmod runs under the full view
+  sys.run_for(30'000'000);
+
+  apps::AppScenario bash = apps::make_app("bash", 12);
+  u32 bash_pid = sys.os().spawn("bash", bash.model);
+  bash.install_environment(sys.os());
+  sys.run_until_exit(bash_pid, 600'000'000);
+
+  bool strnlen_hit = engine.recovery_log().recovered_function("strnlen");
+  bool filp_open_hit = engine.recovery_log().recovered_function("filp_open");
+  bool write_chain = engine.recovery_log().recovered_function("do_sync_write") ||
+                     engine.recovery_log().recovered_function(
+                         "__jbd2_log_start_commit");
+  std::printf("\n--- recovery log after the rootkit (%zu new events) ---\n",
+              engine.recovery_log().size() - benign);
+  int shown = 0;
+  for (const core::RecoveryEvent& ev : engine.recovery_log().events()) {
+    if (ev.process_comm != "bash") continue;
+    if (++shown > 4) break;
+    std::printf("%s\n", ev.render().c_str());
+  }
+  std::printf("keystroke-length check (strnlen):     %s\n",
+              strnlen_hit ? "EXPOSED" : "-");
+  std::printf("hidden log file open (filp_open):     %s\n",
+              filp_open_hit ? "EXPOSED" : "-");
+  std::printf("keystroke exfil write (ext4/jbd2):    %s\n",
+              write_chain ? "EXPOSED" : "-");
+  bool detected = strnlen_hit && filp_open_hit && write_chain;
+  std::printf("\nverdict: %s\n",
+              detected ? "rootkit behaviour fully reconstructed from the "
+                         "recovery log"
+                       : "detection incomplete");
+  return detected ? 0 : 1;
+}

@@ -1,0 +1,600 @@
+#include "apps/apps.hpp"
+
+#include "hv/guest_abi.hpp"
+#include "support/check.hpp"
+
+namespace fc::apps {
+
+namespace {
+
+using os::AppAction;
+using os::AppModel;
+using os::OsRuntime;
+namespace abi = fc::abi;
+
+AppAction sys(u32 nr, u32 b = 0, u32 c = 0, u32 d = 0, Cycles comp = 300) {
+  return AppAction::syscall(nr, b, c, d, comp);
+}
+AppAction exit_now() { return sys(abi::kSysExit, 0); }
+
+// ---------------------------------------------------------------------------
+// Utility binaries execve'd by bash/sshd children.
+// ---------------------------------------------------------------------------
+
+class LsModel : public AppModel {
+ public:
+  AppAction next(u32 last, OsRuntime&, u32) override {
+    switch (phase_++) {
+      case 0: return sys(abi::kSysOpen, os::kPathEtcConf, 0);
+      case 1: fd_ = last; return sys(abi::kSysGetdents, fd_, 256);
+      case 2: return sys(abi::kSysWrite, 1, 200);
+      case 3: return sys(abi::kSysClose, fd_);
+      default: return exit_now();
+    }
+  }
+ private:
+  int phase_ = 0;
+  u32 fd_ = 0;
+};
+
+class CatModel : public AppModel {
+ public:
+  AppAction next(u32 last, OsRuntime&, u32) override {
+    switch (phase_++) {
+      case 0: return sys(abi::kSysOpen, os::kPathEtcConf, 0);
+      case 1: fd_ = last; return sys(abi::kSysRead, fd_, 4096);
+      case 2: return sys(abi::kSysWrite, 1, 4096);
+      case 3: return sys(abi::kSysRead, fd_, 4096);
+      case 4: return sys(abi::kSysWrite, 1, 4096);
+      case 5: return sys(abi::kSysClose, fd_);
+      default: return exit_now();
+    }
+  }
+ private:
+  int phase_ = 0;
+  u32 fd_ = 0;
+};
+
+class ShModel : public AppModel {
+ public:
+  AppAction next(u32, OsRuntime&, u32) override {
+    switch (phase_++) {
+      case 0: return sys(abi::kSysGetpid);
+      case 1: return sys(abi::kSysWrite, 1, 64);
+      default: return exit_now();
+    }
+  }
+ private:
+  int phase_ = 0;
+};
+
+/// First action: execve the named binary (used as the fork-child model of
+/// bash/sshd).
+class ExecChildModel : public AppModel {
+ public:
+  explicit ExecChildModel(std::string binary) : binary_(std::move(binary)) {}
+  AppAction next(u32, OsRuntime& os, u32) override {
+    return sys(abi::kSysExecve, os.binary_id(binary_));
+  }
+ private:
+  std::string binary_;
+};
+
+// ---------------------------------------------------------------------------
+// The 12 applications.
+// ---------------------------------------------------------------------------
+
+class FirefoxModel : public AppModel {
+ public:
+  explicit FirefoxModel(u32 iterations) : iterations_(iterations) {}
+  AppAction next(u32 last, OsRuntime&, u32) override {
+    switch (phase_) {
+      case 0: ++phase_; return sys(abi::kSysBrk, 1 << 16);
+      case 1: ++phase_; return sys(abi::kSysMmap, 1 << 20);
+      case 2: ++phase_; return sys(abi::kSysOpen, os::kPathEtcConf, 0);
+      case 3: file_ = last; ++phase_; return sys(abi::kSysRead, file_, 8192);
+      case 4: ++phase_; return sys(abi::kSysClose, file_);
+      case 5: ++phase_; return sys(abi::kSysSocket, 2, 1);  // TCP
+      case 6: sock_ = last; ++phase_; return sys(abi::kSysConnect, sock_, 80);
+      // -- steady state: fetch pages --
+      case 7: ++phase_; return sys(abi::kSysGettimeofday, 0, 0, 0, 2000);
+      case 8: ++phase_; return sys(abi::kSysSendto, sock_, 512);
+      case 9: ++phase_; return sys(abi::kSysPoll, sock_, 1);
+      case 10: ++phase_; return sys(abi::kSysRecvfrom, sock_, 1500);
+      case 11: ++phase_; return sys(abi::kSysOpen, os::kPathDataFile, 0);
+      case 12: file_ = last; ++phase_; return sys(abi::kSysRead, file_, 16384);
+      case 13: ++phase_; return sys(abi::kSysStat, os::kPathDataFile);
+      case 14: ++phase_; return sys(abi::kSysClose, file_);
+      case 15:
+        if (++done_ < iterations_) {
+          phase_ = 7;
+          return sys(abi::kSysMmap, 1 << 16, 0, 0, 3000);
+        }
+        ++phase_;
+        return sys(abi::kSysClose, sock_);
+      default:
+        return exit_now();
+    }
+  }
+ private:
+  int phase_ = 0;
+  u32 file_ = 0, sock_ = 0, done_ = 0, iterations_;
+};
+
+class TotemModel : public AppModel {
+ public:
+  explicit TotemModel(u32 iterations) : iterations_(iterations) {}
+  AppAction next(u32 last, OsRuntime&, u32) override {
+    switch (phase_) {
+      case 0: ++phase_; return sys(abi::kSysOpen, os::kPathMediaFile, 0);
+      case 1: fd_ = last; ++phase_; return sys(abi::kSysIoctl, 1, 0x4000);
+      case 2: ++phase_; return sys(abi::kSysRead, fd_, 32768, 0, 2500);
+      case 3: ++phase_; return sys(abi::kSysGettimeofday);
+      case 4: ++phase_; return sys(abi::kSysNanosleep, 1);
+      case 5:
+        if (++done_ < iterations_) {
+          phase_ = 2;
+          return sys(abi::kSysIoctl, 1, 0x4001);
+        }
+        ++phase_;
+        return sys(abi::kSysClose, fd_);
+      default:
+        return exit_now();
+    }
+  }
+ private:
+  int phase_ = 0;
+  u32 fd_ = 0, done_ = 0, iterations_;
+};
+
+class GvimModel : public AppModel {
+ public:
+  explicit GvimModel(u32 iterations) : iterations_(iterations) {}
+  AppAction next(u32 last, OsRuntime&, u32) override {
+    switch (phase_) {
+      case 0: ++phase_; return sys(abi::kSysSigaction, 2, 0x09990000);  // SIGINT
+      case 1: ++phase_; return sys(abi::kSysOpen, os::kPathEtcConf, 0);  // .vimrc
+      case 2: rc_ = last; ++phase_; return sys(abi::kSysRead, rc_, 4096);
+      case 3: ++phase_; return sys(abi::kSysClose, rc_);
+      // -- edit loop: keystroke in, echo out --
+      case 4: ++phase_; return sys(abi::kSysRead, 0, 16);  // tty (blocks)
+      case 5: ++phase_; return sys(abi::kSysWrite, 1, 80);
+      case 6:
+        if (++done_ < iterations_) {
+          phase_ = 4;
+          return sys(abi::kSysIoctl, 0, 0x5401);  // TCGETS-ish
+        }
+        ++phase_;
+        return sys(abi::kSysOpen, os::kPathLogFile, 1);  // :w
+      case 7: save_ = last; ++phase_; return sys(abi::kSysWrite, save_, 8192);
+      case 8: ++phase_; return sys(abi::kSysStat, os::kPathLogFile);
+      case 9: ++phase_; return sys(abi::kSysClose, save_);
+      default:
+        return exit_now();
+    }
+  }
+ private:
+  int phase_ = 0;
+  u32 rc_ = 0, save_ = 0, done_ = 0, iterations_;
+};
+
+class ApacheModel : public AppModel {
+ public:
+  explicit ApacheModel(u32 iterations) : iterations_(iterations) {}
+  AppAction next(u32 last, OsRuntime& os, u32) override {
+    switch (phase_) {
+      case 0: ++phase_; return sys(abi::kSysSocket, 2, 1);
+      case 1: lsock_ = last; ++phase_; return sys(abi::kSysBind, lsock_, kApachePort);
+      case 2: ++phase_; return sys(abi::kSysListen, lsock_);
+      case 3: ++phase_; return sys(abi::kSysStat, os::kPathIndexHtml);
+      // -- request loop --
+      case 4: ++phase_; return sys(abi::kSysAccept, lsock_);
+      case 5: conn_ = last; ++phase_; return sys(abi::kSysRead, conn_, 1024);
+      case 6: ++phase_; return sys(abi::kSysOpen, os::kPathIndexHtml, 0);
+      case 7: file_ = last; ++phase_; return sys(abi::kSysRead, file_, 16384);
+      case 8: ++phase_; return sys(abi::kSysClose, file_);
+      case 9: ++phase_; return sys(abi::kSysWrite, conn_, 16384, 0, 1200);
+      case 10:
+        os.bump_responses();
+        ++phase_;
+        return sys(abi::kSysClose, conn_);
+      case 11:
+        if (++done_ < iterations_) {
+          phase_ = 4;
+          return sys(abi::kSysGettimeofday);
+        }
+        ++phase_;
+        return sys(abi::kSysClose, lsock_);
+      default:
+        return exit_now();
+    }
+  }
+ private:
+  int phase_ = 0;
+  u32 lsock_ = 0, conn_ = 0, file_ = 0, done_ = 0, iterations_;
+};
+
+class VsftpdModel : public AppModel {
+ public:
+  explicit VsftpdModel(u32 iterations) : iterations_(iterations) {}
+  AppAction next(u32 last, OsRuntime&, u32) override {
+    switch (phase_) {
+      case 0: ++phase_; return sys(abi::kSysSocket, 2, 1);
+      case 1: lsock_ = last; ++phase_; return sys(abi::kSysBind, lsock_, kVsftpdPort);
+      case 2: ++phase_; return sys(abi::kSysListen, lsock_);
+      // -- session loop: download a file --
+      case 3: ++phase_; return sys(abi::kSysAccept, lsock_);
+      case 4: conn_ = last; ++phase_; return sys(abi::kSysRead, conn_, 256);
+      case 5: ++phase_; return sys(abi::kSysGetdents, conn_, 128);
+      case 6: ++phase_; return sys(abi::kSysOpen, os::kPathDataFile, 0);
+      case 7: file_ = last; ++phase_; return sys(abi::kSysStat, os::kPathDataFile);
+      case 8: ++phase_; return sys(abi::kSysRead, file_, 65536);
+      case 9: ++phase_; return sys(abi::kSysWrite, conn_, 65536);
+      case 10: ++phase_; return sys(abi::kSysRead, file_, 65536);
+      case 11: ++phase_; return sys(abi::kSysWrite, conn_, 65536);
+      // upload leg: write into the fs
+      case 12: ++phase_; return sys(abi::kSysOpen, os::kPathLogFile, 1);
+      case 13: up_ = last; ++phase_; return sys(abi::kSysWrite, up_, 32768);
+      case 14: ++phase_; return sys(abi::kSysClose, up_);
+      case 15: ++phase_; return sys(abi::kSysClose, file_);
+      case 16: ++phase_; return sys(abi::kSysClose, conn_);
+      case 17:
+        if (++done_ < iterations_) {
+          phase_ = 3;
+          return sys(abi::kSysTime);
+        }
+        ++phase_;
+        return sys(abi::kSysClose, lsock_);
+      default:
+        return exit_now();
+    }
+  }
+ private:
+  int phase_ = 0;
+  u32 lsock_ = 0, conn_ = 0, file_ = 0, up_ = 0, done_ = 0, iterations_;
+};
+
+class TopModel : public AppModel {
+ public:
+  explicit TopModel(u32 iterations) : iterations_(iterations) {}
+  AppAction next(u32 last, OsRuntime&, u32) override {
+    switch (phase_) {
+      case 0: ++phase_; return sys(abi::kSysOpen, os::kPathProcStat, 0);
+      case 1: stat_ = last; ++phase_; return sys(abi::kSysOpen, os::kPathProcMeminfo, 0);
+      case 2: mem_ = last; ++phase_; return sys(abi::kSysIoctl, 1, 0x5401);
+      // -- refresh loop --
+      case 3: ++phase_; return sys(abi::kSysRead, stat_, 2048);
+      case 4: ++phase_; return sys(abi::kSysRead, mem_, 2048);
+      case 5: ++phase_; return sys(abi::kSysGetdents, stat_, 512);
+      case 6: ++phase_; return sys(abi::kSysWrite, 1, 1800);
+      case 7: ++phase_; return sys(abi::kSysNanosleep, 2);
+      case 8:
+        if (++done_ < iterations_) {
+          phase_ = 3;
+          return sys(abi::kSysGetpid);
+        }
+        ++phase_;
+        return sys(abi::kSysClose, stat_);
+      case 9: ++phase_; return sys(abi::kSysClose, mem_);
+      default:
+        return exit_now();
+    }
+  }
+ private:
+  int phase_ = 0;
+  u32 stat_ = 0, mem_ = 0, done_ = 0, iterations_;
+};
+
+class TcpdumpModel : public AppModel {
+ public:
+  explicit TcpdumpModel(u32 iterations) : iterations_(iterations) {}
+  AppAction next(u32 last, OsRuntime&, u32) override {
+    switch (phase_) {
+      case 0: ++phase_; return sys(abi::kSysSocket, 2, 2);  // UDP capture
+      case 1: sock_ = last; ++phase_; return sys(abi::kSysBind, sock_, kTcpdumpPort);
+      case 2: ++phase_; return sys(abi::kSysIoctl, 1, 0x5401);
+      // -- capture loop --
+      case 3: ++phase_; return sys(abi::kSysRecvfrom, sock_, 2048);
+      case 4: ++phase_; return sys(abi::kSysGettimeofday);
+      case 5: ++phase_; return sys(abi::kSysWrite, 1, 140);
+      case 6:
+        if (++done_ < iterations_) {
+          phase_ = 3;
+          return sys(abi::kSysSelect, sock_, 1);
+        }
+        ++phase_;
+        return sys(abi::kSysClose, sock_);
+      default:
+        return exit_now();
+    }
+  }
+ private:
+  int phase_ = 0;
+  u32 sock_ = 0, done_ = 0, iterations_;
+};
+
+class MysqldModel : public AppModel {
+ public:
+  explicit MysqldModel(u32 iterations) : iterations_(iterations) {}
+  AppAction next(u32 last, OsRuntime&, u32) override {
+    switch (phase_) {
+      case 0: ++phase_; return sys(abi::kSysOpen, os::kPathDbFile, 2);
+      case 1: db_ = last; ++phase_; return sys(abi::kSysSocket, 2, 1);
+      case 2: lsock_ = last; ++phase_; return sys(abi::kSysBind, lsock_, kMysqlPort);
+      case 3: ++phase_; return sys(abi::kSysListen, lsock_);
+      case 4: ++phase_; return sys(abi::kSysBrk, 1 << 20);
+      // -- query loop (RUBiS-style request/response) --
+      case 5: ++phase_; return sys(abi::kSysAccept, lsock_);
+      case 6: conn_ = last; ++phase_; return sys(abi::kSysRead, conn_, 512);
+      case 7: ++phase_; return sys(abi::kSysRead, db_, 16384, 0, 2500);
+      case 8: ++phase_; return sys(abi::kSysWrite, db_, 8192);
+      case 9: ++phase_; return sys(abi::kSysFsync, db_);
+      case 10: ++phase_; return sys(abi::kSysWrite, conn_, 4096);
+      case 11: ++phase_; return sys(abi::kSysPoll, lsock_, 1);
+      case 12: ++phase_; return sys(abi::kSysClose, conn_);
+      case 13:
+        if (++done_ < iterations_) {
+          phase_ = 5;
+          return sys(abi::kSysGettimeofday);
+        }
+        ++phase_;
+        return sys(abi::kSysClose, db_);
+      case 14: ++phase_; return sys(abi::kSysClose, lsock_);
+      default:
+        return exit_now();
+    }
+  }
+ private:
+  int phase_ = 0;
+  u32 db_ = 0, lsock_ = 0, conn_ = 0, done_ = 0, iterations_;
+};
+
+class BashModel : public AppModel {
+ public:
+  explicit BashModel(u32 iterations) : iterations_(iterations) {}
+  AppAction next(u32 last, OsRuntime&, u32) override {
+    switch (phase_) {
+      case 0: ++phase_; return sys(abi::kSysSigaction, 2, 0x09990000);
+      case 1: ++phase_; return sys(abi::kSysOpen, os::kPathEtcConf, 0);  // .bashrc
+      case 2: rc_ = last; ++phase_; return sys(abi::kSysRead, rc_, 4096);
+      case 3: ++phase_; return sys(abi::kSysClose, rc_);
+      // -- interactive loop --
+      case 4: ++phase_; return sys(abi::kSysRead, 0, 64);   // prompt (blocks)
+      case 5: ++phase_; return sys(abi::kSysWrite, 1, 128); // echo
+      case 6: ++phase_; return sys(abi::kSysPipe);
+      case 7:
+        rpipe_ = last & 0xFFFF;
+        wpipe_ = last >> 16;
+        ++phase_;
+        return sys(abi::kSysFork);
+      case 8:
+        child_ = last;
+        ++phase_;
+        return sys(abi::kSysWrite, wpipe_, 256);
+      case 9: ++phase_; return sys(abi::kSysRead, rpipe_, 256);
+      case 10: ++phase_; return sys(abi::kSysWait4, child_);
+      case 11: ++phase_; return sys(abi::kSysDup2, 1, 10);
+      case 12: ++phase_; return sys(abi::kSysClose, rpipe_);
+      case 13: ++phase_; return sys(abi::kSysClose, wpipe_);
+      case 14:
+        if (++done_ < iterations_) {
+          phase_ = 4;
+          return sys(abi::kSysGetpid);
+        }
+        ++phase_;
+        return sys(abi::kSysWrite, 1, 32);
+      default:
+        return exit_now();
+    }
+  }
+  std::shared_ptr<AppModel> fork_child() override {
+    // Alternate the utilities a shell runs.
+    static const char* kBinaries[] = {"ls", "cat", "sh"};
+    return std::make_shared<ExecChildModel>(kBinaries[forks_++ % 3]);
+  }
+ private:
+  int phase_ = 0;
+  u32 rc_ = 0, rpipe_ = 0, wpipe_ = 0, child_ = 0, done_ = 0, iterations_;
+  u32 forks_ = 0;
+};
+
+class SshdModel : public AppModel {
+ public:
+  explicit SshdModel(u32 iterations) : iterations_(iterations) {}
+  AppAction next(u32 last, OsRuntime&, u32) override {
+    switch (phase_) {
+      case 0: ++phase_; return sys(abi::kSysSigaction, 17, 0x09990000);  // SIGCHLD
+      case 1: ++phase_; return sys(abi::kSysSocket, 2, 1);
+      case 2: lsock_ = last; ++phase_; return sys(abi::kSysBind, lsock_, kSshdPort);
+      case 3: ++phase_; return sys(abi::kSysListen, lsock_);
+      case 4: ++phase_; return sys(abi::kSysOpen, os::kPathEtcConf, 0);  // host key
+      case 5: key_ = last; ++phase_; return sys(abi::kSysRead, key_, 4096);
+      case 6: ++phase_; return sys(abi::kSysClose, key_);
+      // -- session loop --
+      case 7: ++phase_; return sys(abi::kSysSelect, lsock_, 1);
+      case 8: ++phase_; return sys(abi::kSysAccept, lsock_);
+      case 9: conn_ = last; ++phase_; return sys(abi::kSysRead, conn_, 1024, 0, 2000);
+      case 10: ++phase_; return sys(abi::kSysWrite, conn_, 1024);
+      case 11: ++phase_; return sys(abi::kSysFork);
+      case 12: child_ = last; ++phase_; return sys(abi::kSysWrite, 1, 80);
+      case 13: ++phase_; return sys(abi::kSysWait4, child_);
+      case 14: ++phase_; return sys(abi::kSysClose, conn_);
+      case 15:
+        if (++done_ < iterations_) {
+          phase_ = 7;
+          return sys(abi::kSysGettimeofday);
+        }
+        ++phase_;
+        return sys(abi::kSysClose, lsock_);
+      default:
+        return exit_now();
+    }
+  }
+  std::shared_ptr<AppModel> fork_child() override {
+    return std::make_shared<ExecChildModel>("sh");
+  }
+ private:
+  int phase_ = 0;
+  u32 lsock_ = 0, conn_ = 0, key_ = 0, child_ = 0, done_ = 0, iterations_;
+};
+
+class GzipModel : public AppModel {
+ public:
+  explicit GzipModel(u32 iterations) : iterations_(iterations) {}
+  AppAction next(u32 last, OsRuntime&, u32) override {
+    switch (phase_) {
+      case 0: ++phase_; return sys(abi::kSysOpen, os::kPathDataFile, 0);
+      case 1: in_ = last; ++phase_; return sys(abi::kSysOpen, os::kPathLogFile, 1);
+      case 2: out_ = last; ++phase_; return sys(abi::kSysBrk, 1 << 18);
+      // -- compress loop (CPU heavy) --
+      case 3: ++phase_; return sys(abi::kSysRead, in_, 65536, 0, 6000);
+      case 4: ++phase_; return sys(abi::kSysWrite, out_, 30000, 0, 1000);
+      case 5:
+        if (++done_ < iterations_) {
+          phase_ = 3;
+          return AppAction::compute_only(8000);
+        }
+        ++phase_;
+        return sys(abi::kSysClose, in_);
+      case 6: ++phase_; return sys(abi::kSysClose, out_);
+      default:
+        return exit_now();
+    }
+  }
+ private:
+  int phase_ = 0;
+  u32 in_ = 0, out_ = 0, done_ = 0, iterations_;
+};
+
+class EogModel : public AppModel {
+ public:
+  explicit EogModel(u32 iterations) : iterations_(iterations) {}
+  AppAction next(u32 last, OsRuntime&, u32) override {
+    switch (phase_) {
+      case 0: ++phase_; return sys(abi::kSysOpen, os::kPathMediaFile, 0);
+      case 1: fd_ = last; ++phase_; return sys(abi::kSysStat, os::kPathMediaFile);
+      case 2: ++phase_; return sys(abi::kSysMmap, 1 << 22);
+      case 3: ++phase_; return sys(abi::kSysGetdents, fd_, 256);
+      // -- slideshow loop --
+      case 4: ++phase_; return sys(abi::kSysRead, fd_, 65536, 0, 3000);
+      case 5: ++phase_; return sys(abi::kSysNanosleep, 1);
+      case 6:
+        if (++done_ < iterations_) {
+          phase_ = 4;
+          return sys(abi::kSysGettimeofday);
+        }
+        ++phase_;
+        return sys(abi::kSysClose, fd_);
+      default:
+        return exit_now();
+    }
+  }
+ private:
+  int phase_ = 0;
+  u32 fd_ = 0, done_ = 0, iterations_;
+};
+
+}  // namespace
+
+const std::vector<std::string>& all_app_names() {
+  static const std::vector<std::string> kNames = {
+      "firefox", "totem", "gvim",   "apache", "vsftpd", "top",
+      "tcpdump", "mysqld", "bash",  "sshd",   "gzip",   "eog"};
+  return kNames;
+}
+
+void register_utility_binaries(os::OsRuntime& osr) {
+  static const char* kNames[] = {"ls", "cat", "sh"};
+  for (const char* name : kNames) {
+    std::string n = name;
+    if (osr.has_binary(n)) continue;
+    osr.register_binary(
+        n, os::build_standard_loop(), [n]() -> std::shared_ptr<os::AppModel> {
+          if (n == "ls") return std::make_shared<LsModel>();
+          if (n == "cat") return std::make_shared<CatModel>();
+          return std::make_shared<ShModel>();
+        });
+  }
+}
+
+AppScenario make_app(const std::string& name, u32 iterations) {
+  AppScenario scenario;
+  scenario.name = name;
+  const Cycles spacing = 600'000;  // stimulus pacing
+  if (name == "firefox") {
+    scenario.model = std::make_shared<FirefoxModel>(iterations);
+    scenario.install_environment = [](os::OsRuntime& osr) {
+      // "The internet": every send on a connected socket gets a reply.
+      osr.set_send_responder([](os::OsRuntime& o, u32 sock, u32) {
+        o.schedule_stream_data(
+            o.hypervisor().vcpu().cycles() + o.config().net_rtt, sock, 1400);
+      });
+    };
+  } else if (name == "totem") {
+    scenario.model = std::make_shared<TotemModel>(iterations);
+    scenario.install_environment = [](os::OsRuntime&) {};
+  } else if (name == "gvim") {
+    scenario.model = std::make_shared<GvimModel>(iterations);
+    scenario.install_environment = [iterations, spacing](os::OsRuntime& osr) {
+      osr.schedule_keystrokes(osr.hypervisor().vcpu().cycles() + spacing,
+                              spacing, iterations + 8);
+    };
+  } else if (name == "apache") {
+    scenario.model = std::make_shared<ApacheModel>(iterations);
+    scenario.install_environment = [iterations, spacing](os::OsRuntime& osr) {
+      Cycles now = osr.hypervisor().vcpu().cycles();
+      for (u32 i = 0; i < iterations + 2; ++i)
+        osr.schedule_connection(now + spacing + i * spacing, kApachePort, 512);
+    };
+  } else if (name == "vsftpd") {
+    scenario.model = std::make_shared<VsftpdModel>(iterations);
+    scenario.install_environment = [iterations, spacing](os::OsRuntime& osr) {
+      Cycles now = osr.hypervisor().vcpu().cycles();
+      for (u32 i = 0; i < iterations + 2; ++i)
+        osr.schedule_connection(now + spacing + i * spacing, kVsftpdPort, 256);
+    };
+  } else if (name == "top") {
+    scenario.model = std::make_shared<TopModel>(iterations);
+    scenario.install_environment = [](os::OsRuntime&) {};
+  } else if (name == "tcpdump") {
+    scenario.model = std::make_shared<TcpdumpModel>(iterations);
+    scenario.install_environment = [iterations, spacing](os::OsRuntime& osr) {
+      Cycles now = osr.hypervisor().vcpu().cycles();
+      for (u32 i = 0; i < iterations + 2; ++i)
+        osr.schedule_datagram(now + spacing + i * spacing, kTcpdumpPort, 900);
+    };
+  } else if (name == "mysqld") {
+    scenario.model = std::make_shared<MysqldModel>(iterations);
+    scenario.install_environment = [iterations, spacing](os::OsRuntime& osr) {
+      Cycles now = osr.hypervisor().vcpu().cycles();
+      for (u32 i = 0; i < iterations + 2; ++i)
+        osr.schedule_connection(now + spacing + i * spacing, kMysqlPort, 400);
+    };
+  } else if (name == "bash") {
+    scenario.model = std::make_shared<BashModel>(iterations);
+    scenario.install_environment = [iterations, spacing](os::OsRuntime& osr) {
+      register_utility_binaries(osr);
+      osr.schedule_keystrokes(osr.hypervisor().vcpu().cycles() + spacing,
+                              spacing, iterations + 8);
+    };
+  } else if (name == "sshd") {
+    scenario.model = std::make_shared<SshdModel>(iterations);
+    scenario.install_environment = [iterations, spacing](os::OsRuntime& osr) {
+      register_utility_binaries(osr);
+      Cycles now = osr.hypervisor().vcpu().cycles();
+      for (u32 i = 0; i < iterations + 2; ++i)
+        osr.schedule_connection(now + spacing + i * spacing, kSshdPort, 512);
+    };
+  } else if (name == "gzip") {
+    scenario.model = std::make_shared<GzipModel>(iterations);
+    scenario.install_environment = [](os::OsRuntime&) {};
+  } else if (name == "eog") {
+    scenario.model = std::make_shared<EogModel>(iterations);
+    scenario.install_environment = [](os::OsRuntime&) {};
+  } else {
+    FC_UNREACHABLE(<< "unknown application " << name);
+  }
+  return scenario;
+}
+
+}  // namespace fc::apps

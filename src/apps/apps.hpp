@@ -1,0 +1,57 @@
+// The paper's 12 evaluation applications (Table I), modelled as workload
+// state machines driving the synthetic kernel through the same subsystem
+// mixes as the originals:
+//
+//   firefox  — TCP client, file reads, mmap, poll        (interactive/net)
+//   totem    — bulk media file reads, ioctl, nanosleep   (interactive/media)
+//   gvim     — tty in/out, file read+write, signals      (interactive/editor)
+//   apache   — TCP server: accept/read/write, file serve (server/net)
+//   vsftpd   — TCP server + heavy file I/O               (server/net+fs)
+//   top      — procfs reads, tty writes, nanosleep       (monitor)
+//   tcpdump  — UDP capture loop, tty writes              (monitor/net)
+//   mysqld   — file read/write/fsync + TCP server + poll (server/db)
+//   bash     — tty, fork/execve/wait, pipes, signals     (shell)
+//   sshd     — TCP server, fork, tty, select             (server/shell)
+//   gzip     — pure file read/write loop, brk            (batch)
+//   eog      — file reads, mmap, getdents, nanosleep     (interactive/media)
+//
+// make_app() returns the model plus the environment installer (traffic
+// generators, keystrokes, responders) that drives it.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "os/app_model.hpp"
+#include "os/os_runtime.hpp"
+
+namespace fc::apps {
+
+struct AppScenario {
+  std::string name;
+  std::shared_ptr<os::AppModel> model;
+  /// Schedules the external stimuli this app needs (connections, packets,
+  /// keystrokes). Call once after spawn, before running.
+  std::function<void(os::OsRuntime&)> install_environment;
+};
+
+/// All 12 applications, in the paper's Table I order.
+const std::vector<std::string>& all_app_names();
+
+/// Build an app scenario. `iterations` scales the workload length.
+AppScenario make_app(const std::string& name, u32 iterations = 30);
+
+/// Register the small utility binaries (ls, cat, sh) that bash/sshd execve;
+/// idempotent. Must be called before running bash or sshd.
+void register_utility_binaries(os::OsRuntime& os);
+
+/// Well-known ports.
+inline constexpr u16 kApachePort = 80;
+inline constexpr u16 kVsftpdPort = 21;
+inline constexpr u16 kMysqlPort = 3306;
+inline constexpr u16 kSshdPort = 22;
+inline constexpr u16 kTcpdumpPort = 9999;
+
+}  // namespace fc::apps

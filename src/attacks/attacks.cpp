@@ -1,0 +1,662 @@
+#include "attacks/attacks.hpp"
+
+#include "hv/guest_abi.hpp"
+#include "os/blueprint.hpp"
+#include "support/check.hpp"
+
+namespace fc::attacks {
+
+namespace {
+
+using isa::Reg;
+using os::OsRuntime;
+using os::UserCodeBuilder;
+namespace abi = fc::abi;
+
+// ---------------------------------------------------------------------------
+// Shellcode building blocks.
+// ---------------------------------------------------------------------------
+
+/// socket(AF_INET, SOCK_DGRAM); bind(port); loop { recvfrom }. Never
+/// returns — the classic parasite UDP server (Injectso / ERESI payload).
+void emit_udp_server(UserCodeBuilder& b, u16 port) {
+  b.syscall(abi::kSysSocket, 2, 2);
+  b.a().mov(Reg::SI, Reg::A);  // fd
+  b.a().mov(Reg::B, Reg::SI);
+  b.a().mov_imm(Reg::C, port);
+  b.a().mov_imm(Reg::A, abi::kSysBind);
+  b.a().int_(abi::kSyscallVector);
+  auto loop = b.a().make_label();
+  b.a().bind(loop);
+  b.a().mov(Reg::B, Reg::SI);
+  b.a().mov_imm(Reg::C, 1024);
+  b.a().mov_imm(Reg::A, abi::kSysRecvfrom);
+  b.a().int_(abi::kSyscallVector);
+  b.a().jmp(loop);
+}
+
+/// socket(TCP); bind(port); listen; loop { accept; read; write; close }.
+void emit_bind_shell(UserCodeBuilder& b, u16 port) {
+  b.syscall(abi::kSysSocket, 2, 1);
+  b.a().mov(Reg::SI, Reg::A);
+  b.a().mov(Reg::B, Reg::SI);
+  b.a().mov_imm(Reg::C, port);
+  b.a().mov_imm(Reg::A, abi::kSysBind);
+  b.a().int_(abi::kSyscallVector);
+  b.a().mov(Reg::B, Reg::SI);
+  b.a().mov_imm(Reg::A, abi::kSysListen);
+  b.a().int_(abi::kSyscallVector);
+  auto loop = b.a().make_label();
+  b.a().bind(loop);
+  b.a().mov(Reg::B, Reg::SI);
+  b.a().mov_imm(Reg::A, abi::kSysAccept);
+  b.a().int_(abi::kSyscallVector);
+  b.a().mov(Reg::DI, Reg::A);  // conn
+  b.a().mov(Reg::B, Reg::DI);
+  b.a().mov_imm(Reg::C, 256);
+  b.a().mov_imm(Reg::A, abi::kSysRead);
+  b.a().int_(abi::kSyscallVector);
+  b.a().mov(Reg::B, Reg::DI);
+  b.a().mov_imm(Reg::C, 256);
+  b.a().mov_imm(Reg::A, abi::kSysWrite);
+  b.a().int_(abi::kSyscallVector);
+  b.a().mov(Reg::B, Reg::DI);
+  b.a().mov_imm(Reg::A, abi::kSysClose);
+  b.a().int_(abi::kSyscallVector);
+  b.a().jmp(loop);
+}
+
+/// open(log); write; close — the "leave a timestamp/dump" payload.
+void emit_file_drop(UserCodeBuilder& b, u32 path, u32 bytes) {
+  b.syscall(abi::kSysOpen, path, 1);
+  b.a().mov(Reg::SI, Reg::A);
+  b.a().mov(Reg::B, Reg::SI);
+  b.a().mov_imm(Reg::C, bytes);
+  b.a().mov_imm(Reg::A, abi::kSysWrite);
+  b.a().int_(abi::kSyscallVector);
+  b.a().mov(Reg::B, Reg::SI);
+  b.a().mov_imm(Reg::A, abi::kSysClose);
+  b.a().int_(abi::kSyscallVector);
+}
+
+/// write(tty) xN — register-dump-to-terminal payload.
+void emit_register_dump(UserCodeBuilder& b, int lines) {
+  for (int i = 0; i < lines; ++i)
+    b.syscall(abi::kSysWrite, 1, 96);
+}
+
+/// Prepend a payload to a program image (offline binary infection à la
+/// Infelf: the payload runs first, then jumps to the original entry). The
+/// original code is position-independent (label-relative branches only),
+/// so shifting it is safe.
+os::ProgramImage prepend_payload(
+    const os::ProgramImage& original,
+    const std::function<void(UserCodeBuilder&, GVirt resume)>& emit,
+    bool falls_through_to_original = true) {
+  // Pass 1: measure the payload.
+  {
+    UserCodeBuilder probe(os::kUserCodeVa);
+    emit(probe, 0);
+    std::vector<u8> bytes = probe.finish();
+    u32 payload_len = (static_cast<u32>(bytes.size()) + 15) & ~15u;
+    GVirt resume = os::kUserCodeVa + payload_len + original.entry_offset;
+    // Pass 2: real resume address.
+    UserCodeBuilder real(os::kUserCodeVa);
+    emit(real, resume);
+    std::vector<u8> payload = real.finish();
+    FC_CHECK(payload.size() == bytes.size(), << "payload size drift");
+    payload.resize(payload_len, 0x90);
+    os::ProgramImage out;
+    out.code = payload;
+    out.code.insert(out.code.end(), original.code.begin(),
+                    original.code.end());
+    out.entry_offset = 0;
+    (void)falls_through_to_original;
+    return out;
+  }
+}
+
+/// Schedule attacker-side traffic so a payload's blocking calls complete.
+void feed_datagrams(OsRuntime& osr, u16 port, u32 count) {
+  Cycles now = osr.hypervisor().vcpu().cycles();
+  for (u32 i = 0; i < count; ++i)
+    osr.schedule_datagram(now + 800'000 + i * 900'000, port, 320);
+}
+void feed_connections(OsRuntime& osr, u16 port, u32 count) {
+  Cycles now = osr.hypervisor().vcpu().cycles();
+  for (u32 i = 0; i < count; ++i)
+    osr.schedule_connection(now + 900'000 + i * 1'200'000, port, 200);
+}
+
+/// Spawn an insmod process that loads the registered module via the real
+/// sys_init_module path.
+class InsmodModel : public os::AppModel {
+ public:
+  explicit InsmodModel(u32 module_id) : module_id_(module_id) {}
+  os::AppAction next(u32, OsRuntime&, u32) override {
+    if (phase_++ == 0)
+      return os::AppAction::syscall(abi::kSysInitModule, module_id_);
+    return os::AppAction::syscall(abi::kSysExit, 0);
+  }
+ private:
+  u32 module_id_;
+  int phase_ = 0;
+};
+
+void insmod(OsRuntime& osr, u32 module_id) {
+  osr.spawn("insmod", std::make_shared<InsmodModel>(module_id));
+}
+
+// ---------------------------------------------------------------------------
+// Online user-level infections.
+// ---------------------------------------------------------------------------
+
+class Injectso : public Attack {
+ public:
+  std::string name() const override { return "Injectso"; }
+  std::string infection_method() const override {
+    return "Online infection: Shared object injection";
+  }
+  std::string payload() const override { return "UDP server"; }
+  std::string victim() const override { return "top"; }
+  void deploy(OsRuntime& osr, u32 pid) override {
+    UserCodeBuilder b(osr.next_inject_addr(pid));
+    emit_udp_server(b, kInjectsoUdpPort);
+    GVirt at = osr.inject_code(pid, b.finish());
+    osr.detour(pid, at);
+    feed_datagrams(osr, kInjectsoUdpPort, 6);
+  }
+  std::vector<std::vector<std::string>> detection_signature() const override {
+    return {{"inet_create", "udp_v4_get_port", "udp_lib_get_port"},
+            {"udp_recvmsg", "__skb_recv_datagram"}};
+  }
+};
+
+class CymothoaV1 : public Attack {
+ public:
+  std::string name() const override { return "Cymothoa v1"; }
+  std::string infection_method() const override {
+    return "Online infection: Fork process";
+  }
+  std::string payload() const override {
+    return "Bind /bin/sh to TCP port and fork shell";
+  }
+  std::string victim() const override { return "top"; }
+  void deploy(OsRuntime& osr, u32 pid) override {
+    GVirt base = osr.next_inject_addr(pid);
+    UserCodeBuilder b(base);
+    b.syscall(abi::kSysFork);
+    b.a().cmp_imm_a(0);
+    auto child = b.a().make_label();
+    b.a().jz(child);
+    b.jmp_abs(osr.task_entry_va(pid));  // parent resumes the host program
+    b.a().bind(child);
+    emit_bind_shell(b, kBindShellPort);
+    osr.detour(pid, osr.inject_code(pid, b.finish()));
+    feed_connections(osr, kBindShellPort, 4);
+  }
+  std::vector<std::vector<std::string>> detection_signature() const override {
+    return {{"sys_fork", "do_fork", "copy_process"},
+            {"inet_csk_get_port", "inet_csk_accept", "inet_listen"}};
+  }
+};
+
+class CymothoaV2 : public Attack {
+ public:
+  std::string name() const override { return "Cymothoa v2"; }
+  std::string infection_method() const override {
+    return "Online infection: Clone thread";
+  }
+  std::string payload() const override {
+    return "Bind /bin/sh to TCP port and fork shell";
+  }
+  std::string victim() const override { return "gvim"; }
+  void deploy(OsRuntime& osr, u32 pid) override {
+    GVirt base = osr.next_inject_addr(pid);
+    UserCodeBuilder b(base);
+    b.syscall(abi::kSysClone);
+    b.a().cmp_imm_a(0);
+    auto child = b.a().make_label();
+    b.a().jz(child);
+    b.jmp_abs(osr.task_entry_va(pid));
+    b.a().bind(child);
+    emit_bind_shell(b, kBindShellPort);
+    osr.detour(pid, osr.inject_code(pid, b.finish()));
+    feed_connections(osr, kBindShellPort, 4);
+  }
+  std::vector<std::vector<std::string>> detection_signature() const override {
+    return {{"sys_clone"},
+            {"inet_csk_get_port", "inet_csk_accept", "inet_listen"}};
+  }
+};
+
+class CymothoaV3 : public Attack {
+ public:
+  std::string name() const override { return "Cymothoa v3"; }
+  std::string infection_method() const override {
+    return "Online infection: Settimer parasite";
+  }
+  std::string payload() const override { return "Remote file sniffer"; }
+  std::string victim() const override { return "gvim"; }
+  void deploy(OsRuntime& osr, u32 pid) override {
+    GVirt base = osr.next_inject_addr(pid);
+    // Handler first, then setup (handler address = base).
+    UserCodeBuilder h(base);
+    h.syscall(abi::kSysOpen, os::kPathDataFile, 0);
+    h.a().mov(Reg::SI, Reg::A);
+    h.a().mov(Reg::B, Reg::SI);
+    h.a().mov_imm(Reg::C, 512);
+    h.a().mov_imm(Reg::A, abi::kSysRead);
+    h.a().int_(abi::kSyscallVector);
+    h.syscall(abi::kSysSocket, 2, 2);
+    h.a().mov(Reg::DI, Reg::A);
+    h.a().mov(Reg::B, Reg::DI);
+    h.a().mov_imm(Reg::C, 256);
+    h.a().mov_imm(Reg::A, abi::kSysSendto);
+    h.a().int_(abi::kSyscallVector);
+    h.a().mov(Reg::B, Reg::DI);
+    h.a().mov_imm(Reg::A, abi::kSysClose);
+    h.a().int_(abi::kSyscallVector);
+    h.a().mov(Reg::B, Reg::SI);
+    h.a().mov_imm(Reg::A, abi::kSysClose);
+    h.a().int_(abi::kSyscallVector);
+    h.syscall(abi::kSysSigreturn);
+    std::vector<u8> handler = h.finish();
+
+    UserCodeBuilder s(base + static_cast<u32>(handler.size()));
+    s.syscall(abi::kSysSigaction, 14, base);  // SIGALRM → handler
+    s.syscall(abi::kSysSetitimer, 8);
+    s.jmp_abs(osr.task_entry_va(pid));
+    std::vector<u8> setup = s.finish();
+
+    std::vector<u8> blob = handler;
+    blob.insert(blob.end(), setup.begin(), setup.end());
+    GVirt at = osr.inject_code(pid, blob);
+    osr.detour(pid, at + static_cast<u32>(handler.size()));
+  }
+  std::vector<std::vector<std::string>> detection_signature() const override {
+    return {{"do_setitimer", "sys_setitimer", "hrtimer_start"},
+            {"udp_sendmsg", "inet_create"}};
+  }
+};
+
+class CymothoaV4 : public Attack {
+ public:
+  std::string name() const override { return "Cymothoa v4"; }
+  std::string infection_method() const override {
+    return "Online infection: Signal/Alarm parasite";
+  }
+  std::string payload() const override { return "Single process backdoor"; }
+  std::string victim() const override { return "bash"; }
+  void deploy(OsRuntime& osr, u32 pid) override {
+    GVirt base = osr.next_inject_addr(pid);
+    UserCodeBuilder h(base);
+    // accept(SI); read; write; re-arm alarm; sigreturn.
+    h.a().mov(Reg::B, Reg::SI);
+    h.a().mov_imm(Reg::A, abi::kSysAccept);
+    h.a().int_(abi::kSyscallVector);
+    h.a().mov(Reg::DI, Reg::A);
+    h.a().mov(Reg::B, Reg::DI);
+    h.a().mov_imm(Reg::C, 128);
+    h.a().mov_imm(Reg::A, abi::kSysRead);
+    h.a().int_(abi::kSyscallVector);
+    h.a().mov(Reg::B, Reg::DI);
+    h.a().mov_imm(Reg::C, 128);
+    h.a().mov_imm(Reg::A, abi::kSysWrite);
+    h.a().int_(abi::kSyscallVector);
+    h.a().mov(Reg::B, Reg::DI);
+    h.a().mov_imm(Reg::A, abi::kSysClose);
+    h.a().int_(abi::kSyscallVector);
+    h.syscall(abi::kSysAlarm, 6);
+    h.syscall(abi::kSysSigreturn);
+    std::vector<u8> handler = h.finish();
+
+    UserCodeBuilder s(base + static_cast<u32>(handler.size()));
+    s.syscall(abi::kSysSigaction, 14, base);
+    s.syscall(abi::kSysSocket, 2, 1);
+    s.a().mov(Reg::SI, Reg::A);
+    s.a().mov(Reg::B, Reg::SI);
+    s.a().mov_imm(Reg::C, kBindShellPort);
+    s.a().mov_imm(Reg::A, abi::kSysBind);
+    s.a().int_(abi::kSyscallVector);
+    s.a().mov(Reg::B, Reg::SI);
+    s.a().mov_imm(Reg::A, abi::kSysListen);
+    s.a().int_(abi::kSyscallVector);
+    s.syscall(abi::kSysAlarm, 6);
+    s.jmp_abs(osr.task_entry_va(pid));
+    std::vector<u8> setup = s.finish();
+
+    std::vector<u8> blob = handler;
+    blob.insert(blob.end(), setup.begin(), setup.end());
+    GVirt at = osr.inject_code(pid, blob);
+    osr.detour(pid, at + static_cast<u32>(handler.size()));
+    feed_connections(osr, kBindShellPort, 4);
+  }
+  std::vector<std::vector<std::string>> detection_signature() const override {
+    return {{"alarm_setitimer", "sys_alarm"},
+            {"inet_csk_accept", "inet_csk_get_port", "inet_listen"}};
+  }
+};
+
+class Hotpatch : public Attack {
+ public:
+  std::string name() const override { return "Hotpatch"; }
+  std::string infection_method() const override {
+    return "Online infection: Library injection";
+  }
+  std::string payload() const override {
+    return "File writing of injecting timestamp";
+  }
+  std::string victim() const override { return "top"; }
+  void deploy(OsRuntime& osr, u32 pid) override {
+    UserCodeBuilder b(osr.next_inject_addr(pid));
+    b.syscall(abi::kSysTime);
+    emit_file_drop(b, os::kPathLogFile, 64);
+    b.jmp_abs(osr.task_entry_va(pid));
+    osr.detour(pid, osr.inject_code(pid, b.finish()));
+  }
+  std::vector<std::vector<std::string>> detection_signature() const override {
+    return {{"do_sync_write", "ext4_file_write", "__generic_file_aio_write"}};
+  }
+};
+
+class Xlibtrace : public Attack {
+ public:
+  std::string name() const override { return "Xlibtrace"; }
+  std::string infection_method() const override {
+    return "Online infection: $LD_PRELOAD linker";
+  }
+  std::string payload() const override { return "Tracking function invocation"; }
+  std::string victim() const override { return "totem"; }
+  bool offline() const override { return true; }  // applied at program load
+  os::ProgramImage infect_program(const os::ProgramImage&) override {
+    return os::build_traced_loop(1);
+  }
+  std::vector<std::vector<std::string>> detection_signature() const override {
+    return {{"tty_write", "n_tty_write"}};
+  }
+};
+
+class Hijacker : public Attack {
+ public:
+  std::string name() const override { return "Hijacker"; }
+  std::string infection_method() const override {
+    return "Online infection: Global offset table poisoning";
+  }
+  std::string payload() const override {
+    return "Redirection of library function";
+  }
+  std::string victim() const override { return "tcpdump"; }
+  void deploy(OsRuntime& osr, u32 pid) override {
+    UserCodeBuilder b(osr.next_inject_addr(pid));
+    emit_file_drop(b, os::kPathLogFile, 128);
+    b.jmp_abs(osr.task_entry_va(pid));
+    osr.detour(pid, osr.inject_code(pid, b.finish()));
+  }
+  std::vector<std::vector<std::string>> detection_signature() const override {
+    return {{"do_sync_write", "ext4_file_write", "ext4_lookup"}};
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Offline binary infections.
+// ---------------------------------------------------------------------------
+
+class InfelfV1 : public Attack {
+ public:
+  std::string name() const override { return "Infelf v1"; }
+  std::string infection_method() const override {
+    return "Offline binary infection";
+  }
+  std::string payload() const override { return "Remote shell server"; }
+  std::string victim() const override { return "gzip"; }
+  bool offline() const override { return true; }
+  os::ProgramImage infect_program(const os::ProgramImage& orig) override {
+    // Shell server runs in-line before the host program: serve one
+    // connection, then continue as gzip.
+    return prepend_payload(orig, [](UserCodeBuilder& b, GVirt resume) {
+      b.syscall(abi::kSysSocket, 2, 1);
+      b.a().mov(Reg::SI, Reg::A);
+      b.a().mov(Reg::B, Reg::SI);
+      b.a().mov_imm(Reg::C, kInfelfShellPort);
+      b.a().mov_imm(Reg::A, abi::kSysBind);
+      b.a().int_(abi::kSyscallVector);
+      b.a().mov(Reg::B, Reg::SI);
+      b.a().mov_imm(Reg::A, abi::kSysListen);
+      b.a().int_(abi::kSyscallVector);
+      b.a().mov(Reg::B, Reg::SI);
+      b.a().mov_imm(Reg::A, abi::kSysAccept);
+      b.a().int_(abi::kSyscallVector);
+      b.a().mov(Reg::DI, Reg::A);
+      b.a().mov(Reg::B, Reg::DI);
+      b.a().mov_imm(Reg::C, 256);
+      b.a().mov_imm(Reg::A, abi::kSysRead);
+      b.a().int_(abi::kSyscallVector);
+      b.a().mov(Reg::B, Reg::DI);
+      b.a().mov_imm(Reg::C, 256);
+      b.a().mov_imm(Reg::A, abi::kSysWrite);
+      b.a().int_(abi::kSyscallVector);
+      b.a().mov(Reg::B, Reg::DI);
+      b.a().mov_imm(Reg::A, abi::kSysClose);
+      b.a().int_(abi::kSyscallVector);
+      b.jmp_abs(resume);
+    });
+  }
+  void deploy(OsRuntime& osr, u32) override {
+    feed_connections(osr, kInfelfShellPort, 3);
+  }
+  std::vector<std::vector<std::string>> detection_signature() const override {
+    return {{"inet_create", "sys_socket"},
+            {"inet_csk_accept", "inet_csk_get_port"}};
+  }
+};
+
+class RegisterDumpInfection : public Attack {
+ public:
+  RegisterDumpInfection(std::string name, std::string victim)
+      : name_(std::move(name)), victim_(std::move(victim)) {}
+  std::string name() const override { return name_; }
+  std::string infection_method() const override {
+    return "Offline binary infection";
+  }
+  std::string payload() const override { return "Register dumping"; }
+  std::string victim() const override { return victim_; }
+  bool offline() const override { return true; }
+  os::ProgramImage infect_program(const os::ProgramImage& orig) override {
+    return prepend_payload(orig, [](UserCodeBuilder& b, GVirt resume) {
+      emit_register_dump(b, 4);
+      b.jmp_abs(resume);
+    });
+  }
+  std::vector<std::vector<std::string>> detection_signature() const override {
+    return {{"tty_write", "n_tty_write"}};
+  }
+ private:
+  std::string name_, victim_;
+};
+
+class Eresi : public Attack {
+ public:
+  std::string name() const override { return "ERESI"; }
+  std::string infection_method() const override {
+    return "Offline binary infection";
+  }
+  std::string payload() const override { return "UDP server"; }
+  std::string victim() const override { return "gvim"; }
+  bool offline() const override { return true; }
+  os::ProgramImage infect_program(const os::ProgramImage& orig) override {
+    return prepend_payload(orig, [](UserCodeBuilder& b, GVirt) {
+      emit_udp_server(b, kEresiUdpPort);  // never resumes the host
+    });
+  }
+  void deploy(OsRuntime& osr, u32) override {
+    feed_datagrams(osr, kEresiUdpPort, 5);
+  }
+  std::vector<std::vector<std::string>> detection_signature() const override {
+    return {{"udp_v4_get_port", "udp_lib_get_port", "inet_create"},
+            {"udp_recvmsg", "__skb_recv_datagram"}};
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Kernel rootkits.
+// ---------------------------------------------------------------------------
+
+/// Hook body shared by the rootkits: save the real handler's args, run the
+/// malicious collector, tail-jump into the real handler.
+void add_syscall_hook(os::Blueprint& bp, const std::string& hook_name,
+                      const std::string& collector,
+                      const std::string& real_handler) {
+  bp.add_raw(hook_name, "rootkit", [collector, real_handler](os::EmitCtx& c) {
+    auto& a = c.a();
+    a.prologue();
+    a.push(Reg::B);
+    a.push(Reg::C);
+    c.call(collector);
+    a.pop(Reg::C);
+    a.pop(Reg::B);
+    a.leave();
+    a.jmp_sym(real_handler);
+  });
+}
+
+class KBeast : public Attack {
+ public:
+  std::string name() const override { return "KBeast"; }
+  std::string infection_method() const override { return "Kernel rootkit"; }
+  std::string payload() const override {
+    return "File/Process hiding, keystroke sniffer";
+  }
+  std::string victim() const override { return "bash"; }
+  bool is_rootkit() const override { return true; }
+  void deploy(OsRuntime& osr, u32) override {
+    os::Blueprint bp;
+    add_syscall_hook(bp, "kbeast_sys_read", "kbeast_log_keystroke",
+                     "sys_read");
+    bp.add("kbeast_log_keystroke", "rootkit", [](os::EmitCtx& c) {
+      auto& a = c.a();
+      c.pad(10);
+      a.mov_imm(Reg::C, 64);
+      c.call("snprintf");  // → vsnprintf → strnlen (Figure 5 ①)
+      a.mov_imm(Reg::B, os::kPathHiddenLog);
+      c.call("filp_open");  // (Figure 5 ②)
+      a.mov(Reg::B, Reg::A);  // fd of the hidden log
+      a.mov_imm(Reg::C, 32);
+      c.call("do_sync_write");  // → ext4 → jbd2 (Figure 5 ③)
+      c.ksvc(abi::kKsvcRkLog);
+    });
+    bp.add("kbeast_init", "rootkit", [](os::EmitCtx& c) {
+      auto& a = c.a();
+      // Hijack the sys_read syscall-table entry...
+      a.mov_imm_sym(Reg::A, "kbeast_sys_read");
+      a.store_abs(abi::kSyscallTableAddr + abi::kSysRead * 4);
+      // ...and hide this module from the kernel's module list.
+      a.mov_imm_sym(Reg::B, "kbeast_init");
+      c.ksvc(abi::kKsvcModuleHide);
+    });
+    u32 id = osr.register_module(
+        {"ipsecs_kbeast_v1", std::move(bp), "kbeast_init",
+         /*publish_symbols=*/false, nullptr});
+    insmod(osr, id);
+  }
+  std::vector<std::vector<std::string>> detection_signature() const override {
+    return {{"strnlen", "vsnprintf", "snprintf"},
+            {"filp_open"},
+            {"do_sync_write", "__jbd2_log_start_commit", "ext4_file_write"}};
+  }
+};
+
+class Sebek : public Attack {
+ public:
+  std::string name() const override { return "Sebek"; }
+  std::string infection_method() const override { return "Kernel rootkit"; }
+  std::string payload() const override { return "Confidential data collection"; }
+  std::string victim() const override { return "bash"; }
+  bool is_rootkit() const override { return true; }
+  void deploy(OsRuntime& osr, u32) override {
+    os::Blueprint bp;
+    add_syscall_hook(bp, "sebek_sys_read", "sebek_collect", "sys_read");
+    bp.add("sebek_collect", "rootkit", [](os::EmitCtx& c) {
+      c.pad(14);
+      c.ksvc(abi::kKsvcRkLog);
+      c.call("ip_route_output");  // exfiltration path
+      c.call("udp_sendmsg");
+    });
+    bp.add("sebek_init", "rootkit", [](os::EmitCtx& c) {
+      auto& a = c.a();
+      a.mov_imm_sym(Reg::A, "sebek_sys_read");
+      a.store_abs(abi::kSyscallTableAddr + abi::kSysRead * 4);
+    });
+    u32 id = osr.register_module({"sebek", std::move(bp), "sebek_init",
+                                  /*publish_symbols=*/true, nullptr});
+    insmod(osr, id);
+  }
+  std::vector<std::vector<std::string>> detection_signature() const override {
+    // Its own (visible, unprofiled) module code is recovered, plus the
+    // kernel exfiltration path.
+    return {{"sebek_", "udp_sendmsg", "ip_route_output"}};
+  }
+};
+
+class AdoreNg : public Attack {
+ public:
+  std::string name() const override { return "Adore-ng"; }
+  std::string infection_method() const override { return "Kernel rootkit"; }
+  std::string payload() const override { return "File/Process hiding"; }
+  std::string victim() const override { return "top"; }
+  bool is_rootkit() const override { return true; }
+  void deploy(OsRuntime& osr, u32) override {
+    os::Blueprint bp;
+    add_syscall_hook(bp, "adore_sys_getdents", "adore_filter",
+                     "sys_getdents");
+    bp.add("adore_filter", "rootkit", [](os::EmitCtx& c) {
+      c.pad(16);
+      c.ksvc(abi::kKsvcRkLog);
+    });
+    bp.add("adore_init", "rootkit", [](os::EmitCtx& c) {
+      auto& a = c.a();
+      a.mov_imm_sym(Reg::A, "adore_sys_getdents");
+      a.store_abs(abi::kSyscallTableAddr + abi::kSysGetdents * 4);
+    });
+    u32 id = osr.register_module({"adore-ng", std::move(bp), "adore_init",
+                                  /*publish_symbols=*/true, nullptr});
+    insmod(osr, id);
+  }
+  std::vector<std::vector<std::string>> detection_signature() const override {
+    return {{"adore_"}};
+  }
+};
+
+}  // namespace
+
+std::vector<std::unique_ptr<Attack>> make_all_attacks() {
+  std::vector<std::unique_ptr<Attack>> all;
+  all.push_back(std::make_unique<Injectso>());
+  all.push_back(std::make_unique<CymothoaV1>());
+  all.push_back(std::make_unique<CymothoaV2>());
+  all.push_back(std::make_unique<CymothoaV3>());
+  all.push_back(std::make_unique<CymothoaV4>());
+  all.push_back(std::make_unique<Hotpatch>());
+  all.push_back(std::make_unique<Xlibtrace>());
+  all.push_back(std::make_unique<Hijacker>());
+  all.push_back(std::make_unique<InfelfV1>());
+  all.push_back(
+      std::make_unique<RegisterDumpInfection>("Infelf v2", "eog"));
+  all.push_back(std::make_unique<RegisterDumpInfection>("Arches", "totem"));
+  all.push_back(
+      std::make_unique<RegisterDumpInfection>("Elf-infector", "mysqld"));
+  all.push_back(std::make_unique<Eresi>());
+  all.push_back(std::make_unique<KBeast>());
+  all.push_back(std::make_unique<Sebek>());
+  all.push_back(std::make_unique<AdoreNg>());
+  return all;
+}
+
+std::unique_ptr<Attack> make_attack(const std::string& name) {
+  for (auto& attack : make_all_attacks()) {
+    if (attack->name() == name) return std::move(attack);
+  }
+  FC_UNREACHABLE(<< "unknown attack " << name);
+}
+
+}  // namespace fc::attacks

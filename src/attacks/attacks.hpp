@@ -1,0 +1,61 @@
+// The paper's Table II malware corpus: 13 user-level attacks (8 online
+// runtime infections, 5 offline binary infections) and 3 kernel rootkits,
+// reimplemented by their *kernel-facing behaviour* — detection in
+// FACE-CHANGE depends only on which kernel code a payload reaches, which is
+// what these reproduce.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "os/os_runtime.hpp"
+#include "os/user_program.hpp"
+
+namespace fc::attacks {
+
+class Attack {
+ public:
+  virtual ~Attack() = default;
+
+  virtual std::string name() const = 0;
+  virtual std::string infection_method() const = 0;
+  virtual std::string payload() const = 0;
+  /// The application whose kernel view should expose this attack.
+  virtual std::string victim() const = 0;
+
+  /// Offline binary infections modify the victim's program image before it
+  /// starts; online infections act on a running process via deploy().
+  virtual bool offline() const { return false; }
+  virtual os::ProgramImage infect_program(const os::ProgramImage& original) {
+    return original;
+  }
+
+  /// Online infection / rootkit installation. `victim_pid` is 0 for
+  /// kernel rootkits (they are loaded via an insmod process, not injected
+  /// into the victim).
+  virtual void deploy(os::OsRuntime& os, u32 victim_pid) { (void)os; (void)victim_pid; }
+
+  /// Kernel rootkits need their module registered+loaded before views are
+  /// built (Table II's scenario: rootkit present when the view is created).
+  virtual bool is_rootkit() const { return false; }
+
+  /// Recovered-function symbol prefixes whose presence in the recovery log
+  /// constitutes detection (any one suffices per entry; all entries must
+  /// appear for full detection).
+  virtual std::vector<std::vector<std::string>> detection_signature()
+      const = 0;
+};
+
+/// All 16 attacks in Table II order.
+std::vector<std::unique_ptr<Attack>> make_all_attacks();
+std::unique_ptr<Attack> make_attack(const std::string& name);
+
+/// Ports the payloads use (attack scenarios feed traffic to them so the
+/// payloads execute their full kernel paths).
+inline constexpr u16 kInjectsoUdpPort = 5555;
+inline constexpr u16 kBindShellPort = 4444;
+inline constexpr u16 kInfelfShellPort = 4445;
+inline constexpr u16 kEresiUdpPort = 5556;
+
+}  // namespace fc::attacks

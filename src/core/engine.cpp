@@ -1,0 +1,224 @@
+#include "core/engine.hpp"
+
+#include "hv/guest_abi.hpp"
+#include "support/logging.hpp"
+
+namespace fc::core {
+
+using mem::GuestLayout;
+
+FaceChangeEngine::FaceChangeEngine(hv::Hypervisor& hv,
+                                   const os::KernelImage& kernel,
+                                   EngineOptions options)
+    : hv_(&hv),
+      kernel_(&kernel),
+      options_(options),
+      builder_(hv, kernel, options.builder) {
+  recovery_ = std::make_unique<RecoveryEngine>(hv, kernel, builder_,
+                                               recovery_log_);
+  switch_to_addr_ = kernel.symbols.must_addr("__switch_to");
+  resume_userspace_addr_ = kernel.symbols.must_addr("resume_userspace");
+}
+
+FaceChangeEngine::~FaceChangeEngine() {
+  if (enabled_) disable();
+}
+
+void FaceChangeEngine::enable() {
+  if (enabled_) return;
+  // Capture the current (identity) PDE tables covering the base kernel
+  // code, so the full view can be restored exactly.
+  mem::Ept& ept = hv_->machine().ept();
+  GPhys code_begin = GuestLayout::kernel_pa(page_base(kernel_->text_base));
+  GPhys code_end = GuestLayout::kernel_pa(
+      (kernel_->text_end() + kPageMask) & ~kPageMask);
+  full_pdes_.clear();
+  for (u32 pde = mem::Ept::pde_index_of(code_begin);
+       pde <= mem::Ept::pde_index_of(code_end - 1); ++pde) {
+    full_pdes_.push_back({pde, ept.pde(pde)});
+  }
+
+  hv_->vcpu().add_breakpoint(switch_to_addr_);
+  hv_->set_exit_handler(this);
+  enabled_ = true;
+}
+
+void FaceChangeEngine::disable() {
+  if (!enabled_) return;
+  apply_view(nullptr);
+  active_view_ = kFullKernelViewId;
+  hv_->vcpu().remove_breakpoint(switch_to_addr_);
+  hv_->vcpu().remove_breakpoint(resume_userspace_addr_);
+  resume_trap_armed_ = false;
+  hv_->set_exit_handler(nullptr);
+  enabled_ = false;
+}
+
+u32 FaceChangeEngine::load_view(const KernelViewConfig& config) {
+  u32 id = next_view_id_++;
+  views_[id] = builder_.build(config, id);
+  return id;
+}
+
+void FaceChangeEngine::unload_view(u32 view_id) {
+  if (active_view_ == view_id) {
+    // §III-B4: drop back to the full kernel view without interrupting the
+    // running application.
+    switch_to_view(kFullKernelViewId);
+  }
+  if (pending_view_ == view_id) pending_view_ = kFullKernelViewId;
+  for (auto it = bindings_.begin(); it != bindings_.end();) {
+    if (it->second == view_id)
+      it = bindings_.erase(it);
+    else
+      ++it;
+  }
+  views_.erase(view_id);
+}
+
+void FaceChangeEngine::bind(const std::string& comm, u32 view_id) {
+  FC_CHECK(view_id == kFullKernelViewId || views_.count(view_id) != 0,
+           << "bind to unknown view " << view_id);
+  bindings_[comm] = view_id;
+}
+
+void FaceChangeEngine::unbind(const std::string& comm) {
+  bindings_.erase(comm);
+}
+
+const KernelView* FaceChangeEngine::view(u32 view_id) const {
+  auto it = views_.find(view_id);
+  return it == views_.end() ? nullptr : it->second.get();
+}
+
+u32 FaceChangeEngine::select_view(const hv::TaskInfo& task) const {
+  auto it = bindings_.find(task.comm);
+  return it == bindings_.end() ? kFullKernelViewId : it->second;
+}
+
+void FaceChangeEngine::apply_view(const KernelView* next) {
+  mem::Machine& machine = hv_->machine();
+  mem::Ept& ept = machine.ept();
+  const mem::Ept::Stats before = ept.stats();
+
+  // Step 3A: repoint the base-kernel-code PDEs.
+  if (next != nullptr) {
+    for (const KernelView::BasePde& bp : next->base_pdes)
+      ept.set_pde(bp.pde_index, bp.table);
+  } else {
+    for (const KernelView::BasePde& bp : full_pdes_)
+      ept.set_pde(bp.pde_index, bp.table);
+  }
+
+  // Step 3B: module PTEs. Restore the previous view's overrides to
+  // identity, then apply the next view's.
+  if (const KernelView* prev = view(active_view_)) {
+    for (const KernelView::PteOverride& ov : prev->module_ptes)
+      ept.set_pte(ept.pde(ov.pde_index), ov.slot,
+                  mem::EptEntry{true, ov.identity_frame});
+  }
+  if (next != nullptr) {
+    for (const KernelView::PteOverride& ov : next->module_ptes)
+      ept.set_pte(ept.pde(ov.pde_index), ov.slot,
+                  mem::EptEntry{true, ov.view_frame});
+  }
+
+  ept.invalidate();
+
+  // Charge the switch: PDE/PTE writes plus the TLB invalidation.
+  const mem::Ept::Stats after = ept.stats();
+  const cpu::PerfModel& pm = hv_->vcpu().perf_model();
+  Cycles cost = (after.pde_writes - before.pde_writes) * pm.cost_ept_pde_write +
+                (after.pte_writes - before.pte_writes) * pm.cost_ept_pte_write +
+                pm.cost_tlb_flush;
+  hv_->vcpu().charge(cost);
+  stats_.switch_cycles_charged += cost;
+}
+
+void FaceChangeEngine::switch_to_view(u32 view_id) {
+  if (options_.same_view_optimization && view_id == active_view_) {
+    ++stats_.switches_skipped_same_view;
+    return;
+  }
+  apply_view(view(view_id));  // nullptr for the full view
+  active_view_ = view_id;
+  ++stats_.view_switches;
+}
+
+void FaceChangeEngine::force_activate(u32 view_id) { switch_to_view(view_id); }
+
+void FaceChangeEngine::handle_breakpoint(GVirt pc) {
+  cpu::Vcpu& vcpu = hv_->vcpu();
+  vcpu.charge(vcpu.perf_model().cost_trap_handler);
+  if (pc == switch_to_addr_) {
+    ++stats_.context_switch_traps;
+    // READ_PROC_INFO: the incoming task pointer is __switch_to's argument.
+    GVirt next_task_ptr = vcpu.regs()[isa::Reg::B];
+    hv::TaskInfo info = hv_->vmi().task_at(next_task_ptr);
+    u32 index = select_view(info);
+
+    // Cross-view protection: the incoming task's saved kernel continuation
+    // executes under `effective` (the deferred case keeps the current view
+    // active until resume-userspace; the immediate case applies the new
+    // one). If that view is custom, proactively instant-recover any stack
+    // frame whose return target reads the untrappable 0B 0F pair — the
+    // generalization of the paper's Figure-3 fix (see recovery.hpp).
+    u32 effective = options_.switch_at_resume && index != kFullKernelViewId
+                        ? active_view_
+                        : index;
+    auto effective_it = views_.find(effective);
+    if (options_.cross_view_scan && effective_it != views_.end()) {
+      // The saved continuation is mirrored into the guest task struct by
+      // switch_to; 0 means the task has never run yet (fresh fork).
+      u32 saved_fp =
+          hv_->vmi().read_u32(next_task_ptr + abi::Task::kSavedFp);
+      if (saved_fp != 0)
+        recovery_->scan_stack_for_instant(*effective_it->second, saved_fp);
+    }
+
+    if (index == kFullKernelViewId || !options_.switch_at_resume) {
+      // Full view switches immediately (Algorithm 1 lines 34–36); the
+      // ablation switches everything immediately.
+      if (resume_trap_armed_) {
+        vcpu.remove_breakpoint(resume_userspace_addr_);
+        resume_trap_armed_ = false;
+      }
+      bool applies = index != active_view_;
+      switch_to_view(index);
+      // The immediate-switch hazard the paper observed: remapping kernel
+      // code in the middle of the context switch path can miss interrupt
+      // edges. (Only custom views remap; full→full switches are skips.)
+      if (!options_.switch_at_resume && applies && index != kFullKernelViewId &&
+          vcpu.irq_pending()) {
+        vcpu.defer_pending_irqs(vcpu.cycles() +
+                                vcpu.perf_model().missed_irq_delay);
+      }
+      return;
+    } else {
+      // Defer to resume-userspace to avoid missing interrupts.
+      if (!resume_trap_armed_) {
+        vcpu.add_breakpoint(resume_userspace_addr_);
+        resume_trap_armed_ = true;
+      }
+      pending_view_ = index;
+    }
+    return;
+  }
+  if (pc == resume_userspace_addr_) {
+    ++stats_.resume_traps;
+    vcpu.remove_breakpoint(resume_userspace_addr_);
+    resume_trap_armed_ = false;
+    switch_to_view(pending_view_);
+    return;
+  }
+}
+
+bool FaceChangeEngine::handle_invalid_opcode(GVirt pc) {
+  KernelView* active = nullptr;
+  auto it = views_.find(active_view_);
+  if (it != views_.end()) active = it->second.get();
+  if (active == nullptr) return false;  // full view: a genuine guest fault
+  return recovery_->handle(*active, pc);
+}
+
+}  // namespace fc::core

@@ -1,0 +1,115 @@
+// The FACE-CHANGE runtime engine (Algorithm 1): traps the guest's context
+// switch, selects the incoming process's kernel view by VMI, defers the EPT
+// switch to resume-userspace (the missed-interrupt optimization), skips
+// switches between processes sharing a view, handles UD2 recovery traps, and
+// supports hot load/unload of views.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "core/recovery.hpp"
+#include "core/view.hpp"
+#include "core/viewbuilder.hpp"
+#include "hv/hypervisor.hpp"
+#include "os/kernel_image.hpp"
+
+namespace fc::core {
+
+struct EngineOptions {
+  /// Switch views at resume-userspace rather than immediately at the
+  /// context switch (paper §III-B2; false = the naive scheme, ablated).
+  bool switch_at_resume = true;
+  /// Skip the EPT writes when prev and next share a kernel view.
+  bool same_view_optimization = true;
+  /// Proactively instant-recover 0B 0F return targets on the incoming
+  /// task's saved stack at every context switch (see recovery.hpp —
+  /// required for safe multi-view operation; off reproduces the paper's
+  /// trap-time-only instant recovery).
+  bool cross_view_scan = true;
+  ViewBuilderOptions builder;
+};
+
+class FaceChangeEngine : public hv::ExitHandler {
+ public:
+  FaceChangeEngine(hv::Hypervisor& hv, const os::KernelImage& kernel,
+                   EngineOptions options = {});
+  ~FaceChangeEngine() override;
+
+  /// Install the context-switch trap and take over VM-exit handling.
+  void enable();
+  /// Remove all traps and restore the full kernel view.
+  void disable();
+  bool enabled() const { return enabled_; }
+
+  /// Build a view from a profile and register it. Returns the view id.
+  u32 load_view(const KernelViewConfig& config);
+  /// Hot-unload (§III-B4): deregister; if active, the EPT reverts to the
+  /// full kernel view without interrupting the guest.
+  void unload_view(u32 view_id);
+  std::size_t view_count() const { return views_.size(); }
+
+  /// Bind processes (by comm) to a view. Unbound processes get the full
+  /// kernel view.
+  void bind(const std::string& comm, u32 view_id);
+  void unbind(const std::string& comm);
+
+  /// Immediately install a view (tests / staged scenarios).
+  void force_activate(u32 view_id);
+  u32 active_view_id() const { return active_view_; }
+  const KernelView* view(u32 view_id) const;
+
+  RecoveryLog& recovery_log() { return recovery_log_; }
+  const RecoveryEngine::Stats& recovery_stats() const {
+    return recovery_->stats();
+  }
+
+  struct Stats {
+    u64 context_switch_traps = 0;
+    u64 resume_traps = 0;
+    u64 view_switches = 0;
+    u64 switches_skipped_same_view = 0;
+    Cycles switch_cycles_charged = 0;
+  };
+  const Stats& stats() const { return stats_; }
+  void reset_stats() {
+    stats_ = Stats{};
+    recovery_->reset_stats();
+  }
+
+  // --- hv::ExitHandler ---
+  bool handle_invalid_opcode(GVirt pc) override;
+  void handle_breakpoint(GVirt pc) override;
+
+ private:
+  void switch_to_view(u32 view_id);
+  void apply_view(const KernelView* next);  // nullptr = full view
+  u32 select_view(const hv::TaskInfo& task) const;
+
+  hv::Hypervisor* hv_;
+  const os::KernelImage* kernel_;
+  EngineOptions options_;
+  ViewBuilder builder_;
+  RecoveryLog recovery_log_;
+  std::unique_ptr<RecoveryEngine> recovery_;
+
+  std::map<u32, std::unique_ptr<KernelView>> views_;
+  std::map<std::string, u32> bindings_;  // comm → view id
+  u32 next_view_id_ = 1;
+  u32 active_view_ = kFullKernelViewId;
+  u32 pending_view_ = kFullKernelViewId;
+  bool resume_trap_armed_ = false;
+
+  GVirt switch_to_addr_ = 0;
+  GVirt resume_userspace_addr_ = 0;
+  bool enabled_ = false;
+
+  // Identity PDE tables for the base kernel code region (captured at
+  // enable time so the full view can be restored).
+  std::vector<KernelView::BasePde> full_pdes_;
+
+  Stats stats_;
+};
+
+}  // namespace fc::core

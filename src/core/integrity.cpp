@@ -1,0 +1,88 @@
+#include "core/integrity.hpp"
+
+#include <cstdio>
+
+#include "hv/guest_abi.hpp"
+#include "support/check.hpp"
+
+namespace fc::core {
+
+namespace {
+constexpr u32 kIdtSlots = 256;
+constexpr u32 kIrqSlots = 8;
+}  // namespace
+
+void KernelIntegrityMonitor::take_baseline() {
+  const hv::Vmi& vmi = hv_->vmi();
+  syscall_baseline_.resize(abi::kSyscallTableSlots);
+  for (u32 i = 0; i < abi::kSyscallTableSlots; ++i)
+    syscall_baseline_[i] = vmi.read_u32(abi::kSyscallTableAddr + i * 4);
+  idt_baseline_.resize(kIdtSlots);
+  for (u32 i = 0; i < kIdtSlots; ++i)
+    idt_baseline_[i] = vmi.read_u32(abi::kIdtBase + i * 4);
+  irq_baseline_.resize(kIrqSlots);
+  for (u32 i = 0; i < kIrqSlots; ++i)
+    irq_baseline_[i] = vmi.read_u32(abi::kIrqHandlerTableAddr + i * 4);
+}
+
+std::string KernelIntegrityMonitor::Violation::render() const {
+  const char* table_name = table == Table::kSyscallTable ? "syscall_table"
+                           : table == Table::kIdt        ? "idt"
+                                                         : "irq_handler_table";
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "integrity violation: %s[%u] 0x%08x -> 0x%08x <%s>",
+                table_name, slot, original, current, target.c_str());
+  return buf;
+}
+
+std::vector<KernelIntegrityMonitor::Violation> KernelIntegrityMonitor::check()
+    const {
+  FC_CHECK(has_baseline(), << "check() before take_baseline()");
+  const hv::Vmi& vmi = hv_->vmi();
+  std::vector<Violation> violations;
+
+  auto scan = [&](Violation::Table table, GVirt base, u32 slots,
+                  const std::vector<GVirt>& baseline) {
+    // The last syscall-table slot is the module-init trampoline the loader
+    // legitimately rewrites; skip it.
+    for (u32 i = 0; i < slots; ++i) {
+      if (table == Violation::Table::kSyscallTable &&
+          i == abi::kSyscallTableSlots - 1)
+        continue;
+      GVirt now = vmi.read_u32(base + i * 4);
+      if (now == baseline[i]) continue;
+      Violation v;
+      v.table = table;
+      v.slot = i;
+      v.original = baseline[i];
+      v.current = now;
+      v.target = vmi.symbolize(now);
+      violations.push_back(std::move(v));
+    }
+  };
+  scan(Violation::Table::kSyscallTable, abi::kSyscallTableAddr,
+       abi::kSyscallTableSlots, syscall_baseline_);
+  scan(Violation::Table::kIdt, abi::kIdtBase, kIdtSlots, idt_baseline_);
+  scan(Violation::Table::kIrqHandlerTable, abi::kIrqHandlerTableAddr,
+       kIrqSlots, irq_baseline_);
+  return violations;
+}
+
+std::vector<hv::ModuleInfo> KernelIntegrityMonitor::find_hidden_modules()
+    const {
+  std::vector<hv::ModuleInfo> hidden;
+  if (!truth_source_) return hidden;
+  std::vector<hv::ModuleInfo> truth = truth_source_();
+  std::vector<hv::ModuleInfo> guest_view = hv_->vmi().module_list();
+  for (const hv::ModuleInfo& mod : truth) {
+    bool visible = false;
+    for (const hv::ModuleInfo& seen : guest_view) {
+      if (seen.base == mod.base) visible = true;
+    }
+    if (!visible) hidden.push_back(mod);
+  }
+  return hidden;
+}
+
+}  // namespace fc::core

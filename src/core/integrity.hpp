@@ -1,0 +1,71 @@
+// §V-B extension (the paper's future work): kernel data integrity checking.
+//
+// FACE-CHANGE "only monitors anomalies in kernel code execution", so a DKOM
+// attack that manipulates kernel *data* — or a dormant syscall-table hook
+// that no protected process has tripped yet — is invisible until someone
+// executes it. The paper proposes integrating guest-data integrity checking
+// (it cites the authors' earlier VMM-based monitoring work); this module
+// supplies that layer:
+//
+//  - baseline + periodic re-hash of the kernel's code-pointer tables
+//    (syscall table, IDT, IRQ handler table), classifying any change by
+//    where the new pointer leads (base kernel / named module / UNKNOWN);
+//  - cross-view module-list comparison: the guest's own list vs an
+//    out-of-band truth source, exposing DKOM self-hiding without any code
+//    execution at all.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "hv/hypervisor.hpp"
+#include "os/kernel_image.hpp"
+
+namespace fc::core {
+
+class KernelIntegrityMonitor {
+ public:
+  KernelIntegrityMonitor(hv::Hypervisor& hv, const os::KernelImage& kernel)
+      : hv_(&hv), kernel_(&kernel) {}
+
+  /// Record the pristine state of the monitored tables (call at boot, or at
+  /// any moment the administrator trusts).
+  void take_baseline();
+  bool has_baseline() const { return !syscall_baseline_.empty(); }
+
+  struct Violation {
+    enum class Table { kSyscallTable, kIdt, kIrqHandlerTable };
+    Table table;
+    u32 slot = 0;
+    GVirt original = 0;
+    GVirt current = 0;
+    /// Where the new pointer leads: a kernel symbol, "module+0x…", or
+    /// "UNKNOWN" (a hidden module — the strongest indicator).
+    std::string target;
+    std::string render() const;
+  };
+
+  /// Re-hash the tables against the baseline.
+  std::vector<Violation> check() const;
+
+  /// Cross-view lie detection: modules present per the out-of-band truth
+  /// source but missing from the guest's own list (DKOM self-hiding).
+  /// In a real deployment the truth source is a memory scanner; here the
+  /// host runtime provides it.
+  using ModuleTruthSource = std::function<std::vector<hv::ModuleInfo>()>;
+  void set_module_truth_source(ModuleTruthSource source) {
+    truth_source_ = std::move(source);
+  }
+  std::vector<hv::ModuleInfo> find_hidden_modules() const;
+
+ private:
+  hv::Hypervisor* hv_;
+  const os::KernelImage* kernel_;
+  std::vector<GVirt> syscall_baseline_;
+  std::vector<GVirt> idt_baseline_;
+  std::vector<GVirt> irq_baseline_;
+  ModuleTruthSource truth_source_;
+};
+
+}  // namespace fc::core

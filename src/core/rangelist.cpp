@@ -1,0 +1,76 @@
+#include "core/rangelist.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace fc::core {
+
+void RangeList::insert(u32 begin, u32 end) {
+  FC_CHECK(begin < end, << "empty/inverted range " << begin << ".." << end);
+  // Find insertion point: first range with begin >= new begin.
+  auto it = std::lower_bound(
+      ranges_.begin(), ranges_.end(), begin,
+      [](const Range& r, u32 value) { return r.begin < value; });
+  // Merge with the predecessor if it touches.
+  if (it != ranges_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->end >= begin) {
+      begin = prev->begin;
+      end = std::max(end, prev->end);
+      it = ranges_.erase(prev);
+    }
+  }
+  // Merge with all successors that touch.
+  while (it != ranges_.end() && it->begin <= end) {
+    end = std::max(end, it->end);
+    it = ranges_.erase(it);
+  }
+  ranges_.insert(it, Range{begin, end});
+}
+
+void RangeList::insert(const RangeList& other) {
+  for (const Range& r : other.ranges_) insert(r.begin, r.end);
+}
+
+bool RangeList::contains(u32 addr) const {
+  auto it = std::upper_bound(
+      ranges_.begin(), ranges_.end(), addr,
+      [](u32 value, const Range& r) { return value < r.begin; });
+  if (it == ranges_.begin()) return false;
+  --it;
+  return addr >= it->begin && addr < it->end;
+}
+
+bool RangeList::covers(u32 begin, u32 end) const {
+  auto it = std::upper_bound(
+      ranges_.begin(), ranges_.end(), begin,
+      [](u32 value, const Range& r) { return value < r.begin; });
+  if (it == ranges_.begin()) return false;
+  --it;
+  return begin >= it->begin && end <= it->end;
+}
+
+RangeList RangeList::intersect(const RangeList& other) const {
+  RangeList out;
+  auto a = ranges_.begin();
+  auto b = other.ranges_.begin();
+  while (a != ranges_.end() && b != other.ranges_.end()) {
+    u32 lo = std::max(a->begin, b->begin);
+    u32 hi = std::min(a->end, b->end);
+    if (lo < hi) out.insert(lo, hi);
+    if (a->end < b->end)
+      ++a;
+    else
+      ++b;
+  }
+  return out;
+}
+
+u64 RangeList::size_bytes() const {
+  u64 total = 0;
+  for (const Range& r : ranges_) total += r.end - r.begin;
+  return total;
+}
+
+}  // namespace fc::core

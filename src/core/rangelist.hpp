@@ -1,0 +1,59 @@
+// K[app] — the paper's range-list representation of an application's kernel
+// code requirements (§II-A):
+//
+//   K[app] = {([B1,E1],T1), …, ([Bi,Ei],Ti)}
+//
+// RangeList holds the [B,E) ranges for one type T (base kernel, or one named
+// module with module-relative addresses); KernelViewConfig (viewconfig.hpp)
+// groups them per type. The set operations below are the paper's ∩, LEN and
+// SIZE, and Equation (1)'s similarity index.
+#pragma once
+
+#include <vector>
+
+#include "support/types.hpp"
+
+namespace fc::core {
+
+class RangeList {
+ public:
+  struct Range {
+    u32 begin = 0;
+    u32 end = 0;  // exclusive
+  };
+
+  /// Insert [begin, end), merging with overlapping/adjacent ranges.
+  void insert(u32 begin, u32 end);
+  void insert(const RangeList& other);
+
+  bool contains(u32 addr) const;
+  /// True if [begin,end) is fully covered by a single stored range chain.
+  bool covers(u32 begin, u32 end) const;
+
+  /// The paper's K[a] ∩ K[b].
+  RangeList intersect(const RangeList& other) const;
+
+  /// LEN: number of ranges.
+  std::size_t len() const { return ranges_.size(); }
+  bool empty() const { return ranges_.empty(); }
+
+  /// SIZE: Σ (Ei − Bi).
+  u64 size_bytes() const;
+
+  void clear() { ranges_.clear(); }
+
+  const std::vector<Range>& ranges() const { return ranges_; }
+
+  bool operator==(const RangeList& other) const {
+    return ranges_.size() == other.ranges_.size() &&
+           std::equal(ranges_.begin(), ranges_.end(), other.ranges_.begin(),
+                      [](const Range& x, const Range& y) {
+                        return x.begin == y.begin && x.end == y.end;
+                      });
+  }
+
+ private:
+  std::vector<Range> ranges_;  // sorted, disjoint, non-adjacent
+};
+
+}  // namespace fc::core

@@ -1,0 +1,81 @@
+#include "core/similarity.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace fc::core {
+
+SimilarityMatrix compute_similarity(
+    const std::vector<KernelViewConfig>& configs) {
+  SimilarityMatrix m;
+  const std::size_t n = configs.size();
+  m.apps.reserve(n);
+  for (const KernelViewConfig& cfg : configs) m.apps.push_back(cfg.app_name);
+  m.sizes_bytes.resize(n);
+  m.overlap.assign(n, std::vector<u64>(n, 0));
+  m.similarity.assign(n, std::vector<double>(n, 0.0));
+  for (std::size_t i = 0; i < n; ++i) {
+    m.sizes_bytes[i] = configs[i].size_bytes();
+    m.similarity[i][i] = 1.0;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      u64 overlap = configs[i].intersect(configs[j]).size_bytes();
+      m.overlap[i][j] = m.overlap[j][i] = overlap;
+      u64 larger = std::max(m.sizes_bytes[i], m.sizes_bytes[j]);
+      double s = larger == 0 ? 0.0 : static_cast<double>(overlap) / larger;
+      m.similarity[i][j] = m.similarity[j][i] = s;
+    }
+  }
+  return m;
+}
+
+std::string SimilarityMatrix::render() const {
+  std::ostringstream out;
+  const std::size_t n = apps.size();
+  auto cell = [](const std::string& s) {
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "%9s", s.c_str());
+    return std::string(buf);
+  };
+  out << cell("");
+  for (const std::string& app : apps) out << cell(app.substr(0, 8));
+  out << "\n";
+  for (std::size_t i = 0; i < n; ++i) {
+    out << cell(apps[i].substr(0, 8));
+    for (std::size_t j = 0; j < n; ++j) {
+      char buf[16];
+      if (i == j) {
+        std::snprintf(buf, sizeof(buf), "[%lluKB]",
+                      static_cast<unsigned long long>(sizes_bytes[i] >> 10));
+      } else if (j > i) {
+        std::snprintf(buf, sizeof(buf), "%lluKB",
+                      static_cast<unsigned long long>(overlap[i][j] >> 10));
+      } else {
+        std::snprintf(buf, sizeof(buf), "%.1f%%", similarity[i][j] * 100.0);
+      }
+      out << cell(buf);
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+double SimilarityMatrix::min_similarity() const {
+  double lo = 1.0;
+  for (std::size_t i = 0; i < apps.size(); ++i)
+    for (std::size_t j = 0; j < apps.size(); ++j)
+      if (i != j) lo = std::min(lo, similarity[i][j]);
+  return lo;
+}
+
+double SimilarityMatrix::max_similarity() const {
+  double hi = 0.0;
+  for (std::size_t i = 0; i < apps.size(); ++i)
+    for (std::size_t j = 0; j < apps.size(); ++j)
+      if (i != j) hi = std::max(hi, similarity[i][j]);
+  return hi;
+}
+
+}  // namespace fc::core

@@ -1,0 +1,28 @@
+// Table I analytics: pairwise kernel-view similarity across applications.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/viewconfig.hpp"
+
+namespace fc::core {
+
+struct SimilarityMatrix {
+  std::vector<std::string> apps;
+  std::vector<u64> sizes_bytes;          // diagonal
+  std::vector<std::vector<u64>> overlap; // bytes, i<j used
+  std::vector<std::vector<double>> similarity;
+
+  /// Formatted like the paper's Table I: sizes on the diagonal, overlap KB
+  /// above it, similarity percentages below it.
+  std::string render() const;
+
+  double min_similarity() const;
+  double max_similarity() const;  // off-diagonal
+};
+
+SimilarityMatrix compute_similarity(
+    const std::vector<KernelViewConfig>& configs);
+
+}  // namespace fc::core

@@ -1,0 +1,173 @@
+#include "core/viewbuilder.hpp"
+
+#include "hv/guest_abi.hpp"
+#include "os/kbuilder.hpp"
+#include "support/check.hpp"
+
+namespace fc::core {
+
+using mem::GuestLayout;
+
+void ViewBuilder::fill_ud2(std::span<u8> page) {
+  // UD2 = 0F 0B repeated. At an odd offset the stream reads 0B 0F — a valid
+  // OR instruction — which is exactly the cross-view hazard of Figure 3.
+  for (std::size_t i = 0; i < page.size(); i += 2) {
+    page[i] = 0x0F;
+    if (i + 1 < page.size()) page[i + 1] = 0x0B;
+  }
+}
+
+bool ViewBuilder::has_prologue_at(GVirt addr) const {
+  // Function starts are 16-byte aligned (-falign-functions); requiring the
+  // alignment avoids false positives on 0x55 bytes inside immediates.
+  if (addr % os::KernelBuilder::kFuncAlign != 0) return false;
+  u8 sig[3];
+  hv_->pristine_read(addr, sig);
+  return sig[0] == 0x55 && sig[1] == 0x89 && sig[2] == 0xE5;
+}
+
+ViewBuilder::Bounds ViewBuilder::function_bounds(GVirt addr,
+                                                 GVirt region_begin,
+                                                 GVirt region_end) const {
+  FC_CHECK(addr >= region_begin && addr < region_end,
+           << "address outside region");
+  // SEARCH_BACKWARDS: nearest aligned prologue at or below addr. The scan
+  // naturally continues across page boundaries because pristine_read is
+  // linear in the kernel's address space (§III-B1's page-crossing case).
+  GVirt start = region_begin;
+  for (GVirt at = addr & ~(os::KernelBuilder::kFuncAlign - 1u);
+       at >= region_begin; at -= os::KernelBuilder::kFuncAlign) {
+    if (has_prologue_at(at)) {
+      start = at;
+      break;
+    }
+    if (at == region_begin) break;
+  }
+  // SEARCH_FORWARDS: next aligned prologue strictly above addr.
+  GVirt end = region_end;
+  for (GVirt at = (addr & ~(os::KernelBuilder::kFuncAlign - 1u)) +
+                  os::KernelBuilder::kFuncAlign;
+       at + 2 < region_end; at += os::KernelBuilder::kFuncAlign) {
+    if (has_prologue_at(at)) {
+      end = at;
+      break;
+    }
+  }
+  return Bounds{start, end};
+}
+
+void ViewBuilder::load_range(KernelView& view, GVirt start, GVirt end) const {
+  mem::Machine& machine = hv_->machine();
+  for (GVirt at = start; at < end; ++at) {
+    GPhys pa = GuestLayout::kernel_pa(at);
+    auto it = view.shadow_frames.find(pa >> kPageShift);
+    if (it == view.shadow_frames.end()) continue;  // not view-managed
+    machine.host().write8(it->second, page_offset(pa),
+                          hv_->pristine_read8(at));
+  }
+  view.loaded.insert(start, end);
+}
+
+std::unique_ptr<KernelView> ViewBuilder::build(const KernelViewConfig& config,
+                                               u32 id) {
+  auto view = std::make_unique<KernelView>();
+  view->id = id;
+  view->config = config;
+  mem::Machine& machine = hv_->machine();
+  mem::Ept& ept = machine.ept();
+
+  // ---- Base kernel code region: one shadow frame per page, UD2-filled.
+  const GVirt text_begin = kernel_->text_base;
+  const GVirt text_end = kernel_->text_end();
+  const GPhys code_pa_begin = GuestLayout::kernel_pa(page_base(text_begin));
+  const GPhys code_pa_end =
+      GuestLayout::kernel_pa((text_end + kPageMask) & ~kPageMask);
+  for (GPhys pa = code_pa_begin; pa < code_pa_end; pa += kPageSize) {
+    HostFrame f = machine.host().alloc_frame();
+    fill_ud2(machine.host().frame(f));
+    view->shadow_frames[pa >> kPageShift] = f;
+  }
+
+  // ---- Load whole functions (or raw blocks for the ablation).
+  for (const auto& r : config.base.ranges()) {
+    GVirt lo = std::max(r.begin, text_begin);
+    GVirt hi = std::min(r.end, text_end);
+    if (lo >= hi) continue;
+    if (options_.whole_function_loading) {
+      GVirt at = lo;
+      while (at < hi) {
+        Bounds b = function_bounds(at, text_begin, text_end);
+        load_range(*view, b.start, b.end);
+        at = std::max(b.end, at + 1);
+      }
+    } else {
+      load_range(*view, lo, hi);
+    }
+  }
+
+  // ---- Per-view EPT tables for the base code PDEs (step 3A).
+  u32 pde_lo = mem::Ept::pde_index_of(code_pa_begin);
+  u32 pde_hi = mem::Ept::pde_index_of(code_pa_end - 1);
+  for (u32 pde = pde_lo; pde <= pde_hi; ++pde) {
+    mem::EptTableId table = ept.alloc_table();
+    ept.copy_table(table, ept.pde(pde));  // keep identity for non-code pages
+    view->base_pdes.push_back({pde, table});
+  }
+  // Point the code pages of those tables at the shadow frames.
+  for (const auto& [page, frame] : view->shadow_frames) {
+    GPhys pa = static_cast<GPhys>(page) << kPageShift;
+    if (pa < code_pa_begin || pa >= code_pa_end) continue;
+    for (const auto& bp : view->base_pdes) {
+      if (mem::Ept::pde_index_of(pa) == bp.pde_index) {
+        ept.set_pte(bp.table, mem::Ept::pte_slot_of(pa),
+                    mem::EptEntry{true, frame});
+        break;
+      }
+    }
+  }
+
+  // ---- Modules (step 3B): walk the guest module list to resolve load
+  // addresses; shadow listed modules with their profiled functions loaded,
+  // and (optionally) unlisted visible modules as all-UD2.
+  for (const hv::ModuleInfo& mod : hv_->vmi().module_list()) {
+    auto cfg_it = config.modules.find(mod.name);
+    bool listed = cfg_it != config.modules.end();
+    if (!listed && !options_.shadow_unlisted_modules) continue;
+
+    GPhys mod_pa = GuestLayout::kernel_pa(mod.base);
+    GPhys mod_pa_end = GuestLayout::kernel_pa(
+        (mod.base + mod.size + kPageMask) & ~kPageMask);
+    for (GPhys pa = page_base(mod_pa); pa < mod_pa_end; pa += kPageSize) {
+      HostFrame f = machine.host().alloc_frame();
+      fill_ud2(machine.host().frame(f));
+      view->shadow_frames[pa >> kPageShift] = f;
+      view->module_ptes.push_back({mem::Ept::pde_index_of(pa),
+                                   mem::Ept::pte_slot_of(pa), f,
+                                   machine.boot_frame_for(pa)});
+    }
+    if (listed) {
+      for (const auto& r : cfg_it->second.ranges()) {
+        GVirt lo = mod.base + r.begin;
+        GVirt hi = std::min(mod.base + r.end, mod.base + mod.size);
+        if (lo >= hi) continue;
+        if (options_.whole_function_loading) {
+          GVirt at = lo;
+          while (at < hi) {
+            Bounds b = function_bounds(at, mod.base, mod.base + mod.size);
+            load_range(*view, b.start, b.end);
+            at = std::max(b.end, at + 1);
+          }
+        } else {
+          load_range(*view, lo, hi);
+        }
+      }
+    }
+  }
+
+  // The EPT writes performed while *building* are setup cost, not switch
+  // cost; the engine charges switch costs from stat deltas, so reset here
+  // would be wrong — instead the engine snapshots stats around switches.
+  return view;
+}
+
+}  // namespace fc::core

@@ -1,0 +1,65 @@
+// Kernel view initialization (§III-B1): allocate shadow pages filled with
+// UD2, locate whole kernel functions around each profiled basic block by
+// searching for the prologue signature 55 89 E5 (16-byte aligned, possibly
+// across page boundaries), copy them from the pristine kernel code, resolve
+// module load addresses through the guest module list, and prebuild the EPT
+// artifacts the engine swaps in at switch time.
+#pragma once
+
+#include <memory>
+
+#include "core/view.hpp"
+#include "hv/hypervisor.hpp"
+#include "os/kernel_image.hpp"
+
+namespace fc::core {
+
+struct ViewBuilderOptions {
+  /// Paper default: relax block granularity to whole kernel functions
+  /// (§III-B1's two rationales). false = load raw profiled blocks only
+  /// (the ablation; suffers frequent recoveries and fragmented-UD2 decode).
+  bool whole_function_loading = true;
+  /// Fill shadows of *visible but unprofiled* modules with UD2 (paper
+  /// behaviour: everything not in the view config is invalid code).
+  bool shadow_unlisted_modules = true;
+};
+
+class ViewBuilder {
+ public:
+  ViewBuilder(hv::Hypervisor& hv, const os::KernelImage& kernel,
+              ViewBuilderOptions options = {})
+      : hv_(&hv), kernel_(&kernel), options_(options) {}
+
+  /// Build a view from a config. Allocates shadow host frames and EPT
+  /// tables; does not install anything.
+  std::unique_ptr<KernelView> build(const KernelViewConfig& config, u32 id);
+
+  /// Function-boundary search on the pristine kernel bytes. Returns
+  /// [start, end) of the function containing `addr`, clamped to
+  /// [region_begin, region_end). Exposed for tests and for the recovery
+  /// engine (which performs the same search at trap time).
+  struct Bounds {
+    GVirt start = 0;
+    GVirt end = 0;
+  };
+  Bounds function_bounds(GVirt addr, GVirt region_begin,
+                         GVirt region_end) const;
+
+  const ViewBuilderOptions& options() const { return options_; }
+
+  /// Copy pristine bytes for [start,end) into a view's shadow frames and
+  /// mark them loaded. Shared with the recovery engine.
+  void load_range(KernelView& view, GVirt start, GVirt end) const;
+
+  /// UD2 filler pattern check helper (tests).
+  static void fill_ud2(std::span<u8> page);
+
+ private:
+  bool has_prologue_at(GVirt addr) const;
+
+  hv::Hypervisor* hv_;
+  const os::KernelImage* kernel_;
+  ViewBuilderOptions options_;
+};
+
+}  // namespace fc::core

@@ -1,0 +1,72 @@
+#include "core/viewconfig.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace fc::core {
+
+std::string KernelViewConfig::serialize() const {
+  std::ostringstream out;
+  out << "# face-change kernel view configuration\n";
+  out << "app " << app_name << "\n";
+  out << "[base]\n";
+  for (const auto& r : base.ranges()) {
+    char line[48];
+    std::snprintf(line, sizeof(line), "0x%08x 0x%08x\n", r.begin, r.end);
+    out << line;
+  }
+  for (const auto& [name, ranges] : modules) {
+    out << "[module " << name << "]\n";
+    for (const auto& r : ranges.ranges()) {
+      char line[48];
+      std::snprintf(line, sizeof(line), "0x%08x 0x%08x\n", r.begin, r.end);
+      out << line;
+    }
+  }
+  return out.str();
+}
+
+KernelViewConfig KernelViewConfig::parse(const std::string& text) {
+  KernelViewConfig cfg;
+  std::istringstream in(text);
+  std::string line;
+  RangeList* target = &cfg.base;
+  bool base_section = false;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    if (line.rfind("app ", 0) == 0) {
+      cfg.app_name = line.substr(4);
+      continue;
+    }
+    if (line == "[base]") {
+      target = &cfg.base;
+      base_section = true;
+      continue;
+    }
+    if (line.rfind("[module ", 0) == 0) {
+      FC_CHECK(line.back() == ']', << "malformed section: " << line);
+      std::string name = line.substr(8, line.size() - 9);
+      target = &cfg.modules[name];
+      base_section = true;
+      continue;
+    }
+    FC_CHECK(base_section, << "range before any section: " << line);
+    unsigned begin = 0, end = 0;
+    FC_CHECK(std::sscanf(line.c_str(), "0x%x 0x%x", &begin, &end) == 2,
+             << "malformed range line: " << line);
+    target->insert(begin, end);
+  }
+  return cfg;
+}
+
+KernelViewConfig make_union_view(const std::vector<KernelViewConfig>& configs,
+                                 const std::string& name) {
+  KernelViewConfig out;
+  out.app_name = name;
+  for (const KernelViewConfig& cfg : configs) out.merge(cfg);
+  return out;
+}
+
+}  // namespace fc::core

@@ -1,0 +1,137 @@
+#include "harness/harness.hpp"
+
+#include <map>
+
+#include "support/check.hpp"
+#include "support/logging.hpp"
+
+namespace fc::harness {
+
+hv::RunOutcome GuestSystem::run_until_exit(u32 pid, Cycles max_cycles) {
+  const Cycles end = vcpu().cycles() + max_cycles;
+  return hv_.run([&] {
+    return os_.task_zombie_or_dead(pid) || vcpu().cycles() >= end;
+  });
+}
+
+core::KernelViewConfig profile_app(const std::string& app, u32 iterations) {
+  // Profiling sessions run under the "QEMU" configuration: tsc clocksource
+  // (the runtime phase uses kvm-clock — the paper's canonical benign
+  // recovery comes from exactly this difference).
+  os::OsConfig config;
+  config.clocksource = 0;
+  GuestSystem sys(config);
+
+  core::Profiler profiler(sys.hv(), sys.os().kernel());
+  profiler.add_target(app);
+  profiler.attach();
+
+  apps::AppScenario scenario = apps::make_app(app, iterations);
+  u32 pid = sys.os().spawn(app, scenario.model);
+  scenario.install_environment(sys.os());
+  hv::RunOutcome outcome = sys.run_until_exit(pid, 2'000'000'000ull);
+  FC_CHECK(outcome != hv::RunOutcome::kGuestFault,
+           << "guest fault while profiling " << app);
+  profiler.detach();
+  return profiler.export_config(app);
+}
+
+const std::vector<core::KernelViewConfig>& profile_all_apps(u32 iterations) {
+  static std::map<u32, std::vector<core::KernelViewConfig>> memo;
+  auto it = memo.find(iterations);
+  if (it != memo.end()) return it->second;
+  std::vector<core::KernelViewConfig> configs;
+  for (const std::string& app : apps::all_app_names()) {
+    configs.push_back(profile_app(app, iterations));
+  }
+  return memo.emplace(iterations, std::move(configs)).first->second;
+}
+
+const core::KernelViewConfig& profile_of(const std::string& app,
+                                         u32 iterations) {
+  for (const core::KernelViewConfig& cfg : profile_all_apps(iterations)) {
+    if (cfg.app_name == app) return cfg;
+  }
+  FC_UNREACHABLE(<< "no profile for " << app);
+}
+
+AttackRunResult run_attack(attacks::Attack& attack,
+                           const AttackRunOptions& options) {
+  const std::string victim = attack.victim();
+  // Profiling phase (separate, clean session).
+  core::KernelViewConfig view_config;
+  if (options.use_union_view) {
+    view_config = core::make_union_view(profile_all_apps());
+    view_config.app_name = "union";
+  } else {
+    view_config = profile_of(victim);
+  }
+
+  // Runtime phase.
+  os::OsConfig config;
+  config.clocksource = 0;  // avoid unrelated benign recoveries in scoring
+  GuestSystem sys(config);
+  core::FaceChangeEngine engine(sys.hv(), sys.os().kernel());
+
+  // Kernel rootkits are installed (via a real insmod process) before the
+  // view is created — Table II's scenario.
+  if (attack.is_rootkit()) {
+    attack.deploy(sys.os(), 0);
+    sys.run_for(30'000'000);  // let insmod finish
+  }
+
+  engine.enable();
+  u32 view_id = engine.load_view(view_config);
+  engine.bind(victim, view_id);
+
+  apps::AppScenario scenario = apps::make_app(victim,
+                                              options.victim_iterations);
+  os::ProgramImage program = os::build_standard_loop();
+  if (attack.offline()) program = attack.infect_program(program);
+  u32 pid = sys.os().spawn(victim, scenario.model, program);
+  scenario.install_environment(sys.os());
+
+  if (!attack.is_rootkit() && !attack.offline()) {
+    // Let the victim run normally for a while, then hijack it (well before
+    // its workload drains).
+    sys.run_for(4'000'000);
+    attack.deploy(sys.os(), pid);
+  } else if (attack.offline()) {
+    attack.deploy(sys.os(), pid);  // attacker-side traffic only
+  }
+
+  sys.run_until_exit(pid, options.run_budget);
+
+  // Score the recovery log against the attack's signature.
+  AttackRunResult result;
+  const core::RecoveryLog& log = engine.recovery_log();
+  result.recovery_events = log.size();
+  bool all_groups = true;
+  for (const auto& group : attack.detection_signature()) {
+    bool matched = false;
+    for (const std::string& prefix : group) {
+      if (log.recovered_function(prefix)) {
+        matched = true;
+        result.matched_symbols.push_back(prefix);
+        break;
+      }
+    }
+    all_groups = all_groups && matched;
+  }
+  result.detected = all_groups;
+  for (const core::RecoveryEvent& ev : log.events()) {
+    for (const core::BacktraceFrame& frame : ev.backtrace) {
+      if (frame.symbol == "UNKNOWN") result.backtrace_has_unknown = true;
+    }
+  }
+  for (std::size_t i = 0; i < log.events().size() && i < 10; ++i) {
+    result.rendered_events.push_back(log.events()[i].render());
+  }
+  for (const core::RecoveryEvent& ev : log.events()) {
+    std::string base = ev.symbol.substr(0, ev.symbol.find('+'));
+    result.recovered_symbols.push_back(std::move(base));
+  }
+  return result;
+}
+
+}  // namespace fc::harness

@@ -1,0 +1,84 @@
+// Scenario harness shared by tests, benchmarks and examples: boots a guest
+// system, runs profiling sessions (the paper's profiling phase, one app per
+// session), and drives complete attack scenarios through the runtime phase.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apps/apps.hpp"
+#include "attacks/attacks.hpp"
+#include "core/engine.hpp"
+#include "core/profiler.hpp"
+#include "hv/hypervisor.hpp"
+#include "os/os_runtime.hpp"
+
+namespace fc::harness {
+
+/// A booted guest: hypervisor + OS. The kernel layout is deterministic, so
+/// view configs profiled in one GuestSystem are valid in another.
+class GuestSystem {
+ public:
+  explicit GuestSystem(os::OsConfig config = {})
+      : os_(hv_, config) {
+    os_.boot();
+  }
+
+  hv::Hypervisor& hv() { return hv_; }
+  os::OsRuntime& os() { return os_; }
+  cpu::Vcpu& vcpu() { return hv_.vcpu(); }
+
+  /// Run until the pid is gone (exited/reaped) or `max_cycles` elapse.
+  hv::RunOutcome run_until_exit(u32 pid, Cycles max_cycles);
+  /// Run for a fixed number of simulated cycles.
+  hv::RunOutcome run_for(Cycles cycles) { return hv_.run_for(cycles); }
+
+ private:
+  hv::Hypervisor hv_;
+  os::OsRuntime os_;
+};
+
+/// Profile one application in a fresh system (an independent profiling
+/// session, as the paper does for unprofiled apps) and export its view.
+core::KernelViewConfig profile_app(const std::string& app,
+                                   u32 iterations = 30);
+
+/// Profiles for all 12 Table I applications; memoized per process.
+const std::vector<core::KernelViewConfig>& profile_all_apps(
+    u32 iterations = 30);
+
+/// Look up one app's memoized profile.
+const core::KernelViewConfig& profile_of(const std::string& app,
+                                         u32 iterations = 30);
+
+// ---------------------------------------------------------------------------
+// Attack scenarios (Table II).
+// ---------------------------------------------------------------------------
+
+struct AttackRunOptions {
+  bool use_union_view = false;  // system-wide minimization baseline
+  Cycles run_budget = 300'000'000;
+  u32 victim_iterations = 25;
+};
+
+struct AttackRunResult {
+  bool detected = false;  // every signature group matched a recovery
+  std::vector<std::string> matched_symbols;
+  std::size_t recovery_events = 0;
+  bool backtrace_has_unknown = false;  // hidden-module frames (Figure 5)
+  std::vector<std::string> rendered_events;  // first few, for display
+  /// Base symbol (no +offset) of every recovery event, in order.
+  std::vector<std::string> recovered_symbols;
+
+  bool recovered(const std::string& prefix) const {
+    for (const std::string& sym : recovered_symbols)
+      if (sym.rfind(prefix, 0) == 0) return true;
+    return false;
+  }
+};
+
+AttackRunResult run_attack(attacks::Attack& attack,
+                           const AttackRunOptions& options = {});
+
+}  // namespace fc::harness

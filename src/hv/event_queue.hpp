@@ -1,0 +1,56 @@
+// Simulated-time event queue for device models (timer ticks, packet
+// arrivals, disk completions, keystrokes). Time is the vCPU cycle counter;
+// the OS runtime drains due events between instructions and on idle.
+#pragma once
+
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "support/types.hpp"
+
+namespace fc::hv {
+
+class EventQueue {
+ public:
+  using Action = std::function<void()>;
+
+  void schedule_at(Cycles when, Action action) {
+    heap_.push(Entry{when, next_seq_++, std::move(action)});
+  }
+
+  bool empty() const { return heap_.empty(); }
+  Cycles next_deadline() const { return heap_.top().when; }
+
+  /// Run all events due at or before `now`. Returns how many fired.
+  u32 run_due(Cycles now) {
+    u32 fired = 0;
+    while (!heap_.empty() && heap_.top().when <= now) {
+      // Copy out before pop so the action may schedule more events.
+      Action action = heap_.top().action;
+      heap_.pop();
+      action();
+      ++fired;
+    }
+    return fired;
+  }
+
+  void clear() {
+    while (!heap_.empty()) heap_.pop();
+  }
+
+ private:
+  struct Entry {
+    Cycles when;
+    u64 seq;  // FIFO tie-break for determinism
+    Action action;
+    bool operator>(const Entry& other) const {
+      if (when != other.when) return when > other.when;
+      return seq > other.seq;
+    }
+  };
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  u64 next_seq_ = 0;
+};
+
+}  // namespace fc::hv

@@ -1,0 +1,223 @@
+// The platform contract between the guest OS (which writes these structures
+// into guest memory) and the hypervisor's VMI (which reads them back, exactly
+// as the paper's VMI reads Linux's task structs and module list).
+//
+// Everything here is *data layout*, not behaviour: fixed kernel-data
+// addresses, task-struct offsets, module-list node layout, syscall numbers,
+// and KSVC service ids.
+#pragma once
+
+#include "mem/machine.hpp"
+#include "support/types.hpp"
+
+namespace fc::abi {
+
+// ---------------------------------------------------------------------------
+// Fixed kernel-data virtual addresses (inside the kernel data region).
+// ---------------------------------------------------------------------------
+inline constexpr GVirt kKernelDataVa =
+    mem::GuestLayout::kernel_va(mem::GuestLayout::kKernelDataPhys);
+
+inline constexpr GVirt kIdtBase = kKernelDataVa + 0x0000;       // 256 * 4
+inline constexpr GVirt kCurrentTaskAddr = kKernelDataVa + 0x0400;
+inline constexpr GVirt kEsp0Addr = kKernelDataVa + 0x0404;      // TSS.esp0
+inline constexpr GVirt kModuleListAddr = kKernelDataVa + 0x0408;
+inline constexpr GVirt kIrqCountAddr = kKernelDataVa + 0x040C;  // preempt-ish
+inline constexpr GVirt kJiffiesAddr = kKernelDataVa + 0x0410;
+inline constexpr GVirt kNeedReschedAddr = kKernelDataVa + 0x0414;
+/// Which clocksource the time code dispatches to (0 = tsc, 1 = kvm-clock).
+/// The paper's canonical benign recovery: profiling ran under QEMU (tsc),
+/// runtime under KVM (kvm-clock), so the kvm_clock_* chain was never
+/// profiled and must be recovered in interrupt context.
+inline constexpr GVirt kClocksourceAddr = kKernelDataVa + 0x0418;
+inline constexpr GVirt kIrqHandlerTableAddr = kKernelDataVa + 0x0600;  // 8 * 4
+inline constexpr GVirt kSyscallTableAddr = kKernelDataVa + 0x0800;  // 512 * 4
+inline constexpr u32 kSyscallTableSlots = 512;
+inline constexpr GVirt kTaskArrayAddr = kKernelDataVa + 0x2000;
+
+// ---------------------------------------------------------------------------
+// Task struct: fixed-size records in a static array (pid == slot index).
+// ---------------------------------------------------------------------------
+struct Task {
+  static constexpr u32 kSize = 128;
+  static constexpr u32 kMaxTasks = 64;
+  // Field offsets.
+  static constexpr u32 kPid = 0;
+  static constexpr u32 kState = 4;       // TaskState
+  static constexpr u32 kCr3 = 8;
+  static constexpr u32 kKstackTop = 12;
+  static constexpr u32 kComm = 16;       // char[16], NUL padded
+  static constexpr u32 kCommLen = 16;
+  static constexpr u32 kSavedSp = 32;    // kernel continuation (switch_to)
+  static constexpr u32 kSavedFp = 36;
+  static constexpr u32 kSavedIf = 40;
+  static constexpr u32 kInSyscall = 44;
+
+  static GVirt addr(u32 slot) { return kTaskArrayAddr + slot * kSize; }
+  static u32 slot_of(GVirt task_ptr) {
+    return (task_ptr - kTaskArrayAddr) / kSize;
+  }
+};
+
+enum class TaskState : u32 {
+  kUnused = 0,
+  kRunnable = 1,
+  kRunning = 2,
+  kBlocked = 3,
+  kZombie = 4,
+  kDead = 5,
+};
+
+// ---------------------------------------------------------------------------
+// Module list: singly linked nodes in the kernel heap.
+// ---------------------------------------------------------------------------
+struct ModuleNode {
+  static constexpr u32 kNext = 0;
+  static constexpr u32 kBase = 4;   // code base VA
+  static constexpr u32 kSizeField = 8;
+  static constexpr u32 kName = 12;  // char[24]
+  static constexpr u32 kNameLen = 24;
+  static constexpr u32 kNodeSize = 40;
+};
+
+// ---------------------------------------------------------------------------
+// Syscall numbers (Linux i386 numbering where one exists).
+// ---------------------------------------------------------------------------
+enum Sys : u32 {
+  kSysExit = 1,
+  kSysFork = 2,
+  kSysRead = 3,
+  kSysWrite = 4,
+  kSysOpen = 5,
+  kSysClose = 6,
+  kSysWaitpid = 7,
+  kSysExecve = 11,
+  kSysTime = 13,
+  kSysGetpid = 20,
+  kSysAlarm = 27,
+  kSysKill = 37,
+  kSysPipe = 42,
+  kSysBrk = 45,
+  kSysSignal = 48,
+  kSysIoctl = 54,
+  kSysFcntl = 55,
+  kSysDup2 = 63,
+  kSysGettimeofday = 78,
+  kSysMmap = 90,
+  kSysStat = 106,
+  kSysSetitimer = 104,
+  kSysWait4 = 114,
+  kSysFsync = 118,
+  kSysSigreturn = 119,
+  kSysClone = 120,
+  kSysUname = 122,
+  kSysInitModule = 128,
+  kSysDeleteModule = 129,
+  kSysGetdents = 141,
+  kSysSelect = 142,
+  kSysNanosleep = 162,
+  kSysPoll = 168,
+  kSysSigaction = 174,
+  kSysSocket = 359,
+  kSysBind = 361,
+  kSysConnect = 362,
+  kSysListen = 363,
+  kSysAccept = 364,
+  kSysSendto = 369,
+  kSysRecvfrom = 371,
+};
+
+/// Syscall return value used by blocking leaves: "no data yet, wait".
+inline constexpr u32 kEagain = 0xFFFFFFF5u;  // -11
+
+// ---------------------------------------------------------------------------
+// KSVC service ids (leaf kernel semantics implemented by the OS runtime).
+// ---------------------------------------------------------------------------
+enum Ksvc : u16 {
+  // Scheduling / context switching.
+  kKsvcSchedDecide = 1,   // A := next task ptr (0 = keep current); B := same
+  kKsvcSwitchTo = 2,      // switch to task in B
+  kKsvcPrepareResume = 3, // build user iret frame, restore GPR snapshot
+  kKsvcRetpathCheck = 4,  // A := 1 if the active frame returns to user mode
+  kKsvcSaveUctx = 5,      // snapshot user registers (syscall entry)
+  kKsvcIrqEnter = 6,
+  kKsvcIrqExit = 7,
+  kKsvcTimerTick = 8,
+  kKsvcNetRx = 9,
+  kKsvcDiskDone = 10,
+  kKsvcTtyEvent = 11,
+  kKsvcSyscallDone = 12,  // stash A as the syscall return value
+
+  // File / vfs leaves.
+  kKsvcPathClass = 20,    // B=path id → A = FileClass
+  kKsvcFdClass = 21,      // B=fd → A = FileClass
+  kKsvcFileOpen = 22,
+  kKsvcFileRead = 23,
+  kKsvcFileWrite = 24,
+  kKsvcFileClose = 25,
+  kKsvcFileStat = 26,
+  kKsvcFileFsync = 27,
+  kKsvcPipeCreate = 28,
+  kKsvcGetdents = 29,
+  kKsvcIoctl = 30,
+  kKsvcFcntl = 31,
+  kKsvcDup2 = 32,
+  kKsvcPollWait = 33,     // B=fd-set id → A = ready count or kEagain
+
+  // Sockets.
+  kKsvcSockCreate = 40,
+  kKsvcSockBind = 41,
+  kKsvcSockListen = 42,
+  kKsvcSockAccept = 43,
+  kKsvcSockConnect = 44,
+  kKsvcSockSend = 45,
+  kKsvcSockRecv = 46,
+  kKsvcSockProto = 47,    // B=fd → A = 0 (udp) / 1 (tcp)
+
+  // Processes.
+  kKsvcFork = 60,
+  kKsvcClone = 61,
+  kKsvcExecve = 62,
+  kKsvcExit = 63,
+  kKsvcWait = 64,
+  kKsvcGetpid = 65,
+  kKsvcBrk = 66,
+  kKsvcMmap = 67,
+  kKsvcUname = 68,
+  kKsvcTime = 69,
+  kKsvcNanosleep = 70,    // blocks via EAGAIN + schedule loop
+
+  // Signals / timers.
+  kKsvcSignalReg = 80,
+  kKsvcKill = 81,
+  kKsvcSetitimer = 82,
+  kKsvcAlarm = 83,
+  kKsvcSigreturn = 84,
+
+  // Modules.
+  kKsvcModuleInit = 90,
+  kKsvcModuleDelete = 91,
+  kKsvcModuleHide = 92,   // rootkit helper: unlink self from module list
+
+  // Rootkit payload leaves (only reachable from module code).
+  kKsvcRkLog = 100,       // rootkit writes captured data (keystrokes, …)
+};
+
+/// File classes drive data-dependent dispatch in the vfs code paths.
+enum class FileClass : u32 {
+  kExt4 = 0,
+  kProc = 1,
+  kPipe = 2,
+  kTty = 3,
+  kSocket = 4,
+  kBad = 0xFFFFFFFF,
+};
+
+// Hardware interrupt lines (IDT vector = 32 + line).
+inline constexpr u8 kIrqTimer = 0;
+inline constexpr u8 kIrqNet = 1;
+inline constexpr u8 kIrqDisk = 2;
+inline constexpr u8 kIrqTty = 3;
+inline constexpr u8 kSyscallVector = 0x80;
+
+}  // namespace fc::abi

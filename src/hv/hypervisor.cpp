@@ -1,0 +1,69 @@
+#include "hv/hypervisor.hpp"
+
+#include "support/logging.hpp"
+
+namespace fc::hv {
+
+RunOutcome Hypervisor::run(const std::function<bool()>& stop) {
+  constexpr u64 kSlice = 20'000;  // instructions per run-loop slice
+  while (true) {
+    if (stop()) return RunOutcome::kStopped;
+    cpu::Exit exit = vcpu_.run(kSlice);
+    switch (exit.reason) {
+      case cpu::ExitReason::kInstructionLimit:
+        continue;
+      case cpu::ExitReason::kBreakpoint: {
+        ++stats_.breakpoint_exits;
+        vcpu_.charge(vcpu_.perf_model().cost_vmexit);
+        if (handler_ != nullptr) handler_->handle_breakpoint(exit.pc);
+        // Step over the breakpointed instruction on resume.
+        vcpu_.suppress_breakpoint_once();
+        continue;
+      }
+      case cpu::ExitReason::kInvalidOpcode: {
+        ++stats_.invalid_opcode_exits;
+        vcpu_.charge(vcpu_.perf_model().cost_vmexit);
+        bool handled =
+            handler_ != nullptr && handler_->handle_invalid_opcode(exit.pc);
+        if (!handled) {
+          last_fault_pc_ = exit.pc;
+          FC_WARN << "unhandled invalid opcode at 0x" << std::hex << exit.pc;
+          return RunOutcome::kGuestFault;
+        }
+        continue;
+      }
+      case cpu::ExitReason::kFetchFault:
+        last_fault_pc_ = exit.pc;
+        FC_WARN << "guest fetch fault at 0x" << std::hex << exit.pc;
+        return RunOutcome::kGuestFault;
+      case cpu::ExitReason::kHalt:
+        // on_idle found no future events: the workload is drained.
+        ++stats_.halt_exits;
+        return RunOutcome::kIdleForever;
+      case cpu::ExitReason::kShutdown:
+        return RunOutcome::kShutdown;
+      case cpu::ExitReason::kNone:
+        continue;
+    }
+  }
+}
+
+RunOutcome Hypervisor::run_for(Cycles cycles) {
+  const Cycles end = vcpu_.cycles() + cycles;
+  return run([&] { return vcpu_.cycles() >= end; });
+}
+
+u8 Hypervisor::pristine_read8(GVirt kernel_va) const {
+  FC_CHECK(is_kernel_address(kernel_va),
+           << "pristine read of non-kernel address");
+  GPhys pa = mem::GuestLayout::kernel_pa(kernel_va);
+  HostFrame frame = machine_.boot_frame_for(pa);
+  return machine_.host().read8(frame, page_offset(pa));
+}
+
+void Hypervisor::pristine_read(GVirt kernel_va, std::span<u8> out) const {
+  for (std::size_t i = 0; i < out.size(); ++i)
+    out[i] = pristine_read8(kernel_va + static_cast<GVirt>(i));
+}
+
+}  // namespace fc::hv

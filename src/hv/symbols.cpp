@@ -1,0 +1,44 @@
+#include "hv/symbols.hpp"
+
+#include <cstdio>
+
+#include "support/check.hpp"
+
+namespace fc::hv {
+
+void SymbolTable::add(std::string name, GVirt address, u32 size) {
+  by_name_[name] = address;
+  by_address_[address] = Symbol{std::move(name), address, size};
+}
+
+GVirt SymbolTable::must_addr(const std::string& name) const {
+  auto it = by_name_.find(name);
+  FC_CHECK(it != by_name_.end(), << "unknown symbol '" << name << "'");
+  return it->second;
+}
+
+std::optional<GVirt> SymbolTable::addr(const std::string& name) const {
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) return {};
+  return it->second;
+}
+
+const Symbol* SymbolTable::find_covering(GVirt address) const {
+  auto it = by_address_.upper_bound(address);
+  if (it == by_address_.begin()) return nullptr;
+  --it;
+  const Symbol& sym = it->second;
+  if (address >= sym.address && address < sym.address + sym.size) return &sym;
+  return nullptr;
+}
+
+std::optional<std::string> SymbolTable::symbolize(GVirt address) const {
+  const Symbol* sym = find_covering(address);
+  if (sym == nullptr) return {};
+  if (address == sym->address) return sym->name;
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "+0x%x", address - sym->address);
+  return sym->name + buf;
+}
+
+}  // namespace fc::hv

@@ -1,0 +1,43 @@
+// Kernel symbol table — the System.map equivalent the hypervisor uses to
+// symbolize addresses in recovery logs ("0xc021a526 <do_sys_poll+0x136>").
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "support/types.hpp"
+
+namespace fc::hv {
+
+struct Symbol {
+  std::string name;
+  GVirt address = 0;
+  u32 size = 0;
+};
+
+class SymbolTable {
+ public:
+  void add(std::string name, GVirt address, u32 size);
+
+  /// Address of a named symbol; FC_CHECKs if missing (symbols are part of
+  /// the build contract).
+  GVirt must_addr(const std::string& name) const;
+  std::optional<GVirt> addr(const std::string& name) const;
+
+  /// The symbol covering `address`, if any ([sym, sym+size)).
+  const Symbol* find_covering(GVirt address) const;
+
+  /// "name+0x1b" / "name" formatting; nullopt if no covering symbol.
+  std::optional<std::string> symbolize(GVirt address) const;
+
+  const std::map<GVirt, Symbol>& by_address() const { return by_address_; }
+  std::size_t size() const { return by_address_.size(); }
+
+ private:
+  std::map<GVirt, Symbol> by_address_;
+  std::map<std::string, GVirt> by_name_;
+};
+
+}  // namespace fc::hv

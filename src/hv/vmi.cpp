@@ -1,0 +1,96 @@
+#include "hv/vmi.hpp"
+
+#include <cstdio>
+
+#include "support/check.hpp"
+
+namespace fc::hv {
+
+namespace {
+/// Kernel-half virtual → guest physical (Linux-style direct map).
+GPhys kernel_va_to_pa(GVirt va) {
+  FC_CHECK(is_kernel_address(va), << "VMI kernel read at user address " << va);
+  return mem::GuestLayout::kernel_pa(va);
+}
+}  // namespace
+
+u32 Vmi::read_u32(GVirt va) const {
+  return machine_->pread32(kernel_va_to_pa(va));
+}
+
+u8 Vmi::read_u8(GVirt va) const {
+  return machine_->pread8(kernel_va_to_pa(va));
+}
+
+void Vmi::read_bytes(GVirt va, std::span<u8> out) const {
+  machine_->pread_bytes(kernel_va_to_pa(va), out);
+}
+
+std::string Vmi::read_cstr(GVirt va, u32 max_len) const {
+  std::string out;
+  for (u32 i = 0; i < max_len; ++i) {
+    u8 c = read_u8(va + i);
+    if (c == 0) break;
+    out.push_back(static_cast<char>(c));
+  }
+  return out;
+}
+
+TaskInfo Vmi::task_at(GVirt task_ptr) const {
+  TaskInfo info;
+  info.task_ptr = task_ptr;
+  info.pid = read_u32(task_ptr + abi::Task::kPid);
+  info.state = static_cast<abi::TaskState>(read_u32(task_ptr + abi::Task::kState));
+  info.comm = read_cstr(task_ptr + abi::Task::kComm, abi::Task::kCommLen);
+  return info;
+}
+
+std::vector<ModuleInfo> Vmi::module_list() const {
+  std::vector<ModuleInfo> modules;
+  GVirt node = read_u32(abi::kModuleListAddr);
+  u32 guard = 0;
+  while (node != 0 && guard++ < 256) {
+    ModuleInfo mod;
+    mod.base = read_u32(node + abi::ModuleNode::kBase);
+    mod.size = read_u32(node + abi::ModuleNode::kSizeField);
+    mod.name = read_cstr(node + abi::ModuleNode::kName, abi::ModuleNode::kNameLen);
+    modules.push_back(std::move(mod));
+    node = read_u32(node + abi::ModuleNode::kNext);
+  }
+  return modules;
+}
+
+std::optional<ModuleInfo> Vmi::module_covering(GVirt address) const {
+  for (const ModuleInfo& mod : module_list()) {
+    if (address >= mod.base && address < mod.base + mod.size) return mod;
+  }
+  return {};
+}
+
+std::string Vmi::symbolize(GVirt address) const {
+  if (is_base_kernel_text(address)) {
+    if (kernel_syms_ != nullptr) {
+      if (auto s = kernel_syms_->symbolize(address)) return *s;
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "ktext+0x%x", address - text_begin_);
+    return buf;
+  }
+  if (auto mod = module_covering(address)) {
+    u32 rel = address - mod->base;
+    auto it = module_syms_.find(mod->name);
+    if (it != module_syms_.end()) {
+      if (auto s = it->second.symbolize(rel)) return *s;
+    }
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%s+0x%x", mod->name.c_str(), rel);
+    return buf;
+  }
+  return "UNKNOWN";
+}
+
+bool Vmi::is_plausible_code_address(GVirt address) const {
+  return is_base_kernel_text(address) || module_covering(address).has_value();
+}
+
+}  // namespace fc::hv

@@ -1,0 +1,89 @@
+// Virtual machine introspection: the hypervisor-side view into guest state.
+//
+// Reads are out-of-band (no TLB pollution, no cycle charges) but go through
+// the guest's real page tables and the *current* EPT, exactly like the
+// paper's VMI. Symbolization consults the base-kernel System.map plus the
+// guest's own module list — so a rootkit that unlinks itself from that list
+// symbolizes as UNKNOWN (Figure 5).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "hv/guest_abi.hpp"
+#include "hv/symbols.hpp"
+#include "mem/machine.hpp"
+
+namespace fc::hv {
+
+struct TaskInfo {
+  u32 pid = 0;
+  std::string comm;
+  GVirt task_ptr = 0;
+  abi::TaskState state = abi::TaskState::kUnused;
+};
+
+struct ModuleInfo {
+  std::string name;
+  GVirt base = 0;
+  u32 size = 0;
+};
+
+class Vmi {
+ public:
+  explicit Vmi(mem::Machine& machine) : machine_(&machine) {}
+
+  // --- raw guest reads (kernel-half addresses; shared across processes) ---
+  u32 read_u32(GVirt va) const;
+  u8 read_u8(GVirt va) const;
+  void read_bytes(GVirt va, std::span<u8> out) const;
+  std::string read_cstr(GVirt va, u32 max_len) const;
+
+  // --- guest OS structures ---------------------------------------------
+  TaskInfo current_task() const { return task_at(read_u32(abi::kCurrentTaskAddr)); }
+  TaskInfo task_at(GVirt task_ptr) const;
+  std::vector<ModuleInfo> module_list() const;
+  /// Module covering `address` per the guest list, if any.
+  std::optional<ModuleInfo> module_covering(GVirt address) const;
+  bool in_interrupt_context() const {
+    return read_u32(abi::kIrqCountAddr) != 0;
+  }
+
+  // --- symbolization -----------------------------------------------------
+  void set_kernel_symbols(const SymbolTable* table) { kernel_syms_ = table; }
+  void set_kernel_text_range(GVirt begin, GVirt end) {
+    text_begin_ = begin;
+    text_end_ = end;
+  }
+  /// Register the (module-relative) symbol table shipped with a module, so
+  /// recoveries inside visible modules symbolize by name.
+  void register_module_symbols(const std::string& name, SymbolTable table) {
+    module_syms_[name] = std::move(table);
+  }
+
+  bool is_base_kernel_text(GVirt va) const {
+    return va >= text_begin_ && va < text_end_;
+  }
+  GVirt kernel_text_begin() const { return text_begin_; }
+  GVirt kernel_text_end() const { return text_end_; }
+
+  /// "do_sys_poll+0x136", "kbeast_hook+0x1e" (module-relative), or
+  /// "UNKNOWN" when the address is in no identified memory region.
+  std::string symbolize(GVirt address) const;
+
+  /// Valid backtrace frame target: base kernel text or a listed module.
+  bool is_plausible_code_address(GVirt address) const;
+
+  const SymbolTable* kernel_symbols() const { return kernel_syms_; }
+
+ private:
+  mem::Machine* machine_;
+  const SymbolTable* kernel_syms_ = nullptr;
+  std::unordered_map<std::string, SymbolTable> module_syms_;
+  GVirt text_begin_ = 0;
+  GVirt text_end_ = 0;
+};
+
+}  // namespace fc::hv

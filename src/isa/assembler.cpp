@@ -1,0 +1,69 @@
+#include "isa/assembler.hpp"
+
+namespace fc::isa {
+
+void Assembler::emit_rel32(u8 opcode, Label target) {
+  emit8(opcode);
+  label_fixups_.push_back(
+      {size(), target.id, size() + 4, /*is_rel8=*/false});
+  emit32(0);
+}
+
+void Assembler::emit_rel8(u8 opcode, Label target) {
+  emit8(opcode);
+  label_fixups_.push_back({size(), target.id, size() + 1, /*is_rel8=*/true});
+  emit8(0);
+}
+
+void Assembler::emit_0f_rel32(u8 second, Label target) {
+  emit8(0x0F);
+  emit8(second);
+  label_fixups_.push_back(
+      {size(), target.id, size() + 4, /*is_rel8=*/false});
+  emit32(0);
+}
+
+void Assembler::emit_sym_rel32(u8 opcode, const std::string& symbol) {
+  emit8(opcode);
+  symbol_fixups_.push_back({size(), symbol, size() + 4});
+  emit32(0);
+}
+
+std::vector<u8> Assembler::finish(GVirt base, const SymbolResolver& resolver) {
+  auto patch32 = [&](u32 at, u32 value) {
+    code_[at] = static_cast<u8>(value);
+    code_[at + 1] = static_cast<u8>(value >> 8);
+    code_[at + 2] = static_cast<u8>(value >> 16);
+    code_[at + 3] = static_cast<u8>(value >> 24);
+  };
+
+  for (const LabelFixup& fixup : label_fixups_) {
+    u32 target_offset = labels_[fixup.label];
+    FC_CHECK(target_offset != kUnbound, << "unbound label " << fixup.label);
+    i64 rel = static_cast<i64>(target_offset) - static_cast<i64>(fixup.next);
+    if (fixup.is_rel8) {
+      FC_CHECK(rel >= -128 && rel <= 127,
+               << "rel8 branch out of range: " << rel);
+      code_[fixup.at] = static_cast<u8>(static_cast<i8>(rel));
+    } else {
+      patch32(fixup.at, static_cast<u32>(static_cast<i32>(rel)));
+    }
+  }
+
+  for (const SymbolFixup& fixup : symbol_fixups_) {
+    FC_CHECK(resolver != nullptr,
+             << "external symbol '" << fixup.symbol << "' but no resolver");
+    GVirt target = resolver(fixup.symbol);
+    if (fixup.absolute) {
+      patch32(fixup.at, target);
+    } else {
+      i64 rel = static_cast<i64>(target) -
+                (static_cast<i64>(base) + static_cast<i64>(fixup.next));
+      patch32(fixup.at, static_cast<u32>(static_cast<i32>(rel)));
+    }
+  }
+
+  return std::move(code_);
+}
+
+}  // namespace fc::isa

@@ -1,0 +1,210 @@
+// Two-pass assembler for guest code.
+//
+// Supports local labels (intra-function branches) and named external symbols
+// (inter-function calls), resolved at finish() time against a resolver
+// callback. Instruction sizes are fixed, so label offsets are known as soon
+// as code is emitted; external symbols are patched last.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "isa/isa.hpp"
+#include "support/check.hpp"
+#include "support/types.hpp"
+
+namespace fc::isa {
+
+class Assembler {
+ public:
+  struct Label {
+    u32 id;
+  };
+
+  /// Resolves an external symbol name to its absolute guest virtual address.
+  using SymbolResolver = std::function<GVirt(const std::string&)>;
+
+  Label make_label() {
+    labels_.push_back(kUnbound);
+    return Label{static_cast<u32>(labels_.size() - 1)};
+  }
+  void bind(Label label) {
+    FC_CHECK(labels_[label.id] == kUnbound, << "label bound twice");
+    labels_[label.id] = static_cast<u32>(code_.size());
+  }
+
+  u32 size() const { return static_cast<u32>(code_.size()); }
+
+  // --- instruction emitters -------------------------------------------
+  void nop() { emit8(0x90); }
+  void push(Reg r) { emit8(0x50 + static_cast<u8>(r)); }
+  void pop(Reg r) { emit8(0x58 + static_cast<u8>(r)); }
+  void mov(Reg dst, Reg src) {
+    emit8(0x89);
+    emit8(modrm(3, src, dst));
+  }
+  void mov_imm(Reg dst, u32 imm) {
+    emit8(0xB8 + static_cast<u8>(dst));
+    emit32(imm);
+  }
+  void load(Reg dst, Reg base, i8 disp) {
+    FC_CHECK(base != Reg::SP, << "SIB forms not supported");
+    emit8(0x8B);
+    emit8(modrm(1, dst, base));
+    emit8(static_cast<u8>(disp));
+  }
+  void store(Reg base, i8 disp, Reg src) {
+    FC_CHECK(base != Reg::SP, << "SIB forms not supported");
+    emit8(0x89);
+    emit8(modrm(1, src, base));
+    emit8(static_cast<u8>(disp));
+  }
+  void load_abs(u32 addr) {  // A = [addr]
+    emit8(0xA1);
+    emit32(addr);
+  }
+  void store_abs(u32 addr) {  // [addr] = A
+    emit8(0xA3);
+    emit32(addr);
+  }
+  void add(Reg dst, Reg src) { alu(0x01, dst, src); }
+  void sub(Reg dst, Reg src) { alu(0x29, dst, src); }
+  void xor_(Reg dst, Reg src) { alu(0x31, dst, src); }
+  void cmp(Reg dst, Reg src) { alu(0x39, dst, src); }
+  void or_(Reg dst, Reg src) {  // 0B /r: dst=reg field, src=rm field
+    emit8(0x0B);
+    emit8(modrm(3, dst, src));
+  }
+  void cmp_imm_a(u32 imm) {
+    emit8(0x3D);
+    emit32(imm);
+  }
+  void add_imm_a(u32 imm) {
+    emit8(0x05);
+    emit32(imm);
+  }
+  void sub_imm_a(u32 imm) {
+    emit8(0x2D);
+    emit32(imm);
+  }
+  void ret() { emit8(0xC3); }
+  void leave() { emit8(0xC9); }
+  void int_(u8 vector) {
+    emit8(0xCD);
+    emit8(vector);
+  }
+  void iret() { emit8(0xCF); }
+  void hlt() { emit8(0xF4); }
+  void pusha() { emit8(0x60); }
+  void popa() { emit8(0x61); }
+  void cli() { emit8(0xFA); }
+  void sti() { emit8(0xFB); }
+  void ud2() {
+    emit8(0x0F);
+    emit8(0x0B);
+  }
+  void ksvc(u16 service) {
+    emit8(0x0F);
+    emit8(0x05);
+    emit8(static_cast<u8>(service & 0xFF));
+    emit8(static_cast<u8>(service >> 8));
+  }
+  void appstep() {
+    emit8(0x0F);
+    emit8(0x06);
+  }
+  void rdtsc() {
+    emit8(0x0F);
+    emit8(0x31);
+  }
+  void calltab(u32 table_addr) {
+    emit8(0xFF);
+    emit8(0x14);
+    emit8(0x85);
+    emit32(table_addr);
+  }
+
+  /// Emit the canonical function prologue the boundary search looks for:
+  /// push %ebp; mov %ebp,%esp — bytes 55 89 E5.
+  void prologue() {
+    push(Reg::FP);
+    mov(Reg::FP, Reg::SP);
+  }
+  /// leave; ret.
+  void epilogue() {
+    leave();
+    ret();
+  }
+
+  // --- control flow to labels / symbols --------------------------------
+  void call(Label target) { emit_rel32(0xE8, target); }
+  void call_sym(const std::string& symbol) { emit_sym_rel32(0xE8, symbol); }
+  /// mov $<address-of-symbol>, %reg — absolute fixup (used by module init
+  /// code to install hook addresses into the syscall table).
+  void mov_imm_sym(Reg dst, const std::string& symbol) {
+    emit8(0xB8 + static_cast<u8>(dst));
+    symbol_fixups_.push_back({size(), symbol, size() + 4, /*absolute=*/true});
+    emit32(0);
+  }
+  void jmp(Label target) { emit_rel32(0xE9, target); }
+  void jmp_sym(const std::string& symbol) { emit_sym_rel32(0xE9, symbol); }
+  void jz(Label target) { emit_rel8(0x74, target); }
+  void jnz(Label target) { emit_rel8(0x75, target); }
+  void jz_near(Label target) { emit_0f_rel32(0x84, target); }
+  void jnz_near(Label target) { emit_0f_rel32(0x85, target); }
+
+  /// Pad with NOPs to the given power-of-two alignment (relative to the
+  /// eventual base address, which must itself be aligned).
+  void align(u32 alignment) {
+    while (code_.size() % alignment != 0) nop();
+  }
+
+  /// Resolve all fixups and return the final bytes. `base` is the absolute
+  /// guest virtual address where byte 0 will live. `resolver` may be null if
+  /// no external symbols were referenced.
+  std::vector<u8> finish(GVirt base, const SymbolResolver& resolver = nullptr);
+
+ private:
+  static constexpr u32 kUnbound = 0xFFFFFFFFu;
+
+  static u8 modrm(u8 mod, Reg reg, Reg rm) {
+    return static_cast<u8>((mod << 6) | (static_cast<u8>(reg) << 3) |
+                           static_cast<u8>(rm));
+  }
+  void alu(u8 opcode, Reg dst, Reg src) {
+    emit8(opcode);
+    emit8(modrm(3, src, dst));
+  }
+  void emit8(u8 byte) { code_.push_back(byte); }
+  void emit32(u32 value) {
+    emit8(static_cast<u8>(value));
+    emit8(static_cast<u8>(value >> 8));
+    emit8(static_cast<u8>(value >> 16));
+    emit8(static_cast<u8>(value >> 24));
+  }
+  void emit_rel32(u8 opcode, Label target);
+  void emit_rel8(u8 opcode, Label target);
+  void emit_0f_rel32(u8 second, Label target);
+  void emit_sym_rel32(u8 opcode, const std::string& symbol);
+
+  struct LabelFixup {
+    u32 at;        // offset of the displacement field
+    u32 label;     // label id
+    u32 next;      // offset of the byte after the instruction
+    bool is_rel8;  // 8-bit vs 32-bit displacement
+  };
+  struct SymbolFixup {
+    u32 at;
+    std::string symbol;
+    u32 next;
+    bool absolute = false;  // patch symbol address, not pc-relative offset
+  };
+
+  std::vector<u8> code_;
+  std::vector<u32> labels_;
+  std::vector<LabelFixup> label_fixups_;
+  std::vector<SymbolFixup> symbol_fixups_;
+};
+
+}  // namespace fc::isa

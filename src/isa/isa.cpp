@@ -1,0 +1,436 @@
+#include "isa/isa.hpp"
+
+#include <cstdio>
+
+#include "support/check.hpp"
+
+namespace fc::isa {
+
+const char* reg_name(Reg r) {
+  static constexpr const char* kNames[kNumRegs] = {
+      "eax", "ecx", "edx", "ebx", "esp", "ebp", "esi", "edi"};
+  return kNames[static_cast<u8>(r) & 7];
+}
+
+namespace {
+
+u32 read_u32(std::span<const u8> b, std::size_t at) {
+  return static_cast<u32>(b[at]) | (static_cast<u32>(b[at + 1]) << 8) |
+         (static_cast<u32>(b[at + 2]) << 16) |
+         (static_cast<u32>(b[at + 3]) << 24);
+}
+
+DecodeResult ok(Instruction insn) { return {DecodeStatus::kOk, insn}; }
+DecodeResult invalid() { return {DecodeStatus::kInvalidOpcode, {}}; }
+DecodeResult truncated() { return {DecodeStatus::kTruncated, {}}; }
+
+/// Decode a mod=11 register-register modrm byte: reg field and rm field.
+struct ModRM {
+  u8 mod, reg, rm;
+};
+ModRM split_modrm(u8 byte) {
+  return {static_cast<u8>(byte >> 6), static_cast<u8>((byte >> 3) & 7),
+          static_cast<u8>(byte & 7)};
+}
+
+/// ALU ops of the form `op /r` with mod=11: dst=rm, src=reg
+/// (matches x86 "op r/m32, r32" forms 01/29/31/39).
+DecodeResult decode_alu_rm_r(Op op, std::span<const u8> b) {
+  if (b.size() < 2) return truncated();
+  ModRM m = split_modrm(b[1]);
+  if (m.mod != 3) return invalid();  // memory forms not in the subset
+  Instruction insn;
+  insn.op = op;
+  insn.r1 = static_cast<Reg>(m.rm);
+  insn.r2 = static_cast<Reg>(m.reg);
+  insn.length = 2;
+  return ok(insn);
+}
+
+}  // namespace
+
+DecodeResult decode(std::span<const u8> bytes) {
+  if (bytes.empty()) return truncated();
+  const u8 op = bytes[0];
+
+  // PUSH r / POP r.
+  if (op >= 0x50 && op <= 0x57) {
+    Instruction insn;
+    insn.op = Op::kPush;
+    insn.r1 = static_cast<Reg>(op - 0x50);
+    insn.length = 1;
+    return ok(insn);
+  }
+  if (op >= 0x58 && op <= 0x5F) {
+    Instruction insn;
+    insn.op = Op::kPop;
+    insn.r1 = static_cast<Reg>(op - 0x58);
+    insn.length = 1;
+    return ok(insn);
+  }
+  // MOV r, imm32.
+  if (op >= 0xB8 && op <= 0xBF) {
+    if (bytes.size() < 5) return truncated();
+    Instruction insn;
+    insn.op = Op::kMovImm;
+    insn.r1 = static_cast<Reg>(op - 0xB8);
+    insn.imm = read_u32(bytes, 1);
+    insn.length = 5;
+    return ok(insn);
+  }
+
+  switch (op) {
+    case 0x90: {
+      Instruction insn;
+      insn.op = Op::kNop;
+      insn.length = 1;
+      return ok(insn);
+    }
+    case 0x89: {  // MOV r/m32, r32: mod=11 → reg-reg; mod=01 → store disp8
+      if (bytes.size() < 2) return truncated();
+      ModRM m = split_modrm(bytes[1]);
+      if (m.mod == 3) {
+        Instruction insn;
+        insn.op = Op::kMovRR;
+        insn.r1 = static_cast<Reg>(m.rm);
+        insn.r2 = static_cast<Reg>(m.reg);
+        insn.length = 2;
+        return ok(insn);
+      }
+      if (m.mod == 1) {
+        if (m.rm == 4) return invalid();  // SIB not in subset
+        if (bytes.size() < 3) return truncated();
+        Instruction insn;
+        insn.op = Op::kStore;
+        insn.r1 = static_cast<Reg>(m.rm);  // base
+        insn.r2 = static_cast<Reg>(m.reg);  // source
+        insn.disp = static_cast<i8>(bytes[2]);
+        insn.length = 3;
+        return ok(insn);
+      }
+      return invalid();
+    }
+    case 0x8B: {  // MOV r32, r/m32 with mod=01 disp8 → load
+      if (bytes.size() < 2) return truncated();
+      ModRM m = split_modrm(bytes[1]);
+      if (m.mod != 1 || m.rm == 4) return invalid();
+      if (bytes.size() < 3) return truncated();
+      Instruction insn;
+      insn.op = Op::kLoad;
+      insn.r1 = static_cast<Reg>(m.reg);  // destination
+      insn.r2 = static_cast<Reg>(m.rm);   // base
+      insn.disp = static_cast<i8>(bytes[2]);
+      insn.length = 3;
+      return ok(insn);
+    }
+    case 0xA1: {
+      if (bytes.size() < 5) return truncated();
+      Instruction insn;
+      insn.op = Op::kLoadAbs;
+      insn.imm = read_u32(bytes, 1);
+      insn.length = 5;
+      return ok(insn);
+    }
+    case 0xA3: {
+      if (bytes.size() < 5) return truncated();
+      Instruction insn;
+      insn.op = Op::kStoreAbs;
+      insn.imm = read_u32(bytes, 1);
+      insn.length = 5;
+      return ok(insn);
+    }
+    case 0x01:
+      return decode_alu_rm_r(Op::kAdd, bytes);
+    case 0x29:
+      return decode_alu_rm_r(Op::kSub, bytes);
+    case 0x31:
+      return decode_alu_rm_r(Op::kXor, bytes);
+    case 0x39:
+      return decode_alu_rm_r(Op::kCmp, bytes);
+    case 0x0B: {  // OR r32, r/m32 — dst=reg, src=rm. VALID: the shifted-UD2
+                  // byte pair 0B 0F decodes here (or ecx,[edi]), exactly as
+                  // on real x86 — it does NOT trap, which is why the paper
+                  // needs instant recovery (Figure 3).
+      if (bytes.size() < 2) return truncated();
+      ModRM m = split_modrm(bytes[1]);
+      Instruction insn;
+      insn.op = Op::kOr;
+      insn.r1 = static_cast<Reg>(m.reg);
+      insn.r2 = static_cast<Reg>(m.rm);
+      if (m.mod == 3) {
+        insn.length = 2;
+        return ok(insn);
+      }
+      if (m.mod == 0 && m.rm != 4 && m.rm != 5) {
+        // Memory form or r32,[r32]: marked by disp = kOrMemMarker so the
+        // executor reads (possibly garbage) memory instead of a register.
+        insn.disp = 1;  // memory-operand flag
+        insn.length = 2;
+        return ok(insn);
+      }
+      return invalid();
+    }
+    case 0x3D:
+    case 0x05:
+    case 0x2D: {
+      if (bytes.size() < 5) return truncated();
+      Instruction insn;
+      insn.op = op == 0x3D ? Op::kCmpImmA
+                           : (op == 0x05 ? Op::kAddImmA : Op::kSubImmA);
+      insn.imm = read_u32(bytes, 1);
+      insn.length = 5;
+      return ok(insn);
+    }
+    case 0xE8:
+    case 0xE9: {
+      if (bytes.size() < 5) return truncated();
+      Instruction insn;
+      insn.op = op == 0xE8 ? Op::kCall : Op::kJmp;
+      insn.disp = static_cast<i32>(read_u32(bytes, 1));
+      insn.length = 5;
+      return ok(insn);
+    }
+    case 0xEB:
+    case 0x74:
+    case 0x75: {
+      if (bytes.size() < 2) return truncated();
+      Instruction insn;
+      insn.op = op == 0xEB ? Op::kJmpShort : (op == 0x74 ? Op::kJz : Op::kJnz);
+      insn.disp = static_cast<i8>(bytes[1]);
+      insn.length = 2;
+      return ok(insn);
+    }
+    case 0xFF: {  // only the dispatch form FF 14 85 imm32 is in the subset
+      if (bytes.size() < 3) return truncated();
+      if (bytes[1] != 0x14 || bytes[2] != 0x85) return invalid();
+      if (bytes.size() < 7) return truncated();
+      Instruction insn;
+      insn.op = Op::kCallTab;
+      insn.imm = read_u32(bytes, 3);
+      insn.length = 7;
+      return ok(insn);
+    }
+    case 0xC3: {
+      Instruction insn;
+      insn.op = Op::kRet;
+      insn.length = 1;
+      return ok(insn);
+    }
+    case 0xC9: {
+      Instruction insn;
+      insn.op = Op::kLeave;
+      insn.length = 1;
+      return ok(insn);
+    }
+    case 0xCD: {
+      if (bytes.size() < 2) return truncated();
+      Instruction insn;
+      insn.op = Op::kInt;
+      insn.imm = bytes[1];
+      insn.length = 2;
+      return ok(insn);
+    }
+    case 0xCF: {
+      Instruction insn;
+      insn.op = Op::kIret;
+      insn.length = 1;
+      return ok(insn);
+    }
+    case 0xF4: {
+      Instruction insn;
+      insn.op = Op::kHlt;
+      insn.length = 1;
+      return ok(insn);
+    }
+    case 0x60:
+    case 0x61:
+    case 0xFA:
+    case 0xFB: {
+      Instruction insn;
+      insn.op = op == 0x60   ? Op::kPusha
+                : op == 0x61 ? Op::kPopa
+                : op == 0xFA ? Op::kCli
+                             : Op::kSti;
+      insn.length = 1;
+      return ok(insn);
+    }
+    case 0x0F: {  // two-byte opcode space
+      if (bytes.size() < 2) return truncated();
+      switch (bytes[1]) {
+        case 0x0B: {  // UD2
+          Instruction insn;
+          insn.op = Op::kUd2;
+          insn.length = 2;
+          return ok(insn);
+        }
+        case 0x05: {  // KSVC imm16
+          if (bytes.size() < 4) return truncated();
+          Instruction insn;
+          insn.op = Op::kKsvc;
+          insn.imm = static_cast<u32>(bytes[2]) |
+                     (static_cast<u32>(bytes[3]) << 8);
+          insn.length = 4;
+          return ok(insn);
+        }
+        case 0x06: {
+          Instruction insn;
+          insn.op = Op::kAppStep;
+          insn.length = 2;
+          return ok(insn);
+        }
+        case 0x31: {
+          Instruction insn;
+          insn.op = Op::kRdtsc;
+          insn.length = 2;
+          return ok(insn);
+        }
+        case 0x84:
+        case 0x85: {
+          if (bytes.size() < 6) return truncated();
+          Instruction insn;
+          insn.op = bytes[1] == 0x84 ? Op::kJzNear : Op::kJnzNear;
+          insn.disp = static_cast<i32>(read_u32(bytes, 2));
+          insn.length = 6;
+          return ok(insn);
+        }
+        default:
+          return invalid();
+      }
+    }
+    default:
+      return invalid();
+  }
+}
+
+bool is_control_flow(Op op) {
+  switch (op) {
+    case Op::kCall:
+    case Op::kCallTab:
+    case Op::kRet:
+    case Op::kJmp:
+    case Op::kJmpShort:
+    case Op::kJz:
+    case Op::kJnz:
+    case Op::kJzNear:
+    case Op::kJnzNear:
+    case Op::kInt:
+    case Op::kIret:
+    case Op::kHlt:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::string disasm(const Instruction& insn, GVirt pc) {
+  char buf[96];
+  switch (insn.op) {
+    case Op::kNop:
+      return "nop";
+    case Op::kPush:
+      std::snprintf(buf, sizeof(buf), "push   %%%s", reg_name(insn.r1));
+      return buf;
+    case Op::kPop:
+      std::snprintf(buf, sizeof(buf), "pop    %%%s", reg_name(insn.r1));
+      return buf;
+    case Op::kMovRR:
+      std::snprintf(buf, sizeof(buf), "mov    %%%s,%%%s", reg_name(insn.r2),
+                    reg_name(insn.r1));
+      return buf;
+    case Op::kLoad:
+      std::snprintf(buf, sizeof(buf), "mov    %s0x%x(%%%s),%%%s",
+                    insn.disp < 0 ? "-" : "",
+                    insn.disp < 0 ? -insn.disp : insn.disp, reg_name(insn.r2),
+                    reg_name(insn.r1));
+      return buf;
+    case Op::kStore:
+      std::snprintf(buf, sizeof(buf), "mov    %%%s,%s0x%x(%%%s)",
+                    reg_name(insn.r2), insn.disp < 0 ? "-" : "",
+                    insn.disp < 0 ? -insn.disp : insn.disp, reg_name(insn.r1));
+      return buf;
+    case Op::kMovImm:
+      std::snprintf(buf, sizeof(buf), "mov    $0x%x,%%%s", insn.imm,
+                    reg_name(insn.r1));
+      return buf;
+    case Op::kLoadAbs:
+      std::snprintf(buf, sizeof(buf), "mov    0x%x,%%eax", insn.imm);
+      return buf;
+    case Op::kStoreAbs:
+      std::snprintf(buf, sizeof(buf), "mov    %%eax,0x%x", insn.imm);
+      return buf;
+    case Op::kAdd:
+    case Op::kSub:
+    case Op::kXor:
+    case Op::kCmp: {
+      const char* mnemonic = insn.op == Op::kAdd   ? "add"
+                             : insn.op == Op::kSub ? "sub"
+                             : insn.op == Op::kXor ? "xor"
+                                                   : "cmp";
+      std::snprintf(buf, sizeof(buf), "%s    %%%s,%%%s", mnemonic,
+                    reg_name(insn.r2), reg_name(insn.r1));
+      return buf;
+    }
+    case Op::kOr:
+      std::snprintf(buf, sizeof(buf), "or     %%%s,%%%s", reg_name(insn.r2),
+                    reg_name(insn.r1));
+      return buf;
+    case Op::kCmpImmA:
+      std::snprintf(buf, sizeof(buf), "cmp    $0x%x,%%eax", insn.imm);
+      return buf;
+    case Op::kAddImmA:
+      std::snprintf(buf, sizeof(buf), "add    $0x%x,%%eax", insn.imm);
+      return buf;
+    case Op::kSubImmA:
+      std::snprintf(buf, sizeof(buf), "sub    $0x%x,%%eax", insn.imm);
+      return buf;
+    case Op::kCall:
+      std::snprintf(buf, sizeof(buf), "call   0x%x", insn.rel_target(pc));
+      return buf;
+    case Op::kCallTab:
+      std::snprintf(buf, sizeof(buf), "call   *0x%x(,%%eax,4)", insn.imm);
+      return buf;
+    case Op::kRet:
+      return "ret";
+    case Op::kLeave:
+      return "leave";
+    case Op::kJmp:
+    case Op::kJmpShort:
+      std::snprintf(buf, sizeof(buf), "jmp    0x%x", insn.rel_target(pc));
+      return buf;
+    case Op::kJz:
+    case Op::kJzNear:
+      std::snprintf(buf, sizeof(buf), "je     0x%x", insn.rel_target(pc));
+      return buf;
+    case Op::kJnz:
+    case Op::kJnzNear:
+      std::snprintf(buf, sizeof(buf), "jne    0x%x", insn.rel_target(pc));
+      return buf;
+    case Op::kInt:
+      std::snprintf(buf, sizeof(buf), "int    $0x%x", insn.imm);
+      return buf;
+    case Op::kIret:
+      return "iret";
+    case Op::kHlt:
+      return "hlt";
+    case Op::kPusha:
+      return "pusha";
+    case Op::kPopa:
+      return "popa";
+    case Op::kCli:
+      return "cli";
+    case Op::kSti:
+      return "sti";
+    case Op::kUd2:
+      return "ud2";
+    case Op::kKsvc:
+      std::snprintf(buf, sizeof(buf), "ksvc   $0x%x", insn.imm);
+      return buf;
+    case Op::kAppStep:
+      return "appstep";
+    case Op::kRdtsc:
+      return "rdtsc";
+  }
+  FC_UNREACHABLE(<< "unhandled op in disasm");
+}
+
+}  // namespace fc::isa

@@ -1,0 +1,130 @@
+// Extended Page Tables: second-stage translation, guest-physical → host frame.
+//
+// Structured as the paper uses it: a top level of page-directory entries
+// (PDEs), each covering 4 MiB (1024 pages), pointing at page tables of 1024
+// PTEs. FACE-CHANGE switches the *base kernel* view by repointing the PDEs
+// that cover the kernel code region to per-view page tables (step 3A in
+// Figure 2), and switches *module* code scattered in the kernel heap by
+// rewriting individual PTEs in shared page tables (step 3B).
+//
+// Every PDE/PTE write and every generation bump (≈ TLB invalidation) is
+// counted, so the performance model can charge for view switches.
+#pragma once
+
+#include <array>
+#include <optional>
+#include <vector>
+
+#include "support/check.hpp"
+#include "support/types.hpp"
+
+namespace fc::mem {
+
+/// One leaf EPT entry.
+struct EptEntry {
+  bool present = false;
+  HostFrame frame = 0;
+};
+
+/// Identifies one 1024-entry EPT page table in the pool.
+struct EptTableId {
+  u32 index = 0xFFFFFFFFu;
+  bool valid() const { return index != 0xFFFFFFFFu; }
+};
+
+class Ept {
+ public:
+  static constexpr u32 kEntriesPerTable = 1024;      // 4 MiB per PDE
+  static constexpr u32 kPdeCount = 64;               // up to 256 MiB GPA space
+  static constexpr u32 kPdeSpan = kEntriesPerTable * kPageSize;
+
+  struct Stats {
+    u64 pde_writes = 0;
+    u64 pte_writes = 0;
+    u64 invalidations = 0;  // generation bumps (TLB shootdowns)
+  };
+
+  Ept() { pdes_.fill(EptTableId{}); }
+
+  /// Allocate a fresh (all non-present) page table in the pool.
+  EptTableId alloc_table() {
+    tables_.emplace_back();
+    return EptTableId{static_cast<u32>(tables_.size() - 1)};
+  }
+
+  /// Copy the contents of one table into another (used to seed per-view
+  /// kernel-code tables from the full view).
+  void copy_table(EptTableId dst, EptTableId src) {
+    table(dst) = table(src);
+  }
+
+  /// Point the PDE covering this GPA range at `table`. One counted write.
+  void set_pde(u32 pde_index, EptTableId table_id) {
+    FC_CHECK(pde_index < kPdeCount, << "pde index " << pde_index);
+    if (pdes_[pde_index].index != table_id.index) {
+      pdes_[pde_index] = table_id;
+      ++stats_.pde_writes;
+    }
+  }
+  EptTableId pde(u32 pde_index) const { return pdes_[pde_index]; }
+
+  /// Rewrite one PTE inside a pool table. One counted write.
+  void set_pte(EptTableId table_id, u32 slot, EptEntry entry) {
+    FC_CHECK(slot < kEntriesPerTable, << "pte slot " << slot);
+    table(table_id)[slot] = entry;
+    ++stats_.pte_writes;
+  }
+  EptEntry pte(EptTableId table_id, u32 slot) const {
+    FC_CHECK(slot < kEntriesPerTable, << "pte slot " << slot);
+    return tables_[table_id.index][slot];
+  }
+
+  /// Map a guest-physical page through whatever PDE currently covers it.
+  void map(GPhys gpa_page_base, HostFrame frame) {
+    u32 pde_index = gpa_page_base / kPdeSpan;
+    FC_CHECK(pdes_[pde_index].valid(),
+             << "no EPT table covers gpa " << gpa_page_base);
+    set_pte(pdes_[pde_index], (gpa_page_base / kPageSize) % kEntriesPerTable,
+            EptEntry{true, frame});
+  }
+
+  /// Second-stage translation.
+  std::optional<HostFrame> translate(GPhys gpa) const {
+    u32 pde_index = gpa / kPdeSpan;
+    if (pde_index >= kPdeCount || !pdes_[pde_index].valid()) return {};
+    const EptEntry& e =
+        tables_[pdes_[pde_index].index][(gpa / kPageSize) % kEntriesPerTable];
+    if (!e.present) return {};
+    return e.frame;
+  }
+
+  /// Generation counter: bumped whenever mappings change in a way that
+  /// requires invalidating cached translations (the MMU's TLB keys on it).
+  u64 generation() const { return generation_; }
+  void invalidate() {
+    ++generation_;
+    ++stats_.invalidations;
+  }
+
+  static u32 pde_index_of(GPhys gpa) { return gpa / kPdeSpan; }
+  static u32 pte_slot_of(GPhys gpa) {
+    return (gpa / kPageSize) % kEntriesPerTable;
+  }
+
+  const Stats& stats() const { return stats_; }
+  void reset_stats() { stats_ = Stats{}; }
+
+ private:
+  using Table = std::array<EptEntry, kEntriesPerTable>;
+  Table& table(EptTableId id) {
+    FC_CHECK(id.valid() && id.index < tables_.size(), << "bad table id");
+    return tables_[id.index];
+  }
+
+  std::array<EptTableId, kPdeCount> pdes_;
+  std::vector<Table> tables_;
+  Stats stats_;
+  u64 generation_ = 0;
+};
+
+}  // namespace fc::mem

@@ -1,0 +1,68 @@
+// Host "physical" memory: the backing store that EPT entries point into.
+//
+// Frames are allocated once and never move. Besides the frames backing guest
+// physical memory 1:1 at boot, FACE-CHANGE allocates extra frames here for
+// each kernel view's shadow copies of kernel code pages (filled with UD2),
+// and the hypervisor keeps pristine snapshot frames for code recovery.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "support/check.hpp"
+#include "support/types.hpp"
+
+namespace fc::mem {
+
+class HostMemory {
+ public:
+  explicit HostMemory(u32 max_frames = 1u << 17)  // 512 MiB default cap
+      : max_frames_(max_frames) {}
+
+  /// Allocate one zeroed 4 KiB frame; returns its frame number.
+  HostFrame alloc_frame() {
+    FC_CHECK(frame_count() < max_frames_, << "host memory exhausted");
+    frames_.resize(frames_.size() + kPageSize, 0);
+    return frame_count() - 1;
+  }
+
+  u32 frame_count() const {
+    return static_cast<u32>(frames_.size() / kPageSize);
+  }
+
+  std::span<u8> frame(HostFrame f) {
+    FC_CHECK(f < frame_count(), << "bad host frame " << f);
+    return {frames_.data() + static_cast<std::size_t>(f) * kPageSize,
+            kPageSize};
+  }
+  std::span<const u8> frame(HostFrame f) const {
+    FC_CHECK(f < frame_count(), << "bad host frame " << f);
+    return {frames_.data() + static_cast<std::size_t>(f) * kPageSize,
+            kPageSize};
+  }
+
+  u8 read8(HostFrame f, u32 offset) const { return frame(f)[offset]; }
+  void write8(HostFrame f, u32 offset, u8 value) { frame(f)[offset] = value; }
+
+  u32 read32(HostFrame f, u32 offset) const {
+    FC_CHECK(offset + 4 <= kPageSize, << "read32 crosses frame");
+    auto b = frame(f);
+    return static_cast<u32>(b[offset]) | (static_cast<u32>(b[offset + 1]) << 8) |
+           (static_cast<u32>(b[offset + 2]) << 16) |
+           (static_cast<u32>(b[offset + 3]) << 24);
+  }
+  void write32(HostFrame f, u32 offset, u32 value) {
+    FC_CHECK(offset + 4 <= kPageSize, << "write32 crosses frame");
+    auto b = frame(f);
+    b[offset] = static_cast<u8>(value);
+    b[offset + 1] = static_cast<u8>(value >> 8);
+    b[offset + 2] = static_cast<u8>(value >> 16);
+    b[offset + 3] = static_cast<u8>(value >> 24);
+  }
+
+ private:
+  u32 max_frames_;
+  std::vector<u8> frames_;
+};
+
+}  // namespace fc::mem

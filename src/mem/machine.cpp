@@ -1,0 +1,129 @@
+#include "mem/machine.hpp"
+
+#include <algorithm>
+
+namespace fc::mem {
+
+Machine::Machine(u32 guest_phys_mib) : mmu_(host_, ept_) {
+  guest_phys_pages_ = guest_phys_mib * (1024 * 1024 / kPageSize);
+  boot_frames_.reserve(guest_phys_pages_);
+
+  // Identity-back guest physical memory with host frames and build the
+  // boot EPT: one pool table per 4 MiB, PDEs pointing at them.
+  u32 tables_needed =
+      (guest_phys_pages_ + Ept::kEntriesPerTable - 1) / Ept::kEntriesPerTable;
+  FC_CHECK(tables_needed <= Ept::kPdeCount, << "guest memory too large");
+  for (u32 t = 0; t < tables_needed; ++t) {
+    EptTableId id = ept_.alloc_table();
+    ept_.set_pde(t, id);
+  }
+  for (u32 page = 0; page < guest_phys_pages_; ++page) {
+    HostFrame f = host_.alloc_frame();
+    boot_frames_.push_back(f);
+    ept_.map(static_cast<GPhys>(page) * kPageSize, f);
+  }
+  // Boot mapping doesn't count toward FACE-CHANGE's switch costs.
+  ept_.reset_stats();
+}
+
+void Machine::pwrite_bytes(GPhys pa, std::span<const u8> bytes) {
+  std::size_t done = 0;
+  while (done < bytes.size()) {
+    GPhys at = pa + static_cast<GPhys>(done);
+    u32 in_page = kPageSize - page_offset(at);
+    u32 take = static_cast<u32>(
+        std::min<std::size_t>(bytes.size() - done, in_page));
+    auto frame = host_.frame(frame_for(at));
+    std::copy_n(bytes.data() + done, take, frame.data() + page_offset(at));
+    done += take;
+  }
+}
+
+void Machine::pread_bytes(GPhys pa, std::span<u8> out) const {
+  std::size_t done = 0;
+  while (done < out.size()) {
+    GPhys at = pa + static_cast<GPhys>(done);
+    u32 in_page = kPageSize - page_offset(at);
+    u32 take =
+        static_cast<u32>(std::min<std::size_t>(out.size() - done, in_page));
+    auto frame = host_.frame(frame_for(at));
+    std::copy_n(frame.data() + page_offset(at), take, out.data() + done);
+    done += take;
+  }
+}
+
+GPhys Machine::alloc_phys_pages(u32 count, GPhys region_base,
+                                GPhys region_limit) {
+  // Recycle a freed extent of the same size if one exists.
+  auto free_it = free_extents_.find({region_base, count});
+  if (free_it != free_extents_.end() && !free_it->second.empty()) {
+    GPhys at = free_it->second.back();
+    free_it->second.pop_back();
+    // Zero the recycled pages (fresh-allocation semantics).
+    for (u32 i = 0; i < count; ++i) {
+      auto frame = host_.frame(frame_for(at + i * kPageSize));
+      std::fill(frame.begin(), frame.end(), 0);
+    }
+    return at;
+  }
+  // Find or create the cursor for this region.
+  std::size_t slot = 0;
+  for (; slot < region_cursor_keys_.size(); ++slot)
+    if (region_cursor_keys_[slot] == region_base) break;
+  if (slot == region_cursor_keys_.size()) {
+    region_cursor_keys_.push_back(region_base);
+    region_cursors_.push_back(region_base);
+  }
+  GPhys at = region_cursors_[slot];
+  FC_CHECK(at + static_cast<u64>(count) * kPageSize <= region_limit,
+           << "guest phys region exhausted at " << at);
+  region_cursors_[slot] = at + count * kPageSize;
+  return at;
+}
+
+void Machine::free_phys_pages(GPhys at, u32 count, GPhys region_base) {
+  free_extents_[{region_base, count}].push_back(at);
+}
+
+GPhys GuestPageTableBuilder::alloc_table_page() {
+  GPhys pa = machine_->alloc_phys_pages(1, region_base_, region_limit_);
+  // Zero it.
+  auto frame = machine_->host().frame(machine_->frame_for(pa));
+  std::fill(frame.begin(), frame.end(), 0);
+  if (allocation_log_ != nullptr) allocation_log_->push_back(pa);
+  return pa;
+}
+
+GPhys GuestPageTableBuilder::create_directory() { return alloc_table_page(); }
+
+void GuestPageTableBuilder::map(GPhys directory, GVirt va, GPhys pa,
+                                u32 count) {
+  FC_CHECK(page_offset(va) == 0 && page_offset(pa) == 0,
+           << "map requires page alignment");
+  for (u32 i = 0; i < count; ++i) {
+    GVirt v = va + i * kPageSize;
+    GPhys p = pa + i * kPageSize;
+    u32 pde_index = v >> 22;
+    u32 pde_entry = machine_->pread32(directory + pde_index * 4);
+    GPhys pt_base;
+    if (!(pde_entry & kPtePresent)) {
+      pt_base = alloc_table_page();
+      machine_->pwrite32(directory + pde_index * 4, pt_base | kPtePresent);
+    } else {
+      pt_base = pde_entry & ~kPageMask;
+    }
+    u32 pte_index = (v >> kPageShift) & (kGuestEntries - 1);
+    machine_->pwrite32(pt_base + pte_index * 4, p | kPtePresent);
+  }
+}
+
+void GuestPageTableBuilder::share_kernel_half(GPhys dst_directory,
+                                              GPhys src_directory) {
+  for (u32 pde_index = kKernelBase >> 22; pde_index < kGuestEntries;
+       ++pde_index) {
+    u32 entry = machine_->pread32(src_directory + pde_index * 4);
+    machine_->pwrite32(dst_directory + pde_index * 4, entry);
+  }
+}
+
+}  // namespace fc::mem

@@ -1,0 +1,135 @@
+// The bare "machine": host memory + EPT + MMU, with guest physical memory
+// identity-backed by host frames at construction (what a hypervisor sets up
+// before the guest boots), plus guest-physical accessors and a physical page
+// allocator used by the guest OS while building its own structures.
+#pragma once
+
+#include <map>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "mem/ept.hpp"
+#include "mem/host_memory.hpp"
+#include "mem/mmu.hpp"
+#include "support/check.hpp"
+
+namespace fc::mem {
+
+/// Guest physical layout (all PDE-aligned so base-kernel code gets its own
+/// EPT page-directory entries, switchable independently of data):
+///   [0x0000_0000, 0x0040_0000)  low memory: guest page tables, misc
+///   [0x0040_0000, 0x00C0_0000)  base kernel code (2 PDEs, switched at 3A)
+///   [0x00C0_0000, 0x0100_0000)  kernel data (task structs, syscall table…)
+///   [0x0100_0000, 0x0200_0000)  kernel heap: module code+data, kstacks (3B)
+///   [0x0200_0000, end)          user pages
+struct GuestLayout {
+  static constexpr GPhys kKernelCodePhys = 0x00400000;
+  static constexpr u32 kKernelCodeMax = 0x00800000;  // 8 MiB
+  static constexpr GPhys kKernelDataPhys = 0x00C00000;
+  static constexpr GPhys kKernelHeapPhys = 0x01000000;
+  static constexpr GPhys kUserPhys = 0x02000000;
+
+  /// Kernel virtual = physical + kKernelBase (Linux-style direct map).
+  static constexpr GVirt kernel_va(GPhys pa) { return pa + kKernelBase; }
+  static constexpr GPhys kernel_pa(GVirt va) { return va - kKernelBase; }
+};
+
+class Machine {
+ public:
+  explicit Machine(u32 guest_phys_mib = 64);
+
+  HostMemory& host() { return host_; }
+  const HostMemory& host() const { return host_; }
+  Ept& ept() { return ept_; }
+  Mmu& mmu() { return mmu_; }
+  u32 guest_phys_pages() const { return guest_phys_pages_; }
+
+  /// Host frame currently mapped for a guest-physical page (via EPT).
+  HostFrame frame_for(GPhys pa) const {
+    auto f = ept_.translate(pa);
+    FC_CHECK(f.has_value(), << "unmapped guest phys " << pa);
+    return *f;
+  }
+
+  /// The frame that backed this guest-physical page at boot (identity map),
+  /// regardless of any EPT redirection since. This is what "the original
+  /// kernel code pages" means during code recovery.
+  HostFrame boot_frame_for(GPhys pa) const {
+    u32 page = pa >> kPageShift;
+    FC_CHECK(page < guest_phys_pages_, << "phys page out of range");
+    return boot_frames_[page];
+  }
+
+  // Guest-physical accessors (through the current EPT).
+  u8 pread8(GPhys pa) const { return host_.read8(frame_for(pa), page_offset(pa)); }
+  void pwrite8(GPhys pa, u8 v) { host_.write8(frame_for(pa), page_offset(pa), v); }
+  u32 pread32(GPhys pa) const {
+    FC_CHECK(page_offset(pa) + 4 <= kPageSize, << "pread32 crosses page");
+    return host_.read32(frame_for(pa), page_offset(pa));
+  }
+  void pwrite32(GPhys pa, u32 v) {
+    FC_CHECK(page_offset(pa) + 4 <= kPageSize, << "pwrite32 crosses page");
+    host_.write32(frame_for(pa), page_offset(pa), v);
+  }
+  void pwrite_bytes(GPhys pa, std::span<const u8> bytes);
+  void pread_bytes(GPhys pa, std::span<u8> out) const;
+
+  /// Bump allocator over guest-physical pages starting at kUserPhys-adjacent
+  /// regions; the OS uses region-specific allocators built on this.
+  /// Freed extents (same region + count) are recycled first.
+  GPhys alloc_phys_pages(u32 count, GPhys region_base, GPhys region_limit);
+  /// Return an extent allocated with alloc_phys_pages to its region's
+  /// free list (process teardown).
+  void free_phys_pages(GPhys at, u32 count, GPhys region_base);
+
+ private:
+  HostMemory host_;
+  Ept ept_;
+  Mmu mmu_;
+  u32 guest_phys_pages_;
+  std::vector<HostFrame> boot_frames_;
+  std::vector<GPhys> region_cursor_keys_;
+  std::vector<GPhys> region_cursors_;
+  // (region_base, count) → freed extents.
+  std::map<std::pair<GPhys, u32>, std::vector<GPhys>> free_extents_;
+};
+
+/// Builder for i386-style two-level guest page tables, written into guest
+/// physical memory. The guest OS uses this at boot and at process creation.
+class GuestPageTableBuilder {
+ public:
+  GuestPageTableBuilder(Machine& machine, GPhys table_region_base,
+                        GPhys table_region_limit)
+      : machine_(&machine),
+        region_base_(table_region_base),
+        region_limit_(table_region_limit) {}
+
+  /// Allocate and zero a new page directory; returns its guest-physical base
+  /// (a valid CR3 value).
+  GPhys create_directory();
+
+  /// Map `count` pages starting at va → pa in the given directory,
+  /// allocating page tables as needed.
+  void map(GPhys directory, GVirt va, GPhys pa, u32 count);
+
+  /// Copy all kernel-half PDEs (va >= kKernelBase) from src to dst, so every
+  /// process shares the same kernel mapping (as Linux does).
+  void share_kernel_half(GPhys dst_directory, GPhys src_directory);
+
+  /// Record every table page allocated from now on into `log` (per-process
+  /// teardown bookkeeping); nullptr disables.
+  void set_allocation_log(std::vector<GPhys>* log) { allocation_log_ = log; }
+  GPhys table_region_base() const { return region_base_; }
+
+ private:
+  GPhys alloc_table_page();
+  std::vector<GPhys>* allocation_log_ = nullptr;
+
+  Machine* machine_;
+  GPhys region_base_;
+  GPhys region_limit_;
+  GPhys cursor_ = 0;
+};
+
+}  // namespace fc::mem

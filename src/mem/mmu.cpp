@@ -1,0 +1,143 @@
+#include "mem/mmu.hpp"
+
+#include "support/check.hpp"
+
+namespace fc::mem {
+
+namespace {
+/// Read a u32 from guest *physical* memory through the EPT.
+std::optional<u32> phys_read32(const HostMemory& host, const Ept& ept,
+                               GPhys gpa) {
+  auto frame = ept.translate(gpa);
+  if (!frame) return {};
+  return host.read32(*frame, page_offset(gpa));
+}
+}  // namespace
+
+std::optional<HostFrame> Mmu::walk(GVirt vpage_base) const {
+  // Stage 1: two-level guest walk. Both table reads go through the EPT,
+  // as on real hardware with nested paging.
+  u32 pde_index = vpage_base >> 22;
+  auto pde = phys_read32(*host_, *ept_, cr3_ + pde_index * 4);
+  if (!pde || !(*pde & kPtePresent)) return {};
+  GPhys pt_base = *pde & ~kPageMask;
+  u32 pte_index = (vpage_base >> kPageShift) & (kGuestEntries - 1);
+  auto pte = phys_read32(*host_, *ept_, pt_base + pte_index * 4);
+  if (!pte || !(*pte & kPtePresent)) return {};
+  GPhys gpa_page = *pte & ~kPageMask;
+  // Stage 2: EPT.
+  return ept_->translate(gpa_page);
+}
+
+std::optional<HostFrame> Mmu::translate_page(GVirt vpage_base) {
+  TlbEntry& slot = tlb_[(vpage_base >> kPageShift) % kTlbSize];
+  if (slot.valid && slot.vpage == vpage_base && slot.cr3_tag == cr3_ &&
+      slot.ept_gen == ept_->generation()) {
+    ++stats_.tlb_hits;
+    return slot.frame;
+  }
+  ++stats_.tlb_misses;
+  auto frame = walk(vpage_base);
+  if (frame) {
+    slot = {true, vpage_base, cr3_, ept_->generation(), *frame};
+  } else {
+    slot.valid = false;
+  }
+  return frame;
+}
+
+std::optional<GPhys> Mmu::virt_to_phys(GVirt va) const {
+  u32 pde_index = va >> 22;
+  auto pde = phys_read32(*host_, *ept_, cr3_ + pde_index * 4);
+  if (!pde || !(*pde & kPtePresent)) return {};
+  GPhys pt_base = *pde & ~kPageMask;
+  u32 pte_index = (va >> kPageShift) & (kGuestEntries - 1);
+  auto pte = phys_read32(*host_, *ept_, pt_base + pte_index * 4);
+  if (!pte || !(*pte & kPtePresent)) return {};
+  return (*pte & ~kPageMask) | page_offset(va);
+}
+
+u8 Mmu::read8(GVirt va) {
+  auto frame = translate_page(page_base(va));
+  FC_CHECK(frame.has_value(), << "read8 fault at " << va);
+  return host_->read8(*frame, page_offset(va));
+}
+
+void Mmu::write8(GVirt va, u8 value) {
+  auto frame = translate_page(page_base(va));
+  FC_CHECK(frame.has_value(), << "write8 fault at " << va);
+  host_->write8(*frame, page_offset(va), value);
+}
+
+u32 Mmu::read32(GVirt va) {
+  if (page_offset(va) + 4 <= kPageSize) {
+    auto frame = translate_page(page_base(va));
+    FC_CHECK(frame.has_value(), << "read32 fault at " << va);
+    return host_->read32(*frame, page_offset(va));
+  }
+  u32 value = 0;
+  for (u32 i = 0; i < 4; ++i)
+    value |= static_cast<u32>(read8(va + i)) << (8 * i);
+  return value;
+}
+
+void Mmu::write32(GVirt va, u32 value) {
+  if (page_offset(va) + 4 <= kPageSize) {
+    auto frame = translate_page(page_base(va));
+    FC_CHECK(frame.has_value(), << "write32 fault at " << va);
+    host_->write32(*frame, page_offset(va), value);
+    return;
+  }
+  for (u32 i = 0; i < 4; ++i)
+    write8(va + i, static_cast<u8>(value >> (8 * i)));
+}
+
+std::optional<u32> Mmu::try_read32(GVirt va) {
+  if (page_offset(va) + 4 <= kPageSize) {
+    auto frame = translate_page(page_base(va));
+    if (!frame) return {};
+    return host_->read32(*frame, page_offset(va));
+  }
+  u32 value = 0;
+  for (u32 i = 0; i < 4; ++i) {
+    auto frame = translate_page(page_base(va + i));
+    if (!frame) return {};
+    value |= static_cast<u32>(host_->read8(*frame, page_offset(va + i)))
+             << (8 * i);
+  }
+  return value;
+}
+
+bool Mmu::try_write32(GVirt va, u32 value) {
+  if (page_offset(va) + 4 <= kPageSize) {
+    auto frame = translate_page(page_base(va));
+    if (!frame) return false;
+    host_->write32(*frame, page_offset(va), value);
+    return true;
+  }
+  for (u32 i = 0; i < 4; ++i) {
+    auto frame = translate_page(page_base(va + i));
+    if (!frame) return false;
+    host_->write8(*frame, page_offset(va + i),
+                  static_cast<u8>(value >> (8 * i)));
+  }
+  return true;
+}
+
+u32 Mmu::fetch(GVirt pc, u8* out, u32 max) {
+  u32 fetched = 0;
+  while (fetched < max) {
+    GVirt va = pc + fetched;
+    auto frame = translate_page(page_base(va));
+    if (!frame) break;
+    u32 in_page = kPageSize - page_offset(va);
+    u32 take = std::min(max - fetched, in_page);
+    auto bytes = host_->frame(*frame);
+    for (u32 i = 0; i < take; ++i)
+      out[fetched + i] = bytes[page_offset(va) + i];
+    fetched += take;
+  }
+  return fetched;
+}
+
+}  // namespace fc::mem

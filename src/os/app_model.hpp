@@ -1,0 +1,45 @@
+// Application workload models. The in-guest user program is a tiny loop:
+//
+//   entry: appstep            ; model fills A(=syscall nr | 0),B,C,D
+//          cmp $0, %eax
+//          jz  entry          ; 0 = pure compute step, no syscall
+//          int $0x80
+//          jmp entry
+//
+// so *what* an application does lives here, while *how* it reaches the
+// kernel (real syscalls through the real entry path) stays in guest code.
+#pragma once
+
+#include <memory>
+
+#include "support/types.hpp"
+
+namespace fc::os {
+
+class OsRuntime;
+
+struct AppAction {
+  u32 nr = 0;  // syscall number; 0 = no syscall this step
+  u32 b = 0, c = 0, d = 0;
+  Cycles compute = 200;  // user-mode cycles consumed by this step
+
+  static AppAction syscall(u32 nr, u32 b = 0, u32 c = 0, u32 d = 0,
+                           Cycles compute = 200) {
+    return AppAction{nr, b, c, d, compute};
+  }
+  static AppAction compute_only(Cycles cycles) {
+    return AppAction{0, 0, 0, 0, cycles};
+  }
+};
+
+class AppModel {
+ public:
+  virtual ~AppModel() = default;
+  /// Decide the next step. `last_result` is the previous syscall's return
+  /// value (undefined before the first syscall).
+  virtual AppAction next(u32 last_result, OsRuntime& os, u32 pid) = 0;
+  /// Model for a forked child (nullptr → child exits at its first APPSTEP).
+  virtual std::shared_ptr<AppModel> fork_child() { return nullptr; }
+};
+
+}  // namespace fc::os

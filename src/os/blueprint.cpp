@@ -1,0 +1,1256 @@
+#include "os/blueprint.hpp"
+
+#include <cstdio>
+
+#include "hv/guest_abi.hpp"
+
+namespace fc::os {
+
+namespace {
+
+using isa::Reg;
+namespace abi = fc::abi;
+
+std::string aux_name(const std::string& family, int i) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%s_helper_%02d", family.c_str(), i);
+  return buf;
+}
+
+/// Helpers come in chained groups: calling a group head executes the whole
+/// chain, so one anchor call-site pulls in a realistic amount of subsystem
+/// code.
+constexpr int kChainLen = 3;
+
+/// Add `groups`×kChainLen filler helper functions for a subsystem. Pad
+/// sizes derive from the helper name so the layout is stable.
+void add_aux(Blueprint& bp, const std::string& family, int groups, u32 pad_lo,
+             u32 pad_hi) {
+  const int count = groups * kChainLen;
+  for (int i = 0; i < count; ++i) {
+    std::string name = aux_name(family, i);
+    u32 units = pad_lo + static_cast<u32>(stable_hash(name) %
+                                          (pad_hi - pad_lo + 1));
+    bool chain = (i % kChainLen) != kChainLen - 1;
+    std::string next = aux_name(family, i + 1);
+    bp.add(name, family, [units, chain, next](EmitCtx& c) {
+      c.pad(units);
+      if (chain) c.call(next);
+    });
+  }
+}
+
+/// Emit calls to a set of family helper *groups* (by group index).
+void aux(EmitCtx& c, const std::string& family,
+         std::initializer_list<int> groups) {
+  for (int g : groups) c.call(aux_name(family, g * kChainLen));
+}
+
+/// Shorthand: anchor body = pad + helper calls.
+std::function<void(EmitCtx&)> pads(u32 units) {
+  return [units](EmitCtx& c) { c.pad(units); };
+}
+
+}  // namespace
+
+Blueprint make_base_kernel_blueprint() {
+  Blueprint bp;
+
+  // =========================================================================
+  // Entry code (raw: no frame). Included in every kernel view, like the
+  // paper's always-present interrupt/entry code.
+  // =========================================================================
+  bp.add_raw("syscall_call", "entry", [](EmitCtx& c) {
+    auto& a = c.a();
+    a.ksvc(abi::kKsvcSaveUctx);
+    a.sti();
+    a.calltab(abi::kSyscallTableAddr);  // call *table(,%eax,4) — FF 14 85
+    a.ksvc(abi::kKsvcSyscallDone);
+    a.cli();
+    a.load_abs(abi::kNeedReschedAddr);
+    a.cmp_imm_a(0);
+    auto no_resched = a.make_label();
+    a.jz(no_resched);
+    a.call_sym("schedule");
+    a.bind(no_resched);
+    a.jmp_sym("resume_userspace");
+  });
+
+  bp.add_raw("resume_userspace", "entry", [](EmitCtx& c) {
+    auto& a = c.a();
+    a.ksvc(abi::kKsvcPrepareResume);
+    a.iret();
+  });
+
+  bp.add_raw("ret_from_fork", "entry", [](EmitCtx& c) {
+    c.a().jmp_sym("resume_userspace");
+  });
+
+  bp.add_raw("ret_from_intr", "entry", [](EmitCtx& c) {
+    auto& a = c.a();
+    a.ksvc(abi::kKsvcRetpathCheck);
+    a.cmp_imm_a(1);
+    auto kernel_ret = a.make_label();
+    a.jnz(kernel_ret);
+    a.load_abs(abi::kNeedReschedAddr);
+    a.cmp_imm_a(0);
+    auto user_ret = a.make_label();
+    a.jz(user_ret);
+    a.call_sym("schedule");
+    a.bind(user_ret);
+    a.jmp_sym("resume_userspace");
+    a.bind(kernel_ret);
+    a.popa();
+    a.iret();
+  });
+
+  bp.add_raw("cpu_idle", "entry", [](EmitCtx& c) {
+    auto& a = c.a();
+    auto loop = a.make_label();
+    a.bind(loop);
+    a.sti();
+    a.hlt();
+    a.load_abs(abi::kNeedReschedAddr);
+    a.cmp_imm_a(0);
+    a.jz(loop);
+    a.call_sym("schedule");
+    a.jmp(loop);
+  });
+
+  // IRQ entry stubs, one per line, dispatching through the handler table.
+  for (u8 line = 0; line < 4; ++line) {
+    char name[32];
+    std::snprintf(name, sizeof(name), "irq_entry_%d", line);
+    bp.add_raw(name, "entry", [line](EmitCtx& c) {
+      auto& a = c.a();
+      a.ksvc(abi::kKsvcIrqEnter);
+      a.pusha();
+      a.call_sym("irq_enter");
+      a.mov_imm(Reg::A, line);
+      a.call_sym("do_IRQ");
+      a.call_sym("irq_exit");
+      a.ksvc(abi::kKsvcIrqExit);
+      a.jmp_sym("ret_from_intr");
+    });
+  }
+
+  // =========================================================================
+  // Scheduler.
+  // =========================================================================
+  add_aux(bp, "sched", 8, 70, 130);
+  bp.add("schedule", "sched", [](EmitCtx& c) {
+    auto& a = c.a();
+    // %ebx is callee-saved: pick_next_task hands the next task pointer to
+    // __switch_to in B, so preserve the caller's B across the block (a
+    // blocked syscall's fd argument lives there).
+    a.push(Reg::B);
+    c.pad(24);
+    c.call("update_curr");
+    c.call("pick_next_task");
+    a.cmp_imm_a(0);
+    auto out = a.make_label();
+    a.jz(out);
+    c.call("__switch_to");
+    a.bind(out);
+    a.pop(Reg::B);
+  });
+  bp.add("__switch_to", "sched", [](EmitCtx& c) {
+    c.pad(6);
+    c.ksvc(abi::kKsvcSwitchTo);
+  });
+  bp.add("pick_next_task", "sched", [](EmitCtx& c) {
+    c.pad(18);
+    aux(c, "sched", {0, 1});
+    c.ksvc(abi::kKsvcSchedDecide);
+  });
+  bp.add("update_curr", "sched", [](EmitCtx& c) {
+    c.pad(20);
+    aux(c, "sched", {2, 3});
+  });
+  bp.add("scheduler_tick", "sched", [](EmitCtx& c) {
+    c.pad(26);
+    aux(c, "sched", {4, 5});
+    c.call("update_curr");
+  });
+  bp.add("wake_up_new_task", "sched", pads(30));
+  bp.add("enqueue_task", "sched", [](EmitCtx& c) {
+    c.pad(22);
+    aux(c, "sched", {6});
+  });
+  bp.add("dequeue_task", "sched", [](EmitCtx& c) {
+    c.pad(22);
+    aux(c, "sched", {7});
+  });
+  bp.add("sys_sched_yield", "sched", [](EmitCtx& c) {
+    c.pad(10);
+    c.call("schedule");
+    c.a().mov_imm(Reg::A, 0);
+  });
+
+  // =========================================================================
+  // IRQ core + softirq.
+  // =========================================================================
+  add_aux(bp, "irqcore", 9, 70, 130);
+  bp.add("irq_enter", "irqcore", [](EmitCtx& c) {
+    c.pad(14);
+    aux(c, "irqcore", {0, 1});
+  });
+  bp.add("do_IRQ", "irqcore", [](EmitCtx& c) {
+    // A = line; dispatch through the registered handler table first, then
+    // the bookkeeping tail.
+    c.a().calltab(abi::kIrqHandlerTableAddr);
+    c.pad(16);
+    aux(c, "irqcore", {2, 3});
+  });
+  bp.add("irq_exit", "irqcore", [](EmitCtx& c) {
+    c.pad(10);
+    c.call("__do_softirq");
+  });
+  bp.add("__do_softirq", "irqcore", [](EmitCtx& c) {
+    c.pad(28);
+    aux(c, "irqcore", {4, 5, 6});
+  });
+  bp.add("handle_irq_event", "irqcore", pads(30));
+  bp.add("note_interrupt", "irqcore", pads(18));
+
+  // --- timer interrupt chain ---
+  add_aux(bp, "time", 5, 70, 130);
+  bp.add("timer_interrupt", "time", [](EmitCtx& c) {
+    c.pad(12);
+    c.call("tick_periodic");
+  });
+  bp.add("tick_periodic", "time", [](EmitCtx& c) {
+    c.pad(14);
+    c.call("do_timer");
+    c.call("update_process_times");
+  });
+  bp.add("do_timer", "time", [](EmitCtx& c) {
+    c.pad(10);
+    c.call("update_wall_time");
+    c.ksvc(abi::kKsvcTimerTick);
+  });
+  bp.add("update_process_times", "time", [](EmitCtx& c) {
+    c.pad(12);
+    c.call("run_local_timers");
+    c.call("scheduler_tick");
+  });
+  bp.add("run_local_timers", "time", [](EmitCtx& c) {
+    c.pad(12);
+    c.call("hrtimer_run_queues");
+    aux(c, "time", {0, 1});
+  });
+  bp.add("hrtimer_run_queues", "time", pads(26));
+  bp.add("update_wall_time", "time", [](EmitCtx& c) {
+    c.pad(10);
+    auto& a = c.a();
+    a.load_abs(abi::kClocksourceAddr);
+    c.dispatch_on_a({{0, "native_read_tsc"}, {1, "kvm_clock_get_cycles"}});
+    aux(c, "time", {2});
+  });
+  // The clocksource chains (paper §III-B3(i): the kvm_clock chain is the
+  // canonical benign recovery — profiled under QEMU/tsc, run under KVM).
+  bp.add("native_read_tsc", "time", pads(8));
+  bp.add("kvm_clock_get_cycles", "time", [](EmitCtx& c) {
+    c.pad(6);
+    c.call("kvm_clock_read");
+  });
+  bp.add("kvm_clock_read", "time", [](EmitCtx& c) {
+    c.pad(8);
+    c.call("pvclock_clocksource_read");
+  });
+  bp.add("pvclock_clocksource_read", "time", [](EmitCtx& c) {
+    c.pad(10);
+    c.call("native_read_tsc");
+  });
+  bp.add("sys_time", "time", [](EmitCtx& c) {
+    c.pad(8);
+    c.ksvc(abi::kKsvcTime);
+  });
+  bp.add("sys_gettimeofday", "time", [](EmitCtx& c) {
+    c.pad(8);
+    c.call("do_gettimeofday");
+  });
+  bp.add("do_gettimeofday", "time", [](EmitCtx& c) {
+    c.pad(10);
+    c.call("getnstimeofday");
+    c.ksvc(abi::kKsvcTime);
+  });
+  bp.add("getnstimeofday", "time", [](EmitCtx& c) {
+    c.pad(8);
+    auto& a = c.a();
+    a.load_abs(abi::kClocksourceAddr);
+    c.dispatch_on_a({{0, "native_read_tsc"}, {1, "kvm_clock_get_cycles"}});
+  });
+  bp.add("sys_nanosleep", "time", [](EmitCtx& c) {
+    c.pad(12);
+    c.call("hrtimer_nanosleep");
+  });
+  bp.add("hrtimer_nanosleep", "time", [](EmitCtx& c) {
+    c.pad(14);
+    aux(c, "time", {3, 4});
+    c.call("do_nanosleep");
+  });
+  bp.add("do_nanosleep", "time", [](EmitCtx& c) {
+    c.pad(10);
+    c.retry_while_eagain([&] { c.ksvc(abi::kKsvcNanosleep); },
+                         "prepare_to_wait", "finish_wait");
+  });
+
+  // =========================================================================
+  // Kernel library.
+  // =========================================================================
+  add_aux(bp, "lib", 5, 70, 130);
+  bp.add("kmalloc", "lib", [](EmitCtx& c) {
+    c.pad(16);
+    c.call("kmem_cache_alloc");
+  });
+  bp.add("kmem_cache_alloc", "lib", [](EmitCtx& c) {
+    c.pad(20);
+    aux(c, "lib", {0});
+  });
+  bp.add("kfree", "lib", [](EmitCtx& c) {
+    c.pad(16);
+    aux(c, "lib", {1});
+  });
+  bp.add("copy_to_user", "lib", pads(22));
+  bp.add("copy_from_user", "lib", pads(22));
+  bp.add("mutex_lock", "lib", pads(12));
+  bp.add("mutex_unlock", "lib", pads(10));
+  bp.add("_spin_lock", "lib", pads(6));
+  bp.add("_spin_unlock", "lib", pads(6));
+  bp.add("__wake_up", "lib", [](EmitCtx& c) {
+    c.pad(16);
+    aux(c, "lib", {2});
+  });
+  bp.add("prepare_to_wait", "lib", pads(14));
+  bp.add("prepare_to_wait_exclusive", "lib", pads(16));
+  bp.add("finish_wait", "lib", pads(10));
+  // String/format family — deliberately *only* reachable from procfs show
+  // functions and rootkit payloads (Figure 5 depends on these being absent
+  // from bash's kernel view).
+  bp.add("strnlen", "lib", pads(8));
+  bp.add("vsnprintf", "lib", [](EmitCtx& c) {
+    c.pad(30);
+    c.call("strnlen");
+    aux(c, "lib", {3});
+    c.call("strnlen");
+  });
+  bp.add("snprintf", "lib", [](EmitCtx& c) {
+    c.pad(6);
+    c.call("vsnprintf");
+  });
+
+  // =========================================================================
+  // VFS.
+  // =========================================================================
+  add_aux(bp, "vfs", 10, 180, 360);
+  bp.add("sys_open", "vfs", [](EmitCtx& c) {
+    c.pad(10);
+    c.call("do_sys_open");
+  });
+  bp.add("do_sys_open", "vfs", [](EmitCtx& c) {
+    c.pad(14);
+    c.call("getname");
+    c.call("do_filp_open");
+  });
+  // filp_open: the kernel-internal open (never on the user syscall path) —
+  // KBeast's log-file open recovers it (Figure 5).
+  bp.add("filp_open", "vfs", [](EmitCtx& c) {
+    c.pad(12);
+    c.call("do_filp_open");
+  });
+  bp.add("do_filp_open", "vfs", [](EmitCtx& c) {
+    c.pad(20);
+    c.call("link_path_walk");
+    auto& a = c.a();
+    a.ksvc(abi::kKsvcPathClass);  // B = path id → A = class
+    c.dispatch_on_a({
+        {static_cast<u32>(abi::FileClass::kExt4), "ext4_lookup"},
+        {static_cast<u32>(abi::FileClass::kProc), "proc_lookup"},
+        {static_cast<u32>(abi::FileClass::kTty), "tty_open"},
+    });
+    a.ksvc(abi::kKsvcFileOpen);  // B = path id, C = flags → A = fd
+  });
+  bp.add("getname", "vfs", [](EmitCtx& c) {
+    c.pad(10);
+    aux(c, "vfs", {0});
+  });
+  bp.add("link_path_walk", "vfs", [](EmitCtx& c) {
+    c.pad(34);
+    aux(c, "vfs", {1, 2, 3});
+  });
+  bp.add("sys_read", "vfs", [](EmitCtx& c) {
+    c.pad(8);
+    c.ksvc(abi::kKsvcFdClass);  // B = fd → A = class
+    c.call("vfs_read");
+  });
+  bp.add("vfs_read", "vfs", [](EmitCtx& c) {
+    c.pad(16);
+    aux(c, "vfs", {4});
+    c.dispatch_on_a({
+        {static_cast<u32>(abi::FileClass::kExt4), "do_sync_read"},
+        {static_cast<u32>(abi::FileClass::kProc), "proc_reg_read"},
+        {static_cast<u32>(abi::FileClass::kPipe), "pipe_read"},
+        {static_cast<u32>(abi::FileClass::kTty), "tty_read"},
+        {static_cast<u32>(abi::FileClass::kSocket), "sock_aio_read"},
+    });
+  });
+  bp.add("do_sync_read", "vfs", [](EmitCtx& c) {
+    c.pad(14);
+    c.call("generic_file_aio_read");
+  });
+  bp.add("generic_file_aio_read", "vfs", [](EmitCtx& c) {
+    c.pad(24);
+    c.call("ext4_readpage");
+    c.retry_while_eagain([&] { c.ksvc(abi::kKsvcFileRead); },
+                         "prepare_to_wait", "finish_wait");
+    c.call("copy_to_user");
+  });
+  bp.add("sys_write", "vfs", [](EmitCtx& c) {
+    c.pad(8);
+    c.ksvc(abi::kKsvcFdClass);
+    c.call("vfs_write");
+  });
+  bp.add("vfs_write", "vfs", [](EmitCtx& c) {
+    c.pad(16);
+    aux(c, "vfs", {5});
+    c.dispatch_on_a({
+        {static_cast<u32>(abi::FileClass::kExt4), "do_sync_write"},
+        {static_cast<u32>(abi::FileClass::kProc), "proc_reg_write"},
+        {static_cast<u32>(abi::FileClass::kPipe), "pipe_write"},
+        {static_cast<u32>(abi::FileClass::kTty), "tty_write"},
+        {static_cast<u32>(abi::FileClass::kSocket), "sock_aio_write"},
+    });
+  });
+  // The ext4 write chain is exactly Figure 5's recovered stack.
+  bp.add("do_sync_write", "vfs", [](EmitCtx& c) {
+    c.pad(14);
+    c.call_with_return_parity("ext4_file_write", /*odd=*/false);
+  });
+  bp.add("sys_close", "vfs", [](EmitCtx& c) {
+    c.pad(8);
+    c.call("filp_close");
+  });
+  bp.add("filp_close", "vfs", [](EmitCtx& c) {
+    c.pad(12);
+    c.call("fput");
+    c.ksvc(abi::kKsvcFileClose);
+  });
+  bp.add("fput", "vfs", [](EmitCtx& c) {
+    c.pad(10);
+    aux(c, "vfs", {6});
+  });
+  bp.add("sys_stat64", "vfs", [](EmitCtx& c) {
+    c.pad(10);
+    c.call("vfs_stat");
+  });
+  bp.add("vfs_stat", "vfs", [](EmitCtx& c) {
+    c.pad(16);
+    aux(c, "vfs", {7, 8});
+    c.ksvc(abi::kKsvcFileStat);
+  });
+  bp.add("sys_fsync", "vfs", [](EmitCtx& c) {
+    c.pad(8);
+    c.call("do_fsync");
+  });
+  bp.add("do_fsync", "vfs", [](EmitCtx& c) {
+    c.pad(12);
+    c.call("vfs_fsync");
+  });
+  bp.add("vfs_fsync", "vfs", [](EmitCtx& c) {
+    c.pad(12);
+    c.call("ext4_sync_file");
+  });
+  // Poll family, parity-staged to reproduce Figure 3:
+  //   sys_poll's return address into do_sys_poll is ODD (bytes 0b 0f →
+  //   cannot trap → instant recovery), do_sys_poll's is EVEN (0f 0b → lazy).
+  bp.add("sys_poll", "vfs", [](EmitCtx& c) {
+    c.pad(16);
+    c.call_with_return_parity("do_sys_poll", /*odd=*/true);
+  });
+  bp.add("do_sys_poll", "vfs", [](EmitCtx& c) {
+    c.pad(38);
+    c.call_with_return_parity("do_poll", /*odd=*/false);
+  });
+  bp.add("do_poll", "vfs", [](EmitCtx& c) {
+    c.pad(18);
+    c.ksvc(abi::kKsvcFdClass);
+    c.dispatch_on_a({
+        {static_cast<u32>(abi::FileClass::kPipe), "pipe_poll"},
+        {static_cast<u32>(abi::FileClass::kTty), "tty_poll"},
+        {static_cast<u32>(abi::FileClass::kSocket), "sock_poll"},
+        {static_cast<u32>(abi::FileClass::kExt4), "ext4_file_poll"},
+    });
+  });
+  bp.add("ext4_file_poll", "vfs", pads(10));
+  bp.add("sys_select", "vfs", [](EmitCtx& c) {
+    c.pad(14);
+    c.call("do_select");
+  });
+  bp.add("do_select", "vfs", [](EmitCtx& c) {
+    c.pad(24);
+    c.ksvc(abi::kKsvcFdClass);
+    c.dispatch_on_a({
+        {static_cast<u32>(abi::FileClass::kSocket), "sock_poll"},
+        {static_cast<u32>(abi::FileClass::kTty), "tty_poll"},
+        {static_cast<u32>(abi::FileClass::kPipe), "pipe_poll"},
+    });
+  });
+  bp.add("sys_getdents", "vfs", [](EmitCtx& c) {
+    c.pad(12);
+    c.ksvc(abi::kKsvcFdClass);
+    c.call("vfs_readdir");
+  });
+  bp.add("vfs_readdir", "vfs", [](EmitCtx& c) {
+    c.pad(14);
+    c.dispatch_on_a({
+        {static_cast<u32>(abi::FileClass::kExt4), "ext4_readdir"},
+        {static_cast<u32>(abi::FileClass::kProc), "proc_readdir"},
+    });
+  });
+  bp.add("sys_ioctl", "vfs", [](EmitCtx& c) {
+    c.pad(10);
+    c.call("do_vfs_ioctl");
+  });
+  bp.add("do_vfs_ioctl", "vfs", [](EmitCtx& c) {
+    c.pad(16);
+    c.ksvc(abi::kKsvcFdClass);
+    c.dispatch_on_a({
+        {static_cast<u32>(abi::FileClass::kTty), "tty_ioctl"},
+        {static_cast<u32>(abi::FileClass::kSocket), "sock_ioctl"},
+    });
+    c.ksvc(abi::kKsvcIoctl);
+  });
+  bp.add("sys_fcntl", "vfs", [](EmitCtx& c) {
+    c.pad(12);
+    aux(c, "vfs", {9});
+    c.ksvc(abi::kKsvcFcntl);
+  });
+  bp.add("sys_dup2", "vfs", [](EmitCtx& c) {
+    c.pad(10);
+    c.ksvc(abi::kKsvcDup2);
+  });
+
+  // =========================================================================
+  // ext4 + jbd2.
+  // =========================================================================
+  add_aux(bp, "ext4", 12, 180, 360);
+  add_aux(bp, "jbd2", 6, 180, 360);
+  bp.add("ext4_lookup", "ext4", [](EmitCtx& c) {
+    c.pad(20);
+    aux(c, "ext4", {0, 1});
+  });
+  bp.add("ext4_readpage", "ext4", [](EmitCtx& c) {
+    c.pad(18);
+    c.call("ext4_get_block");
+    c.call("submit_bio");
+    aux(c, "ext4", {2, 3});
+  });
+  bp.add("ext4_get_block", "ext4", [](EmitCtx& c) {
+    c.pad(22);
+    aux(c, "ext4", {4});
+  });
+  bp.add("submit_bio", "ext4", [](EmitCtx& c) {
+    c.pad(16);
+    aux(c, "ext4", {5});
+  });
+  bp.add("ext4_file_write", "ext4", [](EmitCtx& c) {
+    c.pad(12);
+    c.call_with_return_parity("generic_file_aio_write", /*odd=*/false);
+  });
+  bp.add("generic_file_aio_write", "ext4", [](EmitCtx& c) {
+    c.pad(14);
+    c.call_with_return_parity("__generic_file_aio_write", /*odd=*/false);
+  });
+  bp.add("__generic_file_aio_write", "ext4", [](EmitCtx& c) {
+    c.pad(26);
+    c.call("file_update_time");
+    aux(c, "ext4", {6, 7});
+    c.ksvc(abi::kKsvcFileWrite);
+  });
+  bp.add("file_update_time", "ext4", [](EmitCtx& c) {
+    c.pad(12);
+    c.call_with_return_parity("__mark_inode_dirty", /*odd=*/false);
+  });
+  bp.add("__mark_inode_dirty", "ext4", [](EmitCtx& c) {
+    c.pad(10);
+    c.call_with_return_parity("ext4_dirty_inode", /*odd=*/false);
+  });
+  bp.add("ext4_dirty_inode", "ext4", [](EmitCtx& c) {
+    c.pad(10);
+    c.call("ext4_journal_start_sb");
+    c.call_with_return_parity("__ext4_journal_stop", /*odd=*/false);
+  });
+  bp.add("ext4_journal_start_sb", "ext4", [](EmitCtx& c) {
+    c.pad(14);
+    aux(c, "jbd2", {0, 1});
+  });
+  bp.add("__ext4_journal_stop", "ext4", [](EmitCtx& c) {
+    c.pad(10);
+    c.call_with_return_parity("__jbd2_log_start_commit", /*odd=*/false);
+  });
+  bp.add("__jbd2_log_start_commit", "jbd2", [](EmitCtx& c) {
+    c.pad(18);
+    aux(c, "jbd2", {2, 3});
+  });
+  bp.add("ext4_sync_file", "ext4", [](EmitCtx& c) {
+    c.pad(14);
+    c.call("jbd2_journal_commit");
+    c.retry_while_eagain([&] { c.ksvc(abi::kKsvcFileFsync); },
+                         "prepare_to_wait", "finish_wait");
+  });
+  bp.add("jbd2_journal_commit", "jbd2", [](EmitCtx& c) {
+    c.pad(24);
+    aux(c, "jbd2", {4, 5});
+    c.call("submit_bio");
+  });
+  bp.add("ext4_readdir", "ext4", [](EmitCtx& c) {
+    c.pad(20);
+    aux(c, "ext4", {8, 9});
+    c.ksvc(abi::kKsvcGetdents);
+  });
+
+  // =========================================================================
+  // procfs.
+  // =========================================================================
+  add_aux(bp, "procfs", 7, 180, 360);
+  bp.add("proc_lookup", "procfs", [](EmitCtx& c) {
+    c.pad(14);
+    aux(c, "procfs", {0});
+  });
+  bp.add("proc_reg_read", "procfs", [](EmitCtx& c) {
+    c.pad(12);
+    c.call("proc_file_read");
+  });
+  bp.add("proc_file_read", "procfs", [](EmitCtx& c) {
+    c.pad(16);
+    c.call("seq_read");
+  });
+  bp.add("seq_read", "procfs", [](EmitCtx& c) {
+    c.pad(18);
+    c.call("proc_stat_show");
+    c.ksvc(abi::kKsvcFileRead);
+    c.call("copy_to_user");
+  });
+  bp.add("proc_stat_show", "procfs", [](EmitCtx& c) {
+    c.pad(20);
+    c.call("seq_printf");
+    aux(c, "procfs", {1, 2, 3});
+  });
+  bp.add("seq_printf", "procfs", [](EmitCtx& c) {
+    c.pad(10);
+    aux(c, "procfs", {4});
+  });
+  bp.add("proc_reg_write", "procfs", [](EmitCtx& c) {
+    c.pad(12);
+    c.ksvc(abi::kKsvcFileWrite);
+  });
+  bp.add("proc_readdir", "procfs", [](EmitCtx& c) {
+    c.pad(18);
+    aux(c, "procfs", {5, 6});
+    c.ksvc(abi::kKsvcGetdents);
+  });
+
+  // =========================================================================
+  // Pipes.
+  // =========================================================================
+  add_aux(bp, "pipe", 3, 180, 360);
+  bp.add("sys_pipe", "pipe", [](EmitCtx& c) {
+    c.pad(10);
+    c.call("do_pipe");
+  });
+  bp.add("do_pipe", "pipe", [](EmitCtx& c) {
+    c.pad(16);
+    aux(c, "pipe", {0});
+    c.ksvc(abi::kKsvcPipeCreate);
+  });
+  bp.add("pipe_read", "pipe", [](EmitCtx& c) {
+    c.pad(16);
+    aux(c, "pipe", {1});
+    c.retry_while_eagain([&] { c.ksvc(abi::kKsvcFileRead); }, "pipe_wait",
+                         "finish_wait");
+    c.call("copy_to_user");
+  });
+  bp.add("pipe_write", "pipe", [](EmitCtx& c) {
+    c.pad(16);
+    aux(c, "pipe", {2});
+    c.call("copy_from_user");
+    c.ksvc(abi::kKsvcFileWrite);
+    c.call("__wake_up");
+  });
+  bp.add("pipe_poll", "pipe", [](EmitCtx& c) {
+    c.pad(12);
+    c.retry_while_eagain([&] { c.ksvc(abi::kKsvcPollWait); }, "pipe_wait",
+                         "finish_wait");
+  });
+  bp.add("pipe_wait", "pipe", [](EmitCtx& c) {
+    c.pad(8);
+    c.call("prepare_to_wait");
+  });
+
+  // =========================================================================
+  // Network core.
+  // =========================================================================
+  add_aux(bp, "netcore", 12, 180, 360);
+  add_aux(bp, "inet", 4, 180, 360);
+  bp.add("sys_socket", "netcore", [](EmitCtx& c) {
+    c.pad(12);
+    c.call("sock_create");
+  });
+  bp.add("sock_create", "netcore", [](EmitCtx& c) {
+    c.pad(14);
+    c.call("security_socket_create");
+    c.call("inet_create");
+  });
+  bp.add("security_socket_create", "netcore", pads(10));
+  bp.add("inet_create", "netcore", [](EmitCtx& c) {
+    c.pad(22);
+    aux(c, "netcore", {0, 1});
+    c.ksvc(abi::kKsvcSockCreate);
+  });
+  // Bind chain, ordered as in Figure 4's recovery log.
+  bp.add("sys_bind", "netcore", [](EmitCtx& c) {
+    c.pad(10);
+    c.call("security_socket_bind");
+    c.call("inet_bind");
+    c.ksvc(abi::kKsvcSockBind);
+  });
+  bp.add("security_socket_bind", "netcore", [](EmitCtx& c) {
+    c.pad(8);
+    c.call("apparmor_socket_bind");
+  });
+  bp.add("apparmor_socket_bind", "netcore", pads(14));
+  bp.add("inet_bind", "inet", [](EmitCtx& c) {
+    c.pad(16);
+    c.call("inet_addr_type");
+    c.call("lock_sock_nested");
+    c.ksvc(abi::kKsvcSockProto);  // B = fd → A = 0 udp / 1 tcp
+    c.dispatch_on_a({{0, "udp_v4_get_port"}, {1, "inet_csk_get_port"}});
+    c.call("release_sock");
+  });
+  bp.add("inet_addr_type", "inet", [](EmitCtx& c) {
+    c.pad(14);
+    aux(c, "inet", {0});
+  });
+  bp.add("lock_sock_nested", "netcore", pads(10));
+  bp.add("release_sock", "netcore", pads(10));
+  bp.add("sys_listen", "netcore", [](EmitCtx& c) {
+    c.pad(10);
+    c.call("security_socket_listen");
+    c.call("inet_listen");
+    c.ksvc(abi::kKsvcSockListen);
+  });
+  bp.add("security_socket_listen", "netcore", pads(8));
+  bp.add("inet_listen", "inet", [](EmitCtx& c) {
+    c.pad(14);
+    c.call("inet_csk_listen_start");
+  });
+  bp.add("inet_csk_listen_start", "inet", [](EmitCtx& c) {
+    c.pad(16);
+    aux(c, "inet", {1});
+  });
+  bp.add("sys_accept", "netcore", [](EmitCtx& c) {
+    c.pad(12);
+    c.call("inet_csk_accept");
+    aux(c, "netcore", {2});
+  });
+  bp.add("inet_csk_accept", "inet", [](EmitCtx& c) {
+    c.pad(16);
+    c.retry_while_eagain([&] { c.ksvc(abi::kKsvcSockAccept); },
+                         "prepare_to_wait_exclusive", "finish_wait");
+  });
+  bp.add("sys_connect", "netcore", [](EmitCtx& c) {
+    c.pad(10);
+    c.call("security_socket_connect");
+    c.call("inet_stream_connect");
+  });
+  bp.add("security_socket_connect", "netcore", pads(10));
+  bp.add("inet_stream_connect", "inet", [](EmitCtx& c) {
+    c.pad(14);
+    c.call("tcp_v4_connect");
+    c.retry_while_eagain([&] { c.ksvc(abi::kKsvcSockConnect); },
+                         "prepare_to_wait", "finish_wait");
+  });
+  bp.add("sys_sendto", "netcore", [](EmitCtx& c) {
+    c.pad(12);
+    c.call("sock_sendmsg");
+  });
+  bp.add("sock_sendmsg", "netcore", [](EmitCtx& c) {
+    c.pad(10);
+    c.call("security_socket_sendmsg");
+    c.ksvc(abi::kKsvcSockProto);
+    c.dispatch_on_a({{0, "udp_sendmsg"}, {1, "tcp_sendmsg"}});
+  });
+  bp.add("security_socket_sendmsg", "netcore", [](EmitCtx& c) {
+    c.pad(8);
+    c.call("apparmor_socket_sendmsg");
+  });
+  bp.add("apparmor_socket_sendmsg", "netcore", pads(12));
+  // Recv chain, ordered as in Figure 4.
+  bp.add("sys_recvfrom", "netcore", [](EmitCtx& c) {
+    c.pad(12);
+    c.call("sock_recvmsg");
+  });
+  bp.add("sock_recvmsg", "netcore", [](EmitCtx& c) {
+    c.pad(10);
+    c.call("security_socket_recvmsg");
+    c.call("sock_common_recvmsg");
+  });
+  bp.add("security_socket_recvmsg", "netcore", [](EmitCtx& c) {
+    c.pad(8);
+    c.call("apparmor_socket_recvmsg");
+  });
+  bp.add("apparmor_socket_recvmsg", "netcore", pads(12));
+  bp.add("sock_common_recvmsg", "netcore", [](EmitCtx& c) {
+    c.pad(12);
+    c.ksvc(abi::kKsvcSockProto);
+    c.dispatch_on_a({{0, "udp_recvmsg"}, {1, "tcp_recvmsg"}});
+  });
+  bp.add("sock_aio_read", "netcore", [](EmitCtx& c) {
+    c.pad(10);
+    c.call("sock_recvmsg");
+  });
+  bp.add("sock_aio_write", "netcore", [](EmitCtx& c) {
+    c.pad(10);
+    c.call("sock_sendmsg");
+  });
+  bp.add("sock_poll", "netcore", [](EmitCtx& c) {
+    c.pad(12);
+    aux(c, "netcore", {3});
+    c.retry_while_eagain([&] { c.ksvc(abi::kKsvcPollWait); },
+                         "prepare_to_wait", "finish_wait");
+  });
+  bp.add("sock_ioctl", "netcore", [](EmitCtx& c) {
+    c.pad(12);
+    aux(c, "netcore", {4});
+    c.ksvc(abi::kKsvcIoctl);
+  });
+  bp.add("netif_rx", "netcore", [](EmitCtx& c) {
+    c.pad(14);
+    c.call("net_rx_action");
+  });
+  bp.add("net_rx_action", "netcore", [](EmitCtx& c) {
+    c.pad(20);
+    aux(c, "netcore", {5, 6});
+    c.ksvc(abi::kKsvcNetRx);
+    c.call("__wake_up");
+  });
+  bp.add("skb_copy_datagram_iovec", "netcore", [](EmitCtx& c) {
+    c.pad(18);
+    c.call("copy_to_user");
+  });
+  bp.add("__skb_recv_datagram", "netcore", [](EmitCtx& c) {
+    c.pad(14);
+    c.retry_while_eagain([&] { c.ksvc(abi::kKsvcSockRecv); },
+                         "prepare_to_wait_exclusive", "finish_wait");
+  });
+
+  // UDP.
+  add_aux(bp, "udp", 5, 180, 360);
+  bp.add("udp_v4_get_port", "udp", [](EmitCtx& c) {
+    c.pad(8);
+    c.call("udp_lib_get_port");
+  });
+  bp.add("udp_lib_get_port", "udp", [](EmitCtx& c) {
+    c.pad(14);
+    c.call("udp_lib_lport_inuse");
+    aux(c, "udp", {0});
+  });
+  bp.add("udp_lib_lport_inuse", "udp", pads(16));
+  bp.add("udp_sendmsg", "udp", [](EmitCtx& c) {
+    c.pad(20);
+    c.call("ip_route_output");
+    aux(c, "udp", {1, 2});
+    c.ksvc(abi::kKsvcSockSend);
+  });
+  bp.add("udp_recvmsg", "udp", [](EmitCtx& c) {
+    c.pad(16);
+    c.call("__skb_recv_datagram");
+    c.call("skb_copy_datagram_iovec");
+    aux(c, "udp", {3});
+  });
+  bp.add("ip_route_output", "inet", [](EmitCtx& c) {
+    c.pad(18);
+    aux(c, "inet", {2, 3});
+  });
+
+  // TCP.
+  add_aux(bp, "tcp", 9, 180, 360);
+  bp.add("inet_csk_get_port", "tcp", [](EmitCtx& c) {
+    c.pad(16);
+    aux(c, "tcp", {0});
+  });
+  bp.add("tcp_v4_connect", "tcp", [](EmitCtx& c) {
+    c.pad(20);
+    c.call("ip_route_output");
+    aux(c, "tcp", {1, 2});
+  });
+  bp.add("tcp_sendmsg", "tcp", [](EmitCtx& c) {
+    c.pad(26);
+    aux(c, "tcp", {3, 4});
+    c.ksvc(abi::kKsvcSockSend);
+    c.call("tcp_push");
+  });
+  bp.add("tcp_push", "tcp", [](EmitCtx& c) {
+    c.pad(14);
+    aux(c, "tcp", {5});
+  });
+  bp.add("tcp_recvmsg", "tcp", [](EmitCtx& c) {
+    c.pad(24);
+    c.call("lock_sock_nested");
+    c.retry_while_eagain([&] { c.ksvc(abi::kKsvcSockRecv); },
+                         "prepare_to_wait", "finish_wait");
+    c.call("skb_copy_datagram_iovec");
+    c.call("release_sock");
+    aux(c, "tcp", {6});
+  });
+  bp.add("tcp_v4_do_rcv", "tcp", [](EmitCtx& c) {
+    c.pad(20);
+    c.call("tcp_rcv_established");
+  });
+  bp.add("tcp_rcv_established", "tcp", [](EmitCtx& c) {
+    c.pad(22);
+    aux(c, "tcp", {7, 8});
+  });
+
+  // =========================================================================
+  // Signals + interval timers.
+  // =========================================================================
+  add_aux(bp, "sig", 5, 180, 360);
+  bp.add("sys_signal", "sig", [](EmitCtx& c) {
+    c.pad(10);
+    c.call("do_sigaction");
+  });
+  bp.add("sys_rt_sigaction", "sig", [](EmitCtx& c) {
+    c.pad(10);
+    c.call("do_sigaction");
+  });
+  bp.add("do_sigaction", "sig", [](EmitCtx& c) {
+    c.pad(16);
+    aux(c, "sig", {0});
+    c.ksvc(abi::kKsvcSignalReg);
+  });
+  bp.add("sys_kill", "sig", [](EmitCtx& c) {
+    c.pad(12);
+    c.call("check_kill_permission");
+    c.call("group_send_sig_info");
+  });
+  bp.add("check_kill_permission", "sig", pads(12));
+  bp.add("group_send_sig_info", "sig", [](EmitCtx& c) {
+    c.pad(14);
+    aux(c, "sig", {1, 2});
+    c.ksvc(abi::kKsvcKill);
+    c.call("__wake_up");
+  });
+  bp.add("sys_setitimer", "sig", [](EmitCtx& c) {
+    c.pad(10);
+    c.call("do_setitimer");
+  });
+  bp.add("do_setitimer", "sig", [](EmitCtx& c) {
+    c.pad(14);
+    c.call("hrtimer_start");
+    c.ksvc(abi::kKsvcSetitimer);
+  });
+  bp.add("hrtimer_start", "sig", [](EmitCtx& c) {
+    c.pad(16);
+    aux(c, "sig", {3});
+  });
+  bp.add("sys_alarm", "sig", [](EmitCtx& c) {
+    c.pad(8);
+    c.call("alarm_setitimer");
+  });
+  bp.add("alarm_setitimer", "sig", [](EmitCtx& c) {
+    c.pad(10);
+    c.call("hrtimer_start");
+    c.ksvc(abi::kKsvcAlarm);
+  });
+  bp.add("sys_sigreturn", "sig", [](EmitCtx& c) {
+    c.pad(10);
+    c.call("restore_sigcontext");
+    c.ksvc(abi::kKsvcSigreturn);
+  });
+  bp.add("restore_sigcontext", "sig", pads(14));
+  bp.add("do_signal", "sig", [](EmitCtx& c) {
+    c.pad(14);
+    aux(c, "sig", {4});
+  });
+
+  // =========================================================================
+  // Process management.
+  // =========================================================================
+  add_aux(bp, "task", 12, 180, 360);
+  bp.add("sys_fork", "task", [](EmitCtx& c) {
+    c.pad(8);
+    c.call("do_fork");
+  });
+  bp.add("sys_clone", "task", [](EmitCtx& c) {
+    c.pad(8);
+    aux(c, "task", {0});
+    c.call("do_fork");
+  });
+  bp.add("do_fork", "task", [](EmitCtx& c) {
+    c.pad(16);
+    c.call("copy_process");
+    c.call("wake_up_new_task");
+  });
+  bp.add("copy_process", "task", [](EmitCtx& c) {
+    c.pad(22);
+    c.call("dup_mm");
+    c.call("copy_files");
+    c.call("sched_fork");
+    c.ksvc(abi::kKsvcFork);
+  });
+  bp.add("dup_mm", "task", [](EmitCtx& c) {
+    c.pad(24);
+    aux(c, "task", {1, 2});
+    c.call("kmalloc");
+  });
+  bp.add("copy_files", "task", [](EmitCtx& c) {
+    c.pad(16);
+    aux(c, "task", {3});
+  });
+  bp.add("sched_fork", "task", [](EmitCtx& c) {
+    c.pad(12);
+    aux(c, "task", {4});
+  });
+  bp.add("sys_execve", "task", [](EmitCtx& c) {
+    c.pad(10);
+    c.call("do_execve");
+  });
+  bp.add("do_execve", "task", [](EmitCtx& c) {
+    c.pad(18);
+    c.call("open_exec");
+    c.call("search_binary_handler");
+  });
+  bp.add("open_exec", "task", [](EmitCtx& c) {
+    c.pad(12);
+    c.call("do_filp_open");
+  });
+  bp.add("search_binary_handler", "task", [](EmitCtx& c) {
+    c.pad(14);
+    c.call("load_elf_binary");
+  });
+  bp.add("load_elf_binary", "task", [](EmitCtx& c) {
+    c.pad(30);
+    aux(c, "task", {5, 6, 7});
+    c.ksvc(abi::kKsvcExecve);
+  });
+  bp.add("sys_exit", "task", [](EmitCtx& c) {
+    c.pad(8);
+    c.call("do_exit");
+  });
+  bp.add("do_exit", "task", [](EmitCtx& c) {
+    c.pad(16);
+    c.call("exit_mm");
+    c.call("exit_files");
+    c.call("exit_notify");
+    c.ksvc(abi::kKsvcExit);
+    // A dead task never returns from schedule().
+    c.call("schedule");
+    auto& a = c.a();
+    auto self = a.make_label();
+    a.bind(self);
+    a.jmp(self);
+  });
+  bp.add("exit_mm", "task", [](EmitCtx& c) {
+    c.pad(14);
+    aux(c, "task", {8});
+  });
+  bp.add("exit_files", "task", [](EmitCtx& c) {
+    c.pad(14);
+    aux(c, "task", {9});
+  });
+  bp.add("exit_notify", "task", [](EmitCtx& c) {
+    c.pad(12);
+    c.call("__wake_up");
+  });
+  bp.add("sys_waitpid", "task", [](EmitCtx& c) {
+    c.pad(8);
+    c.call("do_wait");
+  });
+  bp.add("sys_wait4", "task", [](EmitCtx& c) {
+    c.pad(8);
+    c.call("do_wait");
+  });
+  bp.add("do_wait", "task", [](EmitCtx& c) {
+    c.pad(16);
+    c.call("wait_consider_task");
+    c.retry_while_eagain([&] { c.ksvc(abi::kKsvcWait); }, "prepare_to_wait",
+                         "finish_wait");
+    c.call("release_task");
+  });
+  bp.add("wait_consider_task", "task", [](EmitCtx& c) {
+    c.pad(14);
+    aux(c, "task", {10});
+  });
+  bp.add("release_task", "task", [](EmitCtx& c) {
+    c.pad(16);
+    aux(c, "task", {11});
+    c.call("kfree");
+  });
+  bp.add("sys_getpid", "task", [](EmitCtx& c) {
+    c.pad(6);
+    c.ksvc(abi::kKsvcGetpid);
+  });
+  bp.add("sys_uname", "task", [](EmitCtx& c) {
+    c.pad(10);
+    c.call("copy_to_user");
+    c.ksvc(abi::kKsvcUname);
+  });
+
+  // =========================================================================
+  // Memory management.
+  // =========================================================================
+  add_aux(bp, "mm", 5, 180, 360);
+  bp.add("sys_brk", "mm", [](EmitCtx& c) {
+    c.pad(12);
+    c.call("do_brk");
+  });
+  bp.add("do_brk", "mm", [](EmitCtx& c) {
+    c.pad(18);
+    aux(c, "mm", {0, 1});
+    c.ksvc(abi::kKsvcBrk);
+  });
+  bp.add("sys_mmap2", "mm", [](EmitCtx& c) {
+    c.pad(12);
+    c.call("do_mmap_pgoff");
+  });
+  bp.add("do_mmap_pgoff", "mm", [](EmitCtx& c) {
+    c.pad(22);
+    c.call("get_unmapped_area");
+    c.call("vma_link");
+    c.ksvc(abi::kKsvcMmap);
+  });
+  bp.add("get_unmapped_area", "mm", [](EmitCtx& c) {
+    c.pad(16);
+    aux(c, "mm", {2});
+  });
+  bp.add("vma_link", "mm", [](EmitCtx& c) {
+    c.pad(14);
+    aux(c, "mm", {3});
+  });
+
+  // =========================================================================
+  // TTY.
+  // =========================================================================
+  add_aux(bp, "tty", 7, 180, 360);
+  bp.add("tty_open", "tty", [](EmitCtx& c) {
+    c.pad(16);
+    aux(c, "tty", {0});
+  });
+  bp.add("tty_read", "tty", [](EmitCtx& c) {
+    c.pad(12);
+    c.call("n_tty_read");
+  });
+  bp.add("n_tty_read", "tty", [](EmitCtx& c) {
+    c.pad(22);
+    aux(c, "tty", {1, 2});
+    c.retry_while_eagain([&] { c.ksvc(abi::kKsvcFileRead); },
+                         "prepare_to_wait", "finish_wait");
+    c.call("copy_to_user");
+  });
+  bp.add("tty_write", "tty", [](EmitCtx& c) {
+    c.pad(12);
+    c.call("n_tty_write");
+  });
+  bp.add("n_tty_write", "tty", [](EmitCtx& c) {
+    c.pad(20);
+    aux(c, "tty", {3, 4});
+    c.call("copy_from_user");
+    c.ksvc(abi::kKsvcFileWrite);
+  });
+  bp.add("tty_poll", "tty", [](EmitCtx& c) {
+    c.pad(14);
+    c.retry_while_eagain([&] { c.ksvc(abi::kKsvcPollWait); },
+                         "prepare_to_wait", "finish_wait");
+  });
+  bp.add("tty_ioctl", "tty", [](EmitCtx& c) {
+    c.pad(18);
+    aux(c, "tty", {5});
+    c.ksvc(abi::kKsvcIoctl);
+  });
+  // Keyboard IRQ chain.
+  bp.add("kbd_interrupt", "tty", [](EmitCtx& c) {
+    c.pad(14);
+    c.call("kbd_event");
+  });
+  bp.add("kbd_event", "tty", [](EmitCtx& c) {
+    c.pad(12);
+    c.call("tty_insert_flip_char");
+    c.call("tty_flip_buffer_push");
+  });
+  bp.add("tty_insert_flip_char", "tty", pads(10));
+  bp.add("tty_flip_buffer_push", "tty", [](EmitCtx& c) {
+    c.pad(12);
+    c.ksvc(abi::kKsvcTtyEvent);
+    c.call("__wake_up");
+  });
+
+  // =========================================================================
+  // Disk IRQ chain.
+  // =========================================================================
+  bp.add("ata_interrupt", "irqcore", [](EmitCtx& c) {
+    c.pad(16);
+    c.call("blk_complete_request");
+  });
+  bp.add("blk_complete_request", "irqcore", [](EmitCtx& c) {
+    c.pad(18);
+    aux(c, "irqcore", {7, 8});
+    c.ksvc(abi::kKsvcDiskDone);
+    c.call("__wake_up");
+  });
+
+  // =========================================================================
+  // Modules.
+  // =========================================================================
+  add_aux(bp, "mod", 4, 180, 360);
+  bp.add("sys_init_module", "mod", [](EmitCtx& c) {
+    c.pad(12);
+    c.call("load_module");
+    // load_module's KSVC parked the module's init address in the last
+    // syscall-table slot; call through it so init runs as guest code.
+    auto& a = c.a();
+    a.mov_imm(Reg::A, abi::kSyscallTableSlots - 1);
+    a.calltab(abi::kSyscallTableAddr);
+  });
+  bp.add("load_module", "mod", [](EmitCtx& c) {
+    c.pad(26);
+    aux(c, "mod", {0, 1, 2});
+    c.call("kmalloc");
+    c.ksvc(abi::kKsvcModuleInit);
+  });
+  bp.add("sys_delete_module", "mod", [](EmitCtx& c) {
+    c.pad(14);
+    aux(c, "mod", {3});
+    c.ksvc(abi::kKsvcModuleDelete);
+  });
+
+  // Unimplemented syscalls land here.
+  bp.add("sys_ni_syscall", "entry", [](EmitCtx& c) {
+    auto& a = c.a();
+    a.mov_imm(Reg::A, static_cast<u32>(-38));  // -ENOSYS
+  });
+
+  return bp;
+}
+
+Blueprint make_e1000_blueprint() {
+  Blueprint bp;
+  add_aux(bp, "e1000", 3, 150, 300);
+  bp.add("e1000_intr", "e1000", [](EmitCtx& c) {
+    c.pad(14);
+    c.call("e1000_clean_rx_irq");
+  });
+  bp.add("e1000_clean_rx_irq", "e1000", [](EmitCtx& c) {
+    c.pad(20);
+    aux(c, "e1000", {0, 1});
+    c.call("netif_rx");  // into the base kernel
+  });
+  bp.add("e1000_xmit_frame", "e1000", [](EmitCtx& c) {
+    c.pad(18);
+    aux(c, "e1000", {2});
+  });
+  return bp;
+}
+
+}  // namespace fc::os

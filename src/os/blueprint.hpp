@@ -1,0 +1,103 @@
+// Declarative registry of kernel functions ("the blueprint") from which the
+// synthetic kernel is assembled. Function *names and call chains* mirror
+// Linux 2.6.32 so that profiling results, recovery logs and backtraces look
+// like the paper's figures; function *bodies* are generated filler plus the
+// real control flow (dispatch on file class, EAGAIN retry loops around
+// schedule(), KSVC leaves that carry the actual semantics).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "isa/assembler.hpp"
+#include "support/rng.hpp"
+
+namespace fc::os {
+
+/// Context handed to each function's body emitter.
+class EmitCtx {
+ public:
+  EmitCtx(isa::Assembler& a, u64 seed, GVirt func_base)
+      : a_(&a), rng_(seed), func_base_(func_base) {}
+
+  isa::Assembler& a() { return *a_; }
+
+  /// Deterministic filler work: `units` groups of ~3 register-only
+  /// instructions. Gives functions realistic sizes without side effects.
+  void pad(u32 units);
+
+  /// call <callee> (external symbol fixup).
+  void call(const std::string& callee) { a_->call_sym(callee); }
+
+  /// Call with a guaranteed parity of the *return address* (the byte after
+  /// the call). Functions are 16-byte aligned, so intra-function offset
+  /// parity equals absolute parity. Used to stage the paper's Figure 3
+  /// lazy-vs-instant recovery cases.
+  void call_with_return_parity(const std::string& callee, bool odd);
+
+  void ksvc(u16 service) { a_->ksvc(service); }
+
+  /// Dispatch on the value in A: for each (value, callee) emit a compare
+  /// and call; falls through after the chain (no default action).
+  void dispatch_on_a(
+      const std::vector<std::pair<u32, std::string>>& cases);
+
+  /// The canonical blocking pattern:
+  ///   retry: <attempt>            (leaves result in A)
+  ///          cmp A, EAGAIN
+  ///          jnz done
+  ///          call prepare_fn; call schedule; call finish_fn
+  ///          jmp retry
+  ///   done:
+  void retry_while_eagain(const std::function<void()>& attempt,
+                          const std::string& prepare_fn,
+                          const std::string& finish_fn);
+
+ private:
+  isa::Assembler* a_;
+  Rng rng_;
+  GVirt func_base_;
+};
+
+/// One kernel function to build.
+struct FuncDef {
+  std::string name;
+  std::string subsystem;
+  /// Emits the body between the standard prologue and epilogue.
+  std::function<void(EmitCtx&)> body;
+  /// If false, the function is raw entry code: no prologue/epilogue is
+  /// added and the emitter controls everything (syscall_call, irq stubs…).
+  bool has_frame = true;
+};
+
+/// An ordered set of functions forming one linkage unit (the base kernel or
+/// one module).
+struct Blueprint {
+  std::vector<FuncDef> funcs;
+
+  FuncDef& add(std::string name, std::string subsystem,
+               std::function<void(EmitCtx&)> body) {
+    funcs.push_back(
+        {std::move(name), std::move(subsystem), std::move(body), true});
+    return funcs.back();
+  }
+  FuncDef& add_raw(std::string name, std::string subsystem,
+                   std::function<void(EmitCtx&)> body) {
+    funcs.push_back(
+        {std::move(name), std::move(subsystem), std::move(body), false});
+    return funcs.back();
+  }
+};
+
+/// The full base-kernel blueprint (entry code, scheduler, vfs, ext4, procfs,
+/// pipes, net/udp/tcp, signals, timers, process management, mm, tty,
+/// modules, lib). Deterministic.
+Blueprint make_base_kernel_blueprint();
+
+/// Benign module shipped with the guest (a NIC driver); gives the module
+/// switching path (step 3B) legitimate traffic in every experiment.
+Blueprint make_e1000_blueprint();
+
+}  // namespace fc::os

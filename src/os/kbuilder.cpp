@@ -1,0 +1,203 @@
+#include "os/kbuilder.hpp"
+
+#include "hv/guest_abi.hpp"
+#include "support/check.hpp"
+
+namespace fc::os {
+
+using isa::Assembler;
+using isa::Reg;
+
+// --------------------------------------------------------------------------
+// EmitCtx helpers (declared in blueprint.hpp).
+// --------------------------------------------------------------------------
+
+void EmitCtx::pad(u32 units) {
+  // Register-only filler over SI/DI — no memory traffic, no flag
+  // assumptions broken (callers never rely on flags across pad()).
+  for (u32 i = 0; i < units; ++i) {
+    switch (rng_.below(4)) {
+      case 0:
+        a_->mov_imm(Reg::SI, rng_.next_u32());
+        a_->add(Reg::DI, Reg::SI);
+        break;
+      case 1:
+        a_->mov(Reg::SI, Reg::DI);
+        a_->xor_(Reg::DI, Reg::SI);
+        a_->nop();
+        break;
+      case 2:
+        a_->mov_imm(Reg::DI, rng_.next_u32());
+        a_->sub(Reg::SI, Reg::DI);
+        break;
+      case 3:
+        a_->nop();
+        a_->mov(Reg::DI, Reg::SI);
+        a_->add(Reg::SI, Reg::DI);
+        break;
+    }
+  }
+}
+
+void EmitCtx::call_with_return_parity(const std::string& callee, bool odd) {
+  // Return address offset = current + 5 (E8 rel32). Base is 16-aligned,
+  // so absolute parity == offset parity; insert one NOP if needed.
+  u32 ret_offset = a_->size() + 5;
+  if ((ret_offset & 1u) != (odd ? 1u : 0u)) {
+    a_->nop();
+  }
+  a_->call_sym(callee);
+}
+
+void EmitCtx::dispatch_on_a(
+    const std::vector<std::pair<u32, std::string>>& cases) {
+  Assembler::Label done = a_->make_label();
+  for (const auto& [value, callee] : cases) {
+    Assembler::Label skip = a_->make_label();
+    a_->cmp_imm_a(value);
+    a_->jnz(skip);
+    a_->call_sym(callee);
+    a_->jmp(done);
+    a_->bind(skip);
+  }
+  a_->bind(done);
+}
+
+void EmitCtx::retry_while_eagain(const std::function<void()>& attempt,
+                                 const std::string& prepare_fn,
+                                 const std::string& finish_fn) {
+  Assembler::Label retry = a_->make_label();
+  Assembler::Label done = a_->make_label();
+  a_->bind(retry);
+  attempt();
+  a_->cmp_imm_a(abi::kEagain);
+  a_->jnz(done);
+  a_->call_sym(prepare_fn);
+  // Force an even return address for the schedule call: a task that blocks
+  // here and is resumed under a view missing this function lands exactly on
+  // the 0F 0B pair and traps cleanly (the lazy-recovery case of Figure 3).
+  call_with_return_parity("schedule", /*odd=*/false);
+  a_->call_sym(finish_fn);
+  a_->jmp(retry);
+  a_->bind(done);
+}
+
+// --------------------------------------------------------------------------
+// KernelBuilder
+// --------------------------------------------------------------------------
+
+namespace {
+
+struct Placed {
+  GVirt address = 0;
+  u32 size = 0;
+};
+
+/// Assemble one function; returns its bytes. `resolver` maps symbol names
+/// to absolute addresses (pass 1 uses a permissive zero resolver).
+std::vector<u8> assemble_function(const FuncDef& def, GVirt base,
+                                  const Assembler::SymbolResolver& resolver) {
+  Assembler a;
+  u64 seed = stable_hash(def.name);
+  EmitCtx ctx(a, seed, base);
+  if (def.has_frame) {
+    a.prologue();
+    def.body(ctx);
+    a.epilogue();
+  } else {
+    def.body(ctx);
+  }
+  return a.finish(base, resolver);
+}
+
+}  // namespace
+
+KernelImage KernelBuilder::build(const Blueprint& blueprint, GVirt text_base) {
+  FC_CHECK(text_base % kFuncAlign == 0, << "text base must be aligned");
+
+  // Pass 1: sizes with a dummy resolver.
+  auto zero_resolver = [](const std::string&) -> GVirt { return 0; };
+  std::vector<Placed> placed(blueprint.funcs.size());
+  GVirt cursor = text_base;
+  for (std::size_t i = 0; i < blueprint.funcs.size(); ++i) {
+    std::vector<u8> bytes =
+        assemble_function(blueprint.funcs[i], cursor, zero_resolver);
+    placed[i].address = cursor;
+    placed[i].size = static_cast<u32>(bytes.size());
+    cursor += placed[i].size;
+    cursor = (cursor + kFuncAlign - 1) & ~(kFuncAlign - 1);
+  }
+
+  // Symbol table from pass-1 layout.
+  KernelImage image;
+  image.text_base = text_base;
+  for (std::size_t i = 0; i < blueprint.funcs.size(); ++i) {
+    const FuncDef& def = blueprint.funcs[i];
+    image.symbols.add(def.name, placed[i].address, placed[i].size);
+    image.functions.push_back({def.name, def.subsystem, placed[i].address,
+                               placed[i].size, def.has_frame});
+  }
+
+  // Pass 2: emit with real addresses.
+  auto resolver = [&image](const std::string& name) -> GVirt {
+    return image.symbols.must_addr(name);
+  };
+  image.text.assign(cursor - text_base, 0x90 /* NOP gaps */);
+  for (std::size_t i = 0; i < blueprint.funcs.size(); ++i) {
+    std::vector<u8> bytes =
+        assemble_function(blueprint.funcs[i], placed[i].address, resolver);
+    FC_CHECK(bytes.size() == placed[i].size,
+             << "size drift in " << blueprint.funcs[i].name);
+    std::copy(bytes.begin(), bytes.end(),
+              image.text.begin() + (placed[i].address - text_base));
+  }
+  return image;
+}
+
+ModuleImage KernelBuilder::build_module(const Blueprint& blueprint,
+                                        const std::string& name, GVirt base,
+                                        const hv::SymbolTable& kernel_syms) {
+  FC_CHECK(base % kFuncAlign == 0, << "module base must be aligned");
+
+  auto zero_resolver = [](const std::string&) -> GVirt { return 0; };
+  std::vector<Placed> placed(blueprint.funcs.size());
+  GVirt cursor = base;
+  for (std::size_t i = 0; i < blueprint.funcs.size(); ++i) {
+    std::vector<u8> bytes =
+        assemble_function(blueprint.funcs[i], cursor, zero_resolver);
+    placed[i].address = cursor;
+    placed[i].size = static_cast<u32>(bytes.size());
+    cursor += placed[i].size;
+    cursor = (cursor + kFuncAlign - 1) & ~(kFuncAlign - 1);
+  }
+
+  ModuleImage image;
+  image.name = name;
+  image.base = base;
+  hv::SymbolTable own_abs;  // absolute, for intra-module resolution
+  for (std::size_t i = 0; i < blueprint.funcs.size(); ++i) {
+    const FuncDef& def = blueprint.funcs[i];
+    own_abs.add(def.name, placed[i].address, placed[i].size);
+    image.symbols_rel.add(def.name, placed[i].address - base, placed[i].size);
+    image.functions.push_back({def.name, def.subsystem,
+                               placed[i].address - base, placed[i].size,
+                               def.has_frame});
+  }
+
+  auto resolver = [&](const std::string& sym) -> GVirt {
+    if (auto a = own_abs.addr(sym)) return *a;
+    return kernel_syms.must_addr(sym);
+  };
+  image.text.assign(cursor - base, 0x90);
+  for (std::size_t i = 0; i < blueprint.funcs.size(); ++i) {
+    std::vector<u8> bytes =
+        assemble_function(blueprint.funcs[i], placed[i].address, resolver);
+    FC_CHECK(bytes.size() == placed[i].size,
+             << "size drift in module fn " << blueprint.funcs[i].name);
+    std::copy(bytes.begin(), bytes.end(),
+              image.text.begin() + (placed[i].address - base));
+  }
+  return image;
+}
+
+}  // namespace fc::os

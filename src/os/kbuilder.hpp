@@ -1,0 +1,32 @@
+// Assembles a Blueprint into kernel text: lays out functions 16-byte
+// aligned (-falign-functions, which the paper's boundary search relies on),
+// resolves cross-function calls, and produces the symbol table.
+//
+// Two passes: pass 1 assembles every function against a zero resolver to
+// learn sizes (all encodings are fixed-size, so sizes are final); pass 2
+// re-assembles with real addresses.
+#pragma once
+
+#include "hv/symbols.hpp"
+#include "os/blueprint.hpp"
+#include "os/kernel_image.hpp"
+
+namespace fc::os {
+
+class KernelBuilder {
+ public:
+  /// Build the base kernel at `text_base`. `extern_syms` may provide
+  /// additional call targets (unused for the base kernel).
+  static KernelImage build(const Blueprint& blueprint, GVirt text_base);
+
+  /// Build a module image linked for `base`, resolving calls first against
+  /// the module's own functions and then against the base kernel's symbols
+  /// (modules call kernel functions; Figure 5's KBeast does exactly this).
+  static ModuleImage build_module(const Blueprint& blueprint,
+                                  const std::string& name, GVirt base,
+                                  const hv::SymbolTable& kernel_syms);
+
+  static constexpr u32 kFuncAlign = 16;
+};
+
+}  // namespace fc::os

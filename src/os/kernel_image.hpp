@@ -1,0 +1,40 @@
+// Artifacts of building the synthetic guest kernel: the text bytes, the
+// symbol table (System.map), and per-function metadata used by tests and by
+// the view-builder ablations.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hv/symbols.hpp"
+#include "support/types.hpp"
+
+namespace fc::os {
+
+struct FuncMeta {
+  std::string name;
+  std::string subsystem;
+  GVirt address = 0;  // absolute for base kernel; module-relative for modules
+  u32 size = 0;
+  bool has_frame = true;  // emitted with the 55 89 E5 prologue
+};
+
+/// A built base kernel.
+struct KernelImage {
+  std::vector<u8> text;     // contiguous code, starts at text_base
+  GVirt text_base = 0;
+  hv::SymbolTable symbols;  // absolute addresses
+  std::vector<FuncMeta> functions;
+  GVirt text_end() const { return text_base + static_cast<GVirt>(text.size()); }
+};
+
+/// A built (relocated) kernel module image.
+struct ModuleImage {
+  std::string name;
+  std::vector<u8> text;
+  GVirt base = 0;                // VA it was linked for
+  hv::SymbolTable symbols_rel;   // module-relative
+  std::vector<FuncMeta> functions;  // module-relative addresses
+};
+
+}  // namespace fc::os

@@ -1,0 +1,42 @@
+#include "os/user_program.hpp"
+
+namespace fc::os {
+
+using isa::Assembler;
+using isa::Reg;
+
+ProgramImage build_standard_loop() {
+  Assembler a;
+  auto entry = a.make_label();
+  a.bind(entry);
+  a.appstep();
+  a.cmp_imm_a(0);
+  a.jz(entry);
+  a.int_(abi::kSyscallVector);
+  a.jmp(entry);
+  ProgramImage image;
+  image.code = a.finish(kUserCodeVa, nullptr);
+  return image;
+}
+
+ProgramImage build_traced_loop(u32 tty_fd) {
+  Assembler a;
+  auto entry = a.make_label();
+  a.bind(entry);
+  // Interposer: emit a trace line (tty write) before every real step.
+  a.mov_imm(Reg::B, tty_fd);
+  a.mov_imm(Reg::C, 24);  // trace record length
+  a.mov_imm(Reg::D, 0);
+  a.mov_imm(Reg::A, abi::kSysWrite);
+  a.int_(abi::kSyscallVector);
+  a.appstep();
+  a.cmp_imm_a(0);
+  a.jz(entry);
+  a.int_(abi::kSyscallVector);
+  a.jmp(entry);
+  ProgramImage image;
+  image.code = a.finish(kUserCodeVa, nullptr);
+  return image;
+}
+
+}  // namespace fc::os

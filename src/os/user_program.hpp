@@ -1,0 +1,84 @@
+// User-space program images and a small builder for hand-written user code
+// (shellcode payloads, infected binaries).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hv/guest_abi.hpp"
+#include "isa/assembler.hpp"
+
+namespace fc::os {
+
+inline constexpr GVirt kUserCodeVa = 0x08048000;   // classic ELF load address
+inline constexpr GVirt kUserStackTop = 0xBFFF0000;
+inline constexpr GVirt kUserInjectVa = 0x09000000;  // injected shellcode area
+inline constexpr GVirt kUserHeapVa = 0x0A000000;
+
+struct ProgramImage {
+  std::vector<u8> code;
+  u32 entry_offset = 0;
+  GVirt entry_va() const { return kUserCodeVa + entry_offset; }
+};
+
+/// The standard APPSTEP loop every modelled application runs.
+ProgramImage build_standard_loop();
+
+/// Variant that traces every app step with an extra tty write first — the
+/// behaviour of an $LD_PRELOAD interposer (Xlibtrace).
+ProgramImage build_traced_loop(u32 tty_fd);
+
+/// Builder for raw user code (shellcode, offline-infected binaries).
+/// Thin sugar over the assembler with the syscall calling convention.
+class UserCodeBuilder {
+ public:
+  explicit UserCodeBuilder(GVirt base) : base_(base) {}
+
+  isa::Assembler& a() { return a_; }
+  GVirt base() const { return base_; }
+  GVirt here() const { return base_ + a_.size(); }
+
+  /// mov args; int $0x80.
+  void syscall(u32 nr, u32 b = 0, u32 c = 0, u32 d = 0) {
+    a_.mov_imm(isa::Reg::B, b);
+    a_.mov_imm(isa::Reg::C, c);
+    a_.mov_imm(isa::Reg::D, d);
+    a_.mov_imm(isa::Reg::A, nr);
+    a_.int_(abi::kSyscallVector);
+  }
+  /// Same but keeps the fd that a previous syscall returned in A: moves A→B
+  /// first. (socket → bind/recv patterns.)
+  void syscall_on_result_fd(u32 nr, u32 c = 0, u32 d = 0) {
+    a_.mov(isa::Reg::B, isa::Reg::A);
+    a_.mov_imm(isa::Reg::C, c);
+    a_.mov_imm(isa::Reg::D, d);
+    a_.mov_imm(isa::Reg::A, nr);
+    a_.int_(abi::kSyscallVector);
+  }
+
+  /// Absolute jump (emitted as E9 rel32 against this code's base).
+  void jmp_abs(GVirt target) {
+    // rel = target - (here + 5)
+    u32 rel = target - (here() + 5);
+    a_.jmp_sym("__abs__");  // placeholder; patched by finish via resolver
+    pending_abs_.push_back({a_.size() - 4, rel});
+  }
+
+  std::vector<u8> finish() {
+    auto bytes = a_.finish(base_, [](const std::string&) { return GVirt{0}; });
+    for (auto& [at, rel] : pending_abs_) {
+      bytes[at] = static_cast<u8>(rel);
+      bytes[at + 1] = static_cast<u8>(rel >> 8);
+      bytes[at + 2] = static_cast<u8>(rel >> 16);
+      bytes[at + 3] = static_cast<u8>(rel >> 24);
+    }
+    return bytes;
+  }
+
+ private:
+  GVirt base_;
+  isa::Assembler a_;
+  std::vector<std::pair<u32, u32>> pending_abs_;
+};
+
+}  // namespace fc::os

@@ -1,0 +1,41 @@
+// Invariant checking. FC_CHECK is always on (these are simulator invariants,
+// not user-input validation); violation means a bug in the simulator itself,
+// so we fail fast with context.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace fc::detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::fprintf(stderr, "FC_CHECK failed: %s at %s:%d%s%s\n", expr, file, line,
+               msg.empty() ? "" : " — ", msg.c_str());
+  std::abort();
+}
+
+class CheckMessage {
+ public:
+  template <typename T>
+  CheckMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+  std::string str() const { return stream_.str(); }
+
+ private:
+  std::ostringstream stream_;
+};
+}  // namespace fc::detail
+
+#define FC_CHECK(expr, ...)                                               \
+  do {                                                                    \
+    if (!(expr)) {                                                        \
+      ::fc::detail::CheckMessage fc_msg_;                                 \
+      (void)(fc_msg_ __VA_ARGS__);                                        \
+      ::fc::detail::check_failed(#expr, __FILE__, __LINE__, fc_msg_.str()); \
+    }                                                                     \
+  } while (0)
+
+#define FC_UNREACHABLE(...) FC_CHECK(false, __VA_ARGS__)

@@ -1,0 +1,25 @@
+#include "support/hexdump.hpp"
+
+#include <cstdio>
+
+namespace fc {
+
+std::string hex32(u32 value) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "0x%08x", value);
+  return buf;
+}
+
+std::string byte_dump(std::span<const u8> bytes) {
+  std::string out;
+  out.reserve(bytes.size() * 5);
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    char buf[8];
+    std::snprintf(buf, sizeof(buf), "0x%x", bytes[i]);
+    if (i != 0) out += ' ';
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace fc

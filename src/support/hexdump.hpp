@@ -1,0 +1,17 @@
+// Hex formatting helpers shared by recovery logs and disassembly output.
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "support/types.hpp"
+
+namespace fc {
+
+/// "0xc021a526" — the paper's address formatting.
+std::string hex32(u32 value);
+
+/// "0xf 0xb 0xf 0xb ..." — byte dump matching Figure 3's style.
+std::string byte_dump(std::span<const u8> bytes);
+
+}  // namespace fc

@@ -1,0 +1,38 @@
+#include "support/logging.hpp"
+
+#include <atomic>
+#include <cstdio>
+
+namespace fc {
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF  ";
+  }
+  return "?????";
+}
+}  // namespace
+
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
+void set_log_level(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
+
+void log_emit(LogLevel level, std::string_view file, int line,
+              const std::string& message) {
+  // Strip directories for readability.
+  auto slash = file.rfind('/');
+  if (slash != std::string_view::npos) file = file.substr(slash + 1);
+  std::fprintf(stderr, "[%s] %.*s:%d: %s\n", level_name(level),
+               static_cast<int>(file.size()), file.data(), line,
+               message.c_str());
+}
+
+}  // namespace fc

@@ -1,0 +1,53 @@
+// Minimal leveled logger. Distributed-systems style: cheap when disabled,
+// deterministic output (no wall-clock timestamps — simulated time is supplied
+// by callers that have it).
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace fc {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Global minimum level; messages below it are discarded.
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+/// Emit one formatted line to stderr. Used by the FC_LOG macro.
+void log_emit(LogLevel level, std::string_view file, int line,
+              const std::string& message);
+
+namespace detail {
+class LogLine {
+ public:
+  LogLine(LogLevel level, const char* file, int line)
+      : level_(level), file_(file), line_(line) {}
+  ~LogLine() { log_emit(level_, file_, line_, stream_.str()); }
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace fc
+
+#define FC_LOG(level)                                      \
+  if (::fc::LogLevel::level < ::fc::log_level()) {         \
+  } else                                                   \
+    ::fc::detail::LogLine(::fc::LogLevel::level, __FILE__, __LINE__)
+
+#define FC_TRACE FC_LOG(kTrace)
+#define FC_DEBUG FC_LOG(kDebug)
+#define FC_INFO FC_LOG(kInfo)
+#define FC_WARN FC_LOG(kWarn)
+#define FC_ERROR FC_LOG(kError)

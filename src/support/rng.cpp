@@ -1,0 +1,16 @@
+#include "support/rng.hpp"
+
+#include <string_view>
+
+namespace fc {
+
+u64 stable_hash(const char* data, std::size_t size) {
+  u64 h = 0xCBF29CE484222325ull;
+  for (std::size_t i = 0; i < size; ++i) {
+    h ^= static_cast<u8>(data[i]);
+    h *= 0x100000001B3ull;
+  }
+  return h;
+}
+
+}  // namespace fc

@@ -1,0 +1,50 @@
+// Deterministic pseudo-random source. All simulator randomness flows through
+// explicitly-seeded instances so every test and bench is reproducible.
+#pragma once
+
+#include <string_view>
+
+#include "support/types.hpp"
+
+namespace fc {
+
+/// SplitMix64 — tiny, fast, full-period, and (critically) identical across
+/// platforms, unlike std::mt19937's distribution wrappers.
+class Rng {
+ public:
+  explicit Rng(u64 seed) : state_(seed) {}
+
+  u64 next_u64() {
+    u64 z = (state_ += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+  u32 next_u32() { return static_cast<u32>(next_u64() >> 32); }
+
+  /// Uniform in [0, bound). bound must be > 0.
+  u32 below(u32 bound) { return static_cast<u32>(next_u64() % bound); }
+
+  /// Uniform in [lo, hi] inclusive.
+  u32 between(u32 lo, u32 hi) { return lo + below(hi - lo + 1); }
+
+  /// Bernoulli with probability p (0..1).
+  bool chance(double p) {
+    return static_cast<double>(next_u64() >> 11) * (1.0 / 9007199254740992.0) <
+           p;
+  }
+
+ private:
+  u64 state_;
+};
+
+/// Stable 64-bit FNV-1a hash of a string — used to derive per-name seeds so
+/// generated kernel function bodies are stable across runs and reorderings.
+u64 stable_hash(const char* data, std::size_t size);
+
+inline u64 stable_hash(std::string_view s) {
+  return stable_hash(s.data(), s.size());
+}
+
+}  // namespace fc

@@ -1,0 +1,45 @@
+// Fundamental width-exact aliases and address vocabulary used everywhere.
+//
+// The simulated guest is a 32-bit machine (matching the paper's i386 guest):
+// guest virtual and guest physical addresses are 32 bits. Host "physical"
+// memory (the backing store the EPT maps into) is indexed by frame number.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace fc {
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i8 = std::int8_t;
+using i16 = std::int16_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+
+/// Guest virtual address (what guest code sees; kernel space is >= kKernelBase).
+using GVirt = u32;
+/// Guest physical address (output of the guest page tables, input to the EPT).
+using GPhys = u32;
+/// Host frame number (output of the EPT; indexes HostMemory's frame array).
+using HostFrame = u32;
+
+/// Simulated time, measured in CPU cycles.
+using Cycles = u64;
+
+inline constexpr u32 kPageSize = 4096;
+inline constexpr u32 kPageShift = 12;
+inline constexpr u32 kPageMask = kPageSize - 1;
+
+/// Start of the kernel half of the guest virtual address space (3 GiB split,
+/// as in the paper's i386 guest).
+inline constexpr GVirt kKernelBase = 0xC0000000u;
+
+constexpr u32 page_of(u32 addr) { return addr >> kPageShift; }
+constexpr u32 page_base(u32 addr) { return addr & ~kPageMask; }
+constexpr u32 page_offset(u32 addr) { return addr & kPageMask; }
+constexpr bool is_kernel_address(GVirt va) { return va >= kKernelBase; }
+
+}  // namespace fc

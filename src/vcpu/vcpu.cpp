@@ -1,0 +1,392 @@
+#include "vcpu/vcpu.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace fc::cpu {
+
+using isa::Op;
+using isa::Reg;
+
+void Vcpu::add_breakpoint(GVirt pc) {
+  if (!has_breakpoint(pc)) breakpoints_.push_back(pc);
+}
+
+void Vcpu::remove_breakpoint(GVirt pc) {
+  breakpoints_.erase(std::remove(breakpoints_.begin(), breakpoints_.end(), pc),
+                     breakpoints_.end());
+}
+
+bool Vcpu::has_breakpoint(GVirt pc) const {
+  return std::find(breakpoints_.begin(), breakpoints_.end(), pc) !=
+         breakpoints_.end();
+}
+
+void Vcpu::end_block(GVirt end) {
+  if (in_block_ && trace_ != nullptr && end > block_start_) {
+    trace_->on_block(block_start_, end);
+  }
+  in_block_ = false;
+}
+
+bool Vcpu::deliver_interrupt(u8 vector, bool hardware) {
+  mem::Mmu& mmu = machine_->mmu();
+  GVirt handler = mmu.read32(idt_base_ + vector * 4u);
+  if (handler == 0) {
+    // An unpopulated vector: hardware lines are wired at boot, so this can
+    // only be a stray software INT — the caller turns it into a guest
+    // fault.
+    FC_CHECK(!hardware, << "no IDT handler for hardware vector "
+                        << static_cast<int>(vector));
+    return false;
+  }
+  end_block(regs_.pc);
+  if (trace_ != nullptr) trace_->on_interrupt(vector, hardware);
+
+  u32 flags = FlagsWord::pack(regs_.mode, regs_.zf, regs_.interrupts_enabled);
+  u32 old_sp = regs_[Reg::SP];
+  u32 frame_sp = old_sp;
+  if (regs_.mode == Mode::kUser) {
+    FC_CHECK(kstack_ptr_addr_ != 0, << "kstack pointer not configured");
+    frame_sp = mmu.read32(kstack_ptr_addr_);
+  }
+  // Push flags, old sp, old pc (so [sp] = old pc at handler entry).
+  frame_sp -= 4;
+  mmu.write32(frame_sp, flags);
+  frame_sp -= 4;
+  mmu.write32(frame_sp, old_sp);
+  frame_sp -= 4;
+  mmu.write32(frame_sp, regs_.pc);
+  regs_[Reg::SP] = frame_sp;
+  regs_.mode = Mode::kKernel;
+  regs_.interrupts_enabled = false;
+  regs_.pc = handler;
+  cycles_ += perf_.cost_int;
+  return true;
+}
+
+Exit Vcpu::step() {
+  mem::Mmu& mmu = machine_->mmu();
+
+  // Re-detect deferred ("missed") interrupt edges once their release time
+  // passes.
+  if (deferred_irqs_ != 0 && cycles_ >= irq_release_at_) {
+    pending_irqs_ |= deferred_irqs_;
+    deferred_irqs_ = 0;
+  }
+  // Deliver one pending IRQ if the guest will take it.
+  if (pending_irqs_ != 0 && regs_.interrupts_enabled) {
+    u8 line = 0;
+    while (!(pending_irqs_ & (1u << line))) ++line;
+    pending_irqs_ &= ~(1u << line);
+    deliver_interrupt(static_cast<u8>(32 + line), /*hardware=*/true);
+    return {ExitReason::kNone, regs_.pc};
+  }
+
+  // Execution breakpoints (FACE-CHANGE's context-switch / resume traps).
+  if (regs_.pc == suppress_bp_at_) {
+    suppress_bp_at_ = 0xFFFFFFFFu;
+  } else if (!breakpoints_.empty() && has_breakpoint(regs_.pc)) {
+    end_block(regs_.pc);
+    return {ExitReason::kBreakpoint, regs_.pc};
+  }
+
+  const u64 misses_before = mmu.stats().tlb_misses;
+
+  u8 window[isa::kMaxInstructionLength];
+  u32 got = mmu.fetch(regs_.pc, window, isa::kMaxInstructionLength);
+  if (got == 0) {
+    end_block(regs_.pc);
+    return {ExitReason::kFetchFault, regs_.pc};
+  }
+  isa::DecodeResult dec = isa::decode({window, got});
+  if (!dec.ok()) {
+    // Both genuinely-invalid bytes and UD2 arrive here (UD2 decodes but is
+    // the architectural invalid-opcode instruction).
+    end_block(regs_.pc);
+    return {ExitReason::kInvalidOpcode, regs_.pc};
+  }
+  const isa::Instruction& insn = dec.insn;
+  if (insn.op == Op::kUd2) {
+    end_block(regs_.pc);
+    return {ExitReason::kInvalidOpcode, regs_.pc};
+  }
+  // Privilege checks for simulator instructions.
+  if (insn.op == Op::kKsvc && regs_.mode != Mode::kKernel) {
+    end_block(regs_.pc);
+    return {ExitReason::kInvalidOpcode, regs_.pc};
+  }
+  if (insn.op == Op::kAppStep && regs_.mode != Mode::kUser) {
+    end_block(regs_.pc);
+    return {ExitReason::kInvalidOpcode, regs_.pc};
+  }
+  if ((insn.op == Op::kCli || insn.op == Op::kSti) &&
+      regs_.mode != Mode::kKernel) {
+    end_block(regs_.pc);
+    return {ExitReason::kInvalidOpcode, regs_.pc};
+  }
+
+  if (!in_block_) {
+    in_block_ = true;
+    block_start_ = regs_.pc;
+  }
+
+  const GVirt pc = regs_.pc;
+  const GVirt next = pc + insn.length;
+  u32 cost = perf_.cost_default;
+  Exit pending_exit{ExitReason::kNone, 0};
+
+  auto set_zf = [&](u32 result) { regs_.zf = (result == 0); };
+  // Guest-controlled addresses: a miss is a guest fault (the instruction is
+  // abandoned mid-way; faulting guests are killed, so partial effects are
+  // irrelevant), never a simulator abort.
+  struct GuestDataFault {};
+  auto read32 = [&](u32 va) -> u32 {
+    auto value = mmu.try_read32(va);
+    if (!value) throw GuestDataFault{};
+    return *value;
+  };
+  auto write32 = [&](u32 va, u32 value) {
+    if (!mmu.try_write32(va, value)) throw GuestDataFault{};
+  };
+  auto push32 = [&](u32 value) {
+    regs_[Reg::SP] -= 4;
+    write32(regs_[Reg::SP], value);
+  };
+  auto pop32 = [&]() {
+    u32 value = read32(regs_[Reg::SP]);
+    regs_[Reg::SP] += 4;
+    return value;
+  };
+
+  try {
+  switch (insn.op) {
+    case Op::kNop:
+      regs_.pc = next;
+      break;
+    case Op::kPush:
+      push32(regs_[insn.r1]);
+      regs_.pc = next;
+      break;
+    case Op::kPop:
+      regs_[insn.r1] = pop32();
+      regs_.pc = next;
+      break;
+    case Op::kMovRR:
+      regs_[insn.r1] = regs_[insn.r2];
+      regs_.pc = next;
+      break;
+    case Op::kMovImm:
+      regs_[insn.r1] = insn.imm;
+      regs_.pc = next;
+      break;
+    case Op::kLoad:
+      regs_[insn.r1] = read32(regs_[insn.r2] + static_cast<u32>(insn.disp));
+      regs_.pc = next;
+      break;
+    case Op::kStore:
+      write32(regs_[insn.r1] + static_cast<u32>(insn.disp), regs_[insn.r2]);
+      regs_.pc = next;
+      break;
+    case Op::kLoadAbs:
+      regs_[Reg::A] = read32(insn.imm);
+      regs_.pc = next;
+      break;
+    case Op::kStoreAbs:
+      write32(insn.imm, regs_[Reg::A]);
+      regs_.pc = next;
+      break;
+    case Op::kAdd:
+      regs_[insn.r1] += regs_[insn.r2];
+      set_zf(regs_[insn.r1]);
+      regs_.pc = next;
+      break;
+    case Op::kSub:
+      regs_[insn.r1] -= regs_[insn.r2];
+      set_zf(regs_[insn.r1]);
+      regs_.pc = next;
+      break;
+    case Op::kXor:
+      regs_[insn.r1] ^= regs_[insn.r2];
+      set_zf(regs_[insn.r1]);
+      regs_.pc = next;
+      break;
+    case Op::kOr:
+      if (insn.disp != 0) {
+        // Memory form (the misinterpreted 0B 0F pair lands here): read
+        // through the MMU if mapped, else "read" garbage — either way the
+        // guest keeps running wrongly instead of trapping, which is the
+        // exact hazard instant recovery exists to prevent.
+        u32 addr = regs_[insn.r2];
+        auto frame = mmu.translate_page(page_base(addr));
+        u32 value = frame.has_value() && page_offset(addr) + 4 <= kPageSize
+                        ? machine_->host().read32(*frame, page_offset(addr))
+                        : 0xFFFFFFFFu;
+        regs_[insn.r1] |= value;
+      } else {
+        regs_[insn.r1] |= regs_[insn.r2];
+      }
+      set_zf(regs_[insn.r1]);
+      regs_.pc = next;
+      break;
+    case Op::kCmp:
+      set_zf(regs_[insn.r1] - regs_[insn.r2]);
+      regs_.pc = next;
+      break;
+    case Op::kCmpImmA:
+      set_zf(regs_[Reg::A] - insn.imm);
+      regs_.pc = next;
+      break;
+    case Op::kAddImmA:
+      regs_[Reg::A] += insn.imm;
+      set_zf(regs_[Reg::A]);
+      regs_.pc = next;
+      break;
+    case Op::kSubImmA:
+      regs_[Reg::A] -= insn.imm;
+      set_zf(regs_[Reg::A]);
+      regs_.pc = next;
+      break;
+    case Op::kCall:
+      push32(next);
+      end_block(next);
+      regs_.pc = insn.rel_target(pc);
+      cost = perf_.cost_call;
+      break;
+    case Op::kCallTab: {
+      u32 slot = insn.imm + regs_[Reg::A] * 4;
+      GVirt target = read32(slot);
+      push32(next);
+      end_block(next);
+      regs_.pc = target;
+      cost = perf_.cost_call;
+      break;
+    }
+    case Op::kRet:
+      end_block(next);
+      regs_.pc = pop32();
+      cost = perf_.cost_ret;
+      break;
+    case Op::kLeave:
+      regs_[Reg::SP] = regs_[Reg::FP];
+      regs_[Reg::FP] = pop32();
+      regs_.pc = next;
+      break;
+    case Op::kJmp:
+    case Op::kJmpShort:
+      end_block(next);
+      regs_.pc = insn.rel_target(pc);
+      break;
+    case Op::kJz:
+    case Op::kJzNear:
+      end_block(next);
+      regs_.pc = regs_.zf ? insn.rel_target(pc) : next;
+      break;
+    case Op::kJnz:
+    case Op::kJnzNear:
+      end_block(next);
+      regs_.pc = !regs_.zf ? insn.rel_target(pc) : next;
+      break;
+    case Op::kInt:
+      regs_.pc = next;  // return address is the next instruction
+      if (!deliver_interrupt(static_cast<u8>(insn.imm), /*hardware=*/false)) {
+        // No handler: fault the guest at the INT itself.
+        regs_.pc = pc;
+        end_block(pc);
+        pending_exit = {ExitReason::kInvalidOpcode, pc};
+      }
+      cost = 0;  // deliver_interrupt charged cost_int
+      break;
+    case Op::kIret: {
+      end_block(next);
+      u32 ret_pc = pop32();
+      u32 saved_sp = pop32();
+      u32 flags = pop32();
+      regs_.pc = ret_pc;
+      regs_[Reg::SP] = saved_sp;
+      regs_.zf = FlagsWord::zf(flags);
+      regs_.interrupts_enabled = FlagsWord::interrupts(flags);
+      regs_.mode = FlagsWord::mode(flags);
+      cost = perf_.cost_iret;
+      break;
+    }
+    case Op::kPusha: {
+      // x86 order: eax, ecx, edx, ebx, original esp, ebp, esi, edi.
+      u32 original_sp = regs_[Reg::SP];
+      for (int r = 0; r < isa::kNumRegs; ++r) {
+        u32 value = (r == 4) ? original_sp : regs_.gpr[r];
+        push32(value);
+      }
+      regs_.pc = next;
+      break;
+    }
+    case Op::kPopa: {
+      for (int r = isa::kNumRegs - 1; r >= 0; --r) {
+        u32 value = pop32();
+        if (r != 4) regs_.gpr[r] = value;  // saved ESP is discarded
+      }
+      regs_.pc = next;
+      break;
+    }
+    case Op::kCli:
+      regs_.interrupts_enabled = false;
+      regs_.pc = next;
+      break;
+    case Op::kSti:
+      regs_.interrupts_enabled = true;
+      regs_.pc = next;
+      break;
+    case Op::kHlt: {
+      end_block(next);
+      regs_.pc = next;
+      cost = perf_.cost_hlt;
+      bool progressed = (env_ != nullptr) && env_->on_idle(*this);
+      if (!progressed) pending_exit = {ExitReason::kHalt, next};
+      break;
+    }
+    case Op::kKsvc:
+      regs_.pc = next;
+      cost = perf_.cost_ksvc;
+      FC_CHECK(env_ != nullptr, << "KSVC with no environment");
+      env_->on_ksvc(static_cast<u16>(insn.imm), *this);
+      break;
+    case Op::kAppStep:
+      regs_.pc = next;
+      FC_CHECK(env_ != nullptr, << "APPSTEP with no environment");
+      env_->on_app_step(*this);
+      break;
+    case Op::kRdtsc:
+      regs_[Reg::A] = static_cast<u32>(cycles_);
+      regs_[Reg::D] = static_cast<u32>(cycles_ >> 32);
+      regs_.pc = next;
+      break;
+    case Op::kUd2:
+      FC_UNREACHABLE(<< "UD2 handled above");
+  }
+  } catch (const GuestDataFault&) {
+    end_block(pc);
+    regs_.pc = pc;
+    return {ExitReason::kFetchFault, pc};
+  }
+
+  ++instructions_;
+  cycles_ += cost;
+  cycles_ +=
+      (mmu.stats().tlb_misses - misses_before) * perf_.cost_tlb_walk;
+  return pending_exit;
+}
+
+Exit Vcpu::run(u64 max_instructions) {
+  const u64 budget_end = instructions_ + max_instructions;
+  while (true) {
+    if (instructions_ >= budget_end) {
+      end_block(regs_.pc);
+      return {ExitReason::kInstructionLimit, regs_.pc};
+    }
+    Exit exit = step();
+    if (exit.reason != ExitReason::kNone) return exit;
+  }
+}
+
+}  // namespace fc::cpu

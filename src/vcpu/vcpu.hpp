@@ -1,0 +1,180 @@
+// The virtual CPU: fetch/decode/execute interpreter with the small amount of
+// "microcode" a kernel needs — interrupt entry/exit with user↔kernel stack
+// switching, software interrupts (syscalls), HLT, and two simulator-specific
+// instructions: KSVC (kernel leaf semantics) and APPSTEP (user workload
+// model). Everything else, including the scheduler and all syscall handler
+// logic, runs as real guest code.
+//
+// VM exits: invalid opcodes (UD2 or genuinely bad bytes — the view-switching
+// mechanism depends on this), execution breakpoints (FACE-CHANGE traps the
+// context-switch and resume-userspace addresses), HLT (lets the hypervisor
+// advance simulated time to the next device event), and fetch faults.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <vector>
+
+#include "isa/isa.hpp"
+#include "mem/machine.hpp"
+#include "vcpu/perf_model.hpp"
+
+namespace fc::cpu {
+
+enum class Mode : u8 { kUser, kKernel };
+
+/// Packed flags word saved in interrupt frames.
+struct FlagsWord {
+  static u32 pack(Mode mode, bool zf, bool interrupts_enabled) {
+    return (mode == Mode::kUser ? 1u : 0u) | (zf ? 2u : 0u) |
+           (interrupts_enabled ? 4u : 0u);
+  }
+  static Mode mode(u32 w) { return (w & 1) ? Mode::kUser : Mode::kKernel; }
+  static bool zf(u32 w) { return w & 2; }
+  static bool interrupts(u32 w) { return w & 4; }
+};
+
+struct Regs {
+  std::array<u32, isa::kNumRegs> gpr{};
+  GVirt pc = 0;
+  bool zf = false;
+  bool interrupts_enabled = false;
+  Mode mode = Mode::kKernel;
+
+  u32& operator[](isa::Reg r) { return gpr[static_cast<u8>(r)]; }
+  u32 operator[](isa::Reg r) const { return gpr[static_cast<u8>(r)]; }
+};
+
+enum class ExitReason : u8 {
+  kNone,
+  kInvalidOpcode,   // decode failed at regs.pc (including UD2)
+  kBreakpoint,      // regs.pc hit an installed exec breakpoint (pre-exec)
+  kHalt,            // HLT executed; waiting for an interrupt
+  kFetchFault,      // code fetch from unmapped memory
+  kInstructionLimit,  // run() budget exhausted (not a guest event)
+  kShutdown,        // environment requested an orderly stop
+};
+
+struct Exit {
+  ExitReason reason = ExitReason::kNone;
+  GVirt pc = 0;  // faulting / breakpoint / post-HLT pc
+};
+
+class Vcpu;
+
+/// Simulator environment: supplies semantics for KSVC and APPSTEP and
+/// observes interrupt delivery. Implemented by the guest OS runtime.
+class CpuEnv {
+ public:
+  virtual ~CpuEnv() = default;
+  /// Kernel service instruction executed (kernel mode only).
+  virtual void on_ksvc(u16 service, Vcpu& vcpu) = 0;
+  /// User application step instruction executed (user mode only).
+  virtual void on_app_step(Vcpu& vcpu) = 0;
+  /// Called when the CPU would halt or needs time to advance: return true if
+  /// an interrupt may now be pending (simulated time advanced).
+  virtual bool on_idle(Vcpu& vcpu) = 0;
+};
+
+/// Basic-block execution observer (the profiler's hook; mirrors QEMU's
+/// translation-block instrumentation).
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  /// A dynamic basic block [start, end) finished executing.
+  virtual void on_block(GVirt start, GVirt end) = 0;
+  /// An interrupt/exception was delivered (vector as seen by the IDT).
+  virtual void on_interrupt(u8 vector, bool hardware) = 0;
+};
+
+class Vcpu {
+ public:
+  explicit Vcpu(mem::Machine& machine) : machine_(&machine) {}
+
+  Regs& regs() { return regs_; }
+  const Regs& regs() const { return regs_; }
+  mem::Machine& machine() { return *machine_; }
+  mem::Mmu& mmu() { return machine_->mmu(); }
+
+  void set_env(CpuEnv* env) { env_ = env; }
+  void set_trace_sink(TraceSink* sink) { trace_ = sink; }
+  void set_perf_model(const PerfModel& pm) { perf_ = pm; }
+  const PerfModel& perf_model() const { return perf_; }
+
+  /// Simulated time.
+  Cycles cycles() const { return cycles_; }
+  void charge(Cycles extra) { cycles_ += extra; }
+
+  u64 instructions_retired() const { return instructions_; }
+
+  /// CR3 lives architecturally on the CPU; setting it flushes stage-1 TLB.
+  void set_cr3(GPhys cr3) { mmu().set_cr3(cr3); }
+  GPhys cr3() const { return machine_->mmu().cr3(); }
+
+  /// Where the interrupt descriptor table lives in guest virtual memory
+  /// (set once by the OS at boot; entries are 4-byte handler addresses).
+  void set_idt_base(GVirt base) { idt_base_ = base; }
+  /// Location holding the current task's kernel stack top (the "TSS.esp0"
+  /// equivalent); read on user→kernel transitions.
+  void set_kstack_ptr_addr(GVirt addr) { kstack_ptr_addr_ = addr; }
+
+  // --- interrupt lines (edge-triggered) --------------------------------
+  void raise_irq(u8 line) { pending_irqs_ |= (1u << line); }
+  bool irq_pending() const { return pending_irqs_ != 0; }
+  /// Model a "missed" interrupt edge: pending lines are parked and only
+  /// re-detected at `release_at` (the paper's immediate-switch hazard —
+  /// remapping kernel code during the context switch loses edges until the
+  /// next coalescing opportunity).
+  void defer_pending_irqs(Cycles release_at) {
+    deferred_irqs_ |= pending_irqs_;
+    pending_irqs_ = 0;
+    if (deferred_irqs_ != 0)
+      irq_release_at_ = std::max(irq_release_at_, release_at);
+  }
+
+  // --- execution breakpoints (hypervisor-installed) ---------------------
+  void add_breakpoint(GVirt pc);
+  void remove_breakpoint(GVirt pc);
+  bool has_breakpoint(GVirt pc) const;
+  /// Must be called by the hypervisor before resuming from a kBreakpoint
+  /// exit so the same instruction doesn't immediately re-trap.
+  void suppress_breakpoint_once() { suppress_bp_at_ = regs_.pc; }
+
+  /// Run until a VM exit or until `max_instructions` more instructions
+  /// retire.
+  Exit run(u64 max_instructions);
+
+  /// Deliver an interrupt/exception through the IDT right now (microcode).
+  /// Used internally for IRQs and INT n; exposed for tests. Returns false
+  /// (without state change) if the IDT has no handler for the vector — a
+  /// guest fault for software INT, impossible for hardware lines the OS
+  /// wired at boot.
+  bool deliver_interrupt(u8 vector, bool hardware);
+
+ private:
+  Exit step();  // exactly one instruction (or pending-IRQ delivery)
+  void end_block(GVirt end);
+
+  mem::Machine* machine_;
+  Regs regs_;
+  CpuEnv* env_ = nullptr;
+  TraceSink* trace_ = nullptr;
+  PerfModel perf_;
+
+  Cycles cycles_ = 0;
+  u64 instructions_ = 0;
+  u32 pending_irqs_ = 0;
+  u32 deferred_irqs_ = 0;
+  Cycles irq_release_at_ = 0;
+  GVirt idt_base_ = 0;
+  GVirt kstack_ptr_addr_ = 0;
+
+  std::vector<GVirt> breakpoints_;
+  GVirt suppress_bp_at_ = 0xFFFFFFFFu;
+
+  // Basic-block tracking for the trace sink.
+  GVirt block_start_ = 0;
+  bool in_block_ = false;
+};
+
+}  // namespace fc::cpu

@@ -1,0 +1,129 @@
+// Workload-model tests: every Table I application terminates, drives the
+// kernel subsystems its real-world counterpart would, and leaves the
+// expected I/O footprint.
+#include <gtest/gtest.h>
+
+#include "harness/harness.hpp"
+
+namespace fc {
+namespace {
+
+struct Footprint {
+  os::OsRuntime::IoCounters counters;
+  bool completed = false;
+};
+
+Footprint run(const std::string& app, u32 iterations = 8) {
+  harness::GuestSystem sys;
+  apps::AppScenario scenario = apps::make_app(app, iterations);
+  u32 pid = sys.os().spawn(app, scenario.model);
+  scenario.install_environment(sys.os());
+  hv::RunOutcome outcome = sys.run_until_exit(pid, 1'200'000'000);
+  Footprint fp;
+  fp.counters = sys.os().counters();
+  fp.completed = outcome != hv::RunOutcome::kGuestFault &&
+                 sys.os().task_zombie_or_dead(pid);
+  return fp;
+}
+
+TEST(Apps, ListsExactlyThePapersTwelve) {
+  EXPECT_EQ(apps::all_app_names().size(), 12u);
+}
+
+TEST(Apps, FirefoxTalksTcpAndReadsFiles) {
+  Footprint fp = run("firefox");
+  ASSERT_TRUE(fp.completed);
+  EXPECT_GT(fp.counters.net_bytes_sent, 0u);
+  EXPECT_GT(fp.counters.net_bytes_received, 0u);  // the responder replied
+  EXPECT_GT(fp.counters.fs_bytes_read, 0u);
+  EXPECT_EQ(fp.counters.fs_bytes_written, 0u);  // browsers don't write ext4 here
+}
+
+TEST(Apps, TopReadsProcAndWritesTty) {
+  Footprint fp = run("top");
+  ASSERT_TRUE(fp.completed);
+  EXPECT_GT(fp.counters.fs_bytes_read, 0u);   // /proc reads
+  EXPECT_GT(fp.counters.tty_bytes_written, 0u);
+  EXPECT_EQ(fp.counters.net_bytes_sent, 0u);  // no networking at all
+  EXPECT_EQ(fp.counters.net_bytes_received, 0u);
+}
+
+TEST(Apps, ApacheServesEveryConnection) {
+  Footprint fp = run("apache", 10);
+  ASSERT_TRUE(fp.completed);
+  EXPECT_EQ(fp.counters.responses_completed, 10u);
+  EXPECT_GT(fp.counters.net_bytes_sent, 10u * 16000u);
+}
+
+TEST(Apps, GzipIsPureFileIo) {
+  Footprint fp = run("gzip");
+  ASSERT_TRUE(fp.completed);
+  EXPECT_GT(fp.counters.fs_bytes_read, 0u);
+  EXPECT_GT(fp.counters.fs_bytes_written, 0u);
+  EXPECT_EQ(fp.counters.net_bytes_sent, 0u);
+  EXPECT_EQ(fp.counters.tty_bytes_written, 0u);
+  EXPECT_EQ(fp.counters.forks, 0u);
+}
+
+TEST(Apps, BashForksChildrenAndReapsThem) {
+  Footprint fp = run("bash", 6);
+  ASSERT_TRUE(fp.completed);
+  EXPECT_EQ(fp.counters.forks, 6u);
+  EXPECT_GT(fp.counters.tty_bytes_written, 0u);
+}
+
+TEST(Apps, SshdForksASessionPerConnection) {
+  Footprint fp = run("sshd", 5);
+  ASSERT_TRUE(fp.completed);
+  EXPECT_EQ(fp.counters.forks, 5u);
+  EXPECT_GT(fp.counters.net_bytes_received, 0u);
+}
+
+TEST(Apps, TcpdumpCapturesDatagrams) {
+  Footprint fp = run("tcpdump");
+  ASSERT_TRUE(fp.completed);
+  EXPECT_GT(fp.counters.net_bytes_received, 0u);
+  EXPECT_GT(fp.counters.tty_bytes_written, 0u);
+  EXPECT_EQ(fp.counters.fs_bytes_written, 0u);
+}
+
+TEST(Apps, MysqldMixesDiskAndNetwork) {
+  Footprint fp = run("mysqld", 6);
+  ASSERT_TRUE(fp.completed);
+  EXPECT_GT(fp.counters.fs_bytes_read, 0u);
+  EXPECT_GT(fp.counters.fs_bytes_written, 0u);  // journal writes
+  EXPECT_GT(fp.counters.net_bytes_sent, 0u);
+}
+
+TEST(Apps, MediaViewersOnlyRead) {
+  for (const char* app : {"totem", "eog"}) {
+    Footprint fp = run(app);
+    ASSERT_TRUE(fp.completed) << app;
+    EXPECT_GT(fp.counters.fs_bytes_read, 0u) << app;
+    EXPECT_EQ(fp.counters.fs_bytes_written, 0u) << app;
+    EXPECT_EQ(fp.counters.net_bytes_sent, 0u) << app;
+  }
+}
+
+TEST(Apps, GvimSavesItsBuffer) {
+  Footprint fp = run("gvim");
+  ASSERT_TRUE(fp.completed);
+  EXPECT_GT(fp.counters.fs_bytes_written, 0u);  // the :w at the end
+  EXPECT_GT(fp.counters.tty_bytes_written, 0u);
+}
+
+TEST(Apps, UtilityBinariesRegisterIdempotently) {
+  harness::GuestSystem sys;
+  apps::register_utility_binaries(sys.os());
+  apps::register_utility_binaries(sys.os());  // no duplicates, no crash
+  EXPECT_TRUE(sys.os().has_binary("ls"));
+  EXPECT_TRUE(sys.os().has_binary("cat"));
+  EXPECT_TRUE(sys.os().has_binary("sh"));
+}
+
+TEST(Apps, UnknownAppNameIsFatal) {
+  EXPECT_DEATH((void)apps::make_app("notepad"), "unknown application");
+}
+
+}  // namespace
+}  // namespace fc

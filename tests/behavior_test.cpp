@@ -1,0 +1,151 @@
+// §V-A extension tests: behavioural (syscall + argument) profiling catches
+// the attack class the paper concedes view enforcement cannot — payloads
+// that stay entirely within the victim's kernel view.
+#include <gtest/gtest.h>
+
+#include "core/behavior.hpp"
+#include "harness/harness.hpp"
+
+namespace fc {
+namespace {
+
+namespace abi = fc::abi;
+
+/// Profile apache's behaviour (syscalls + bind/connect/execve arguments).
+core::BehaviorProfile profile_apache_behavior() {
+  harness::GuestSystem sys;
+  core::BehaviorProfiler profiler(sys.hv(), sys.os().kernel());
+  profiler.add_target("apache");
+  profiler.attach();
+  apps::AppScenario apache = apps::make_app("apache", 12);
+  u32 pid = sys.os().spawn("apache", apache.model);
+  apache.install_environment(sys.os());
+  sys.run_until_exit(pid, 900'000'000);
+  profiler.detach();
+  return profiler.export_profile("apache");
+}
+
+TEST(BehaviorProfile, CapturesSyscallsAndArguments) {
+  core::BehaviorProfile profile = profile_apache_behavior();
+  EXPECT_EQ(profile.app_name, "apache");
+  // The syscalls apache's workload issues.
+  for (u32 nr : {abi::kSysSocket, abi::kSysBind, abi::kSysListen,
+                 abi::kSysAccept, abi::kSysOpen, abi::kSysRead,
+                 abi::kSysWrite, abi::kSysClose, abi::kSysExit})
+    EXPECT_TRUE(profile.allows(nr)) << nr;
+  // …and none it doesn't.
+  EXPECT_FALSE(profile.allows(abi::kSysFork));
+  EXPECT_FALSE(profile.allows(abi::kSysSetitimer));
+  // Its one bind target: port 80.
+  ASSERT_EQ(profile.constrained_args.count(abi::kSysBind), 1u);
+  EXPECT_TRUE(profile.allows_arg(abi::kSysBind, 80));
+  EXPECT_FALSE(profile.allows_arg(abi::kSysBind, 4444));
+}
+
+TEST(BehaviorProfile, SerializeParseRoundTrip) {
+  core::BehaviorProfile profile = profile_apache_behavior();
+  core::BehaviorProfile back =
+      core::BehaviorProfile::parse(profile.serialize());
+  EXPECT_EQ(back.app_name, profile.app_name);
+  EXPECT_EQ(back.syscalls, profile.syscalls);
+  EXPECT_EQ(back.constrained_args, profile.constrained_args);
+}
+
+TEST(BehaviorMonitor, CleanRunProducesNoViolations) {
+  core::BehaviorProfile profile = profile_apache_behavior();
+
+  harness::GuestSystem sys;
+  core::BehaviorMonitor monitor(sys.hv(), sys.os().kernel());
+  monitor.bind("apache", profile);
+  monitor.enable();
+  apps::AppScenario apache = apps::make_app("apache", 12);
+  u32 pid = sys.os().spawn("apache", apache.model);
+  apache.install_environment(sys.os());
+  sys.run_until_exit(pid, 900'000'000);
+  EXPECT_TRUE(sys.os().task_zombie_or_dead(pid));
+  EXPECT_GT(monitor.syscalls_checked(), 50u);
+  EXPECT_TRUE(monitor.violations().empty());
+}
+
+/// The paper's §V-A counter-example: a C&C parasite inside the web server
+/// that only uses kernel functionality already in the host's kernel view —
+/// socket/bind/listen/accept, just like apache itself, on a different port.
+void deploy_in_view_parasite(os::OsRuntime& osr, u32 pid) {
+  os::UserCodeBuilder b(osr.next_inject_addr(pid));
+  b.syscall(abi::kSysSocket, 2, 1);
+  b.a().mov(isa::Reg::SI, isa::Reg::A);
+  b.a().mov(isa::Reg::B, isa::Reg::SI);
+  b.a().mov_imm(isa::Reg::C, 4444);  // the C&C port
+  b.a().mov_imm(isa::Reg::A, abi::kSysBind);
+  b.a().int_(abi::kSyscallVector);
+  b.a().mov(isa::Reg::B, isa::Reg::SI);
+  b.a().mov_imm(isa::Reg::A, abi::kSysListen);
+  b.a().int_(abi::kSyscallVector);
+  b.jmp_abs(osr.task_entry_va(pid));  // resume serving as if nothing happened
+  osr.detour(pid, osr.inject_code(pid, b.finish()));
+}
+
+TEST(BehaviorMonitor, CatchesTheInViewCncParasite) {
+  core::BehaviorProfile behavior = profile_apache_behavior();
+  const core::KernelViewConfig& view_cfg = harness::profile_of("apache");
+
+  harness::GuestSystem sys;
+  // Both layers: view enforcement chained behind the behaviour monitor.
+  core::FaceChangeEngine engine(sys.hv(), sys.os().kernel());
+  engine.enable();
+  engine.bind("apache", engine.load_view(view_cfg));
+  core::BehaviorMonitor monitor(sys.hv(), sys.os().kernel());
+  monitor.bind("apache", behavior);
+  monitor.enable(&engine);
+
+  apps::AppScenario apache = apps::make_app("apache", 30);
+  u32 pid = sys.os().spawn("apache", apache.model);
+  apache.install_environment(sys.os());
+  sys.run_for(4'000'000);
+  deploy_in_view_parasite(sys.os(), pid);
+  sys.run_until_exit(pid, 900'000'000);
+
+  // View enforcement is blind: the parasite used only in-view kernel code.
+  EXPECT_FALSE(engine.recovery_log().recovered_function("inet_csk_get_port"));
+  EXPECT_FALSE(engine.recovery_log().recovered_function("inet_bind"));
+  // The behaviour monitor is not: bind(4444) deviates from the profile.
+  bool caught = false;
+  for (const auto& v : monitor.violations()) {
+    if (v.syscall_nr == abi::kSysBind && v.argument_violation &&
+        v.argument == 4444)
+      caught = true;
+  }
+  EXPECT_TRUE(caught) << "in-view C&C parasite must trip the behaviour "
+                         "profile";
+}
+
+TEST(BehaviorMonitor, ChainsExitsToTheEngine) {
+  // With both layers active, out-of-view attacks still recover through the
+  // chained engine (the monitor forwards everything it doesn't own).
+  const core::KernelViewConfig& view_cfg = harness::profile_of("top");
+  core::BehaviorProfile behavior;  // empty profile: everything violates
+  behavior.app_name = "top";
+
+  harness::GuestSystem sys;
+  core::FaceChangeEngine engine(sys.hv(), sys.os().kernel());
+  engine.enable();
+  engine.bind("top", engine.load_view(view_cfg));
+  core::BehaviorMonitor monitor(sys.hv(), sys.os().kernel());
+  monitor.bind("top", behavior);
+  monitor.enable(&engine);
+
+  apps::AppScenario top = apps::make_app("top", 25);
+  u32 pid = sys.os().spawn("top", top.model);
+  top.install_environment(sys.os());
+  sys.run_for(4'000'000);
+  auto attack = attacks::make_attack("Injectso");
+  attack->deploy(sys.os(), pid);
+  sys.run_until_exit(pid, 600'000'000);
+
+  // Both layers fired: recoveries via the chained engine, violations here.
+  EXPECT_TRUE(engine.recovery_log().recovered_function("udp_recvmsg"));
+  EXPECT_FALSE(monitor.violations().empty());
+}
+
+}  // namespace
+}  // namespace fc

@@ -1,0 +1,186 @@
+// FACE-CHANGE engine tests (Algorithm 1): view switching at the guest's
+// context switches, deferral to resume-userspace, same-view optimization,
+// selectors, hot load/unload, EPT state transitions, and cost accounting.
+#include <gtest/gtest.h>
+
+#include "harness/harness.hpp"
+
+namespace fc {
+namespace {
+
+using mem::GuestLayout;
+
+class EngineFixture : public ::testing::Test {
+ protected:
+  EngineFixture()
+      : engine_(sys_.hv(), sys_.os().kernel()) {}
+
+  u8 current_byte(GVirt va) {
+    return sys_.hv().machine().pread8(GuestLayout::kernel_pa(va));
+  }
+
+  harness::GuestSystem sys_;
+  core::FaceChangeEngine engine_;
+};
+
+TEST_F(EngineFixture, ForceActivateRedirectsKernelCode) {
+  const os::KernelImage& kernel = sys_.os().kernel();
+  GVirt probe = kernel.symbols.must_addr("udp_recvmsg");
+  u8 pristine = current_byte(probe);
+  EXPECT_EQ(pristine, 0x55);  // prologue
+
+  engine_.enable();
+  u32 view = engine_.load_view(harness::profile_of("top"));
+  engine_.force_activate(view);
+  // top never touches UDP: through the EPT the same VA now reads UD2.
+  EXPECT_EQ(current_byte(probe) == 0x0F || current_byte(probe) == 0x0B, true);
+  EXPECT_EQ(engine_.active_view_id(), view);
+
+  engine_.force_activate(core::kFullKernelViewId);
+  EXPECT_EQ(current_byte(probe), 0x55);
+}
+
+TEST_F(EngineFixture, ProfiledCodeIsPresentInTheActiveView) {
+  const os::KernelImage& kernel = sys_.os().kernel();
+  engine_.enable();
+  u32 view = engine_.load_view(harness::profile_of("top"));
+  engine_.force_activate(view);
+  // Code top DOES use is byte-identical to the pristine kernel.
+  for (const char* fn : {"proc_reg_read", "sys_nanosleep", "tty_write",
+                         "schedule", "syscall_call"}) {
+    GVirt addr = kernel.symbols.must_addr(fn);
+    EXPECT_EQ(current_byte(addr),
+              sys_.hv().pristine_read8(addr)) << fn;
+  }
+  engine_.force_activate(core::kFullKernelViewId);
+}
+
+TEST_F(EngineFixture, SwitchesOnGuestContextSwitches) {
+  engine_.enable();
+  u32 view = engine_.load_view(harness::profile_of("top"));
+  engine_.bind("top", view);
+
+  apps::AppScenario top = apps::make_app("top", 6);
+  u32 pid = sys_.os().spawn("top", top.model);
+  top.install_environment(sys_.os());
+  sys_.run_until_exit(pid, 600'000'000);
+
+  EXPECT_GT(engine_.stats().context_switch_traps, 10u);
+  EXPECT_GT(engine_.stats().resume_traps, 0u);
+  EXPECT_GT(engine_.stats().view_switches, 1u);
+  EXPECT_GT(engine_.stats().switch_cycles_charged, 0u);
+  // After the workload, the idle task (full view) is current again.
+  EXPECT_EQ(engine_.active_view_id(), core::kFullKernelViewId);
+}
+
+TEST_F(EngineFixture, SameViewOptimizationSkipsSwitches) {
+  engine_.enable();
+  u32 view = engine_.load_view(harness::profile_of("gzip"));
+  engine_.bind("gzip", view);
+  // Two gzip processes sharing one view.
+  apps::AppScenario a = apps::make_app("gzip", 6);
+  apps::AppScenario b = apps::make_app("gzip", 6);
+  u32 p1 = sys_.os().spawn("gzip", a.model);
+  u32 p2 = sys_.os().spawn("gzip", b.model);
+  sys_.hv().run([&] {
+    return sys_.os().task_zombie_or_dead(p1) &&
+           sys_.os().task_zombie_or_dead(p2);
+  });
+  EXPECT_GT(engine_.stats().switches_skipped_same_view, 0u);
+}
+
+TEST_F(EngineFixture, UnboundProcessesRunUnderTheFullView) {
+  engine_.enable();
+  u32 view = engine_.load_view(harness::profile_of("top"));
+  engine_.bind("top", view);
+
+  // gzip is NOT bound: running it must not create recoveries even though
+  // its kernel needs differ from top's view.
+  apps::AppScenario gzip = apps::make_app("gzip", 6);
+  u32 pid = sys_.os().spawn("gzip", gzip.model);
+  sys_.run_until_exit(pid, 600'000'000);
+  EXPECT_EQ(engine_.recovery_log().size(), 0u);
+  EXPECT_TRUE(sys_.os().task_zombie_or_dead(pid));
+}
+
+TEST_F(EngineFixture, HotUnloadWhileActiveRevertsToFullView) {
+  const os::KernelImage& kernel = sys_.os().kernel();
+  GVirt probe = kernel.symbols.must_addr("udp_recvmsg");
+  engine_.enable();
+  u32 view = engine_.load_view(harness::profile_of("top"));
+  engine_.force_activate(view);
+  ASSERT_NE(current_byte(probe), 0x55);
+
+  engine_.unload_view(view);  // §III-B4: hot unplug
+  EXPECT_EQ(engine_.active_view_id(), core::kFullKernelViewId);
+  EXPECT_EQ(current_byte(probe), 0x55);
+  EXPECT_EQ(engine_.view_count(), 0u);
+}
+
+TEST_F(EngineFixture, DisableRestoresEverything) {
+  const os::KernelImage& kernel = sys_.os().kernel();
+  GVirt probe = kernel.symbols.must_addr("udp_recvmsg");
+  engine_.enable();
+  u32 view = engine_.load_view(harness::profile_of("top"));
+  engine_.bind("top", view);
+  engine_.force_activate(view);
+  engine_.disable();
+  EXPECT_EQ(current_byte(probe), 0x55);
+  EXPECT_FALSE(engine_.enabled());
+  // The guest keeps running normally afterwards.
+  apps::AppScenario gzip = apps::make_app("gzip", 4);
+  u32 pid = sys_.os().spawn("gzip", gzip.model);
+  EXPECT_NE(sys_.run_until_exit(pid, 600'000'000),
+            hv::RunOutcome::kGuestFault);
+}
+
+TEST_F(EngineFixture, RebindSwitchesSelectors) {
+  engine_.enable();
+  u32 top_view = engine_.load_view(harness::profile_of("top"));
+  engine_.bind("worker", top_view);
+  engine_.unbind("worker");
+  // After unbind, the process runs under the full view: no recoveries.
+  apps::AppScenario gzip = apps::make_app("gzip", 4);
+  u32 pid = sys_.os().spawn("worker", gzip.model);
+  sys_.run_until_exit(pid, 600'000'000);
+  EXPECT_EQ(engine_.recovery_log().size(), 0u);
+}
+
+TEST_F(EngineFixture, MultipleViewsCoexistAndSwitchPerProcess) {
+  engine_.enable();
+  engine_.bind("top", engine_.load_view(harness::profile_of("top")));
+  engine_.bind("gzip", engine_.load_view(harness::profile_of("gzip")));
+
+  apps::AppScenario top = apps::make_app("top", 6);
+  apps::AppScenario gzip = apps::make_app("gzip", 6);
+  u32 p1 = sys_.os().spawn("top", top.model);
+  u32 p2 = sys_.os().spawn("gzip", gzip.model);
+  top.install_environment(sys_.os());
+  hv::RunOutcome outcome = sys_.hv().run([&] {
+    return sys_.os().task_zombie_or_dead(p1) &&
+           sys_.os().task_zombie_or_dead(p2);
+  });
+  EXPECT_NE(outcome, hv::RunOutcome::kGuestFault);
+  // Both completed under enforcement with at most benign recoveries.
+  EXPECT_TRUE(sys_.os().task_zombie_or_dead(p1));
+  EXPECT_TRUE(sys_.os().task_zombie_or_dead(p2));
+  EXPECT_GT(engine_.stats().view_switches, 4u);
+}
+
+TEST_F(EngineFixture, SwitchCostsScaleWithEptWrites) {
+  engine_.enable();
+  u32 view = engine_.load_view(harness::profile_of("top"));
+  Cycles before = engine_.stats().switch_cycles_charged;
+  engine_.force_activate(view);
+  Cycles first = engine_.stats().switch_cycles_charged - before;
+  const cpu::PerfModel& pm = sys_.vcpu().perf_model();
+  // At least: base-kernel PDE writes + TLB flush.
+  EXPECT_GE(first, 2u * pm.cost_ept_pde_write + pm.cost_tlb_flush);
+  // Same-view skip charges nothing.
+  before = engine_.stats().switch_cycles_charged;
+  engine_.force_activate(view);
+  EXPECT_EQ(engine_.stats().switch_cycles_charged, before);
+}
+
+}  // namespace
+}  // namespace fc

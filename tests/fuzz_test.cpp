@@ -1,0 +1,259 @@
+// Randomized robustness sweeps: the strongest property in the paper's
+// design is that kernel code recovery makes view enforcement *transparent*
+// — any workload, under any (even completely wrong) view, must behave
+// exactly as under the full kernel view, differing only in recovery-log
+// noise. These TEST_P sweeps drive randomized syscall workloads under
+// deliberately mismatched views and require zero guest faults and
+// behavioural equivalence.
+#include <gtest/gtest.h>
+
+#include "harness/harness.hpp"
+
+namespace fc {
+namespace {
+
+namespace abi = fc::abi;
+using os::AppAction;
+
+/// A seeded random workload: opens random files, reads/writes/polls random
+/// fds, creates pipes and sockets, sleeps, forks occasionally — weighted so
+/// it stays live-locked-free and terminates after `steps`.
+class ChaosModel : public os::AppModel {
+ public:
+  ChaosModel(u64 seed, u32 steps) : rng_(seed), steps_(steps) {}
+
+  AppAction next(u32 last, os::OsRuntime&, u32) override {
+    // Harvest fds from the previous syscall.
+    switch (want_) {
+      case kFile:
+        if (last < 64) readable_.push_back(last);
+        break;
+      case kPipe:
+        if (last < 0x40000000) {
+          pipes_.push_back({last & 0xFFFF, last >> 16, false});
+        }
+        break;
+      case kSock:
+        if (last < 64) sockets_.push_back(last);
+        break;
+      case kNothing:
+        break;
+    }
+    want_ = kNothing;
+    if (done_++ >= steps_) return AppAction::syscall(abi::kSysExit);
+
+    switch (rng_.below(13)) {
+      case 0: {
+        static constexpr u32 kPaths[] = {
+            os::kPathEtcConf, os::kPathDataFile, os::kPathLogFile,
+            os::kPathProcStat, os::kPathProcMeminfo, os::kPathMediaFile};
+        want_ = kFile;
+        return AppAction::syscall(abi::kSysOpen, kPaths[rng_.below(6)], 0);
+      }
+      case 1:  // read a file fd (ext4/proc: never blocks forever) or tty
+        if (!readable_.empty() && rng_.chance(0.8)) {
+          return AppAction::syscall(abi::kSysRead, pick(readable_),
+                                    1u << rng_.between(4, 13));
+        }
+        return AppAction::syscall(abi::kSysRead, 0, 8);  // tty (keystrokes)
+      case 2:
+        return AppAction::syscall(abi::kSysWrite,
+                                  readable_.empty() ? 1 : pick(readable_),
+                                  1u << rng_.between(4, 12));
+      case 3:  // pipe ping: write the pipe, mark it readable
+        if (pipes_.empty()) {
+          want_ = kPipe;
+          return AppAction::syscall(abi::kSysPipe);
+        } else {
+          PipePair& p = pipes_[rng_.below(static_cast<u32>(pipes_.size()))];
+          p.has_data = true;
+          return AppAction::syscall(abi::kSysWrite, p.wfd, 64);
+        }
+      case 4: {  // pipe read, only when data is known to be there
+        for (PipePair& p : pipes_) {
+          if (p.has_data) {
+            p.has_data = false;
+            return AppAction::syscall(abi::kSysRead, p.rfd, 4096);
+          }
+        }
+        want_ = kPipe;
+        return AppAction::syscall(abi::kSysPipe);
+      }
+      case 5:
+        want_ = kSock;
+        return AppAction::syscall(abi::kSysSocket, 2, rng_.between(1, 2));
+      case 6:  // socket ops that cannot block forever
+        if (!sockets_.empty()) {
+          u32 fd = pick(sockets_);
+          if (rng_.chance(0.5))
+            return AppAction::syscall(abi::kSysBind, fd,
+                                      9000 + rng_.below(64));
+          return AppAction::syscall(abi::kSysSendto, fd, 256);
+        }
+        return AppAction::syscall(abi::kSysGetpid);
+      case 7:
+        return AppAction::syscall(abi::kSysStat, os::kPathEtcConf);
+      case 8:
+        return AppAction::syscall(abi::kSysNanosleep, 1);
+      case 9:
+        if (!readable_.empty())
+          return AppAction::syscall(abi::kSysGetdents, pick(readable_), 128);
+        return AppAction::syscall(abi::kSysUname);
+      case 10:
+        return AppAction::compute_only(rng_.between(100, 20000));
+      case 11:
+        return AppAction::syscall(abi::kSysIoctl, 1, 0x5401);
+      default:
+        return AppAction::syscall(abi::kSysBrk, 4096);
+    }
+  }
+
+ private:
+  struct PipePair {
+    u32 rfd, wfd;
+    bool has_data;
+  };
+  enum Pending { kNothing, kFile, kPipe, kSock };
+  u32 pick(const std::vector<u32>& v) {
+    return v[rng_.below(static_cast<u32>(v.size()))];
+  }
+
+  Rng rng_;
+  u32 steps_;
+  u32 done_ = 0;
+  Pending want_ = kNothing;
+  std::vector<u32> readable_;
+  std::vector<PipePair> pipes_;
+  std::vector<u32> sockets_;
+};
+
+struct ChaosResult {
+  bool completed = false;
+  u64 syscalls = 0;
+  u64 fs_read = 0, fs_written = 0, tty_written = 0;
+};
+
+ChaosResult run_chaos(u64 seed, const core::KernelViewConfig* view) {
+  harness::GuestSystem sys;
+  std::unique_ptr<core::FaceChangeEngine> engine;
+  if (view != nullptr) {
+    engine = std::make_unique<core::FaceChangeEngine>(sys.hv(),
+                                                      sys.os().kernel());
+    engine->enable();
+    core::KernelViewConfig cfg = *view;
+    cfg.app_name = "chaos";
+    engine->bind("chaos", engine->load_view(cfg));
+  }
+  u32 pid = sys.os().spawn("chaos", std::make_shared<ChaosModel>(seed, 120));
+  sys.os().schedule_keystrokes(1'000'000, 300'000, 2000);  // feed tty reads
+  hv::RunOutcome outcome = sys.run_until_exit(pid, 2'000'000'000ull);
+  ChaosResult result;
+  result.completed = outcome != hv::RunOutcome::kGuestFault &&
+                     sys.os().task_zombie_or_dead(pid);
+  result.syscalls = sys.os().counters().syscalls;
+  result.fs_read = sys.os().counters().fs_bytes_read;
+  result.fs_written = sys.os().counters().fs_bytes_written;
+  result.tty_written = sys.os().counters().tty_bytes_written;
+  return result;
+}
+
+class ChaosSweep : public ::testing::TestWithParam<u64> {};
+
+TEST_P(ChaosSweep, SurvivesUnderAMismatchedViewWithIdenticalBehaviour) {
+  // Baseline: full kernel view.
+  ChaosResult full = run_chaos(GetParam(), nullptr);
+  ASSERT_TRUE(full.completed);
+  ASSERT_GT(full.syscalls, 50u);
+
+  // Under top's view (wrong for almost everything this workload does):
+  // recovery must transparently heal every excursion.
+  const core::KernelViewConfig& wrong = harness::profile_of("top");
+  ChaosResult enforced = run_chaos(GetParam(), &wrong);
+  EXPECT_TRUE(enforced.completed);
+  EXPECT_EQ(enforced.syscalls, full.syscalls);
+  EXPECT_EQ(enforced.fs_read, full.fs_read);
+  EXPECT_EQ(enforced.fs_written, full.fs_written);
+  EXPECT_EQ(enforced.tty_written, full.tty_written);
+}
+
+TEST_P(ChaosSweep, SurvivesUnderAnEmptyView) {
+  // The most hostile case: a view containing nothing but the mandatory
+  // entry code — every kernel function the workload touches must be
+  // recovered on first use.
+  harness::GuestSystem probe;
+  core::KernelViewConfig empty;
+  empty.app_name = "chaos";
+  for (const os::FuncMeta& fn : probe.os().kernel().functions) {
+    if (fn.subsystem == "entry" || fn.name == "schedule" ||
+        fn.name == "__switch_to" || fn.name == "pick_next_task" ||
+        fn.name == "update_curr") {
+      empty.base.insert(fn.address, fn.address + fn.size);
+    }
+  }
+  ChaosResult enforced = run_chaos(GetParam() ^ 0xABCD, &empty);
+  EXPECT_TRUE(enforced.completed);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChaosSweep,
+                         ::testing::Values(101, 202, 303, 404, 505, 606));
+
+// ---------------------------------------------------------------------------
+// Hostile-guest hardening: arbitrary user code bytes — garbage, stray INTs,
+// wild pointers — may at worst kill the *guest*; they must never abort the
+// simulator, and must never disturb other processes or the enforcement
+// engine.
+// ---------------------------------------------------------------------------
+
+class HostileGuest : public ::testing::TestWithParam<u64> {};
+
+TEST_P(HostileGuest, RandomBytesAsUserCodeNeverKillTheHost) {
+  Rng rng(GetParam());
+  harness::GuestSystem sys;
+  core::FaceChangeEngine engine(sys.hv(), sys.os().kernel());
+  engine.enable();
+  engine.bind("top", engine.load_view(harness::profile_of("top")));
+
+  // A healthy enforced workload shares the machine with the hostile one.
+  apps::AppScenario top = apps::make_app("top", 10);
+  u32 good = sys.os().spawn("top", top.model);
+  top.install_environment(sys.os());
+
+  os::ProgramImage garbage;
+  garbage.code.resize(4096);
+  for (u8& b : garbage.code) b = static_cast<u8>(rng.next_u32());
+  class Never : public os::AppModel {
+   public:
+    os::AppAction next(u32, os::OsRuntime&, u32) override {
+      return os::AppAction::compute_only(100);
+    }
+  };
+  u32 evil = sys.os().spawn("garbage", std::make_shared<Never>(), garbage);
+
+  // Run until the healthy app finishes. The hostile one either faulted (its
+  // fault is absorbed: the engine only treats *managed* regions as
+  // recoverable; user faults kill the guest run loop) — so run in slices
+  // and tolerate kGuestFault exits by terminating the offender.
+  const Cycles deadline = sys.vcpu().cycles() + 1'500'000'000ull;
+  while (!sys.os().task_zombie_or_dead(good) &&
+         sys.vcpu().cycles() < deadline) {
+    hv::RunOutcome outcome = sys.hv().run([&] {
+      return sys.os().task_zombie_or_dead(good) ||
+             sys.vcpu().cycles() >= deadline;
+    });
+    if (outcome == hv::RunOutcome::kGuestFault) {
+      // The hypervisor reported the fault instead of crashing: terminate
+      // the offending process and keep the machine alive.
+      u32 victim = sys.os().current_pid();
+      ASSERT_EQ(victim, evil)
+          << "fault attributed to the healthy process";
+      sys.os().terminate_task(evil);
+    }
+  }
+  EXPECT_TRUE(sys.os().task_zombie_or_dead(good));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HostileGuest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace fc

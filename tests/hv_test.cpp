@@ -1,0 +1,141 @@
+// Hypervisor-layer tests: symbol tables, VMI (task structs, module list,
+// symbolization, UNKNOWN), the event queue, and pristine code reads.
+#include <gtest/gtest.h>
+
+#include "harness/harness.hpp"
+#include "hv/event_queue.hpp"
+#include "hv/symbols.hpp"
+
+namespace fc::hv {
+namespace {
+
+TEST(SymbolTable, LookupAndSymbolize) {
+  SymbolTable table;
+  table.add("alpha", 0x1000, 0x40);
+  table.add("beta", 0x1040, 0x20);
+  EXPECT_EQ(table.must_addr("alpha"), 0x1000u);
+  EXPECT_EQ(*table.symbolize(0x1000), "alpha");
+  EXPECT_EQ(*table.symbolize(0x1017), "alpha+0x17");
+  EXPECT_EQ(*table.symbolize(0x1040), "beta");
+  EXPECT_FALSE(table.symbolize(0x1060).has_value());  // past beta's end
+  EXPECT_FALSE(table.symbolize(0x0FFF).has_value());
+  EXPECT_EQ(table.find_covering(0x1041)->name, "beta");
+}
+
+TEST(SymbolTable, MissingSymbolIsFatal) {
+  SymbolTable table;
+  EXPECT_DEATH((void)table.must_addr("nope"), "unknown symbol");
+}
+
+TEST(EventQueue, FiresInDeadlineOrderWithFifoTieBreak) {
+  EventQueue queue;
+  std::vector<int> order;
+  queue.schedule_at(200, [&] { order.push_back(2); });
+  queue.schedule_at(100, [&] { order.push_back(1); });
+  queue.schedule_at(200, [&] { order.push_back(3); });  // same deadline: FIFO
+  queue.schedule_at(300, [&] { order.push_back(4); });
+  EXPECT_EQ(queue.next_deadline(), 100u);
+  EXPECT_EQ(queue.run_due(250), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(queue.run_due(299), 0u);
+  EXPECT_EQ(queue.run_due(300), 1u);
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST(EventQueue, ActionsMayScheduleMoreEvents) {
+  EventQueue queue;
+  int fired = 0;
+  queue.schedule_at(10, [&] {
+    ++fired;
+    queue.schedule_at(20, [&] { ++fired; });
+  });
+  queue.run_due(30);  // the nested event is already due
+  queue.run_due(30);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Vmi, ReadsTasksAndModules) {
+  harness::GuestSystem sys;
+  Vmi& vmi = sys.hv().vmi();
+  TaskInfo idle = vmi.current_task();
+  EXPECT_EQ(idle.pid, 0u);
+  EXPECT_EQ(idle.comm, "swapper");
+
+  auto mods = vmi.module_list();
+  ASSERT_EQ(mods.size(), 1u);
+  EXPECT_EQ(mods[0].name, "e1000");
+  auto covering = vmi.module_covering(mods[0].base + 10);
+  ASSERT_TRUE(covering.has_value());
+  EXPECT_EQ(covering->name, "e1000");
+  EXPECT_FALSE(vmi.module_covering(mods[0].base + mods[0].size).has_value());
+}
+
+TEST(Vmi, SymbolizesKernelModuleAndUnknown) {
+  harness::GuestSystem sys;
+  Vmi& vmi = sys.hv().vmi();
+  const os::KernelImage& kernel = sys.os().kernel();
+  GVirt schedule = kernel.symbols.must_addr("schedule");
+  EXPECT_EQ(vmi.symbolize(schedule), "schedule");
+  EXPECT_EQ(vmi.symbolize(schedule + 5), "schedule+0x5");
+
+  auto mod = sys.os().loaded_module("e1000");
+  std::string sym = vmi.symbolize(mod->base);
+  EXPECT_EQ(sym.rfind("e1000", 0), 0u) << sym;
+
+  // Kernel heap data (no module, no text): UNKNOWN.
+  EXPECT_EQ(vmi.symbolize(0xC17FF000), "UNKNOWN");
+  EXPECT_TRUE(vmi.is_base_kernel_text(schedule));
+  EXPECT_FALSE(vmi.is_base_kernel_text(0xC17FF000));
+  EXPECT_TRUE(vmi.is_plausible_code_address(mod->base + 4));
+  EXPECT_FALSE(vmi.is_plausible_code_address(0xC17FF000));
+}
+
+TEST(Hypervisor, PristineReadsIgnoreActiveViews) {
+  harness::GuestSystem sys;
+  const os::KernelImage& kernel = sys.os().kernel();
+  GVirt probe = kernel.symbols.must_addr("udp_recvmsg");
+
+  core::FaceChangeEngine engine(sys.hv(), sys.os().kernel());
+  engine.enable();
+  u32 view = engine.load_view(harness::profile_of("top"));
+  engine.force_activate(view);
+  // The current mapping shows UD2; the pristine read still shows the
+  // prologue.
+  EXPECT_EQ(sys.hv().pristine_read8(probe), 0x55);
+  engine.force_activate(core::kFullKernelViewId);
+}
+
+TEST(Hypervisor, ExitStatisticsAccumulate) {
+  harness::GuestSystem sys;
+  core::FaceChangeEngine engine(sys.hv(), sys.os().kernel());
+  engine.enable();
+  engine.bind("top", engine.load_view(harness::profile_of("top")));
+  sys.hv().reset_stats();
+  apps::AppScenario top = apps::make_app("top", 5);
+  u32 pid = sys.os().spawn("top", top.model);
+  top.install_environment(sys.os());
+  sys.run_until_exit(pid, 600'000'000);
+  EXPECT_GT(sys.hv().stats().breakpoint_exits, 0u);
+}
+
+TEST(Hypervisor, UnhandledInvalidOpcodeIsAGuestFault) {
+  harness::GuestSystem sys;
+  // Inject a UD2 into a user program with no FACE-CHANGE handler.
+  class Crasher : public os::AppModel {
+   public:
+    os::AppAction next(u32, os::OsRuntime&, u32) override {
+      return os::AppAction::compute_only(100);
+    }
+  };
+  isa::Assembler a;
+  a.ud2();
+  os::ProgramImage program;
+  program.code = a.finish(os::kUserCodeVa);
+  u32 pid = sys.os().spawn("crasher", std::make_shared<Crasher>(), program);
+  hv::RunOutcome outcome = sys.run_until_exit(pid, 50'000'000);
+  EXPECT_EQ(outcome, hv::RunOutcome::kGuestFault);
+  EXPECT_EQ(sys.hv().last_fault_pc(), os::kUserCodeVa);
+}
+
+}  // namespace
+}  // namespace fc::hv

@@ -1,0 +1,130 @@
+// §V-B extension tests: kernel data integrity monitoring — syscall-table
+// hook detection (at install time, before any victim executes the hook) and
+// DKOM self-hiding exposure via cross-view module-list comparison.
+#include <gtest/gtest.h>
+
+#include "core/integrity.hpp"
+#include "harness/harness.hpp"
+
+namespace fc {
+namespace {
+
+namespace abi = fc::abi;
+
+TEST(Integrity, CleanSystemHasNoViolations) {
+  harness::GuestSystem sys;
+  core::KernelIntegrityMonitor monitor(sys.hv(), sys.os().kernel());
+  monitor.take_baseline();
+  sys.run_for(20'000'000);
+  apps::AppScenario gzip = apps::make_app("gzip", 5);
+  u32 pid = sys.os().spawn("gzip", gzip.model);
+  sys.run_until_exit(pid, 600'000'000);
+  EXPECT_TRUE(monitor.check().empty());
+}
+
+TEST(Integrity, DetectsSyscallTableHookAtInstallTime) {
+  harness::GuestSystem sys;
+  core::KernelIntegrityMonitor monitor(sys.hv(), sys.os().kernel());
+  monitor.take_baseline();
+
+  // Sebek hooks sys_read and stays visible in the module list: the monitor
+  // must report the rewritten slot and symbolize the hook by module name —
+  // before any protected process ever executes it.
+  auto sebek = attacks::make_attack("Sebek");
+  sebek->deploy(sys.os(), 0);
+  sys.run_for(30'000'000);
+
+  auto violations = monitor.check();
+  ASSERT_EQ(violations.size(), 1u);
+  const auto& v = violations[0];
+  EXPECT_EQ(v.table, core::KernelIntegrityMonitor::Violation::Table::kSyscallTable);
+  EXPECT_EQ(v.slot, static_cast<u32>(abi::kSysRead));
+  EXPECT_EQ(v.target.rfind("sebek_sys_read", 0), 0u) << v.target;
+  EXPECT_NE(v.render().find("syscall_table[3]"), std::string::npos);
+}
+
+TEST(Integrity, HiddenModuleHookSymbolizesAsUnknown) {
+  harness::GuestSystem sys;
+  core::KernelIntegrityMonitor monitor(sys.hv(), sys.os().kernel());
+  monitor.take_baseline();
+
+  auto kbeast = attacks::make_attack("KBeast");  // hides itself
+  kbeast->deploy(sys.os(), 0);
+  sys.run_for(30'000'000);
+
+  auto violations = monitor.check();
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].slot, static_cast<u32>(abi::kSysRead));
+  // The hook points into a region the guest claims doesn't exist.
+  EXPECT_EQ(violations[0].target, "UNKNOWN");
+}
+
+TEST(Integrity, CrossViewComparisonExposesDkomSelfHiding) {
+  harness::GuestSystem sys;
+  core::KernelIntegrityMonitor monitor(sys.hv(), sys.os().kernel());
+  monitor.take_baseline();
+  // Out-of-band truth: what the host actually loaded. (A real deployment
+  // scans memory; the comparison logic is identical.)
+  monitor.set_module_truth_source([&sys] {
+    std::vector<hv::ModuleInfo> truth;
+    for (const char* name : {"e1000", "ipsecs_kbeast_v1"}) {
+      if (auto mod = sys.os().loaded_module(name)) truth.push_back(*mod);
+    }
+    return truth;
+  });
+
+  EXPECT_TRUE(monitor.find_hidden_modules().empty());
+
+  auto kbeast = attacks::make_attack("KBeast");
+  kbeast->deploy(sys.os(), 0);
+  sys.run_for(30'000'000);
+
+  auto hidden = monitor.find_hidden_modules();
+  ASSERT_EQ(hidden.size(), 1u);
+  EXPECT_EQ(hidden[0].name, "ipsecs_kbeast_v1");
+}
+
+TEST(Integrity, LegitimateModuleLoadIsNotFlagged) {
+  harness::GuestSystem sys;
+  core::KernelIntegrityMonitor monitor(sys.hv(), sys.os().kernel());
+  monitor.take_baseline();
+
+  // A benign module that hooks nothing.
+  os::Blueprint bp;
+  bp.add("benign_fn", "test", [](os::EmitCtx& c) { c.pad(24); });
+  u32 id = sys.os().register_module({"benign", std::move(bp), "", true,
+                                     nullptr});
+  sys.os().load_module_now(id);
+  sys.run_for(10'000'000);
+  EXPECT_TRUE(monitor.check().empty());
+}
+
+TEST(Integrity, ComplementsViewEnforcement) {
+  // Full stack: views + behaviour + integrity. Adore-ng's dormant hook is
+  // caught by the integrity scan even before `top` runs getdents.
+  harness::GuestSystem sys;
+  core::FaceChangeEngine engine(sys.hv(), sys.os().kernel());
+  core::KernelIntegrityMonitor monitor(sys.hv(), sys.os().kernel());
+  monitor.take_baseline();
+
+  auto adore = attacks::make_attack("Adore-ng");
+  adore->deploy(sys.os(), 0);
+  sys.run_for(30'000'000);
+
+  // Integrity: immediate, execution-free detection.
+  auto violations = monitor.check();
+  ASSERT_FALSE(violations.empty());
+  EXPECT_EQ(violations[0].slot, static_cast<u32>(abi::kSysGetdents));
+
+  // Views: detection when the victim actually trips the hook.
+  engine.enable();
+  engine.bind("top", engine.load_view(harness::profile_of("top")));
+  apps::AppScenario top = apps::make_app("top", 8);
+  u32 pid = sys.os().spawn("top", top.model);
+  top.install_environment(sys.os());
+  sys.run_until_exit(pid, 600'000'000);
+  EXPECT_TRUE(engine.recovery_log().recovered_function("adore_"));
+}
+
+}  // namespace
+}  // namespace fc

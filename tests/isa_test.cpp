@@ -1,0 +1,220 @@
+// ISA unit tests: byte-exact encodings the paper's mechanisms depend on,
+// decoder totality, assembler fixups, and encode/decode round-trip
+// properties over randomized instruction streams.
+#include <gtest/gtest.h>
+
+#include "isa/assembler.hpp"
+#include "isa/isa.hpp"
+#include "support/rng.hpp"
+
+namespace fc::isa {
+namespace {
+
+DecodeResult decode_bytes(std::initializer_list<u8> bytes) {
+  std::vector<u8> v(bytes);
+  return decode(v);
+}
+
+TEST(Isa, Ud2IsTheTwoByteInvalidOpcode) {
+  DecodeResult r = decode_bytes({0x0F, 0x0B});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.insn.op, Op::kUd2);
+  EXPECT_EQ(r.insn.length, 2);
+}
+
+TEST(Isa, ShiftedUd2PairDecodesAsValidOr) {
+  // The paper's Figure 3 hazard: at an odd offset into UD2 filler the
+  // stream reads 0B 0F, which is a *valid* OR instruction on real x86 and
+  // here — it must NOT trap.
+  DecodeResult r = decode_bytes({0x0B, 0x0F});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.insn.op, Op::kOr);
+}
+
+TEST(Isa, PrologueSignatureBytes) {
+  // push %ebp = 55; mov %ebp,%esp = 89 E5 — the boundary-search signature.
+  Assembler a;
+  a.prologue();
+  std::vector<u8> bytes = a.finish(0);
+  ASSERT_EQ(bytes.size(), 3u);
+  EXPECT_EQ(bytes[0], 0x55);
+  EXPECT_EQ(bytes[1], 0x89);
+  EXPECT_EQ(bytes[2], 0xE5);
+
+  DecodeResult push = decode(bytes);
+  ASSERT_TRUE(push.ok());
+  EXPECT_EQ(push.insn.op, Op::kPush);
+  EXPECT_EQ(push.insn.r1, Reg::FP);
+  DecodeResult mov = decode(std::span<const u8>(bytes).subspan(1));
+  ASSERT_TRUE(mov.ok());
+  EXPECT_EQ(mov.insn.op, Op::kMovRR);
+  EXPECT_EQ(mov.insn.r1, Reg::FP);
+  EXPECT_EQ(mov.insn.r2, Reg::SP);
+}
+
+TEST(Isa, SyscallDispatchEncodingMatchesFigure3) {
+  // call *table(,%eax,4) must be FF 14 85 imm32, as shown in the paper.
+  Assembler a;
+  a.calltab(0xC0598150);
+  std::vector<u8> bytes = a.finish(0);
+  ASSERT_EQ(bytes.size(), 7u);
+  EXPECT_EQ(bytes[0], 0xFF);
+  EXPECT_EQ(bytes[1], 0x14);
+  EXPECT_EQ(bytes[2], 0x85);
+  DecodeResult r = decode(bytes);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.insn.op, Op::kCallTab);
+  EXPECT_EQ(r.insn.imm, 0xC0598150u);
+}
+
+TEST(Isa, CallRelTarget) {
+  Assembler a;
+  auto label = a.make_label();
+  a.nop();
+  a.call(label);
+  a.nop();
+  a.bind(label);
+  a.ret();
+  std::vector<u8> bytes = a.finish(0x1000);
+  // call at 0x1001, length 5, next 0x1006, nop, label at 0x1007.
+  DecodeResult r = decode(std::span<const u8>(bytes).subspan(1));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.insn.op, Op::kCall);
+  EXPECT_EQ(r.insn.rel_target(0x1001), 0x1007u);
+}
+
+TEST(Isa, BackwardShortJump) {
+  Assembler a;
+  auto loop = a.make_label();
+  a.bind(loop);
+  a.nop();
+  a.jz(loop);
+  std::vector<u8> bytes = a.finish(0x2000);
+  DecodeResult r = decode(std::span<const u8>(bytes).subspan(1));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.insn.op, Op::kJz);
+  EXPECT_EQ(r.insn.rel_target(0x2001), 0x2000u);
+}
+
+TEST(Isa, SymbolFixupsRelativeAndAbsolute) {
+  Assembler a;
+  a.call_sym("target");
+  a.mov_imm_sym(Reg::A, "target");
+  auto resolver = [](const std::string& name) -> GVirt {
+    EXPECT_EQ(name, "target");
+    return 0x5000;
+  };
+  std::vector<u8> bytes = a.finish(0x1000, resolver);
+  DecodeResult call = decode(bytes);
+  ASSERT_TRUE(call.ok());
+  EXPECT_EQ(call.insn.rel_target(0x1000), 0x5000u);
+  DecodeResult mov = decode(std::span<const u8>(bytes).subspan(5));
+  ASSERT_TRUE(mov.ok());
+  EXPECT_EQ(mov.insn.op, Op::kMovImm);
+  EXPECT_EQ(mov.insn.imm, 0x5000u);
+}
+
+TEST(Isa, TruncatedWindowsReportTruncation) {
+  EXPECT_EQ(decode_bytes({0xE8}).status, DecodeStatus::kTruncated);
+  EXPECT_EQ(decode_bytes({0xB8, 0x01}).status, DecodeStatus::kTruncated);
+  EXPECT_EQ(decode_bytes({0x0F}).status, DecodeStatus::kTruncated);
+  EXPECT_EQ(decode_bytes({0xFF, 0x14}).status, DecodeStatus::kTruncated);
+}
+
+TEST(Isa, UnknownOpcodesAreInvalid) {
+  EXPECT_EQ(decode_bytes({0xDE, 0xAD}).status, DecodeStatus::kInvalidOpcode);
+  EXPECT_EQ(decode_bytes({0x0F, 0xFF}).status, DecodeStatus::kInvalidOpcode);
+  // SIB memory forms are outside the subset.
+  EXPECT_EQ(decode_bytes({0x8B, 0x44, 0x24}).status,
+            DecodeStatus::kInvalidOpcode);
+}
+
+TEST(Isa, ControlFlowClassification) {
+  EXPECT_TRUE(is_control_flow(Op::kCall));
+  EXPECT_TRUE(is_control_flow(Op::kRet));
+  EXPECT_TRUE(is_control_flow(Op::kInt));
+  EXPECT_TRUE(is_control_flow(Op::kIret));
+  EXPECT_TRUE(is_control_flow(Op::kHlt));
+  EXPECT_FALSE(is_control_flow(Op::kNop));
+  EXPECT_FALSE(is_control_flow(Op::kMovRR));
+  EXPECT_FALSE(is_control_flow(Op::kKsvc));
+}
+
+TEST(Isa, DisasmRendersKeyForms) {
+  Assembler a;
+  a.calltab(0xC0598150);
+  std::vector<u8> bytes = a.finish(0);
+  DecodeResult r = decode(bytes);
+  EXPECT_EQ(disasm(r.insn, 0), "call   *0xc0598150(,%eax,4)");
+
+  DecodeResult ud2 = decode_bytes({0x0F, 0x0B});
+  EXPECT_EQ(disasm(ud2.insn, 0), "ud2");
+}
+
+TEST(Isa, Rel8RangeIsChecked) {
+  Assembler a;
+  auto label = a.make_label();
+  a.jz(label);
+  for (int i = 0; i < 200; ++i) a.nop();
+  a.bind(label);
+  EXPECT_DEATH((void)a.finish(0), "rel8 branch out of range");
+}
+
+// --------------------------------------------------------------------------
+// Property: a random instruction stream encodes, then decodes back to the
+// same opcode sequence with the same lengths.
+// --------------------------------------------------------------------------
+
+class IsaRoundTrip : public ::testing::TestWithParam<u64> {};
+
+TEST_P(IsaRoundTrip, EncodeDecodeRoundTrip) {
+  Rng rng(GetParam());
+  Assembler a;
+  std::vector<Op> emitted;
+  for (int i = 0; i < 300; ++i) {
+    Reg r1 = static_cast<Reg>(rng.below(kNumRegs));
+    Reg r2 = static_cast<Reg>(rng.below(kNumRegs));
+    switch (rng.below(14)) {
+      case 0: a.nop(); emitted.push_back(Op::kNop); break;
+      case 1: a.push(r1); emitted.push_back(Op::kPush); break;
+      case 2: a.pop(r1); emitted.push_back(Op::kPop); break;
+      case 3: a.mov(r1, r2); emitted.push_back(Op::kMovRR); break;
+      case 4:
+        a.mov_imm(r1, rng.next_u32());
+        emitted.push_back(Op::kMovImm);
+        break;
+      case 5: a.add(r1, r2); emitted.push_back(Op::kAdd); break;
+      case 6: a.xor_(r1, r2); emitted.push_back(Op::kXor); break;
+      case 7: a.or_(r1, r2); emitted.push_back(Op::kOr); break;
+      case 8: a.cmp_imm_a(rng.next_u32()); emitted.push_back(Op::kCmpImmA); break;
+      case 9: a.ret(); emitted.push_back(Op::kRet); break;
+      case 10: a.leave(); emitted.push_back(Op::kLeave); break;
+      case 11:
+        a.ksvc(static_cast<u16>(rng.below(200)));
+        emitted.push_back(Op::kKsvc);
+        break;
+      case 12: {
+        Reg base = r1 == Reg::SP ? Reg::FP : r1;
+        a.load(r2, base, static_cast<i8>(rng.below(100)));
+        emitted.push_back(Op::kLoad);
+        break;
+      }
+      case 13: a.pusha(); emitted.push_back(Op::kPusha); break;
+    }
+  }
+  std::vector<u8> bytes = a.finish(0x1000);
+  std::size_t at = 0;
+  for (Op expected : emitted) {
+    DecodeResult r = decode(std::span<const u8>(bytes).subspan(at));
+    ASSERT_TRUE(r.ok()) << "at offset " << at;
+    EXPECT_EQ(r.insn.op, expected) << "at offset " << at;
+    at += r.insn.length;
+  }
+  EXPECT_EQ(at, bytes.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IsaRoundTrip,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89));
+
+}  // namespace
+}  // namespace fc::isa

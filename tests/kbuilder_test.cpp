@@ -1,0 +1,175 @@
+// Kernel builder tests: layout invariants the paper's mechanisms rely on
+// (16-byte function alignment, prologue signatures, staged return-address
+// parity for Figure 3), symbol tables, and module relocation.
+#include <gtest/gtest.h>
+
+#include "hv/guest_abi.hpp"
+#include "os/blueprint.hpp"
+#include "os/kbuilder.hpp"
+
+namespace fc::os {
+namespace {
+
+const KernelImage& built_kernel() {
+  static KernelImage image = KernelBuilder::build(
+      make_base_kernel_blueprint(),
+      mem::GuestLayout::kernel_va(mem::GuestLayout::kKernelCodePhys));
+  return image;
+}
+
+TEST(KernelBuilder, AllFunctionsArePlacedAndAligned) {
+  const KernelImage& image = built_kernel();
+  EXPECT_GT(image.functions.size(), 300u);
+  for (const FuncMeta& fn : image.functions) {
+    EXPECT_EQ(fn.address % KernelBuilder::kFuncAlign, 0u) << fn.name;
+    EXPECT_GT(fn.size, 0u) << fn.name;
+    EXPECT_GE(fn.address, image.text_base);
+    EXPECT_LE(fn.address + fn.size, image.text_end());
+  }
+}
+
+TEST(KernelBuilder, FramedFunctionsStartWithThePrologueSignature) {
+  const KernelImage& image = built_kernel();
+  int framed = 0;
+  for (const FuncMeta& fn : image.functions) {
+    if (!fn.has_frame) continue;
+    ++framed;
+    u32 off = fn.address - image.text_base;
+    EXPECT_EQ(image.text[off], 0x55) << fn.name;
+    EXPECT_EQ(image.text[off + 1], 0x89) << fn.name;
+    EXPECT_EQ(image.text[off + 2], 0xE5) << fn.name;
+  }
+  EXPECT_GT(framed, 250);
+}
+
+TEST(KernelBuilder, SymbolsRoundTrip) {
+  const KernelImage& image = built_kernel();
+  GVirt schedule = image.symbols.must_addr("schedule");
+  auto sym = image.symbols.symbolize(schedule + 7);
+  ASSERT_TRUE(sym.has_value());
+  EXPECT_EQ(*sym, "schedule+0x7");
+  EXPECT_EQ(image.symbols.find_covering(schedule + 3)->name, "schedule");
+}
+
+TEST(KernelBuilder, PaperChainsAreLinked) {
+  // Spot-check the call chains the paper's figures depend on: every callee
+  // must exist as a symbol.
+  const KernelImage& image = built_kernel();
+  for (const char* name :
+       {"sys_bind", "security_socket_bind", "apparmor_socket_bind",
+        "inet_bind", "inet_addr_type", "lock_sock_nested", "udp_v4_get_port",
+        "udp_lib_get_port", "udp_lib_lport_inuse", "release_sock",
+        "sys_recvfrom", "sock_recvmsg", "security_socket_recvmsg",
+        "apparmor_socket_recvmsg", "sock_common_recvmsg", "udp_recvmsg",
+        "__skb_recv_datagram", "prepare_to_wait_exclusive", "strnlen",
+        "vsnprintf", "snprintf", "filp_open", "do_sync_write",
+        "__jbd2_log_start_commit", "kvm_clock_get_cycles", "kvm_clock_read",
+        "pvclock_clocksource_read", "native_read_tsc", "sys_poll",
+        "do_sys_poll", "do_poll", "pipe_poll", "resume_userspace",
+        "__switch_to", "syscall_call"}) {
+    EXPECT_TRUE(image.symbols.addr(name).has_value()) << name;
+  }
+}
+
+TEST(KernelBuilder, Figure3ParityIsStaged) {
+  // sys_poll's call to do_sys_poll must leave an ODD return address (the
+  // instant-recovery case); do_sys_poll's call to do_poll an EVEN one.
+  const KernelImage& image = built_kernel();
+  auto return_parity_of_call = [&](const char* caller, const char* callee) {
+    const hv::Symbol* fn = image.symbols.find_covering(
+        image.symbols.must_addr(caller));
+    GVirt callee_addr = image.symbols.must_addr(callee);
+    for (GVirt at = fn->address; at < fn->address + fn->size; ++at) {
+      u32 off = at - image.text_base;
+      if (image.text[off] != 0xE8) continue;
+      u32 rel = image.text[off + 1] | (image.text[off + 2] << 8) |
+                (image.text[off + 3] << 16) |
+                (static_cast<u32>(image.text[off + 4]) << 24);
+      if (at + 5 + rel == callee_addr) return (at + 5) & 1u;
+    }
+    ADD_FAILURE() << caller << " has no call to " << callee;
+    return 0u;
+  };
+  EXPECT_EQ(return_parity_of_call("sys_poll", "do_sys_poll"), 1u);   // odd
+  EXPECT_EQ(return_parity_of_call("do_sys_poll", "do_poll"), 0u);    // even
+}
+
+TEST(KernelBuilder, BlockedScheduleCallsReturnToEvenAddresses) {
+  // retry_while_eagain forces even return addresses on its schedule call so
+  // blocked tasks resumed under a missing view trap on 0F 0B (lazy case).
+  const KernelImage& image = built_kernel();
+  GVirt schedule = image.symbols.must_addr("schedule");
+  int checked = 0;
+  for (const char* blocking_fn :
+       {"pipe_poll", "__skb_recv_datagram", "inet_csk_accept",
+        "do_nanosleep", "n_tty_read", "pipe_read"}) {
+    const hv::Symbol* fn =
+        image.symbols.find_covering(image.symbols.must_addr(blocking_fn));
+    for (GVirt at = fn->address; at < fn->address + fn->size; ++at) {
+      u32 off = at - image.text_base;
+      if (image.text[off] != 0xE8) continue;
+      u32 rel = image.text[off + 1] | (image.text[off + 2] << 8) |
+                (image.text[off + 3] << 16) |
+                (static_cast<u32>(image.text[off + 4]) << 24);
+      if (at + 5 + rel == schedule) {
+        EXPECT_EQ((at + 5) & 1u, 0u) << blocking_fn;
+        ++checked;
+      }
+    }
+  }
+  EXPECT_GE(checked, 6);
+}
+
+TEST(KernelBuilder, DeterministicAcrossBuilds) {
+  const KernelImage& a = built_kernel();
+  KernelImage b = KernelBuilder::build(
+      make_base_kernel_blueprint(),
+      mem::GuestLayout::kernel_va(mem::GuestLayout::kKernelCodePhys));
+  EXPECT_EQ(a.text, b.text);
+  EXPECT_EQ(a.functions.size(), b.functions.size());
+}
+
+TEST(KernelBuilder, ModuleRelocation) {
+  const KernelImage& kernel = built_kernel();
+  Blueprint bp = make_e1000_blueprint();
+  ModuleImage at_a = KernelBuilder::build_module(bp, "e1000", 0xC1800000,
+                                                 kernel.symbols);
+  ModuleImage at_b = KernelBuilder::build_module(bp, "e1000", 0xC1900000,
+                                                 kernel.symbols);
+  EXPECT_EQ(at_a.text.size(), at_b.text.size());
+  // Module-relative symbols are identical regardless of load address.
+  EXPECT_EQ(at_a.symbols_rel.must_addr("e1000_intr"),
+            at_b.symbols_rel.must_addr("e1000_intr"));
+  // But the relocated bytes differ (calls into the base kernel are
+  // pc-relative).
+  EXPECT_NE(at_a.text, at_b.text);
+}
+
+TEST(KernelBuilder, ModuleCallsResolveAgainstKernelSymbols) {
+  const KernelImage& kernel = built_kernel();
+  Blueprint bp = make_e1000_blueprint();
+  ModuleImage img =
+      KernelBuilder::build_module(bp, "e1000", 0xC1800000, kernel.symbols);
+  // e1000_clean_rx_irq calls netif_rx in the base kernel: find a call whose
+  // target lands exactly on netif_rx.
+  GVirt netif_rx = kernel.symbols.must_addr("netif_rx");
+  bool found = false;
+  for (u32 off = 0; off + 5 <= img.text.size(); ++off) {
+    if (img.text[off] != 0xE8) continue;
+    u32 rel = img.text[off + 1] | (img.text[off + 2] << 8) |
+              (img.text[off + 3] << 16) |
+              (static_cast<u32>(img.text[off + 4]) << 24);
+    if (img.base + off + 5 + rel == netif_rx) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(KernelBuilder, TotalKernelSizeIsRealistic) {
+  const KernelImage& image = built_kernel();
+  // Comparable to a trimmed 2.6-era kernel text: several hundred KB.
+  EXPECT_GT(image.text.size(), 400u << 10);
+  EXPECT_LT(image.text.size(), 4u << 20);
+}
+
+}  // namespace
+}  // namespace fc::os

@@ -1,0 +1,197 @@
+// Memory subsystem: host frames, EPT structure and switching semantics,
+// guest page tables, two-stage translation, TLB invalidation, recycling.
+#include <gtest/gtest.h>
+
+#include "mem/machine.hpp"
+
+namespace fc::mem {
+namespace {
+
+TEST(HostMemory, AllocatesZeroedFrames) {
+  HostMemory host;
+  HostFrame f = host.alloc_frame();
+  for (u32 i = 0; i < kPageSize; i += 512) EXPECT_EQ(host.read8(f, i), 0);
+  host.write32(f, 128, 0xDEADBEEF);
+  EXPECT_EQ(host.read32(f, 128), 0xDEADBEEFu);
+}
+
+TEST(Ept, MapAndTranslate) {
+  Ept ept;
+  ept.set_pde(0, ept.alloc_table());
+  ept.map(0x3000, 42);
+  auto f = ept.translate(0x3123);
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(*f, 42u);
+  EXPECT_FALSE(ept.translate(0x5000).has_value());  // non-present PTE
+  EXPECT_FALSE(ept.translate(0x800000).has_value());  // no PDE
+}
+
+TEST(Ept, PdeSwapChangesWholeRegion) {
+  Ept ept;
+  EptTableId identity = ept.alloc_table();
+  EptTableId shadow = ept.alloc_table();
+  ept.set_pde(0, identity);
+  ept.map(0x1000, 1);
+  ept.copy_table(shadow, identity);
+  ept.set_pte(shadow, Ept::pte_slot_of(0x1000), EptEntry{true, 99});
+
+  EXPECT_EQ(*ept.translate(0x1000), 1u);
+  ept.set_pde(0, shadow);  // step 3A: one PDE write switches the region
+  EXPECT_EQ(*ept.translate(0x1000), 99u);
+  ept.set_pde(0, identity);
+  EXPECT_EQ(*ept.translate(0x1000), 1u);
+}
+
+TEST(Ept, WriteMeteringCountsRealWritesOnly) {
+  Ept ept;
+  EptTableId a = ept.alloc_table();
+  EptTableId b = ept.alloc_table();
+  ept.reset_stats();
+  ept.set_pde(0, a);
+  EXPECT_EQ(ept.stats().pde_writes, 1u);
+  ept.set_pde(0, a);  // no-op: same table
+  EXPECT_EQ(ept.stats().pde_writes, 1u);
+  ept.set_pde(0, b);
+  EXPECT_EQ(ept.stats().pde_writes, 2u);
+  ept.set_pte(b, 5, EptEntry{true, 7});
+  EXPECT_EQ(ept.stats().pte_writes, 1u);
+}
+
+TEST(Ept, GenerationBumpsOnInvalidate) {
+  Ept ept;
+  u64 g0 = ept.generation();
+  ept.invalidate();
+  EXPECT_EQ(ept.generation(), g0 + 1);
+  EXPECT_EQ(ept.stats().invalidations, 1u);
+}
+
+TEST(Machine, BootIdentityMapsGuestPhysical) {
+  Machine machine(8);  // 8 MiB
+  EXPECT_EQ(machine.guest_phys_pages(), 2048u);
+  machine.pwrite32(0x1000, 0xABCD1234);
+  EXPECT_EQ(machine.pread32(0x1000), 0xABCD1234u);
+  // boot frame == current frame before any view redirection
+  EXPECT_EQ(machine.boot_frame_for(0x1000), machine.frame_for(0x1000));
+}
+
+TEST(Machine, PwriteBytesCrossesPages) {
+  Machine machine(8);
+  std::vector<u8> data(kPageSize + 100, 0x5A);
+  machine.pwrite_bytes(kPageSize - 50, data);
+  std::vector<u8> back(data.size());
+  machine.pread_bytes(kPageSize - 50, back);
+  EXPECT_EQ(back, data);
+}
+
+TEST(Machine, PhysAllocatorRecyclesFreedExtents) {
+  Machine machine(8);
+  GPhys a = machine.alloc_phys_pages(4, 0x200000, 0x400000);
+  GPhys b = machine.alloc_phys_pages(4, 0x200000, 0x400000);
+  EXPECT_NE(a, b);
+  machine.pwrite32(a, 0x1111);
+  machine.free_phys_pages(a, 4, 0x200000);
+  GPhys c = machine.alloc_phys_pages(4, 0x200000, 0x400000);
+  EXPECT_EQ(c, a);                        // recycled
+  EXPECT_EQ(machine.pread32(c), 0u);      // zeroed on reuse
+}
+
+TEST(Machine, RegionExhaustionIsFatal) {
+  Machine machine(8);
+  EXPECT_DEATH(machine.alloc_phys_pages(3, 0x300000, 0x302000),
+               "region exhausted");
+}
+
+class MmuFixture : public ::testing::Test {
+ protected:
+  MmuFixture() : machine_(16), builder_(machine_, 0x1000, 0x100000) {
+    dir_ = builder_.create_directory();
+    // Map VA 0xC0000000+ → PA 0 (a small direct map) and a user page.
+    builder_.map(dir_, kKernelBase, 0, 64);
+    builder_.map(dir_, 0x08048000, 0x200000, 4);
+    machine_.mmu().set_cr3(dir_);
+  }
+  Machine machine_;
+  GuestPageTableBuilder builder_;
+  GPhys dir_;
+};
+
+TEST_F(MmuFixture, TwoStageTranslation) {
+  machine_.pwrite32(0x200000, 0xFEEDFACE);
+  EXPECT_EQ(machine_.mmu().read32(0x08048000), 0xFEEDFACEu);
+  machine_.pwrite32(0x2000, 0x11223344);
+  EXPECT_EQ(machine_.mmu().read32(kKernelBase + 0x2000), 0x11223344u);
+}
+
+TEST_F(MmuFixture, UnmappedVirtualFails) {
+  EXPECT_FALSE(machine_.mmu().translate_page(0x10000000).has_value());
+  EXPECT_FALSE(machine_.mmu().virt_to_phys(0x10000000).has_value());
+}
+
+TEST_F(MmuFixture, TlbHitsAfterFirstWalk) {
+  Mmu& mmu = machine_.mmu();
+  mmu.reset_stats();
+  (void)mmu.translate_page(0x08048000);
+  EXPECT_EQ(mmu.stats().tlb_misses, 1u);
+  (void)mmu.translate_page(0x08048000);
+  EXPECT_EQ(mmu.stats().tlb_hits, 1u);
+  EXPECT_EQ(mmu.stats().tlb_misses, 1u);
+}
+
+TEST_F(MmuFixture, EptInvalidationForcesRewalk) {
+  Mmu& mmu = machine_.mmu();
+  (void)mmu.translate_page(0x08048000);
+  mmu.reset_stats();
+  machine_.ept().invalidate();
+  (void)mmu.translate_page(0x08048000);
+  EXPECT_EQ(mmu.stats().tlb_misses, 1u);  // generation mismatch → walk
+}
+
+TEST_F(MmuFixture, EptRedirectionIsObservedThroughTheSameVirtualAddress) {
+  Mmu& mmu = machine_.mmu();
+  GVirt va = kKernelBase + 0x3000;
+  machine_.pwrite32(0x3000, 0xAAAAAAAA);
+  EXPECT_EQ(mmu.read32(va), 0xAAAAAAAAu);
+
+  // Redirect the guest-physical page to a fresh shadow frame (what a
+  // kernel view switch does) — same VA now reads the shadow contents.
+  HostFrame shadow = machine_.host().alloc_frame();
+  machine_.host().write32(shadow, 0, 0xBBBBBBBB);
+  machine_.ept().map(0x3000, shadow);
+  machine_.ept().invalidate();
+  EXPECT_EQ(mmu.read32(va), 0xBBBBBBBBu);
+  // The boot frame still holds the original (pristine) bytes.
+  EXPECT_EQ(machine_.host().read32(machine_.boot_frame_for(0x3000), 0),
+            0xAAAAAAAAu);
+}
+
+TEST_F(MmuFixture, FetchCrossesPageBoundary) {
+  Mmu& mmu = machine_.mmu();
+  machine_.pwrite8(0x200FFF, 0xE8);  // last byte of the first user page
+  machine_.pwrite8(0x201000, 0x11);
+  u8 window[8] = {};
+  u32 got = mmu.fetch(0x08048FFF, window, 5);
+  EXPECT_EQ(got, 5u);
+  EXPECT_EQ(window[0], 0xE8);
+  EXPECT_EQ(window[1], 0x11);
+}
+
+TEST_F(MmuFixture, FetchStopsAtUnmappedPage) {
+  Mmu& mmu = machine_.mmu();
+  u8 window[8] = {};
+  // Last mapped user page is 0x0804B000..0x0804C000.
+  u32 got = mmu.fetch(0x0804BFFE, window, 7);
+  EXPECT_EQ(got, 2u);
+}
+
+TEST_F(MmuFixture, SharedKernelHalf) {
+  GPhys dir2 = builder_.create_directory();
+  builder_.share_kernel_half(dir2, dir_);
+  machine_.pwrite32(0x4000, 0x77777777);
+  machine_.mmu().set_cr3(dir2);
+  EXPECT_EQ(machine_.mmu().read32(kKernelBase + 0x4000), 0x77777777u);
+  // But the user half is not shared.
+  EXPECT_FALSE(machine_.mmu().translate_page(0x08048000).has_value());
+}
+
+}  // namespace
+}  // namespace fc::mem

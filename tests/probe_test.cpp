@@ -1,0 +1,38 @@
+// Temporary probe used during bring-up (kept as a fast sanity suite).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "core/similarity.hpp"
+#include "harness/harness.hpp"
+
+namespace fc {
+namespace {
+
+TEST(Probe, SimilarityMatrixShape) {
+  auto& configs = harness::profile_all_apps(12);
+  core::SimilarityMatrix m = core::compute_similarity(configs);
+  std::printf("%s\n", m.render().c_str());
+  std::printf("min=%.1f%% max=%.1f%%\n", m.min_similarity() * 100,
+              m.max_similarity() * 100);
+  EXPECT_LT(m.min_similarity(), 0.55);
+  EXPECT_GT(m.max_similarity(), 0.75);
+}
+
+TEST(Probe, InjectsoDetected) {
+  auto attack = attacks::make_attack("Injectso");
+  harness::AttackRunResult r = harness::run_attack(*attack);
+  for (const auto& ev : r.rendered_events) std::printf("%s\n", ev.c_str());
+  EXPECT_TRUE(r.detected);
+}
+
+TEST(Probe, KBeastDetected) {
+  auto attack = attacks::make_attack("KBeast");
+  harness::AttackRunResult r = harness::run_attack(*attack);
+  for (const auto& ev : r.rendered_events) std::printf("%s\n", ev.c_str());
+  EXPECT_TRUE(r.detected);
+  EXPECT_TRUE(r.backtrace_has_unknown);
+}
+
+}  // namespace
+}  // namespace fc

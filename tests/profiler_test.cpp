@@ -1,0 +1,122 @@
+// Profiling phase tests (§III-A): per-process context attribution,
+// interrupt-context capture, module-relative recording, determinism, and
+// the always-included entry code.
+#include <gtest/gtest.h>
+
+#include "harness/harness.hpp"
+
+namespace fc {
+namespace {
+
+TEST(Profiler, ProfilesOnlyTheTargetContext) {
+  // Run top and gzip concurrently; profile only top. gzip-exclusive kernel
+  // code (the ext4 *write* chain) must not leak into top's view.
+  harness::GuestSystem sys;
+  core::Profiler profiler(sys.hv(), sys.os().kernel());
+  profiler.add_target("top");
+  profiler.attach();
+
+  apps::AppScenario top = apps::make_app("top", 10);
+  apps::AppScenario gzip = apps::make_app("gzip", 10);
+  u32 p1 = sys.os().spawn("top", top.model);
+  u32 p2 = sys.os().spawn("gzip", gzip.model);
+  top.install_environment(sys.os());
+  gzip.install_environment(sys.os());
+  sys.hv().run([&] {
+    return sys.os().task_zombie_or_dead(p1) &&
+           sys.os().task_zombie_or_dead(p2);
+  });
+  profiler.detach();
+
+  core::KernelViewConfig cfg = profiler.export_config("top");
+  const hv::SymbolTable& syms = sys.os().kernel().symbols;
+  // top's own code paths are present…
+  EXPECT_TRUE(cfg.base.contains(syms.must_addr("proc_reg_read")));
+  EXPECT_TRUE(cfg.base.contains(syms.must_addr("tty_write")));
+  EXPECT_TRUE(cfg.base.contains(syms.must_addr("sys_nanosleep")));
+  // …gzip's write path is not (top only reads).
+  EXPECT_FALSE(cfg.base.contains(syms.must_addr("ext4_file_write")));
+  EXPECT_FALSE(cfg.base.contains(syms.must_addr("__jbd2_log_start_commit")));
+}
+
+TEST(Profiler, EntryAndSchedulerCodeAlwaysIncluded) {
+  core::KernelViewConfig cfg = harness::profile_app("gzip", 4);
+  harness::GuestSystem probe;  // identical layout
+  const hv::SymbolTable& syms = probe.os().kernel().symbols;
+  for (const char* name :
+       {"syscall_call", "resume_userspace", "ret_from_intr", "ret_from_fork",
+        "cpu_idle", "__switch_to", "schedule", "irq_entry_0"}) {
+    EXPECT_TRUE(cfg.base.contains(syms.must_addr(name))) << name;
+  }
+}
+
+TEST(Profiler, InterruptProfileIsMergedIntoEveryView) {
+  // The timer interrupt chain must be present even in a profile of an app
+  // that never calls time-related syscalls (gzip).
+  core::KernelViewConfig cfg = harness::profile_app("gzip", 4);
+  harness::GuestSystem probe;
+  const hv::SymbolTable& syms = probe.os().kernel().symbols;
+  EXPECT_TRUE(cfg.base.contains(syms.must_addr("timer_interrupt")));
+  EXPECT_TRUE(cfg.base.contains(syms.must_addr("tick_periodic")));
+  EXPECT_TRUE(cfg.base.contains(syms.must_addr("__do_softirq")));
+}
+
+TEST(Profiler, ModuleCodeIsRecordedModuleRelative) {
+  // Any app that receives network traffic exercises the e1000 interrupt
+  // handler; its blocks must be recorded relative to the module base.
+  core::KernelViewConfig cfg = harness::profile_app("tcpdump", 10);
+  ASSERT_EQ(cfg.modules.count("e1000"), 1u);
+  const core::RangeList& ranges = cfg.modules.at("e1000");
+  EXPECT_GT(ranges.size_bytes(), 0u);
+  // Relative addresses are small (within the module), not kernel VAs.
+  for (const auto& r : ranges.ranges()) {
+    EXPECT_LT(r.end, 0x100000u);
+  }
+}
+
+TEST(Profiler, DeterministicAcrossSessions) {
+  core::KernelViewConfig a = harness::profile_app("top", 6);
+  core::KernelViewConfig b = harness::profile_app("top", 6);
+  EXPECT_TRUE(a.base == b.base);
+  EXPECT_EQ(a.modules.size(), b.modules.size());
+}
+
+TEST(Profiler, LongerWorkloadsOnlyGrowTheView) {
+  core::KernelViewConfig small = harness::profile_app("apache", 4);
+  core::KernelViewConfig large = harness::profile_app("apache", 16);
+  // Monotonicity: everything profiled in the short session appears in the
+  // longer one.
+  core::RangeList overlap = small.base.intersect(large.base);
+  EXPECT_EQ(overlap.size_bytes(), small.base.size_bytes());
+  EXPECT_GE(large.size_bytes(), small.size_bytes());
+}
+
+TEST(Profiler, ViewSizesAreInThePapersBallpark) {
+  const auto& configs = harness::profile_all_apps();
+  for (const auto& cfg : configs) {
+    EXPECT_GT(cfg.size_bytes(), 60u << 10) << cfg.app_name;   // > 60 KB
+    EXPECT_LT(cfg.size_bytes(), 500u << 10) << cfg.app_name;  // < 500 KB
+  }
+}
+
+TEST(Profiler, RecordsBlocksAndDedupes) {
+  harness::GuestSystem sys;
+  core::Profiler profiler(sys.hv(), sys.os().kernel());
+  profiler.add_target("top");
+  profiler.attach();
+  apps::AppScenario top = apps::make_app("top", 6);
+  u32 pid = sys.os().spawn("top", top.model);
+  sys.run_until_exit(pid, 600'000'000);
+  u64 first_pass = profiler.blocks_recorded();
+  EXPECT_GT(first_pass, 100u);
+
+  // A second identical process adds almost nothing new.
+  apps::AppScenario again = apps::make_app("top", 6);
+  u32 pid2 = sys.os().spawn("top", again.model);
+  sys.run_until_exit(pid2, 600'000'000);
+  u64 second_pass = profiler.blocks_recorded() - first_pass;
+  EXPECT_LT(second_pass, first_pass / 4);
+}
+
+}  // namespace
+}  // namespace fc

@@ -1,0 +1,177 @@
+// Range-list algebra (the paper's K[app], ∩, LEN, SIZE, similarity index),
+// including randomized property checks against a reference byte-set
+// implementation.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/rangelist.hpp"
+#include "core/viewconfig.hpp"
+#include "support/rng.hpp"
+
+namespace fc::core {
+namespace {
+
+TEST(RangeList, InsertAndSize) {
+  RangeList list;
+  list.insert(100, 200);
+  EXPECT_EQ(list.len(), 1u);
+  EXPECT_EQ(list.size_bytes(), 100u);
+}
+
+TEST(RangeList, MergesOverlapping) {
+  RangeList list;
+  list.insert(100, 200);
+  list.insert(150, 250);
+  EXPECT_EQ(list.len(), 1u);
+  EXPECT_EQ(list.size_bytes(), 150u);
+}
+
+TEST(RangeList, MergesAdjacent) {
+  RangeList list;
+  list.insert(100, 200);
+  list.insert(200, 300);
+  EXPECT_EQ(list.len(), 1u);
+  EXPECT_EQ(list.size_bytes(), 200u);
+}
+
+TEST(RangeList, KeepsDisjointSeparate) {
+  RangeList list;
+  list.insert(100, 200);
+  list.insert(300, 400);
+  EXPECT_EQ(list.len(), 2u);
+  EXPECT_EQ(list.size_bytes(), 200u);
+}
+
+TEST(RangeList, InsertBridgesMultipleRanges) {
+  RangeList list;
+  list.insert(100, 200);
+  list.insert(300, 400);
+  list.insert(500, 600);
+  list.insert(150, 550);  // swallows everything
+  EXPECT_EQ(list.len(), 1u);
+  EXPECT_EQ(list.size_bytes(), 500u);
+}
+
+TEST(RangeList, Contains) {
+  RangeList list;
+  list.insert(100, 200);
+  EXPECT_TRUE(list.contains(100));
+  EXPECT_TRUE(list.contains(199));
+  EXPECT_FALSE(list.contains(200));  // end-exclusive
+  EXPECT_FALSE(list.contains(99));
+}
+
+TEST(RangeList, Covers) {
+  RangeList list;
+  list.insert(100, 200);
+  list.insert(200, 300);  // merged
+  EXPECT_TRUE(list.covers(120, 280));
+  EXPECT_FALSE(list.covers(120, 320));
+  EXPECT_FALSE(list.covers(50, 120));
+}
+
+TEST(RangeList, IntersectBasic) {
+  RangeList a, b;
+  a.insert(100, 300);
+  b.insert(200, 400);
+  RangeList c = a.intersect(b);
+  EXPECT_EQ(c.len(), 1u);
+  EXPECT_TRUE(c.contains(200));
+  EXPECT_TRUE(c.contains(299));
+  EXPECT_FALSE(c.contains(300));
+  EXPECT_EQ(c.size_bytes(), 100u);
+}
+
+TEST(RangeList, IntersectDisjointIsEmpty) {
+  RangeList a, b;
+  a.insert(0, 100);
+  b.insert(100, 200);
+  EXPECT_TRUE(a.intersect(b).empty());
+}
+
+TEST(RangeList, EqualityIgnoresInsertOrder) {
+  RangeList a, b;
+  a.insert(10, 20);
+  a.insert(30, 40);
+  b.insert(30, 40);
+  b.insert(10, 20);
+  EXPECT_TRUE(a == b);
+}
+
+// --------------------------------------------------------------------------
+// Property tests against a reference byte-set model.
+// --------------------------------------------------------------------------
+
+class RangeListProperty : public ::testing::TestWithParam<u64> {};
+
+TEST_P(RangeListProperty, MatchesReferenceSetModel) {
+  Rng rng(GetParam());
+  RangeList list;
+  std::set<u32> reference;
+  for (int i = 0; i < 200; ++i) {
+    u32 begin = rng.below(4000);
+    u32 end = begin + rng.between(1, 64);
+    list.insert(begin, end);
+    for (u32 x = begin; x < end; ++x) reference.insert(x);
+  }
+  EXPECT_EQ(list.size_bytes(), reference.size());
+  // Range count = number of gaps + 1.
+  std::size_t segments = 0;
+  u32 prev = 0;
+  bool first = true;
+  for (u32 x : reference) {
+    if (first || x != prev + 1) ++segments;
+    prev = x;
+    first = false;
+  }
+  EXPECT_EQ(list.len(), segments);
+  for (int probe = 0; probe < 300; ++probe) {
+    u32 x = rng.below(4200);
+    EXPECT_EQ(list.contains(x), reference.count(x) == 1) << x;
+  }
+}
+
+TEST_P(RangeListProperty, IntersectionIsCommutativeAndBounded) {
+  Rng rng(GetParam() ^ 0x1234);
+  RangeList a, b;
+  for (int i = 0; i < 60; ++i) {
+    u32 begin_a = rng.below(4000);
+    a.insert(begin_a, begin_a + rng.between(1, 128));
+    u32 begin_b = rng.below(4000);
+    b.insert(begin_b, begin_b + rng.between(1, 128));
+  }
+  RangeList ab = a.intersect(b);
+  RangeList ba = b.intersect(a);
+  EXPECT_TRUE(ab == ba);
+  EXPECT_LE(ab.size_bytes(), std::min(a.size_bytes(), b.size_bytes()));
+  // Idempotence: (a ∩ b) ∩ b == a ∩ b.
+  EXPECT_TRUE(ab.intersect(b) == ab);
+  // Self-intersection is identity.
+  EXPECT_TRUE(a.intersect(a) == a);
+}
+
+TEST_P(RangeListProperty, SimilarityAxioms) {
+  Rng rng(GetParam() ^ 0x9876);
+  KernelViewConfig a, b;
+  a.app_name = "a";
+  b.app_name = "b";
+  for (int i = 0; i < 40; ++i) {
+    u32 begin_a = rng.below(100000);
+    a.base.insert(begin_a, begin_a + rng.between(16, 512));
+    u32 begin_b = rng.below(100000);
+    b.base.insert(begin_b, begin_b + rng.between(16, 512));
+  }
+  double s_ab = KernelViewConfig::similarity(a, b);
+  double s_ba = KernelViewConfig::similarity(b, a);
+  EXPECT_DOUBLE_EQ(s_ab, s_ba);                          // symmetric
+  EXPECT_GE(s_ab, 0.0);
+  EXPECT_LE(s_ab, 1.0);                                  // bounded
+  EXPECT_DOUBLE_EQ(KernelViewConfig::similarity(a, a), 1.0);  // reflexive
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RangeListProperty,
+                         ::testing::Values(11, 22, 33, 44, 55, 66, 77, 88));
+
+}  // namespace
+}  // namespace fc::core

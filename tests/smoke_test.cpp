@@ -1,0 +1,69 @@
+// End-to-end smoke tests: boot the guest, run applications to completion,
+// profile them, enforce views. If these pass, the substrate works.
+#include <gtest/gtest.h>
+
+#include "harness/harness.hpp"
+
+namespace fc {
+namespace {
+
+TEST(Smoke, BootsAndIdles) {
+  harness::GuestSystem sys;
+  hv::RunOutcome outcome = sys.run_for(5'000'000);
+  EXPECT_EQ(outcome, hv::RunOutcome::kStopped);
+  // The timer must have been ticking.
+  EXPECT_GT(sys.os().jiffies(), 5u);
+}
+
+TEST(Smoke, RunsOneProcessToExit) {
+  harness::GuestSystem sys;
+  apps::AppScenario scenario = apps::make_app("gzip", 5);
+  u32 pid = sys.os().spawn("gzip", scenario.model);
+  scenario.install_environment(sys.os());
+  hv::RunOutcome outcome = sys.run_until_exit(pid, 500'000'000);
+  EXPECT_NE(outcome, hv::RunOutcome::kGuestFault);
+  EXPECT_TRUE(sys.os().task_zombie_or_dead(pid));
+  EXPECT_GT(sys.os().counters().syscalls, 10u);
+  EXPECT_GT(sys.os().counters().fs_bytes_read, 0u);
+}
+
+TEST(Smoke, RunsEveryApplicationToExit) {
+  for (const std::string& app : apps::all_app_names()) {
+    SCOPED_TRACE(app);
+    harness::GuestSystem sys;
+    apps::AppScenario scenario = apps::make_app(app, 4);
+    u32 pid = sys.os().spawn(app, scenario.model);
+    scenario.install_environment(sys.os());
+    hv::RunOutcome outcome = sys.run_until_exit(pid, 800'000'000);
+    EXPECT_NE(outcome, hv::RunOutcome::kGuestFault) << app;
+    EXPECT_TRUE(sys.os().task_zombie_or_dead(pid)) << app;
+  }
+}
+
+TEST(Smoke, ProfilesAnApplication) {
+  core::KernelViewConfig cfg = harness::profile_app("top", 5);
+  EXPECT_EQ(cfg.app_name, "top");
+  EXPECT_GT(cfg.size_bytes(), 10'000u);
+  EXPECT_GT(cfg.base.len(), 5u);
+}
+
+TEST(Smoke, EnforcesAViewWithoutBehaviourChange) {
+  core::KernelViewConfig cfg = harness::profile_app("top", 8);
+
+  harness::GuestSystem sys;
+  core::FaceChangeEngine engine(sys.hv(), sys.os().kernel());
+  engine.enable();
+  u32 view = engine.load_view(cfg);
+  engine.bind("top", view);
+
+  apps::AppScenario scenario = apps::make_app("top", 8);
+  u32 pid = sys.os().spawn("top", scenario.model);
+  scenario.install_environment(sys.os());
+  hv::RunOutcome outcome = sys.run_until_exit(pid, 800'000'000);
+  EXPECT_NE(outcome, hv::RunOutcome::kGuestFault);
+  EXPECT_TRUE(sys.os().task_zombie_or_dead(pid));
+  EXPECT_GT(engine.stats().view_switches, 0u);
+}
+
+}  // namespace
+}  // namespace fc

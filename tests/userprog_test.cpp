@@ -1,0 +1,142 @@
+// User program / shellcode builder tests: the standard APPSTEP loop, the
+// traced ($LD_PRELOAD-style) variant, shellcode building blocks, absolute
+// jumps, and offline binary infection structure.
+#include <gtest/gtest.h>
+
+#include "attacks/attacks.hpp"
+#include "harness/harness.hpp"
+
+namespace fc {
+namespace {
+
+namespace abi = fc::abi;
+
+TEST(UserProgram, StandardLoopStructure) {
+  os::ProgramImage image = os::build_standard_loop();
+  EXPECT_EQ(image.entry_offset, 0u);
+  EXPECT_EQ(image.entry_va(), os::kUserCodeVa);
+  // appstep; cmp; jz; int; jmp — decode and check.
+  std::span<const u8> code(image.code);
+  isa::DecodeResult r = isa::decode(code);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.insn.op, isa::Op::kAppStep);
+}
+
+TEST(UserProgram, TracedLoopPrependsAWrite) {
+  os::ProgramImage traced = os::build_traced_loop(1);
+  EXPECT_GT(traced.code.size(), os::build_standard_loop().code.size());
+  // It must start with the trace write's argument setup, not APPSTEP.
+  isa::DecodeResult r = isa::decode(traced.code);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.insn.op, isa::Op::kMovImm);
+}
+
+TEST(UserCodeBuilder, SyscallHelperSetsAllRegisters) {
+  os::UserCodeBuilder b(0x09000000);
+  b.syscall(abi::kSysOpen, 7, 1, 2);
+  std::vector<u8> code = b.finish();
+  // mov B; mov C; mov D; mov A; int 0x80
+  u32 at = 0;
+  std::vector<std::pair<isa::Op, u32>> expect = {
+      {isa::Op::kMovImm, 7},  {isa::Op::kMovImm, 1},
+      {isa::Op::kMovImm, 2},  {isa::Op::kMovImm, abi::kSysOpen},
+      {isa::Op::kInt, 0x80},
+  };
+  for (auto [op, imm] : expect) {
+    isa::DecodeResult r = isa::decode(std::span<const u8>(code).subspan(at));
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.insn.op, op);
+    EXPECT_EQ(r.insn.imm, imm);
+    at += r.insn.length;
+  }
+  EXPECT_EQ(at, code.size());
+}
+
+TEST(UserCodeBuilder, AbsoluteJumpTargetsResolve) {
+  os::UserCodeBuilder b(0x09000000);
+  b.jmp_abs(0x08048000);
+  std::vector<u8> code = b.finish();
+  isa::DecodeResult r = isa::decode(code);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.insn.op, isa::Op::kJmp);
+  EXPECT_EQ(r.insn.rel_target(0x09000000), 0x08048000u);
+}
+
+TEST(UserCodeBuilder, ShellcodeActuallyRunsInAGuest) {
+  // Inject a standalone shellcode blob into a fresh process and detour it:
+  // getpid; write(1, …); exit(0). Verifies the whole injection pipeline.
+  harness::GuestSystem sys;
+  class Spin : public os::AppModel {
+   public:
+    os::AppAction next(u32, os::OsRuntime&, u32) override {
+      return os::AppAction::compute_only(500);
+    }
+  };
+  u32 pid = sys.os().spawn("victim", std::make_shared<Spin>());
+  sys.run_for(2'000'000);
+
+  os::UserCodeBuilder b(sys.os().next_inject_addr(pid));
+  b.syscall(abi::kSysGetpid);
+  b.syscall(abi::kSysWrite, 1, 99);
+  b.syscall(abi::kSysExit, 0);
+  GVirt at = sys.os().inject_code(pid, b.finish());
+  EXPECT_EQ(at, os::kUserInjectVa);
+  sys.os().detour(pid, at);
+
+  u64 tty0 = sys.os().counters().tty_bytes_written;
+  sys.run_until_exit(pid, 100'000'000);
+  EXPECT_TRUE(sys.os().task_zombie_or_dead(pid));
+  EXPECT_EQ(sys.os().counters().tty_bytes_written - tty0, 99u);
+}
+
+TEST(OfflineInfection, PrependedPayloadFallsThroughToTheOriginal) {
+  // Infelf v2 (register dump): the infected image must run the payload's
+  // tty writes and then the original program (which exits via its model).
+  auto attack = attacks::make_attack("Infelf v2");
+  ASSERT_TRUE(attack->offline());
+  os::ProgramImage original = os::build_standard_loop();
+  os::ProgramImage infected = attack->infect_program(original);
+  EXPECT_GT(infected.code.size(), original.code.size());
+  EXPECT_EQ(infected.entry_offset, 0u);  // entry redirected to the payload
+
+  harness::GuestSystem sys;
+  class OneShot : public os::AppModel {
+   public:
+    os::AppAction next(u32, os::OsRuntime&, u32) override {
+      if (done_) return os::AppAction::syscall(abi::kSysExit);
+      done_ = true;
+      return os::AppAction::syscall(abi::kSysGetpid);
+    }
+   private:
+    bool done_ = false;
+  };
+  u32 pid = sys.os().spawn("victim", std::make_shared<OneShot>(), infected);
+  sys.run_until_exit(pid, 200'000'000);
+  EXPECT_TRUE(sys.os().task_zombie_or_dead(pid));       // original ran
+  EXPECT_GT(sys.os().counters().tty_bytes_written, 0u);  // payload ran first
+}
+
+TEST(AttackCorpus, HasThePapersSixteenEntries) {
+  auto all = attacks::make_all_attacks();
+  EXPECT_EQ(all.size(), 16u);
+  int online = 0, offline = 0, rootkits = 0;
+  for (const auto& attack : all) {
+    if (attack->is_rootkit())
+      ++rootkits;
+    else if (attack->offline())
+      ++offline;
+    else
+      ++online;
+    EXPECT_FALSE(attack->detection_signature().empty()) << attack->name();
+    EXPECT_FALSE(attack->victim().empty()) << attack->name();
+  }
+  EXPECT_EQ(rootkits, 3);  // KBeast, Sebek, Adore-ng
+  // The paper counts 8 online + 5 offline; we implement Xlibtrace's
+  // $LD_PRELOAD interposition as a program-image transform, so our split is
+  // 7 runtime infections + 6 infected images — same 13 user-level attacks.
+  EXPECT_EQ(offline, 6);
+  EXPECT_EQ(online, 7);
+}
+
+}  // namespace
+}  // namespace fc

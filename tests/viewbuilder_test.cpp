@@ -1,0 +1,175 @@
+// Kernel view initialization tests (§III-B1): UD2 filling, whole-function
+// loading via prologue-signature search (including page-crossing functions),
+// EPT artifact construction, and module shadowing.
+#include <gtest/gtest.h>
+
+#include "harness/harness.hpp"
+
+namespace fc {
+namespace {
+
+using mem::GuestLayout;
+
+class ViewBuilderFixture : public ::testing::Test {
+ protected:
+  ViewBuilderFixture() : builder_(sys_.hv(), sys_.os().kernel()) {}
+
+  /// Current-EPT read of a kernel text byte (what the guest would fetch).
+  u8 current_byte(GVirt va) {
+    return sys_.hv().machine().pread8(GuestLayout::kernel_pa(va));
+  }
+
+  harness::GuestSystem sys_;
+  core::ViewBuilder builder_;
+};
+
+TEST_F(ViewBuilderFixture, Ud2FillPattern) {
+  std::vector<u8> page(kPageSize, 0);
+  core::ViewBuilder::fill_ud2(page);
+  for (u32 i = 0; i + 1 < kPageSize; i += 2) {
+    ASSERT_EQ(page[i], 0x0F);
+    ASSERT_EQ(page[i + 1], 0x0B);
+  }
+}
+
+TEST_F(ViewBuilderFixture, FunctionBoundsMatchBuilderMetadata) {
+  const os::KernelImage& kernel = sys_.os().kernel();
+  int checked = 0;
+  for (const os::FuncMeta& fn : kernel.functions) {
+    if (!fn.has_frame) continue;
+    if (++checked > 60) break;
+    // Probe from the middle of the function.
+    core::ViewBuilder::Bounds b = builder_.function_bounds(
+        fn.address + fn.size / 2, kernel.text_base, kernel.text_end());
+    EXPECT_EQ(b.start, fn.address) << fn.name;
+    // The found end is the next aligned prologue — at or after the true end.
+    EXPECT_GE(b.end, fn.address + fn.size) << fn.name;
+    EXPECT_LE(b.end - fn.address, fn.size + 64u) << fn.name;
+  }
+  EXPECT_EQ(checked, 61);
+}
+
+TEST_F(ViewBuilderFixture, FunctionBoundsHandlePageCrossingFunctions) {
+  const os::KernelImage& kernel = sys_.os().kernel();
+  // Find a framed function that straddles a page boundary (§III-B1's
+  // page-crossing case).
+  const os::FuncMeta* crosser = nullptr;
+  for (const os::FuncMeta& fn : kernel.functions) {
+    if (fn.has_frame && page_of(fn.address) != page_of(fn.address + fn.size - 1)) {
+      crosser = &fn;
+      break;
+    }
+  }
+  ASSERT_NE(crosser, nullptr) << "no page-crossing function in the kernel?";
+  // Probe from the far side of the page boundary: the backward search must
+  // continue across the page to find the prologue.
+  GVirt probe = page_base(crosser->address + crosser->size - 1) + 4;
+  core::ViewBuilder::Bounds b =
+      builder_.function_bounds(probe, kernel.text_base, kernel.text_end());
+  EXPECT_EQ(b.start, crosser->address);
+}
+
+TEST_F(ViewBuilderFixture, BuildsUd2ShadowsWithProfiledFunctionsLoaded) {
+  const os::KernelImage& kernel = sys_.os().kernel();
+  GVirt target = kernel.symbols.must_addr("sys_getpid");
+  core::KernelViewConfig cfg;
+  cfg.app_name = "mini";
+  cfg.base.insert(target + 4, target + 8);  // one basic block inside
+
+  auto view = builder_.build(cfg, 7);
+  // The whole containing function was loaded (not just the block).
+  const hv::Symbol* fn = kernel.symbols.find_covering(target);
+  EXPECT_TRUE(view->loaded.covers(fn->address, fn->address + fn->size));
+
+  // Shadow frames: loaded bytes match pristine; unloaded bytes are UD2.
+  u32 page = GuestLayout::kernel_pa(target) >> kPageShift;
+  ASSERT_TRUE(view->shadow_frames.count(page));
+  HostFrame shadow = view->shadow_frames.at(page);
+  auto bytes = sys_.hv().machine().host().frame(shadow);
+  EXPECT_EQ(bytes[page_offset(GuestLayout::kernel_pa(target))], 0x55);
+
+  GVirt far_away = kernel.symbols.must_addr("udp_recvmsg");
+  u32 far_page = GuestLayout::kernel_pa(far_away) >> kPageShift;
+  ASSERT_TRUE(view->shadow_frames.count(far_page));
+  auto far_bytes = sys_.hv().machine().host().frame(
+      view->shadow_frames.at(far_page));
+  u32 off = page_offset(GuestLayout::kernel_pa(far_away)) & ~1u;
+  EXPECT_EQ(far_bytes[off], 0x0F);
+  EXPECT_EQ(far_bytes[off + 1], 0x0B);
+}
+
+TEST_F(ViewBuilderFixture, EveryKernelCodePageIsShadowed) {
+  core::KernelViewConfig cfg;
+  cfg.app_name = "empty";
+  cfg.base.insert(sys_.os().kernel().text_base,
+                  sys_.os().kernel().text_base + 16);
+  auto view = builder_.build(cfg, 1);
+  const os::KernelImage& kernel = sys_.os().kernel();
+  u32 first = GuestLayout::kernel_pa(page_base(kernel.text_base)) >> kPageShift;
+  u32 last =
+      GuestLayout::kernel_pa(kernel.text_end() - 1) >> kPageShift;
+  for (u32 page = first; page <= last; ++page)
+    EXPECT_TRUE(view->shadow_frames.count(page)) << page;
+  EXPECT_FALSE(view->base_pdes.empty());
+}
+
+TEST_F(ViewBuilderFixture, VisibleUnlistedModulesAreShadowedAsUd2) {
+  // e1000 is loaded and visible; a config without it gets all-UD2 module
+  // pages ("everything not in the view is invalid code").
+  core::KernelViewConfig cfg;
+  cfg.app_name = "nomod";
+  cfg.base.insert(sys_.os().kernel().text_base,
+                  sys_.os().kernel().text_base + 16);
+  auto view = builder_.build(cfg, 2);
+  auto mod = sys_.os().loaded_module("e1000");
+  ASSERT_TRUE(mod.has_value());
+  u32 mod_page = GuestLayout::kernel_pa(mod->base) >> kPageShift;
+  ASSERT_TRUE(view->shadow_frames.count(mod_page));
+  auto bytes =
+      sys_.hv().machine().host().frame(view->shadow_frames.at(mod_page));
+  EXPECT_EQ(bytes[0], 0x0F);
+  EXPECT_EQ(bytes[1], 0x0B);
+  EXPECT_FALSE(view->module_ptes.empty());
+}
+
+TEST_F(ViewBuilderFixture, ListedModuleFunctionsAreLoaded) {
+  auto mod = sys_.os().loaded_module("e1000");
+  ASSERT_TRUE(mod.has_value());
+  core::KernelViewConfig cfg;
+  cfg.app_name = "withmod";
+  cfg.base.insert(sys_.os().kernel().text_base,
+                  sys_.os().kernel().text_base + 16);
+  cfg.modules["e1000"].insert(4, 12);  // a block inside the first function
+  auto view = builder_.build(cfg, 3);
+  // The containing module function got loaded whole: its prologue byte is
+  // present in the shadow.
+  u32 mod_page = GuestLayout::kernel_pa(mod->base) >> kPageShift;
+  auto bytes =
+      sys_.hv().machine().host().frame(view->shadow_frames.at(mod_page));
+  EXPECT_EQ(bytes[page_offset(GuestLayout::kernel_pa(mod->base))], 0x55);
+}
+
+TEST_F(ViewBuilderFixture, BlockGranularityLoadsOnlyProfiledBytes) {
+  core::ViewBuilderOptions options;
+  options.whole_function_loading = false;
+  core::ViewBuilder block_builder(sys_.hv(), sys_.os().kernel(), options);
+
+  const os::KernelImage& kernel = sys_.os().kernel();
+  GVirt target = kernel.symbols.must_addr("sys_getpid");
+  core::KernelViewConfig cfg;
+  cfg.app_name = "blocks";
+  cfg.base.insert(target + 4, target + 8);
+  auto view = block_builder.build(cfg, 4);
+  EXPECT_TRUE(view->loaded.covers(target + 4, target + 8));
+  EXPECT_FALSE(view->loaded.contains(target));  // prologue NOT loaded
+}
+
+TEST_F(ViewBuilderFixture, LoadedViewsReflectConfigSize) {
+  const core::KernelViewConfig& cfg = harness::profile_of("top");
+  auto view = builder_.build(cfg, 5);
+  // Whole-function relaxation only grows the loaded set.
+  EXPECT_GE(view->loaded.size_bytes(), cfg.base.size_bytes());
+}
+
+}  // namespace
+}  // namespace fc

@@ -1,0 +1,87 @@
+// Kernel view configuration files: serialization, merging, union views.
+#include <gtest/gtest.h>
+
+#include "core/viewconfig.hpp"
+
+namespace fc::core {
+namespace {
+
+KernelViewConfig sample() {
+  KernelViewConfig cfg;
+  cfg.app_name = "apache";
+  cfg.base.insert(0xC0400000, 0xC0400400);
+  cfg.base.insert(0xC0500000, 0xC0501000);
+  cfg.modules["e1000"].insert(0x0, 0x200);
+  cfg.modules["e1000"].insert(0x400, 0x480);
+  return cfg;
+}
+
+TEST(ViewConfig, SerializeParseRoundTrip) {
+  KernelViewConfig cfg = sample();
+  KernelViewConfig back = KernelViewConfig::parse(cfg.serialize());
+  EXPECT_TRUE(cfg == back);
+}
+
+TEST(ViewConfig, SerializedFormIsReadable) {
+  std::string text = sample().serialize();
+  EXPECT_NE(text.find("app apache"), std::string::npos);
+  EXPECT_NE(text.find("[base]"), std::string::npos);
+  EXPECT_NE(text.find("[module e1000]"), std::string::npos);
+  EXPECT_NE(text.find("0xc0400000 0xc0400400"), std::string::npos);
+}
+
+TEST(ViewConfig, SizeSpansBaseAndModules) {
+  KernelViewConfig cfg = sample();
+  EXPECT_EQ(cfg.size_bytes(), 0x400u + 0x1000u + 0x200u + 0x80u);
+}
+
+TEST(ViewConfig, MergeIsUnion) {
+  KernelViewConfig a = sample();
+  KernelViewConfig b;
+  b.base.insert(0xC0400200, 0xC0400800);  // overlaps a's first range
+  b.modules["kbeast"].insert(0, 0x100);
+  a.merge(b);
+  EXPECT_TRUE(a.base.contains(0xC0400700));
+  EXPECT_EQ(a.modules.size(), 2u);
+  EXPECT_EQ(a.base.size_bytes(), 0x800u + 0x1000u);
+}
+
+TEST(ViewConfig, IntersectMatchesModulesByName) {
+  KernelViewConfig a = sample();
+  KernelViewConfig b;
+  b.base.insert(0xC0400100, 0xC0400200);
+  b.modules["e1000"].insert(0x100, 0x300);
+  b.modules["other"].insert(0, 0x1000);
+  KernelViewConfig c = a.intersect(b);
+  EXPECT_EQ(c.base.size_bytes(), 0x100u);
+  ASSERT_EQ(c.modules.count("e1000"), 1u);
+  EXPECT_EQ(c.modules.at("e1000").size_bytes(), 0x100u);  // [0x100,0x200)
+  EXPECT_EQ(c.modules.count("other"), 0u);
+}
+
+TEST(ViewConfig, UnionView) {
+  KernelViewConfig a = sample();
+  KernelViewConfig b;
+  b.app_name = "top";
+  b.base.insert(0xC0600000, 0xC0600100);
+  KernelViewConfig u = make_union_view({a, b});
+  EXPECT_EQ(u.app_name, "union");
+  EXPECT_TRUE(u.base.contains(0xC0400000));
+  EXPECT_TRUE(u.base.contains(0xC0600000));
+  EXPECT_EQ(u.size_bytes(), a.size_bytes() + 0x100u);
+}
+
+TEST(ViewConfig, ParseIgnoresCommentsAndBlankLines) {
+  KernelViewConfig cfg = KernelViewConfig::parse(
+      "# comment\n\napp x\n[base]\n# another\n0x00001000 0x00002000\n");
+  EXPECT_EQ(cfg.app_name, "x");
+  EXPECT_EQ(cfg.base.size_bytes(), 0x1000u);
+}
+
+TEST(ViewConfig, ParseRejectsMalformedLines) {
+  EXPECT_DEATH(KernelViewConfig::parse("app x\n[base]\nnot a range\n"),
+               "malformed");
+}
+
+}  // namespace
+}  // namespace fc::core

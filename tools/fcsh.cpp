@@ -1,0 +1,257 @@
+// fcsh — the FACE-CHANGE administration shell.
+//
+// Drives the complete workflow from the command line, with kernel-view and
+// behaviour profiles as ordinary files (the artifacts an administrator
+// would ship from a profiling box to production):
+//
+//   fcsh apps                                list the modelled applications
+//   fcsh attacks                             list the Table II malware corpus
+//   fcsh profile <app> [-n ITER] [-o FILE]   profiling phase → view config
+//   fcsh behavior <app> [-n ITER] [-o FILE]  behavioural profile (§V-A ext.)
+//   fcsh inspect <FILE>                      summarize a view config file
+//   fcsh enforce <app> -v FILE [-n ITER]     runtime phase: run under a view
+//   fcsh matrix [-n ITER]                    Table I similarity matrix
+//   fcsh attack <name> [--union]             stage one attack end to end
+//   fcsh integrity <attack>                  §V-B data-integrity scan demo
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "core/behavior.hpp"
+#include "core/integrity.hpp"
+#include "core/similarity.hpp"
+#include "harness/harness.hpp"
+
+using namespace fc;
+
+namespace {
+
+[[noreturn]] void usage() {
+  std::fprintf(
+      stderr,
+      "usage: fcsh <command> [args]\n"
+      "  apps | attacks\n"
+      "  profile  <app> [-n iterations] [-o view.cfg]\n"
+      "  behavior <app> [-n iterations] [-o behavior.cfg]\n"
+      "  inspect  <view.cfg>\n"
+      "  enforce  <app> -v view.cfg [-n iterations]\n"
+      "  matrix   [-n iterations]\n"
+      "  attack   <name> [--union]\n"
+      "  integrity <attack-name>\n");
+  std::exit(2);
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "fcsh: cannot read %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+void spit(const std::string& path, const std::string& contents) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "fcsh: cannot write %s\n", path.c_str());
+    std::exit(1);
+  }
+  out << contents;
+  std::printf("wrote %s (%zu bytes)\n", path.c_str(), contents.size());
+}
+
+struct Options {
+  u32 iterations = 20;
+  std::string out;
+  std::string view_file;
+  bool union_view = false;
+};
+
+Options parse_flags(int argc, char** argv, int first) {
+  Options options;
+  for (int i = first; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "-n") && i + 1 < argc) {
+      options.iterations = static_cast<u32>(std::atoi(argv[++i]));
+    } else if (!std::strcmp(argv[i], "-o") && i + 1 < argc) {
+      options.out = argv[++i];
+    } else if (!std::strcmp(argv[i], "-v") && i + 1 < argc) {
+      options.view_file = argv[++i];
+    } else if (!std::strcmp(argv[i], "--union")) {
+      options.union_view = true;
+    } else {
+      usage();
+    }
+  }
+  return options;
+}
+
+int cmd_apps() {
+  for (const std::string& app : apps::all_app_names())
+    std::printf("%s\n", app.c_str());
+  return 0;
+}
+
+int cmd_attacks() {
+  std::printf("%-14s %-46s %-10s %s\n", "name", "infection", "victim",
+              "payload");
+  for (const auto& attack : attacks::make_all_attacks())
+    std::printf("%-14s %-46s %-10s %s\n", attack->name().c_str(),
+                attack->infection_method().c_str(), attack->victim().c_str(),
+                attack->payload().c_str());
+  return 0;
+}
+
+int cmd_profile(const std::string& app, const Options& options) {
+  std::printf("profiling %s (%u iterations)...\n", app.c_str(),
+              options.iterations);
+  core::KernelViewConfig config =
+      harness::profile_app(app, options.iterations);
+  std::printf("kernel view: %llu KB, %zu base ranges, %zu module(s)\n",
+              static_cast<unsigned long long>(config.size_bytes() >> 10),
+              config.base.len(), config.modules.size());
+  spit(options.out.empty() ? app + ".view" : options.out,
+       config.serialize());
+  return 0;
+}
+
+int cmd_behavior(const std::string& app, const Options& options) {
+  harness::GuestSystem sys;
+  core::BehaviorProfiler profiler(sys.hv(), sys.os().kernel());
+  profiler.add_target(app);
+  profiler.attach();
+  apps::AppScenario scenario = apps::make_app(app, options.iterations);
+  u32 pid = sys.os().spawn(app, scenario.model);
+  scenario.install_environment(sys.os());
+  sys.run_until_exit(pid, 1'500'000'000ull);
+  profiler.detach();
+  core::BehaviorProfile profile = profiler.export_profile(app);
+  std::printf("behaviour profile: %zu syscalls, %zu constrained argument "
+              "sets\n",
+              profile.syscalls.size(), profile.constrained_args.size());
+  spit(options.out.empty() ? app + ".behavior" : options.out,
+       profile.serialize());
+  return 0;
+}
+
+int cmd_inspect(const std::string& path) {
+  core::KernelViewConfig config = core::KernelViewConfig::parse(slurp(path));
+  std::printf("app:         %s\n", config.app_name.c_str());
+  std::printf("total size:  %llu KB\n",
+              static_cast<unsigned long long>(config.size_bytes() >> 10));
+  std::printf("base ranges: %zu (%llu KB)\n", config.base.len(),
+              static_cast<unsigned long long>(config.base.size_bytes() >> 10));
+  for (const auto& [name, ranges] : config.modules)
+    std::printf("module %-16s %zu ranges (%llu KB)\n", name.c_str(),
+                ranges.len(),
+                static_cast<unsigned long long>(ranges.size_bytes() >> 10));
+  return 0;
+}
+
+int cmd_enforce(const std::string& app, const Options& options) {
+  if (options.view_file.empty()) usage();
+  core::KernelViewConfig config =
+      core::KernelViewConfig::parse(slurp(options.view_file));
+  config.app_name = app;
+
+  harness::GuestSystem sys;
+  core::FaceChangeEngine engine(sys.hv(), sys.os().kernel());
+  engine.enable();
+  engine.bind(app, engine.load_view(config));
+  apps::AppScenario scenario = apps::make_app(app, options.iterations);
+  u32 pid = sys.os().spawn(app, scenario.model);
+  scenario.install_environment(sys.os());
+  hv::RunOutcome outcome = sys.run_until_exit(pid, 2'000'000'000ull);
+
+  std::printf("outcome: %s\n",
+              outcome == hv::RunOutcome::kGuestFault ? "GUEST FAULT"
+                                                     : "completed");
+  std::printf("context-switch traps %llu, view switches %llu, skipped %llu\n",
+              (unsigned long long)engine.stats().context_switch_traps,
+              (unsigned long long)engine.stats().view_switches,
+              (unsigned long long)engine.stats().switches_skipped_same_view);
+  std::printf("recovery log (%zu events):\n", engine.recovery_log().size());
+  for (const core::RecoveryEvent& ev : engine.recovery_log().events())
+    std::printf("  %s\n", ev.headline().c_str());
+  return outcome == hv::RunOutcome::kGuestFault ? 1 : 0;
+}
+
+int cmd_matrix(const Options& options) {
+  std::vector<core::KernelViewConfig> configs;
+  for (const std::string& app : apps::all_app_names()) {
+    std::printf("profiling %-8s...\r", app.c_str());
+    std::fflush(stdout);
+    configs.push_back(harness::profile_app(app, options.iterations));
+  }
+  std::printf("%s\n", core::compute_similarity(configs).render().c_str());
+  return 0;
+}
+
+int cmd_attack(const std::string& name, const Options& options) {
+  auto attack = attacks::make_attack(name);
+  harness::AttackRunOptions run_options;
+  run_options.use_union_view = options.union_view;
+  std::printf("staging %s against %s under the %s view...\n",
+              attack->name().c_str(), attack->victim().c_str(),
+              options.union_view ? "system-wide union" : "per-application");
+  harness::AttackRunResult result = harness::run_attack(*attack, run_options);
+  for (const std::string& ev : result.rendered_events)
+    std::printf("%s\n", ev.c_str());
+  std::printf("detected: %s (%zu recovery events)\n",
+              result.detected ? "YES" : "no", result.recovery_events);
+  return 0;
+}
+
+int cmd_integrity(const std::string& attack_name) {
+  harness::GuestSystem sys;
+  core::KernelIntegrityMonitor monitor(sys.hv(), sys.os().kernel());
+  monitor.take_baseline();
+  monitor.set_module_truth_source([&sys] {
+    std::vector<hv::ModuleInfo> truth;
+    for (const char* name :
+         {"e1000", "ipsecs_kbeast_v1", "sebek", "adore-ng"}) {
+      if (auto mod = sys.os().loaded_module(name)) truth.push_back(*mod);
+    }
+    return truth;
+  });
+
+  auto attack = attacks::make_attack(attack_name);
+  if (!attack->is_rootkit()) {
+    std::fprintf(stderr, "fcsh: integrity scanning targets rootkits\n");
+    return 2;
+  }
+  std::printf("installing %s, then scanning...\n", attack->name().c_str());
+  attack->deploy(sys.os(), 0);
+  sys.run_for(40'000'000);
+
+  auto violations = monitor.check();
+  for (const auto& v : violations) std::printf("%s\n", v.render().c_str());
+  for (const auto& mod : monitor.find_hidden_modules())
+    std::printf("hidden module: %s @ 0x%08x (%u bytes) — present in memory, "
+                "absent from the guest's module list\n",
+                mod.name.c_str(), mod.base, mod.size);
+  std::printf("%zu table violation(s)\n", violations.size());
+  return violations.empty() ? 1 : 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) usage();
+  std::string cmd = argv[1];
+  if (cmd == "apps") return cmd_apps();
+  if (cmd == "attacks") return cmd_attacks();
+  if (cmd == "matrix") return cmd_matrix(parse_flags(argc, argv, 2));
+  if (argc < 3) usage();
+  std::string arg = argv[2];
+  Options options = parse_flags(argc, argv, 3);
+  if (cmd == "profile") return cmd_profile(arg, options);
+  if (cmd == "behavior") return cmd_behavior(arg, options);
+  if (cmd == "inspect") return cmd_inspect(arg);
+  if (cmd == "enforce") return cmd_enforce(arg, options);
+  if (cmd == "attack") return cmd_attack(arg, options);
+  if (cmd == "integrity") return cmd_integrity(arg);
+  usage();
+}
