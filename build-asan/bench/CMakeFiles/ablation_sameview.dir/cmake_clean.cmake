@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_sameview.dir/ablation_sameview.cpp.o"
+  "CMakeFiles/ablation_sameview.dir/ablation_sameview.cpp.o.d"
+  "ablation_sameview"
+  "ablation_sameview.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_sameview.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_switch_point.dir/ablation_switch_point.cpp.o"
+  "CMakeFiles/ablation_switch_point.dir/ablation_switch_point.cpp.o.d"
+  "ablation_switch_point"
+  "ablation_switch_point.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_switch_point.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

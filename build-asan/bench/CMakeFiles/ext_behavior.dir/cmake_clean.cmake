@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_behavior.dir/ext_behavior.cpp.o"
+  "CMakeFiles/ext_behavior.dir/ext_behavior.cpp.o.d"
+  "ext_behavior"
+  "ext_behavior.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_behavior.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

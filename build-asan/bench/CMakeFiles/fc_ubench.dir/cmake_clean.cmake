@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fc_ubench.dir/ubench_models.cpp.o"
+  "CMakeFiles/fc_ubench.dir/ubench_models.cpp.o.d"
+  "libfc_ubench.a"
+  "libfc_ubench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fc_ubench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_cross_view.dir/fig3_cross_view.cpp.o"
+  "CMakeFiles/fig3_cross_view.dir/fig3_cross_view.cpp.o.d"
+  "fig3_cross_view"
+  "fig3_cross_view.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_cross_view.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_injectso.dir/fig4_injectso.cpp.o"
+  "CMakeFiles/fig4_injectso.dir/fig4_injectso.cpp.o.d"
+  "fig4_injectso"
+  "fig4_injectso.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_injectso.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

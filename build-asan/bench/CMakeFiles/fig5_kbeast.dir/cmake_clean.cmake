@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_kbeast.dir/fig5_kbeast.cpp.o"
+  "CMakeFiles/fig5_kbeast.dir/fig5_kbeast.cpp.o.d"
+  "fig5_kbeast"
+  "fig5_kbeast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_kbeast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

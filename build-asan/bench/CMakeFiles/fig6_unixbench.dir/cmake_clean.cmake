@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_unixbench.dir/fig6_unixbench.cpp.o"
+  "CMakeFiles/fig6_unixbench.dir/fig6_unixbench.cpp.o.d"
+  "fig6_unixbench"
+  "fig6_unixbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_unixbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_apache_io.dir/fig7_apache_io.cpp.o"
+  "CMakeFiles/fig7_apache_io.dir/fig7_apache_io.cpp.o.d"
+  "fig7_apache_io"
+  "fig7_apache_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_apache_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

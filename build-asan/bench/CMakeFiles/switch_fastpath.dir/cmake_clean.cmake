@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/switch_fastpath.dir/switch_fastpath.cpp.o"
+  "CMakeFiles/switch_fastpath.dir/switch_fastpath.cpp.o.d"
+  "switch_fastpath"
+  "switch_fastpath.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/switch_fastpath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

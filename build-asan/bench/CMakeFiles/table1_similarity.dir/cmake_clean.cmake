@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_similarity.dir/table1_similarity.cpp.o"
+  "CMakeFiles/table1_similarity.dir/table1_similarity.cpp.o.d"
+  "table1_similarity"
+  "table1_similarity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_similarity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_attacks.dir/table2_attacks.cpp.o"
+  "CMakeFiles/table2_attacks.dir/table2_attacks.cpp.o.d"
+  "table2_attacks"
+  "table2_attacks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_attacks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

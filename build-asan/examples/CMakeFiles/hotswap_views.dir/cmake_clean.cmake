@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hotswap_views.dir/hotswap_views.cpp.o"
+  "CMakeFiles/hotswap_views.dir/hotswap_views.cpp.o.d"
+  "hotswap_views"
+  "hotswap_views.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hotswap_views.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/webserver_protection.dir/webserver_protection.cpp.o"
+  "CMakeFiles/webserver_protection.dir/webserver_protection.cpp.o.d"
+  "webserver_protection"
+  "webserver_protection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/webserver_protection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

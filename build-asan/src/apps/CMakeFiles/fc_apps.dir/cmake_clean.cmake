@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fc_apps.dir/apps.cpp.o"
+  "CMakeFiles/fc_apps.dir/apps.cpp.o.d"
+  "libfc_apps.a"
+  "libfc_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fc_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fc_attacks.dir/attacks.cpp.o"
+  "CMakeFiles/fc_attacks.dir/attacks.cpp.o.d"
+  "libfc_attacks.a"
+  "libfc_attacks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fc_attacks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/behavior.cpp" "src/core/CMakeFiles/fc_core.dir/behavior.cpp.o" "gcc" "src/core/CMakeFiles/fc_core.dir/behavior.cpp.o.d"
+  "/root/repo/src/core/engine.cpp" "src/core/CMakeFiles/fc_core.dir/engine.cpp.o" "gcc" "src/core/CMakeFiles/fc_core.dir/engine.cpp.o.d"
+  "/root/repo/src/core/integrity.cpp" "src/core/CMakeFiles/fc_core.dir/integrity.cpp.o" "gcc" "src/core/CMakeFiles/fc_core.dir/integrity.cpp.o.d"
+  "/root/repo/src/core/profiler.cpp" "src/core/CMakeFiles/fc_core.dir/profiler.cpp.o" "gcc" "src/core/CMakeFiles/fc_core.dir/profiler.cpp.o.d"
+  "/root/repo/src/core/rangelist.cpp" "src/core/CMakeFiles/fc_core.dir/rangelist.cpp.o" "gcc" "src/core/CMakeFiles/fc_core.dir/rangelist.cpp.o.d"
+  "/root/repo/src/core/recovery.cpp" "src/core/CMakeFiles/fc_core.dir/recovery.cpp.o" "gcc" "src/core/CMakeFiles/fc_core.dir/recovery.cpp.o.d"
+  "/root/repo/src/core/similarity.cpp" "src/core/CMakeFiles/fc_core.dir/similarity.cpp.o" "gcc" "src/core/CMakeFiles/fc_core.dir/similarity.cpp.o.d"
+  "/root/repo/src/core/switchdelta.cpp" "src/core/CMakeFiles/fc_core.dir/switchdelta.cpp.o" "gcc" "src/core/CMakeFiles/fc_core.dir/switchdelta.cpp.o.d"
+  "/root/repo/src/core/viewbuilder.cpp" "src/core/CMakeFiles/fc_core.dir/viewbuilder.cpp.o" "gcc" "src/core/CMakeFiles/fc_core.dir/viewbuilder.cpp.o.d"
+  "/root/repo/src/core/viewconfig.cpp" "src/core/CMakeFiles/fc_core.dir/viewconfig.cpp.o" "gcc" "src/core/CMakeFiles/fc_core.dir/viewconfig.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/hv/CMakeFiles/fc_hv.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/os/CMakeFiles/fc_os.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/vcpu/CMakeFiles/fc_vcpu.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/mem/CMakeFiles/fc_mem.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/isa/CMakeFiles/fc_isa.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/support/CMakeFiles/fc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fc_core.dir/behavior.cpp.o"
+  "CMakeFiles/fc_core.dir/behavior.cpp.o.d"
+  "CMakeFiles/fc_core.dir/engine.cpp.o"
+  "CMakeFiles/fc_core.dir/engine.cpp.o.d"
+  "CMakeFiles/fc_core.dir/integrity.cpp.o"
+  "CMakeFiles/fc_core.dir/integrity.cpp.o.d"
+  "CMakeFiles/fc_core.dir/profiler.cpp.o"
+  "CMakeFiles/fc_core.dir/profiler.cpp.o.d"
+  "CMakeFiles/fc_core.dir/rangelist.cpp.o"
+  "CMakeFiles/fc_core.dir/rangelist.cpp.o.d"
+  "CMakeFiles/fc_core.dir/recovery.cpp.o"
+  "CMakeFiles/fc_core.dir/recovery.cpp.o.d"
+  "CMakeFiles/fc_core.dir/similarity.cpp.o"
+  "CMakeFiles/fc_core.dir/similarity.cpp.o.d"
+  "CMakeFiles/fc_core.dir/switchdelta.cpp.o"
+  "CMakeFiles/fc_core.dir/switchdelta.cpp.o.d"
+  "CMakeFiles/fc_core.dir/viewbuilder.cpp.o"
+  "CMakeFiles/fc_core.dir/viewbuilder.cpp.o.d"
+  "CMakeFiles/fc_core.dir/viewconfig.cpp.o"
+  "CMakeFiles/fc_core.dir/viewconfig.cpp.o.d"
+  "libfc_core.a"
+  "libfc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

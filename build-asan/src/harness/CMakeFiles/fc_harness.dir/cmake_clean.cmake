@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fc_harness.dir/harness.cpp.o"
+  "CMakeFiles/fc_harness.dir/harness.cpp.o.d"
+  "libfc_harness.a"
+  "libfc_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fc_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hv/hypervisor.cpp" "src/hv/CMakeFiles/fc_hv.dir/hypervisor.cpp.o" "gcc" "src/hv/CMakeFiles/fc_hv.dir/hypervisor.cpp.o.d"
+  "/root/repo/src/hv/symbols.cpp" "src/hv/CMakeFiles/fc_hv.dir/symbols.cpp.o" "gcc" "src/hv/CMakeFiles/fc_hv.dir/symbols.cpp.o.d"
+  "/root/repo/src/hv/vmi.cpp" "src/hv/CMakeFiles/fc_hv.dir/vmi.cpp.o" "gcc" "src/hv/CMakeFiles/fc_hv.dir/vmi.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/vcpu/CMakeFiles/fc_vcpu.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/mem/CMakeFiles/fc_mem.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/isa/CMakeFiles/fc_isa.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/support/CMakeFiles/fc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

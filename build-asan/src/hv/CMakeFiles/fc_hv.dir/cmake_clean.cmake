@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fc_hv.dir/hypervisor.cpp.o"
+  "CMakeFiles/fc_hv.dir/hypervisor.cpp.o.d"
+  "CMakeFiles/fc_hv.dir/symbols.cpp.o"
+  "CMakeFiles/fc_hv.dir/symbols.cpp.o.d"
+  "CMakeFiles/fc_hv.dir/vmi.cpp.o"
+  "CMakeFiles/fc_hv.dir/vmi.cpp.o.d"
+  "libfc_hv.a"
+  "libfc_hv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fc_hv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

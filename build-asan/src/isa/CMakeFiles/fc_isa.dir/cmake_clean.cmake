@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fc_isa.dir/assembler.cpp.o"
+  "CMakeFiles/fc_isa.dir/assembler.cpp.o.d"
+  "CMakeFiles/fc_isa.dir/isa.cpp.o"
+  "CMakeFiles/fc_isa.dir/isa.cpp.o.d"
+  "libfc_isa.a"
+  "libfc_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fc_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fc_mem.dir/machine.cpp.o"
+  "CMakeFiles/fc_mem.dir/machine.cpp.o.d"
+  "CMakeFiles/fc_mem.dir/mmu.cpp.o"
+  "CMakeFiles/fc_mem.dir/mmu.cpp.o.d"
+  "libfc_mem.a"
+  "libfc_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fc_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/os/blueprint.cpp" "src/os/CMakeFiles/fc_os.dir/blueprint.cpp.o" "gcc" "src/os/CMakeFiles/fc_os.dir/blueprint.cpp.o.d"
+  "/root/repo/src/os/kbuilder.cpp" "src/os/CMakeFiles/fc_os.dir/kbuilder.cpp.o" "gcc" "src/os/CMakeFiles/fc_os.dir/kbuilder.cpp.o.d"
+  "/root/repo/src/os/os_runtime.cpp" "src/os/CMakeFiles/fc_os.dir/os_runtime.cpp.o" "gcc" "src/os/CMakeFiles/fc_os.dir/os_runtime.cpp.o.d"
+  "/root/repo/src/os/user_program.cpp" "src/os/CMakeFiles/fc_os.dir/user_program.cpp.o" "gcc" "src/os/CMakeFiles/fc_os.dir/user_program.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/hv/CMakeFiles/fc_hv.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/isa/CMakeFiles/fc_isa.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/vcpu/CMakeFiles/fc_vcpu.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/mem/CMakeFiles/fc_mem.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/support/CMakeFiles/fc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fc_os.dir/blueprint.cpp.o"
+  "CMakeFiles/fc_os.dir/blueprint.cpp.o.d"
+  "CMakeFiles/fc_os.dir/kbuilder.cpp.o"
+  "CMakeFiles/fc_os.dir/kbuilder.cpp.o.d"
+  "CMakeFiles/fc_os.dir/os_runtime.cpp.o"
+  "CMakeFiles/fc_os.dir/os_runtime.cpp.o.d"
+  "CMakeFiles/fc_os.dir/user_program.cpp.o"
+  "CMakeFiles/fc_os.dir/user_program.cpp.o.d"
+  "libfc_os.a"
+  "libfc_os.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fc_os.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

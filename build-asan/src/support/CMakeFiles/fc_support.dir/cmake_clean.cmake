@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fc_support.dir/hexdump.cpp.o"
+  "CMakeFiles/fc_support.dir/hexdump.cpp.o.d"
+  "CMakeFiles/fc_support.dir/logging.cpp.o"
+  "CMakeFiles/fc_support.dir/logging.cpp.o.d"
+  "CMakeFiles/fc_support.dir/rng.cpp.o"
+  "CMakeFiles/fc_support.dir/rng.cpp.o.d"
+  "libfc_support.a"
+  "libfc_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fc_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fc_vcpu.dir/vcpu.cpp.o"
+  "CMakeFiles/fc_vcpu.dir/vcpu.cpp.o.d"
+  "libfc_vcpu.a"
+  "libfc_vcpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fc_vcpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

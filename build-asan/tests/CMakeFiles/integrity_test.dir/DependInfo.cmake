@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/integrity_test.cpp" "tests/CMakeFiles/integrity_test.dir/integrity_test.cpp.o" "gcc" "tests/CMakeFiles/integrity_test.dir/integrity_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/harness/CMakeFiles/fc_harness.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/apps/CMakeFiles/fc_apps.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/attacks/CMakeFiles/fc_attacks.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/core/CMakeFiles/fc_core.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/os/CMakeFiles/fc_os.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/hv/CMakeFiles/fc_hv.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/vcpu/CMakeFiles/fc_vcpu.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/isa/CMakeFiles/fc_isa.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/mem/CMakeFiles/fc_mem.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/support/CMakeFiles/fc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

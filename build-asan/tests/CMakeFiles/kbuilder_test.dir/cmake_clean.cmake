@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kbuilder_test.dir/kbuilder_test.cpp.o"
+  "CMakeFiles/kbuilder_test.dir/kbuilder_test.cpp.o.d"
+  "kbuilder_test"
+  "kbuilder_test.pdb"
+  "kbuilder_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kbuilder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

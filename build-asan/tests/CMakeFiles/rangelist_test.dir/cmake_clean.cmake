@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rangelist_test.dir/rangelist_test.cpp.o"
+  "CMakeFiles/rangelist_test.dir/rangelist_test.cpp.o.d"
+  "rangelist_test"
+  "rangelist_test.pdb"
+  "rangelist_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rangelist_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

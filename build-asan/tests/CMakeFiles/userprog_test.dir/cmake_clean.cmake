@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/userprog_test.dir/userprog_test.cpp.o"
+  "CMakeFiles/userprog_test.dir/userprog_test.cpp.o.d"
+  "userprog_test"
+  "userprog_test.pdb"
+  "userprog_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/userprog_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vcpu_test.dir/vcpu_test.cpp.o"
+  "CMakeFiles/vcpu_test.dir/vcpu_test.cpp.o.d"
+  "vcpu_test"
+  "vcpu_test.pdb"
+  "vcpu_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vcpu_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

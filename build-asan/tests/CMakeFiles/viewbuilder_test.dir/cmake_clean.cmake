@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/viewbuilder_test.dir/viewbuilder_test.cpp.o"
+  "CMakeFiles/viewbuilder_test.dir/viewbuilder_test.cpp.o.d"
+  "viewbuilder_test"
+  "viewbuilder_test.pdb"
+  "viewbuilder_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/viewbuilder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

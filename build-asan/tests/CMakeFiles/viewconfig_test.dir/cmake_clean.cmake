@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/viewconfig_test.dir/viewconfig_test.cpp.o"
+  "CMakeFiles/viewconfig_test.dir/viewconfig_test.cpp.o.d"
+  "viewconfig_test"
+  "viewconfig_test.pdb"
+  "viewconfig_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/viewconfig_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

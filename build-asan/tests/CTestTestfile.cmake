@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-asan/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-asan/tests/smoke_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/probe_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/isa_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/rangelist_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/viewconfig_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/mem_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/vcpu_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/kbuilder_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/os_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/profiler_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/viewbuilder_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/engine_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/recovery_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/attacks_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/integration_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/behavior_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/hv_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/apps_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/userprog_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/fuzz_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/integrity_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/stress_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/misc_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/coverage_test[1]_include.cmake")

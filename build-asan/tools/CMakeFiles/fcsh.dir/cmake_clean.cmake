@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fcsh.dir/fcsh.cpp.o"
+  "CMakeFiles/fcsh.dir/fcsh.cpp.o.d"
+  "fcsh"
+  "fcsh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fcsh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -38,6 +38,10 @@ void FaceChangeEngine::enable() {
     full_pdes_.push_back({pde, ept.pde(pde)});
   }
 
+  // The full-view PDE capture is an input to every cached descriptor;
+  // recapturing invalidates them all.
+  switch_cache_.clear();
+
   hv_->vcpu().add_breakpoint(switch_to_addr_);
   hv_->set_exit_handler(this);
   enabled_ = true;
@@ -47,6 +51,10 @@ void FaceChangeEngine::disable() {
   if (!enabled_) return;
   apply_view(nullptr);
   active_view_ = kFullKernelViewId;
+  // A deferred switch may still be in flight; without this reset a later
+  // enable() could apply a view from this session (possibly unloaded by
+  // then) at its first resume-userspace trap.
+  pending_view_ = kFullKernelViewId;
   hv_->vcpu().remove_breakpoint(switch_to_addr_);
   hv_->vcpu().remove_breakpoint(resume_userspace_addr_);
   resume_trap_armed_ = false;
@@ -73,7 +81,17 @@ void FaceChangeEngine::unload_view(u32 view_id) {
     else
       ++it;
   }
+  drop_descriptors_for(view_id);
   views_.erase(view_id);
+}
+
+void FaceChangeEngine::drop_descriptors_for(u32 view_id) {
+  for (auto it = switch_cache_.begin(); it != switch_cache_.end();) {
+    if (it->first.first == view_id || it->first.second == view_id)
+      it = switch_cache_.erase(it);
+    else
+      ++it;
+  }
 }
 
 void FaceChangeEngine::bind(const std::string& comm, u32 view_id) {
@@ -97,9 +115,18 @@ u32 FaceChangeEngine::select_view(const hv::TaskInfo& task) const {
 }
 
 void FaceChangeEngine::apply_view(const KernelView* next) {
-  mem::Machine& machine = hv_->machine();
-  mem::Ept& ept = machine.ept();
+  mem::Ept& ept = hv_->machine().ept();
   const mem::Ept::Stats before = ept.stats();
+
+  // Step 3B restore FIRST: the previous view's module overrides must be
+  // written back through the PDE state they were applied under — once step
+  // 3A repoints the base PDEs, an override falling inside a repointed PDE
+  // would write its identity frame into the *next* view's table.
+  if (const KernelView* prev = view(active_view_)) {
+    for (const KernelView::PteOverride& ov : prev->module_ptes)
+      ept.set_pte(ept.pde(ov.pde_index), ov.slot,
+                  mem::EptEntry{true, ov.identity_frame});
+  }
 
   // Step 3A: repoint the base-kernel-code PDEs.
   if (next != nullptr) {
@@ -110,13 +137,8 @@ void FaceChangeEngine::apply_view(const KernelView* next) {
       ept.set_pde(bp.pde_index, bp.table);
   }
 
-  // Step 3B: module PTEs. Restore the previous view's overrides to
-  // identity, then apply the next view's.
-  if (const KernelView* prev = view(active_view_)) {
-    for (const KernelView::PteOverride& ov : prev->module_ptes)
-      ept.set_pte(ept.pde(ov.pde_index), ov.slot,
-                  mem::EptEntry{true, ov.identity_frame});
-  }
+  // Step 3B apply: the next view's overrides, resolved through the freshly
+  // repointed PDEs so they land in the now-active tables.
   if (next != nullptr) {
     for (const KernelView::PteOverride& ov : next->module_ptes)
       ept.set_pte(ept.pde(ov.pde_index), ov.slot,
@@ -124,15 +146,78 @@ void FaceChangeEngine::apply_view(const KernelView* next) {
   }
 
   ept.invalidate();
+  ++stats_.slowpath_switches;
+  charge_switch(before, hv_->vcpu().perf_model().cost_tlb_flush);
+}
 
-  // Charge the switch: PDE/PTE writes plus the TLB invalidation.
-  const mem::Ept::Stats after = ept.stats();
+void FaceChangeEngine::apply_descriptor(const SwitchDescriptor& descriptor) {
+  mem::Machine& machine = hv_->machine();
+  mem::Ept& ept = machine.ept();
+  const mem::Ept::Stats before = ept.stats();
+  const cpu::PerfModel& pm = hv_->vcpu().perf_model();
+
+  for (const SwitchDescriptor::PdeWrite& pw : descriptor.pde_writes)
+    ept.set_pde(pw.pde_index, pw.table);
+  for (const SwitchDescriptor::PteWrite& tw : descriptor.pte_writes)
+    ept.set_pte(tw.table, tw.slot, mem::EptEntry{true, tw.frame});
+
+  Cycles invalidation_cost = 0;
+  u32 dropped = 0;
+  bool scoped = options_.scoped_tlb_invalidation &&
+                descriptor.changed_ranges.size() <=
+                    options_.scoped_invalidation_max_ranges;
+  if (scoped) {
+    dropped = machine.mmu().invalidate_gpa_ranges(descriptor.changed_ranges);
+    ept.note_scoped_invalidation();
+    invalidation_cost = pm.cost_tlb_scoped_base +
+                        static_cast<Cycles>(dropped) * pm.cost_tlb_scoped_per_entry;
+    ++stats_.scoped_invalidations;
+    stats_.scoped_tlb_entries_dropped += dropped;
+  } else {
+    ept.invalidate();
+    invalidation_cost = pm.cost_tlb_flush;
+    ++stats_.full_flush_fallbacks;
+  }
+
+  ++stats_.fastpath_switches;
+  stats_.fastpath_pde_writes += descriptor.pde_writes.size();
+  stats_.fastpath_pte_writes += descriptor.pte_writes.size();
+  stats_.naive_pde_writes_avoided +=
+      descriptor.naive_pde_writes - descriptor.pde_writes.size();
+  stats_.naive_pte_writes_avoided +=
+      descriptor.naive_pte_writes - descriptor.pte_writes.size();
+  charge_switch(before, invalidation_cost);
+  FC_TRACE << "view switch delta: " << descriptor.pde_writes.size()
+           << " pde + " << descriptor.pte_writes.size() << " pte writes, "
+           << descriptor.changed_ranges.size() << " ranges, "
+           << (scoped ? "scoped" : "full") << " invalidation dropping "
+           << dropped << " TLB entries";
+}
+
+void FaceChangeEngine::charge_switch(const mem::Ept::Stats& before,
+                                     Cycles invalidation_cost) {
+  const mem::Ept::Stats after = hv_->machine().ept().stats();
   const cpu::PerfModel& pm = hv_->vcpu().perf_model();
   Cycles cost = (after.pde_writes - before.pde_writes) * pm.cost_ept_pde_write +
                 (after.pte_writes - before.pte_writes) * pm.cost_ept_pte_write +
-                pm.cost_tlb_flush;
+                invalidation_cost;
   hv_->vcpu().charge(cost);
   stats_.switch_cycles_charged += cost;
+}
+
+const SwitchDescriptor& FaceChangeEngine::switch_descriptor(u32 from_id,
+                                                            u32 to_id) {
+  auto it = switch_cache_.find({from_id, to_id});
+  if (it != switch_cache_.end()) {
+    ++stats_.descriptor_cache_hits;
+    return it->second;
+  }
+  ++stats_.descriptor_cache_misses;
+  return switch_cache_
+      .emplace(std::make_pair(from_id, to_id),
+               build_switch_descriptor(hv_->machine().ept(), full_pdes_,
+                                       view(from_id), view(to_id)))
+      .first->second;
 }
 
 void FaceChangeEngine::switch_to_view(u32 view_id) {
@@ -140,7 +225,10 @@ void FaceChangeEngine::switch_to_view(u32 view_id) {
     ++stats_.switches_skipped_same_view;
     return;
   }
-  apply_view(view(view_id));  // nullptr for the full view
+  if (options_.delta_switch_fastpath)
+    apply_descriptor(switch_descriptor(active_view_, view_id));
+  else
+    apply_view(view(view_id));  // nullptr for the full view
   active_view_ = view_id;
   ++stats_.view_switches;
 }

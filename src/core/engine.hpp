@@ -8,8 +8,10 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <utility>
 
 #include "core/recovery.hpp"
+#include "core/switchdelta.hpp"
 #include "core/view.hpp"
 #include "core/viewbuilder.hpp"
 #include "hv/hypervisor.hpp"
@@ -28,6 +30,16 @@ struct EngineOptions {
   /// required for safe multi-view operation; off reproduces the paper's
   /// trap-time-only instant recovery).
   bool cross_view_scan = true;
+  /// Switch through cached per-(from, to) delta descriptors that issue only
+  /// the PDE/PTE writes whose value actually changes (see switchdelta.hpp);
+  /// false = the naive full rewrite on every transition.
+  bool delta_switch_fastpath = true;
+  /// Invalidate only the TLB entries whose guest-physical page falls inside
+  /// a changed range instead of flushing; requires the fast path (the naive
+  /// rewrite does not track what changed). Falls back to a full flush when
+  /// a descriptor's range list exceeds scoped_invalidation_max_ranges.
+  bool scoped_tlb_invalidation = true;
+  u32 scoped_invalidation_max_ranges = 64;
   ViewBuilderOptions builder;
 };
 
@@ -71,6 +83,18 @@ class FaceChangeEngine : public hv::ExitHandler {
     u64 view_switches = 0;
     u64 switches_skipped_same_view = 0;
     Cycles switch_cycles_charged = 0;
+    // Fast-path attribution (see switchdelta.hpp).
+    u64 fastpath_switches = 0;
+    u64 slowpath_switches = 0;
+    u64 descriptor_cache_hits = 0;
+    u64 descriptor_cache_misses = 0;
+    u64 fastpath_pde_writes = 0;  // issued via descriptors
+    u64 fastpath_pte_writes = 0;
+    u64 naive_pde_writes_avoided = 0;  // naive-issue minus delta-issue
+    u64 naive_pte_writes_avoided = 0;
+    u64 scoped_invalidations = 0;
+    u64 scoped_tlb_entries_dropped = 0;
+    u64 full_flush_fallbacks = 0;  // fast-path switches that still flushed
   };
   const Stats& stats() const { return stats_; }
   void reset_stats() {
@@ -82,10 +106,17 @@ class FaceChangeEngine : public hv::ExitHandler {
   bool handle_invalid_opcode(GVirt pc) override;
   void handle_breakpoint(GVirt pc) override;
 
+  /// The cached descriptor for (from, to), building it on first use.
+  /// Exposed for tests and benches that attribute switch costs.
+  const SwitchDescriptor& switch_descriptor(u32 from_id, u32 to_id);
+
  private:
   void switch_to_view(u32 view_id);
   void apply_view(const KernelView* next);  // nullptr = full view
+  void apply_descriptor(const SwitchDescriptor& descriptor);
+  void charge_switch(const mem::Ept::Stats& before, Cycles invalidation_cost);
   u32 select_view(const hv::TaskInfo& task) const;
+  void drop_descriptors_for(u32 view_id);
 
   hv::Hypervisor* hv_;
   const os::KernelImage* kernel_;
@@ -95,6 +126,8 @@ class FaceChangeEngine : public hv::ExitHandler {
   std::unique_ptr<RecoveryEngine> recovery_;
 
   std::map<u32, std::unique_ptr<KernelView>> views_;
+  // (from, to) → precomputed switch delta; dropped on unload and enable.
+  std::map<std::pair<u32, u32>, SwitchDescriptor> switch_cache_;
   std::map<std::string, u32> bindings_;  // comm → view id
   u32 next_view_id_ = 1;
   u32 active_view_ = kFullKernelViewId;

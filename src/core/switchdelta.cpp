@@ -1,0 +1,89 @@
+#include "core/switchdelta.hpp"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+namespace fc::core {
+
+namespace {
+
+using BasePdes = std::vector<KernelView::BasePde>;
+
+/// The table that covers `pde_index` while the given view is active: the
+/// view's own base table inside the switched region, the shared boot table
+/// everywhere else.
+mem::EptTableId table_under(const mem::Ept& ept, const BasePdes& base,
+                            u32 pde_index) {
+  for (const KernelView::BasePde& bp : base)
+    if (bp.pde_index == pde_index) return bp.table;
+  return ept.pde(pde_index);
+}
+
+void merge_ranges(std::vector<mem::GpaRange>& ranges) {
+  std::sort(ranges.begin(), ranges.end(),
+            [](const mem::GpaRange& a, const mem::GpaRange& b) {
+              return a.begin < b.begin;
+            });
+  std::vector<mem::GpaRange> merged;
+  for (const mem::GpaRange& r : ranges) {
+    if (!merged.empty() && r.begin <= merged.back().end)
+      merged.back().end = std::max(merged.back().end, r.end);
+    else
+      merged.push_back(r);
+  }
+  ranges = std::move(merged);
+}
+
+}  // namespace
+
+SwitchDescriptor build_switch_descriptor(const mem::Ept& ept,
+                                         const BasePdes& full_pdes,
+                                         const KernelView* from,
+                                         const KernelView* to) {
+  SwitchDescriptor d;
+  const BasePdes& from_base = from ? from->base_pdes : full_pdes;
+  const BasePdes& to_base = to ? to->base_pdes : full_pdes;
+  std::vector<mem::GpaRange> ranges;
+
+  // Step 3A delta: only PDEs whose table actually changes. (All views cover
+  // the same base-code PDE range, so iterating the destination's set is the
+  // naive path's write set exactly.)
+  d.naive_pde_writes = to_base.size();
+  for (const KernelView::BasePde& bp : to_base) {
+    if (table_under(ept, from_base, bp.pde_index).index == bp.table.index)
+      continue;
+    d.pde_writes.push_back({bp.pde_index, bp.table});
+    ranges.push_back({bp.pde_index * mem::Ept::kPdeSpan,
+                      (bp.pde_index + 1) * mem::Ept::kPdeSpan});
+  }
+
+  // Step 3B delta: restores resolved through the *outgoing* view's tables,
+  // applies through the incoming view's; coalesced per (table, slot) with
+  // the apply winning, so a page both views override costs one write.
+  std::map<std::pair<u32, u32>, SwitchDescriptor::PteWrite> writes;
+  if (from != nullptr) {
+    d.naive_pte_writes += from->module_ptes.size();
+    for (const KernelView::PteOverride& ov : from->module_ptes) {
+      mem::EptTableId t = table_under(ept, from_base, ov.pde_index);
+      writes[{t.index, ov.slot}] = {t, ov.slot, ov.identity_frame};
+      ranges.push_back({ov.gpa(), ov.gpa() + kPageSize});
+    }
+  }
+  if (to != nullptr) {
+    d.naive_pte_writes += to->module_ptes.size();
+    for (const KernelView::PteOverride& ov : to->module_ptes) {
+      mem::EptTableId t = table_under(ept, to_base, ov.pde_index);
+      writes[{t.index, ov.slot}] = {t, ov.slot, ov.view_frame};
+      ranges.push_back({ov.gpa(), ov.gpa() + kPageSize});
+    }
+  }
+  d.pte_writes.reserve(writes.size());
+  for (const auto& [key, write] : writes) d.pte_writes.push_back(write);
+
+  merge_ranges(ranges);
+  d.changed_ranges = std::move(ranges);
+  return d;
+}
+
+}  // namespace fc::core

@@ -1,0 +1,66 @@
+// Delta-based view-switch descriptors (the switch fast path).
+//
+// The naive switch (FaceChangeEngine::apply_view) rewrites every base-kernel
+// PDE and restores/applies every module PTE on each transition, then pays a
+// full TLB flush — even when the two views share most of their page tables.
+// A SwitchDescriptor precomputes, for one ordered (from, to) pair, exactly
+// the writes whose target value differs between the two steady states:
+//
+//  * pde_writes — base-kernel PDEs whose per-view table actually changes
+//    (generalizing the paper's §III-B2 same-view skip to partial overlap);
+//  * pte_writes — module-PTE restores and applies coalesced per (table,
+//    slot): a page both views override costs one write instead of a
+//    restore-then-apply pair, and every write's target table is resolved
+//    statically, so restores always land in the *outgoing* view's tables
+//    even when an override falls inside a repointed PDE;
+//  * changed_ranges — the merged guest-physical ranges those writes affect,
+//    driving scoped TLB invalidation (Mmu::invalidate_gpa_ranges) instead
+//    of a full flush.
+//
+// Descriptors are pure data: building one reads the views and the shared
+// PDE state but writes nothing, and applying one is a flat replay. They
+// stay valid as long as both views exist and the full-view PDE capture is
+// unchanged, because all frames involved (shadow, identity) are fixed at
+// view-build time; FaceChangeEngine caches them per (from, to) pair and
+// drops them on unload/enable.
+#pragma once
+
+#include <vector>
+
+#include "core/view.hpp"
+#include "mem/ept.hpp"
+
+namespace fc::core {
+
+struct SwitchDescriptor {
+  struct PdeWrite {
+    u32 pde_index = 0;
+    mem::EptTableId table;
+  };
+  struct PteWrite {
+    mem::EptTableId table;
+    u32 slot = 0;
+    HostFrame frame = 0;
+  };
+
+  std::vector<PdeWrite> pde_writes;
+  std::vector<PteWrite> pte_writes;
+  /// Sorted, coalesced GPA ranges whose translations the writes change.
+  std::vector<mem::GpaRange> changed_ranges;
+
+  /// What the naive full rewrite would have issued for the same transition
+  /// (restore + repoint + apply), for attribution in stats/benches.
+  u64 naive_pde_writes = 0;
+  u64 naive_pte_writes = 0;
+};
+
+/// Build the descriptor for switching `from` → `to`. nullptr means the full
+/// kernel view, whose base-code tables are `full_pdes` (the engine's
+/// enable-time capture). `ept` is consulted only to resolve the shared
+/// (never-switched) PDE tables that module overrides outside the base
+/// region live in.
+SwitchDescriptor build_switch_descriptor(
+    const mem::Ept& ept, const std::vector<KernelView::BasePde>& full_pdes,
+    const KernelView* from, const KernelView* to);
+
+}  // namespace fc::core

@@ -32,8 +32,21 @@ struct KernelView {
     u32 slot = 0;
     HostFrame view_frame = 0;
     HostFrame identity_frame = 0;  // restored when this view deactivates
+
+    /// Guest-physical page this override redirects.
+    GPhys gpa() const {
+      return pde_index * mem::Ept::kPdeSpan + slot * kPageSize;
+    }
   };
   std::vector<PteOverride> module_ptes;
+
+  /// The per-view base table covering `pde_index`, or nullptr if that PDE
+  /// is outside the switched base-kernel-code region.
+  const BasePde* find_base_pde(u32 pde_index) const {
+    for (const BasePde& bp : base_pdes)
+      if (bp.pde_index == pde_index) return &bp;
+    return nullptr;
+  }
 
   /// Shadow frame per guest-physical code page this view manages
   /// (key = GPA >> 12). Code recovery writes into these.

@@ -1,5 +1,8 @@
 #include "core/viewbuilder.hpp"
 
+#include <algorithm>
+#include <utility>
+
 #include "hv/guest_abi.hpp"
 #include "os/kbuilder.hpp"
 #include "support/check.hpp"
@@ -113,17 +116,15 @@ std::unique_ptr<KernelView> ViewBuilder::build(const KernelViewConfig& config,
     ept.copy_table(table, ept.pde(pde));  // keep identity for non-code pages
     view->base_pdes.push_back({pde, table});
   }
-  // Point the code pages of those tables at the shadow frames.
+  // Point the code pages of those tables at the shadow frames (base_pdes
+  // holds [pde_lo, pde_hi] contiguously, so the table is indexable).
   for (const auto& [page, frame] : view->shadow_frames) {
     GPhys pa = static_cast<GPhys>(page) << kPageShift;
     if (pa < code_pa_begin || pa >= code_pa_end) continue;
-    for (const auto& bp : view->base_pdes) {
-      if (mem::Ept::pde_index_of(pa) == bp.pde_index) {
-        ept.set_pte(bp.table, mem::Ept::pte_slot_of(pa),
-                    mem::EptEntry{true, frame});
-        break;
-      }
-    }
+    const KernelView::BasePde& bp =
+        view->base_pdes[mem::Ept::pde_index_of(pa) - pde_lo];
+    ept.set_pte(bp.table, mem::Ept::pte_slot_of(pa),
+                mem::EptEntry{true, frame});
   }
 
   // ---- Modules (step 3B): walk the guest module list to resolve load
@@ -163,6 +164,16 @@ std::unique_ptr<KernelView> ViewBuilder::build(const KernelViewConfig& config,
       }
     }
   }
+
+  // Keep module overrides in (pde, slot) order so switch descriptors built
+  // from two views walk them deterministically regardless of the guest
+  // module list's order.
+  std::sort(view->module_ptes.begin(), view->module_ptes.end(),
+            [](const KernelView::PteOverride& a,
+               const KernelView::PteOverride& b) {
+              return std::make_pair(a.pde_index, a.slot) <
+                     std::make_pair(b.pde_index, b.slot);
+            });
 
   // The EPT writes performed while *building* are setup cost, not switch
   // cost; the engine charges switch costs from stat deltas, so reset here

@@ -32,6 +32,15 @@ struct EptTableId {
   bool valid() const { return index != 0xFFFFFFFFu; }
 };
 
+/// A half-open guest-physical address range [begin, end). Used to describe
+/// which translations a view switch actually changed, so the TLB can be
+/// invalidated selectively instead of flushed.
+struct GpaRange {
+  GPhys begin = 0;
+  GPhys end = 0;
+  bool contains(GPhys pa) const { return pa >= begin && pa < end; }
+};
+
 class Ept {
  public:
   static constexpr u32 kEntriesPerTable = 1024;      // 4 MiB per PDE
@@ -41,7 +50,8 @@ class Ept {
   struct Stats {
     u64 pde_writes = 0;
     u64 pte_writes = 0;
-    u64 invalidations = 0;  // generation bumps (TLB shootdowns)
+    u64 invalidations = 0;  // generation bumps (full TLB shootdowns)
+    u64 scoped_invalidations = 0;  // range-limited shootdowns (no bump)
   };
 
   Ept() { pdes_.fill(EptTableId{}); }
@@ -82,6 +92,8 @@ class Ept {
   /// Map a guest-physical page through whatever PDE currently covers it.
   void map(GPhys gpa_page_base, HostFrame frame) {
     u32 pde_index = gpa_page_base / kPdeSpan;
+    FC_CHECK(pde_index < kPdeCount,
+             << "gpa " << gpa_page_base << " outside EPT range");
     FC_CHECK(pdes_[pde_index].valid(),
              << "no EPT table covers gpa " << gpa_page_base);
     set_pte(pdes_[pde_index], (gpa_page_base / kPageSize) % kEntriesPerTable,
@@ -105,6 +117,12 @@ class Ept {
     ++generation_;
     ++stats_.invalidations;
   }
+
+  /// Account for a *scoped* shootdown: the caller changed mappings only
+  /// inside known GPA ranges and has scrubbed every TLB keyed on this EPT
+  /// (Mmu::invalidate_gpa_ranges); the generation deliberately does not
+  /// move, so unrelated cached translations stay valid.
+  void note_scoped_invalidation() { ++stats_.scoped_invalidations; }
 
   static u32 pde_index_of(GPhys gpa) { return gpa / kPdeSpan; }
   static u32 pte_slot_of(GPhys gpa) {

@@ -14,7 +14,7 @@ std::optional<u32> phys_read32(const HostMemory& host, const Ept& ept,
 }
 }  // namespace
 
-std::optional<HostFrame> Mmu::walk(GVirt vpage_base) const {
+std::optional<Mmu::WalkResult> Mmu::walk(GVirt vpage_base) const {
   // Stage 1: two-level guest walk. Both table reads go through the EPT,
   // as on real hardware with nested paging.
   u32 pde_index = vpage_base >> 22;
@@ -26,7 +26,9 @@ std::optional<HostFrame> Mmu::walk(GVirt vpage_base) const {
   if (!pte || !(*pte & kPtePresent)) return {};
   GPhys gpa_page = *pte & ~kPageMask;
   // Stage 2: EPT.
-  return ept_->translate(gpa_page);
+  auto frame = ept_->translate(gpa_page);
+  if (!frame) return {};
+  return WalkResult{gpa_page, *frame};
 }
 
 std::optional<HostFrame> Mmu::translate_page(GVirt vpage_base) {
@@ -37,13 +39,31 @@ std::optional<HostFrame> Mmu::translate_page(GVirt vpage_base) {
     return slot.frame;
   }
   ++stats_.tlb_misses;
-  auto frame = walk(vpage_base);
-  if (frame) {
-    slot = {true, vpage_base, cr3_, ept_->generation(), *frame};
-  } else {
-    slot.valid = false;
+  auto result = walk(vpage_base);
+  if (result) {
+    slot = {true,          vpage_base,       cr3_,
+            ept_->generation(), result->gpa_page, result->frame};
+    return result->frame;
   }
-  return frame;
+  slot.valid = false;
+  return {};
+}
+
+u32 Mmu::invalidate_gpa_ranges(std::span<const GpaRange> ranges) {
+  u32 dropped = 0;
+  for (TlbEntry& entry : tlb_) {
+    if (!entry.valid) continue;
+    for (const GpaRange& range : ranges) {
+      if (range.contains(entry.gpa_page)) {
+        entry.valid = false;
+        ++dropped;
+        break;
+      }
+    }
+  }
+  ++stats_.scoped_flushes;
+  stats_.scoped_entries_dropped += dropped;
+  return dropped;
 }
 
 std::optional<GPhys> Mmu::virt_to_phys(GVirt va) const {

@@ -10,6 +10,7 @@
 
 #include <array>
 #include <optional>
+#include <span>
 
 #include "mem/ept.hpp"
 #include "mem/host_memory.hpp"
@@ -28,6 +29,8 @@ class Mmu {
     u64 tlb_hits = 0;
     u64 tlb_misses = 0;  // each miss implies a two-level guest walk + EPT
     u64 flushes = 0;
+    u64 scoped_flushes = 0;          // invalidate_gpa_ranges calls
+    u64 scoped_entries_dropped = 0;  // entries those calls evicted
   };
 
   Mmu(HostMemory& host, Ept& ept) : host_(&host), ept_(&ept) { tlb_.fill({}); }
@@ -44,6 +47,15 @@ class Mmu {
     tlb_.fill({});
     ++stats_.flushes;
   }
+
+  /// Scoped shootdown: drop only entries whose cached translation resolves
+  /// a guest-physical page inside one of `ranges`, leaving everything else
+  /// hot. Correct only when the changed EPT entries are leaf mappings the
+  /// guest never walks page tables through (kernel code / module pages —
+  /// guest page tables live in low memory, outside any switched range);
+  /// callers that cannot guarantee that must use flush_tlb(). Returns the
+  /// number of entries dropped, which is the basis for the cycle charge.
+  u32 invalidate_gpa_ranges(std::span<const GpaRange> ranges);
 
   /// Full two-stage translation of a virtual page base to a host frame.
   /// Returns nullopt on a stage-1 non-present entry or EPT miss.
@@ -83,11 +95,16 @@ class Mmu {
     GVirt vpage = 0;
     GPhys cr3_tag = 0;
     u64 ept_gen = 0;
+    GPhys gpa_page = 0;  // stage-1 result; keys scoped invalidation
     HostFrame frame = 0;
   };
   static constexpr u32 kTlbSize = 512;  // direct-mapped
 
-  std::optional<HostFrame> walk(GVirt vpage_base) const;
+  struct WalkResult {
+    GPhys gpa_page = 0;
+    HostFrame frame = 0;
+  };
+  std::optional<WalkResult> walk(GVirt vpage_base) const;
 
   HostMemory* host_;
   Ept* ept_;

@@ -33,6 +33,13 @@ struct PerfModel {
   u32 cost_ept_pde_write = 90;   // per PDE repointed at a view switch
   u32 cost_ept_pte_write = 45;   // per module PTE rewritten
   u32 cost_tlb_flush = 12000;    // INVEPT + cold EPT-TLB refill after remapping
+  // Scoped shootdown (the delta fast path): issuing the ranged invalidation
+  // plus a per-evicted-entry charge; the refill cost of evicted entries is
+  // paid organically by the re-walks they cause (cost_tlb_walk per miss).
+  // Worst case (base + 512 entries * per_entry) stays below cost_tlb_flush,
+  // so the scoped path is never charged more than the full flush it avoids.
+  u32 cost_tlb_scoped_base = 600;
+  u32 cost_tlb_scoped_per_entry = 18;
   u32 cost_recovery_base = 9000; // decode+search+copy on a UD2 recovery
   /// How long a "missed" interrupt edge stays lost when views are switched
   /// immediately at the context switch (§III-B2's hazard; the deferred

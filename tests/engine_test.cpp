@@ -3,7 +3,10 @@
 // selectors, hot load/unload, EPT state transitions, and cost accounting.
 #include <gtest/gtest.h>
 
+#include <span>
+
 #include "harness/harness.hpp"
+#include "hv/guest_abi.hpp"
 
 namespace fc {
 namespace {
@@ -174,12 +177,220 @@ TEST_F(EngineFixture, SwitchCostsScaleWithEptWrites) {
   engine_.force_activate(view);
   Cycles first = engine_.stats().switch_cycles_charged - before;
   const cpu::PerfModel& pm = sys_.vcpu().perf_model();
-  // At least: base-kernel PDE writes + TLB flush.
-  EXPECT_GE(first, 2u * pm.cost_ept_pde_write + pm.cost_tlb_flush);
+  // At least: base-kernel PDE writes + the scoped-invalidation base cost —
+  // and strictly less than a full flush alone would have charged.
+  EXPECT_GE(first, 2u * pm.cost_ept_pde_write + pm.cost_tlb_scoped_base);
+  EXPECT_LT(first, pm.cost_tlb_flush);
   // Same-view skip charges nothing.
   before = engine_.stats().switch_cycles_charged;
   engine_.force_activate(view);
   EXPECT_EQ(engine_.stats().switch_cycles_charged, before);
+}
+
+TEST(EngineNaive, NaiveSwitchCostsIncludeFullFlush) {
+  harness::GuestSystem sys;
+  core::EngineOptions opts;
+  opts.delta_switch_fastpath = false;
+  opts.scoped_tlb_invalidation = false;
+  core::FaceChangeEngine engine(sys.hv(), sys.os().kernel(), opts);
+  engine.enable();
+  u32 view = engine.load_view(harness::profile_of("top"));
+  Cycles before = engine.stats().switch_cycles_charged;
+  engine.force_activate(view);
+  Cycles first = engine.stats().switch_cycles_charged - before;
+  const cpu::PerfModel& pm = sys.vcpu().perf_model();
+  // The naive rewrite pays base-kernel PDE writes + a full TLB flush.
+  EXPECT_GE(first, 2u * pm.cost_ept_pde_write + pm.cost_tlb_flush);
+  EXPECT_EQ(engine.stats().slowpath_switches, 1u);
+  EXPECT_EQ(engine.stats().fastpath_switches, 0u);
+  engine.force_activate(core::kFullKernelViewId);
+}
+
+TEST_F(EngineFixture, DescriptorCacheHitsOnRepeatedTransitions) {
+  engine_.enable();
+  u32 a = engine_.load_view(harness::profile_of("top"));
+  u32 b = engine_.load_view(harness::profile_of("gzip"));
+  engine_.force_activate(a);  // (full, a) — miss
+  engine_.force_activate(b);  // (a, b)    — miss
+  engine_.force_activate(a);  // (b, a)    — miss
+  engine_.force_activate(b);  // (a, b)    — hit
+  EXPECT_EQ(engine_.stats().descriptor_cache_misses, 3u);
+  EXPECT_EQ(engine_.stats().descriptor_cache_hits, 1u);
+  EXPECT_EQ(engine_.stats().fastpath_switches, 4u);
+  engine_.force_activate(core::kFullKernelViewId);
+}
+
+TEST_F(EngineFixture, FastPathIssuesFewerWritesThanNaive) {
+  engine_.enable();
+  u32 a = engine_.load_view(harness::profile_of("top"));
+  u32 b = engine_.load_view(harness::profile_of("gzip"));
+  engine_.force_activate(a);
+
+  const mem::Ept& ept = sys_.hv().machine().ept();
+  mem::Ept::Stats s0 = ept.stats();
+  engine_.force_activate(b);
+  engine_.force_activate(a);
+  mem::Ept::Stats s1 = ept.stats();
+  u64 issued = (s1.pde_writes - s0.pde_writes) +
+               (s1.pte_writes - s0.pte_writes);
+
+  const core::SwitchDescriptor& ab = engine_.switch_descriptor(a, b);
+  const core::SwitchDescriptor& ba = engine_.switch_descriptor(b, a);
+  u64 naive = ab.naive_pde_writes + ab.naive_pte_writes +
+              ba.naive_pde_writes + ba.naive_pte_writes;
+  // Both views shadow the same unlisted modules, so restore+apply pairs
+  // coalesce: the delta must be strictly smaller than the full rewrite.
+  EXPECT_LT(issued, naive);
+  EXPECT_GT(engine_.stats().naive_pte_writes_avoided, 0u);
+  engine_.force_activate(core::kFullKernelViewId);
+}
+
+TEST_F(EngineFixture, FastPathUsesScopedInvalidation) {
+  engine_.enable();
+  u32 view = engine_.load_view(harness::profile_of("top"));
+  u64 g0 = sys_.hv().machine().ept().generation();
+  engine_.force_activate(view);
+  engine_.force_activate(core::kFullKernelViewId);
+  EXPECT_EQ(engine_.stats().scoped_invalidations, 2u);
+  EXPECT_EQ(engine_.stats().full_flush_fallbacks, 0u);
+  // Scoped invalidation must not shoot down unrelated translations: the
+  // global EPT generation stays put.
+  EXPECT_EQ(sys_.hv().machine().ept().generation(), g0);
+  EXPECT_EQ(sys_.hv().machine().ept().stats().scoped_invalidations, 2u);
+}
+
+// Regression (satellite): disable() used to leave pending_view_ armed, so a
+// later enable() applied a view deferred during the *previous* enforcement
+// window at its first resume-userspace trap.
+TEST_F(EngineFixture, DisableClearsPendingDeferredSwitch) {
+  engine_.enable();
+  u32 view = engine_.load_view(harness::profile_of("top"));
+  engine_.bind("top", view);
+
+  apps::AppScenario top = apps::make_app("top", 4);
+  u32 pid = sys_.os().spawn("top", top.model);
+  const os::KernelImage& kernel = sys_.os().kernel();
+
+  // Arm a deferred switch exactly as the context-switch trap does: the
+  // incoming task pointer rides in the __switch_to argument register.
+  sys_.vcpu().regs()[isa::Reg::B] = abi::Task::addr(pid);
+  engine_.handle_breakpoint(kernel.symbols.must_addr("__switch_to"));
+
+  engine_.disable();
+  engine_.enable();
+  // A resume trap in the new window must not apply the stale pending view.
+  engine_.handle_breakpoint(kernel.symbols.must_addr("resume_userspace"));
+  EXPECT_EQ(engine_.active_view_id(), core::kFullKernelViewId);
+  engine_.disable();
+}
+
+// Regression (satellite): apply_view used to restore the outgoing view's
+// module-PTE overrides *after* repointing the base-kernel PDEs, writing the
+// identity frame into the *incoming* view's table. Visible whenever a module
+// override falls inside the repointed base-kernel PDE range and the incoming
+// view does not re-override the same slot.
+TEST(EngineRegression, ModuleOverrideInsideBasePdeRangeSurvivesSwitch) {
+  for (bool fastpath : {true, false}) {
+    harness::GuestSystem sys;
+    core::EngineOptions opts;
+    opts.delta_switch_fastpath = fastpath;
+    opts.scoped_tlb_invalidation = fastpath;
+    opts.builder.shadow_unlisted_modules = false;
+    core::FaceChangeEngine engine(sys.hv(), sys.os().kernel(), opts);
+    mem::Machine& machine = sys.hv().machine();
+    const os::KernelImage& kernel = sys.os().kernel();
+
+    // Fabricate a guest module whose code page lies inside base kernel
+    // text, i.e. inside the PDE range that step 3A repoints.
+    GVirt probe = kernel.symbols.must_addr("udp_recvmsg");
+    ASSERT_EQ(machine.pread8(GuestLayout::kernel_pa(probe)), 0x55);
+    GVirt mod_base = probe & ~static_cast<GVirt>(kPageMask);
+    GPhys node_pa = machine.alloc_phys_pages(
+        1, GuestLayout::kKernelHeapPhys, GuestLayout::kUserPhys);
+    machine.pwrite32(node_pa + abi::ModuleNode::kNext,
+                     sys.hv().vmi().read_u32(abi::kModuleListAddr));
+    machine.pwrite32(node_pa + abi::ModuleNode::kBase, mod_base);
+    machine.pwrite32(node_pa + abi::ModuleNode::kSizeField, kPageSize);
+    const char name[] = "fakemod";
+    machine.pwrite_bytes(node_pa + abi::ModuleNode::kName,
+                         std::span<const u8>(
+                             reinterpret_cast<const u8*>(name), sizeof(name)));
+    machine.pwrite32(GuestLayout::kernel_pa(abi::kModuleListAddr),
+                     GuestLayout::kernel_va(node_pa));
+
+    engine.enable();
+    core::KernelViewConfig cfg_a;
+    cfg_a.app_name = "lists-fakemod";
+    cfg_a.modules["fakemod"];  // listed, nothing profiled → all-UD2 shadow
+    u32 view_a = engine.load_view(cfg_a);
+    core::KernelViewConfig cfg_b;
+    cfg_b.app_name = "empty";
+    u32 view_b = engine.load_view(cfg_b);
+
+    engine.force_activate(view_a);
+    engine.force_activate(view_b);
+    // B's own UD2 shadow must be visible; the bug leaked A's identity
+    // (pristine 0x55) restore into B's freshly activated table.
+    u8 seen = machine.pread8(GuestLayout::kernel_pa(probe));
+    EXPECT_TRUE(seen == 0x0F || seen == 0x0B)
+        << "fastpath=" << fastpath << " saw " << static_cast<u32>(seen);
+
+    engine.force_activate(core::kFullKernelViewId);
+    EXPECT_EQ(machine.pread8(GuestLayout::kernel_pa(probe)), 0x55);
+    engine.disable();
+  }
+}
+
+// The fast path must leave the EPT in a byte-identical visible state to the
+// naive full rewrite across an arbitrary transition sequence, including
+// full↔custom transitions and cached-descriptor reuse.
+TEST(EngineEquivalence, FastPathMatchesNaiveByteForByte) {
+  harness::GuestSystem fast_sys;
+  harness::GuestSystem naive_sys;
+  core::EngineOptions naive_opts;
+  naive_opts.delta_switch_fastpath = false;
+  naive_opts.scoped_tlb_invalidation = false;
+  core::FaceChangeEngine fast(fast_sys.hv(), fast_sys.os().kernel());
+  core::FaceChangeEngine naive(naive_sys.hv(), naive_sys.os().kernel(),
+                               naive_opts);
+
+  auto visible_code = [](harness::GuestSystem& sys) {
+    // Everything a kernel view can redirect: base kernel code plus the
+    // module pages named by the guest module list, read through the EPT.
+    mem::Machine& machine = sys.hv().machine();
+    std::vector<u8> out(GuestLayout::kKernelCodeMax);
+    machine.pread_bytes(GuestLayout::kKernelCodePhys, out);
+    for (const hv::ModuleInfo& mod : sys.hv().vmi().module_list()) {
+      GPhys lo = GuestLayout::kernel_pa(mod.base) & ~static_cast<GPhys>(kPageMask);
+      GPhys hi = (GuestLayout::kernel_pa(mod.base) + mod.size + kPageMask) &
+                 ~static_cast<GPhys>(kPageMask);
+      std::vector<u8> page(hi - lo);
+      machine.pread_bytes(lo, page);
+      out.insert(out.end(), page.begin(), page.end());
+    }
+    return out;
+  };
+
+  fast.enable();
+  naive.enable();
+  u32 fa = fast.load_view(harness::profile_of("top"));
+  u32 fb = fast.load_view(harness::profile_of("gzip"));
+  u32 na = naive.load_view(harness::profile_of("top"));
+  u32 nb = naive.load_view(harness::profile_of("gzip"));
+  ASSERT_EQ(fa, na);
+  ASSERT_EQ(fb, nb);
+
+  const u32 kFull = core::kFullKernelViewId;
+  // Covers full→custom, custom→custom both directions, custom→full, and
+  // revisits so cached descriptors get exercised.
+  for (u32 target : {fa, fb, fa, kFull, fb, fa, fb, kFull}) {
+    fast.force_activate(target);
+    naive.force_activate(target);
+    ASSERT_EQ(visible_code(fast_sys), visible_code(naive_sys))
+        << "divergence after switching to view " << target;
+  }
+  EXPECT_GT(fast.stats().fastpath_switches, 0u);
+  EXPECT_GT(naive.stats().slowpath_switches, 0u);
 }
 
 }  // namespace

@@ -65,6 +65,24 @@ TEST(Ept, GenerationBumpsOnInvalidate) {
   EXPECT_EQ(ept.stats().invalidations, 1u);
 }
 
+TEST(Ept, ScopedInvalidationLeavesGenerationAlone) {
+  Ept ept;
+  u64 g0 = ept.generation();
+  ept.note_scoped_invalidation();
+  EXPECT_EQ(ept.generation(), g0);
+  EXPECT_EQ(ept.stats().scoped_invalidations, 1u);
+  EXPECT_EQ(ept.stats().invalidations, 0u);
+}
+
+TEST(Ept, MapBeyondCoveredRangeIsFatal) {
+  // Regression: map() used to index pdes_[] before any bounds check, an
+  // out-of-bounds read for any GPA past the last PDE.
+  Ept ept;
+  ept.set_pde(0, ept.alloc_table());
+  EXPECT_DEATH(ept.map(Ept::kPdeCount * Ept::kPdeSpan, 7),
+               "outside EPT range");
+}
+
 TEST(Machine, BootIdentityMapsGuestPhysical) {
   Machine machine(8);  // 8 MiB
   EXPECT_EQ(machine.guest_phys_pages(), 2048u);
@@ -144,6 +162,40 @@ TEST_F(MmuFixture, EptInvalidationForcesRewalk) {
   machine_.ept().invalidate();
   (void)mmu.translate_page(0x08048000);
   EXPECT_EQ(mmu.stats().tlb_misses, 1u);  // generation mismatch → walk
+}
+
+TEST_F(MmuFixture, ScopedInvalidationDropsOnlyMatchingEntries) {
+  Mmu& mmu = machine_.mmu();
+  // Warm two entries: a kernel page backed by gpa 0x2000 and a user page
+  // backed by gpa 0x200000.
+  (void)mmu.translate_page(kKernelBase + 0x2000);
+  (void)mmu.translate_page(0x08048000);
+  u64 g0 = machine_.ept().generation();
+
+  mmu.reset_stats();
+  GpaRange ranges[] = {{0x2000, 0x3000}};
+  u32 dropped = mmu.invalidate_gpa_ranges(ranges);
+  EXPECT_EQ(dropped, 1u);
+  EXPECT_EQ(mmu.stats().scoped_flushes, 1u);
+  EXPECT_EQ(mmu.stats().scoped_entries_dropped, 1u);
+  EXPECT_EQ(machine_.ept().generation(), g0);  // no global shootdown
+
+  // The kernel entry re-walks; the user entry is still hot.
+  (void)mmu.translate_page(kKernelBase + 0x2000);
+  EXPECT_EQ(mmu.stats().tlb_misses, 1u);
+  (void)mmu.translate_page(0x08048000);
+  EXPECT_EQ(mmu.stats().tlb_hits, 1u);
+}
+
+TEST_F(MmuFixture, ScopedInvalidationMissesNothingItShouldDrop) {
+  Mmu& mmu = machine_.mmu();
+  (void)mmu.translate_page(kKernelBase + 0x2000);
+  // A range that does not cover gpa 0x2000 must leave the entry hot.
+  GpaRange miss[] = {{0x3000, 0x5000}};
+  EXPECT_EQ(mmu.invalidate_gpa_ranges(miss), 0u);
+  mmu.reset_stats();
+  (void)mmu.translate_page(kKernelBase + 0x2000);
+  EXPECT_EQ(mmu.stats().tlb_hits, 1u);
 }
 
 TEST_F(MmuFixture, EptRedirectionIsObservedThroughTheSameVirtualAddress) {

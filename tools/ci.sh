@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Tiered CI driver.
+#
+#   tools/ci.sh            tier 1: configure, build, run the full test suite
+#   tools/ci.sh sanitize   sanitizer tier: same suite under ASan + UBSan
+#   tools/ci.sh all        both tiers in sequence
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+jobs="$(nproc)"
+
+tier1() {
+  cmake -B build -S .
+  cmake --build build -j "$jobs"
+  ctest --test-dir build --output-on-failure -j "$jobs"
+}
+
+sanitize() {
+  cmake -B build-asan -S . -DFC_SANITIZE=ON
+  cmake --build build-asan -j "$jobs"
+  # Leak checking is off: the tier exists to catch out-of-bounds accesses
+  # and UB in the simulator, and death tests fork in ways LeakSanitizer
+  # reports spuriously.
+  ASAN_OPTIONS=detect_leaks=0 \
+    ctest --test-dir build-asan --output-on-failure -j "$jobs"
+}
+
+case "${1:-tier1}" in
+  tier1)    tier1 ;;
+  sanitize) sanitize ;;
+  all)      tier1; sanitize ;;
+  *) echo "usage: tools/ci.sh [tier1|sanitize|all]" >&2; exit 2 ;;
+esac
