@@ -1,0 +1,119 @@
+// Interpreter throughput: guest instructions per host second with the
+// decoded basic-block cache on vs off, across the Figure-6 UnixBench-like
+// workloads. Both runs execute the identical deterministic instruction
+// stream for the same simulated-cycle budget (the lockstep test proves
+// byte-equivalence), so the on/off ratio isolates exactly the fetch+decode
+// work the cache removes.
+//
+// Usage: interp_throughput [--smoke]
+//   --smoke   tiny cycle budget, no speedup threshold (CI / sanitizer tier)
+//
+// Writes BENCH_interp.json next to the working directory and exits non-zero
+// if the suite-wide geomean speedup falls below 2x (unless --smoke).
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "ubench_models.hpp"
+
+namespace {
+
+struct Sample {
+  double insns_per_sec = 0;
+  fc::u64 insns = 0;
+  double wall_seconds = 0;
+};
+
+Sample measure(const fc::ubench::Subtest& subtest, bool block_cache,
+               fc::Cycles warmup, fc::Cycles budget) {
+  using Clock = std::chrono::steady_clock;
+  fc::harness::GuestSystem sys;
+  sys.vcpu().set_block_cache_enabled(block_cache);
+  if (subtest.needs_binaries) fc::apps::register_utility_binaries(sys.os());
+  sys.os().spawn("ubench", subtest.factory());
+  sys.run_for(warmup);
+
+  const fc::u64 i0 = sys.vcpu().instructions_retired();
+  const Clock::time_point t0 = Clock::now();
+  sys.run_for(budget);
+  const Clock::time_point t1 = Clock::now();
+  Sample s;
+  s.insns = sys.vcpu().instructions_retired() - i0;
+  s.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
+  if (s.wall_seconds > 0)
+    s.insns_per_sec = static_cast<double>(s.insns) / s.wall_seconds;
+  return s;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace fc;
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+
+  const Cycles warmup = smoke ? 500'000 : 3'000'000;
+  const Cycles budget = smoke ? 2'000'000 : 60'000'000;
+
+  std::printf("Interpreter throughput — decoded-block cache on vs off\n");
+  std::printf("(budget %llu simulated cycles per run%s)\n\n",
+              (unsigned long long)budget, smoke ? ", SMOKE" : "");
+  std::printf("%-30s %14s %14s %9s\n", "Subtest", "off (insn/s)",
+              "on (insn/s)", "speedup");
+  std::printf("%s\n", std::string(72, '-').c_str());
+
+  auto suite = ubench::unixbench_suite();
+  double log_sum = 0;
+  std::vector<double> speedups;
+  std::string json = "{\n  \"budget_cycles\": " + std::to_string(budget) +
+                     ",\n  \"smoke\": " + (smoke ? "true" : "false") +
+                     ",\n  \"subtests\": [\n";
+  for (std::size_t i = 0; i < suite.size(); ++i) {
+    const auto& subtest = suite[i];
+    Sample off = measure(subtest, /*block_cache=*/false, warmup, budget);
+    Sample on = measure(subtest, /*block_cache=*/true, warmup, budget);
+    // Determinism check: same simulated budget → same instruction stream.
+    if (on.insns != off.insns)
+      std::printf("  WARNING: retired-instruction mismatch on %s "
+                  "(%llu vs %llu)\n",
+                  subtest.name.c_str(), (unsigned long long)off.insns,
+                  (unsigned long long)on.insns);
+    double speedup =
+        off.insns_per_sec > 0 ? on.insns_per_sec / off.insns_per_sec : 0;
+    speedups.push_back(speedup);
+    log_sum += std::log(speedup > 0 ? speedup : 1e-9);
+    std::printf("%-30s %14.0f %14.0f %8.2fx\n", subtest.name.c_str(),
+                off.insns_per_sec, on.insns_per_sec, speedup);
+    char entry[256];
+    std::snprintf(entry, sizeof(entry),
+                  "    {\"name\": \"%s\", \"insns\": %llu, "
+                  "\"off_insns_per_sec\": %.0f, \"on_insns_per_sec\": %.0f, "
+                  "\"speedup\": %.3f}%s\n",
+                  subtest.name.c_str(), (unsigned long long)on.insns,
+                  off.insns_per_sec, on.insns_per_sec, speedup,
+                  i + 1 < suite.size() ? "," : "");
+    json += entry;
+  }
+  const double geomean = std::exp(log_sum / static_cast<double>(suite.size()));
+  std::printf("%s\n", std::string(72, '-').c_str());
+  std::printf("%-30s %38.2fx\n", "GEOMEAN", geomean);
+
+  char tail[64];
+  std::snprintf(tail, sizeof(tail), "  ],\n  \"geomean_speedup\": %.3f\n}\n",
+                geomean);
+  json += tail;
+  std::ofstream("BENCH_interp.json") << json;
+
+  if (smoke) {
+    std::printf("\nsmoke run: thresholds not enforced\n");
+    return 0;
+  }
+  const bool ok = geomean >= 2.0;
+  std::printf("\nthreshold (geomean >= 2.0x): %s\n", ok ? "OK" : "FAILED");
+  return ok ? 0 : 1;
+}

@@ -1,5 +1,7 @@
 #include "core/engine.hpp"
 
+#include <sstream>
+
 #include "hv/guest_abi.hpp"
 #include "support/logging.hpp"
 
@@ -146,6 +148,10 @@ void FaceChangeEngine::apply_view(const KernelView* next) {
   }
 
   ept.invalidate();
+  // Cached decodes are keyed by host frame, so the repoint itself cannot
+  // stale them; the notification drops the straight-line cursor and records
+  // the switch in the cache's invalidation stats.
+  hv_->vcpu().block_cache().note_view_switch();
   ++stats_.slowpath_switches;
   charge_switch(before, hv_->vcpu().perf_model().cost_tlb_flush);
 }
@@ -179,6 +185,7 @@ void FaceChangeEngine::apply_descriptor(const SwitchDescriptor& descriptor) {
     ++stats_.full_flush_fallbacks;
   }
 
+  hv_->vcpu().block_cache().note_view_switch();
   ++stats_.fastpath_switches;
   stats_.fastpath_pde_writes += descriptor.pde_writes.size();
   stats_.fastpath_pte_writes += descriptor.pte_writes.size();
@@ -299,6 +306,32 @@ void FaceChangeEngine::handle_breakpoint(GVirt pc) {
     switch_to_view(pending_view_);
     return;
   }
+}
+
+std::string FaceChangeEngine::render_run_report() const {
+  const mem::Mmu::Stats& mmu = hv_->machine().mmu().stats();
+  const cpu::BlockCache& bc = hv_->vcpu().block_cache();
+  const cpu::BlockCache::Stats& cache = bc.stats();
+  std::ostringstream out;
+  out << "view switching: " << stats_.context_switch_traps
+      << " context-switch traps, " << stats_.view_switches << " switches, "
+      << stats_.switches_skipped_same_view << " skipped (same view), "
+      << stats_.fastpath_switches << " via delta fast path\n";
+  out << "tlb: " << mmu.tlb_hits << " hits, " << mmu.tlb_misses
+      << " misses, " << mmu.flushes << " full flushes, "
+      << mmu.scoped_flushes << " scoped ("
+      << mmu.scoped_entries_dropped << " entries dropped)\n";
+  out << "block cache: "
+      << (hv_->vcpu().block_cache_enabled() ? "enabled" : "disabled") << ", "
+      << cache.insn_hits << " insn hits, " << cache.block_misses
+      << " block misses (" << cache.blocks_built << " built, "
+      << cache.insns_decoded << " insns decoded, " << cache.uncacheable
+      << " uncacheable), " << bc.size() << " blocks resident\n";
+  out << "block cache invalidations: " << cache.inval_guest_write
+      << " guest write, " << cache.inval_code_load << " code load, "
+      << cache.inval_recycle << " page recycle, " << cache.inval_view_switch
+      << " view switch, " << cache.inval_capacity << " capacity";
+  return out.str();
 }
 
 bool FaceChangeEngine::handle_invalid_opcode(GVirt pc) {

@@ -102,6 +102,11 @@ class FaceChangeEngine : public hv::ExitHandler {
     recovery_->reset_stats();
   }
 
+  /// Multi-line run report: engine switch/trap counters plus the memory
+  /// system underneath them (Mmu TLB stats and the vCPU's decoded-block
+  /// cache, including invalidations by cause). Shown by `fcsh enforce`.
+  std::string render_run_report() const;
+
   // --- hv::ExitHandler ---
   bool handle_invalid_opcode(GVirt pc) override;
   void handle_breakpoint(GVirt pc) override;

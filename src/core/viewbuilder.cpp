@@ -61,6 +61,12 @@ ViewBuilder::Bounds ViewBuilder::function_bounds(GVirt addr,
 
 void ViewBuilder::load_range(KernelView& view, GVirt start, GVirt end) const {
   mem::Machine& machine = hv_->machine();
+  // These writes restore pristine function bytes into shadow frames — at
+  // build time that's setup, but on the recovery path they overwrite UD2
+  // filler the vCPU may have cached decodes of. Attribute the resulting
+  // block-cache invalidations as code loads.
+  mem::HostMemory::WriteCauseScope cause(machine.host(),
+                                         mem::FrameWriteCause::kCodeLoad);
   for (GVirt at = start; at < end; ++at) {
     GPhys pa = GuestLayout::kernel_pa(at);
     auto it = view.shadow_frames.find(pa >> kPageShift);

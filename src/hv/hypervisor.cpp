@@ -4,48 +4,59 @@
 
 namespace fc::hv {
 
+std::optional<RunOutcome> Hypervisor::handle_exit(const cpu::Exit& exit) {
+  switch (exit.reason) {
+    case cpu::ExitReason::kInstructionLimit:
+      return std::nullopt;
+    case cpu::ExitReason::kBreakpoint: {
+      ++stats_.breakpoint_exits;
+      vcpu_.charge(vcpu_.perf_model().cost_vmexit);
+      if (handler_ != nullptr) handler_->handle_breakpoint(exit.pc);
+      // Step over the breakpointed instruction on resume.
+      vcpu_.suppress_breakpoint_once();
+      return std::nullopt;
+    }
+    case cpu::ExitReason::kInvalidOpcode: {
+      ++stats_.invalid_opcode_exits;
+      vcpu_.charge(vcpu_.perf_model().cost_vmexit);
+      bool handled =
+          handler_ != nullptr && handler_->handle_invalid_opcode(exit.pc);
+      if (!handled) {
+        last_fault_pc_ = exit.pc;
+        FC_WARN << "unhandled invalid opcode at 0x" << std::hex << exit.pc;
+        return RunOutcome::kGuestFault;
+      }
+      return std::nullopt;
+    }
+    case cpu::ExitReason::kFetchFault:
+      last_fault_pc_ = exit.pc;
+      FC_WARN << "guest fetch fault at 0x" << std::hex << exit.pc;
+      return RunOutcome::kGuestFault;
+    case cpu::ExitReason::kHalt:
+      // on_idle found no future events: the workload is drained.
+      ++stats_.halt_exits;
+      return RunOutcome::kIdleForever;
+    case cpu::ExitReason::kShutdown:
+      return RunOutcome::kShutdown;
+    case cpu::ExitReason::kNone:
+      return std::nullopt;
+  }
+  return std::nullopt;
+}
+
 RunOutcome Hypervisor::run(const std::function<bool()>& stop) {
   constexpr u64 kSlice = 20'000;  // instructions per run-loop slice
   while (true) {
     if (stop()) return RunOutcome::kStopped;
     cpu::Exit exit = vcpu_.run(kSlice);
-    switch (exit.reason) {
-      case cpu::ExitReason::kInstructionLimit:
-        continue;
-      case cpu::ExitReason::kBreakpoint: {
-        ++stats_.breakpoint_exits;
-        vcpu_.charge(vcpu_.perf_model().cost_vmexit);
-        if (handler_ != nullptr) handler_->handle_breakpoint(exit.pc);
-        // Step over the breakpointed instruction on resume.
-        vcpu_.suppress_breakpoint_once();
-        continue;
-      }
-      case cpu::ExitReason::kInvalidOpcode: {
-        ++stats_.invalid_opcode_exits;
-        vcpu_.charge(vcpu_.perf_model().cost_vmexit);
-        bool handled =
-            handler_ != nullptr && handler_->handle_invalid_opcode(exit.pc);
-        if (!handled) {
-          last_fault_pc_ = exit.pc;
-          FC_WARN << "unhandled invalid opcode at 0x" << std::hex << exit.pc;
-          return RunOutcome::kGuestFault;
-        }
-        continue;
-      }
-      case cpu::ExitReason::kFetchFault:
-        last_fault_pc_ = exit.pc;
-        FC_WARN << "guest fetch fault at 0x" << std::hex << exit.pc;
-        return RunOutcome::kGuestFault;
-      case cpu::ExitReason::kHalt:
-        // on_idle found no future events: the workload is drained.
-        ++stats_.halt_exits;
-        return RunOutcome::kIdleForever;
-      case cpu::ExitReason::kShutdown:
-        return RunOutcome::kShutdown;
-      case cpu::ExitReason::kNone:
-        continue;
-    }
+    if (std::optional<RunOutcome> outcome = handle_exit(exit)) return *outcome;
   }
+}
+
+std::optional<RunOutcome> Hypervisor::step_one(cpu::Exit* exit_seen) {
+  cpu::Exit exit = vcpu_.run(1);
+  if (exit_seen != nullptr) *exit_seen = exit;
+  return handle_exit(exit);
 }
 
 RunOutcome Hypervisor::run_for(Cycles cycles) {

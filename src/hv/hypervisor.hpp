@@ -8,6 +8,7 @@
 #pragma once
 
 #include <functional>
+#include <optional>
 
 #include "hv/vmi.hpp"
 #include "mem/machine.hpp"
@@ -60,6 +61,14 @@ class Hypervisor {
   /// Convenience: run for a given number of additional simulated cycles.
   RunOutcome run_for(Cycles cycles);
 
+  /// Retire exactly one instruction (or one pending-IRQ delivery), routing
+  /// any VM exit through the same handler logic as run(). Returns the run
+  /// outcome if the run would have ended on this step, nullopt otherwise;
+  /// `exit_seen` (optional) receives the raw vCPU exit for this step.
+  /// This is the lockstep-comparison entry point: two hypervisors stepped
+  /// with it traverse identical guest states.
+  std::optional<RunOutcome> step_one(cpu::Exit* exit_seen = nullptr);
+
   // --- pristine kernel code access --------------------------------------
   // Reads bytes from the frames that backed kernel memory at boot — i.e.
   // the original kernel code, regardless of any EPT view currently active.
@@ -69,6 +78,10 @@ class Hypervisor {
   GVirt last_fault_pc() const { return last_fault_pc_; }
 
  private:
+  /// Shared exit dispatch for run() and step_one(): returns the outcome if
+  /// the exit ends the run, nullopt to keep executing.
+  std::optional<RunOutcome> handle_exit(const cpu::Exit& exit);
+
   mem::Machine machine_;
   cpu::Vcpu vcpu_;
   Vmi vmi_;

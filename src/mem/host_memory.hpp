@@ -14,6 +14,26 @@
 
 namespace fc::mem {
 
+/// Why the current frame write is happening; carried to the CodeWriteSink so
+/// invalidations can be attributed. Writers that know better than the
+/// default set it via HostMemory::WriteCauseScope.
+enum class FrameWriteCause : u8 {
+  kGuestStore,  // default: a store on the guest's data path (SMC if watched)
+  kCodeLoad,    // recovery / view builder rewriting shadow code bytes
+  kRecycle,     // a freed physical page recycled with fresh contents
+};
+
+/// Write-barrier observer: notified when any byte of a *watched* frame is
+/// modified. The vCPU's decoded-block cache registers itself here and watches
+/// every frame it has cached code from, so self-modifying stores, recovery
+/// rewrites and page recycling all invalidate stale decodes (the software
+/// equivalent of SMC snooping on the instruction cache).
+class CodeWriteSink {
+ public:
+  virtual ~CodeWriteSink() = default;
+  virtual void on_code_frame_write(HostFrame frame, FrameWriteCause cause) = 0;
+};
+
 class HostMemory {
  public:
   explicit HostMemory(u32 max_frames = 1u << 17)  // 512 MiB default cap
@@ -42,7 +62,10 @@ class HostMemory {
   }
 
   u8 read8(HostFrame f, u32 offset) const { return frame(f)[offset]; }
-  void write8(HostFrame f, u32 offset, u8 value) { frame(f)[offset] = value; }
+  void write8(HostFrame f, u32 offset, u8 value) {
+    note_frame_write(f);
+    frame(f)[offset] = value;
+  }
 
   u32 read32(HostFrame f, u32 offset) const {
     FC_CHECK(offset + 4 <= kPageSize, << "read32 crosses frame");
@@ -53,6 +76,7 @@ class HostMemory {
   }
   void write32(HostFrame f, u32 offset, u32 value) {
     FC_CHECK(offset + 4 <= kPageSize, << "write32 crosses frame");
+    note_frame_write(f);
     auto b = frame(f);
     b[offset] = static_cast<u8>(value);
     b[offset + 1] = static_cast<u8>(value >> 8);
@@ -60,9 +84,43 @@ class HostMemory {
     b[offset + 3] = static_cast<u8>(value >> 24);
   }
 
+  // --- code write barrier ------------------------------------------------
+  void set_code_write_sink(CodeWriteSink* sink) { sink_ = sink; }
+  /// Start reporting writes to `f` to the sink (frames are never unwatched;
+  /// the sink side drops its interest cheaply instead).
+  void watch_code_frame(HostFrame f) {
+    if (f >= code_watch_.size()) code_watch_.resize(f + 1, 0);
+    code_watch_[f] = 1;
+  }
+  /// Must be called by every writer that mutates frame bytes through a raw
+  /// span from frame() instead of write8/write32.
+  void note_frame_write(HostFrame f) {
+    if (f < code_watch_.size() && code_watch_[f] != 0 && sink_ != nullptr)
+      sink_->on_code_frame_write(f, write_cause_);
+  }
+
+  /// Attribute frame writes inside the scope to `cause` (see FrameWriteCause).
+  class WriteCauseScope {
+   public:
+    WriteCauseScope(HostMemory& host, FrameWriteCause cause)
+        : host_(&host), saved_(host.write_cause_) {
+      host_->write_cause_ = cause;
+    }
+    ~WriteCauseScope() { host_->write_cause_ = saved_; }
+    WriteCauseScope(const WriteCauseScope&) = delete;
+    WriteCauseScope& operator=(const WriteCauseScope&) = delete;
+
+   private:
+    HostMemory* host_;
+    FrameWriteCause saved_;
+  };
+
  private:
   u32 max_frames_;
   std::vector<u8> frames_;
+  std::vector<u8> code_watch_;  // 1 = frame has (had) cached decodes
+  CodeWriteSink* sink_ = nullptr;
+  FrameWriteCause write_cause_ = FrameWriteCause::kGuestStore;
 };
 
 }  // namespace fc::mem

@@ -33,7 +33,9 @@ void Machine::pwrite_bytes(GPhys pa, std::span<const u8> bytes) {
     u32 in_page = kPageSize - page_offset(at);
     u32 take = static_cast<u32>(
         std::min<std::size_t>(bytes.size() - done, in_page));
-    auto frame = host_.frame(frame_for(at));
+    HostFrame f = frame_for(at);
+    host_.note_frame_write(f);
+    auto frame = host_.frame(f);
     std::copy_n(bytes.data() + done, take, frame.data() + page_offset(at));
     done += take;
   }
@@ -59,9 +61,14 @@ GPhys Machine::alloc_phys_pages(u32 count, GPhys region_base,
   if (free_it != free_extents_.end() && !free_it->second.empty()) {
     GPhys at = free_it->second.back();
     free_it->second.pop_back();
-    // Zero the recycled pages (fresh-allocation semantics).
+    // Zero the recycled pages (fresh-allocation semantics). A recycled page
+    // may carry cached decodes from its previous life as a code page, so the
+    // zeroing must hit the write barrier.
+    HostMemory::WriteCauseScope cause(host_, FrameWriteCause::kRecycle);
     for (u32 i = 0; i < count; ++i) {
-      auto frame = host_.frame(frame_for(at + i * kPageSize));
+      HostFrame f = frame_for(at + i * kPageSize);
+      host_.note_frame_write(f);
+      auto frame = host_.frame(f);
       std::fill(frame.begin(), frame.end(), 0);
     }
     return at;
@@ -87,8 +94,10 @@ void Machine::free_phys_pages(GPhys at, u32 count, GPhys region_base) {
 
 GPhys GuestPageTableBuilder::alloc_table_page() {
   GPhys pa = machine_->alloc_phys_pages(1, region_base_, region_limit_);
-  // Zero it.
-  auto frame = machine_->host().frame(machine_->frame_for(pa));
+  // Zero it (through the write barrier — the page could be recycled).
+  HostFrame f = machine_->frame_for(pa);
+  machine_->host().note_frame_write(f);
+  auto frame = machine_->host().frame(f);
   std::fill(frame.begin(), frame.end(), 0);
   if (allocation_log_ != nullptr) allocation_log_->push_back(pa);
   return pa;

@@ -39,6 +39,7 @@ std::optional<HostFrame> Mmu::translate_page(GVirt vpage_base) {
     return slot.frame;
   }
   ++stats_.tlb_misses;
+  ++fill_version_;
   auto result = walk(vpage_base);
   if (result) {
     slot = {true,          vpage_base,       cr3_,
@@ -63,6 +64,7 @@ u32 Mmu::invalidate_gpa_ranges(std::span<const GpaRange> ranges) {
   }
   ++stats_.scoped_flushes;
   stats_.scoped_entries_dropped += dropped;
+  ++fill_version_;
   return dropped;
 }
 

@@ -46,7 +46,17 @@ class Mmu {
   void flush_tlb() {
     tlb_.fill({});
     ++stats_.flushes;
+    ++fill_version_;
   }
+
+  /// Monotonic counter bumped whenever the TLB's contents change: any miss
+  /// (the walk fills or invalidates a slot), a full flush, or a scoped
+  /// invalidation. While it is unchanged, every translation that previously
+  /// hit is guaranteed to still hit with the same result — the vCPU's
+  /// cached-block fast path uses this to skip re-translating the code page
+  /// on straight-line execution without perturbing miss counts or the
+  /// cycles charged for walks.
+  u64 fill_version() const { return fill_version_; }
 
   /// Scoped shootdown: drop only entries whose cached translation resolves
   /// a guest-physical page inside one of `ranges`, leaving everything else
@@ -111,6 +121,7 @@ class Mmu {
   GPhys cr3_ = 0;
   std::array<TlbEntry, kTlbSize> tlb_;
   Stats stats_;
+  u64 fill_version_ = 1;
 };
 
 }  // namespace fc::mem

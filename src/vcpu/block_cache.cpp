@@ -1,0 +1,135 @@
+#include "vcpu/block_cache.hpp"
+
+#include <algorithm>
+
+namespace fc::cpu {
+
+namespace {
+constexpr u64 block_key(HostFrame frame, u32 offset) {
+  return (static_cast<u64>(frame) << kPageShift) | offset;
+}
+}  // namespace
+
+BlockCache::Fetched BlockCache::fetch(mem::HostMemory& host,
+                                      HostFrame frame, u32 offset,
+                                      GVirt va) {
+  // Straight-line cursor: the previous instruction fell through to exactly
+  // this (va, frame) and the frame's bytes are unchanged since the decode.
+  if (cur_insns_ != nullptr && cur_va_ == va && cur_frame_ == frame &&
+      cur_gen_ == gen(frame)) {
+    ++stats_.insn_hits;
+    return {&cur_insns_[cur_idx_], 0};
+  }
+  cur_insns_ = nullptr;
+
+  const u64 key = block_key(frame, offset);
+  const DecodedBlock* block = nullptr;
+  u32 decoded = 0;
+  for (u32 i = probe_start(key);; i = (i + 1) & (kTableSize - 1)) {
+    if (slots_[i] == kEmptySlot) break;
+    if (keys_[i] == key) {
+      const DecodedBlock& candidate = arena_[slots_[i]];
+      if (candidate.frame_gen == gen(frame)) block = &candidate;
+      break;
+    }
+  }
+  if (block == nullptr) {
+    ++stats_.block_misses;
+    block = build(host, frame, offset);
+    if (block == nullptr) {
+      ++stats_.uncacheable;
+      return {nullptr, 0};
+    }
+    decoded = static_cast<u32>(block->insns.size());
+  }
+  set_cursor(*block, va);
+  ++stats_.insn_hits;
+  return {&cur_insns_[0], decoded};
+}
+
+const DecodedBlock* BlockCache::build(mem::HostMemory& host,
+                                      HostFrame frame, u32 offset) {
+  if (arena_.size() >= kMaxBlocks) {
+    clear();
+    ++stats_.inval_capacity;
+  }
+
+  const std::span<const u8> bytes =
+      static_cast<const mem::HostMemory&>(host).frame(frame);
+  DecodedBlock block;
+  block.frame = frame;
+  block.offset = static_cast<u16>(offset);
+  block.frame_gen = gen(frame);
+  u32 at = offset;
+  while (at < kPageSize && block.insns.size() < kMaxBlockInsns) {
+    // Decode strictly from in-page bytes: an instruction straddling the page
+    // boundary is left to the slow path, which alone can fetch across the
+    // (possibly differently-mapped) next page.
+    isa::DecodeResult dec = isa::decode(bytes.subspan(at, kPageSize - at));
+    if (!dec.ok()) break;
+    ++stats_.insns_decoded;
+    block.insns.push_back(dec.insn);
+    at += dec.insn.length;
+    // UD2 ends a block like control flow does: it always traps, and under
+    // FACE-CHANGE the bytes after it are usually more filler.
+    if (isa::is_control_flow(dec.insn.op) || dec.insn.op == isa::Op::kUd2)
+      break;
+  }
+  if (block.insns.empty()) return nullptr;
+
+  ++stats_.blocks_built;
+  if (frame >= frame_gens_.size()) {
+    frame_gens_.resize(frame + 1, 0);
+    frame_live_.resize(frame + 1, 0);
+  }
+  frame_live_[frame] = 1;
+  host.watch_code_frame(frame);
+
+  const u64 key = block_key(frame, offset);
+  arena_.push_back(std::move(block));
+  const u32 index = static_cast<u32>(arena_.size() - 1);
+  for (u32 i = probe_start(key);; i = (i + 1) & (kTableSize - 1)) {
+    if (slots_[i] == kEmptySlot) {
+      slots_[i] = index;  // new entry
+      keys_[i] = key;
+      ++resident_;
+      break;
+    }
+    if (keys_[i] == key) {
+      slots_[i] = index;  // in-place rebuild: supersede the stale entry
+      break;
+    }
+  }
+  return &arena_[index];
+}
+
+void BlockCache::on_code_frame_write(HostFrame frame,
+                                     mem::FrameWriteCause cause) {
+  // Only the first write since the last decode on this frame matters: bump
+  // the generation (invalidating every block built from it) and go quiet
+  // until code is cached here again.
+  if (frame >= frame_live_.size() || frame_live_[frame] == 0) return;
+  frame_live_[frame] = 0;
+  ++frame_gens_[frame];
+  switch (cause) {
+    case mem::FrameWriteCause::kGuestStore:
+      ++stats_.inval_guest_write;
+      break;
+    case mem::FrameWriteCause::kCodeLoad:
+      ++stats_.inval_code_load;
+      break;
+    case mem::FrameWriteCause::kRecycle:
+      ++stats_.inval_recycle;
+      break;
+  }
+}
+
+void BlockCache::clear() {
+  std::fill(slots_.begin(), slots_.end(), kEmptySlot);
+  arena_.clear();
+  resident_ = 0;
+  cur_insns_ = nullptr;
+  std::fill(frame_live_.begin(), frame_live_.end(), 0);
+}
+
+}  // namespace fc::cpu

@@ -25,6 +25,14 @@ struct PerfModel {
   // Memory system.
   u32 cost_tlb_walk = 30;  // charged per TLB miss (two-level walk + EPT)
 
+  // Front-end decode. Charged once per *decode performed*: per instruction
+  // on the slow path, but only at block-build time when the decoded-block
+  // cache serves execution — re-running a cached block is decode-free, just
+  // like real hardware re-hitting its uop/trace cache. Zero by default so
+  // simulated cycle numbers stay identical with the cache on or off (the
+  // lockstep equivalence test depends on that identity).
+  u32 cost_decode = 0;
+
   // Virtualization events (charged by the hypervisor / FACE-CHANGE engine).
   u32 cost_vmexit = 2600;        // guest→host→guest round trip
   u32 cost_trap_handler = 1100;  // FACE-CHANGE's context-switch handler work

@@ -66,6 +66,30 @@ bool Vcpu::deliver_interrupt(u8 vector, bool hardware) {
   return true;
 }
 
+Vcpu::CachedFetch Vcpu::cached_fetch() {
+  mem::Mmu& mmu = machine_->mmu();
+  const GVirt pc = regs_.pc;
+  auto frame = mmu.translate_page(page_base(pc));
+  if (!frame) return {nullptr, true};
+  // TLB parity with the slow path: Mmu::fetch(pc, ..., 7) also probes the
+  // following page whenever fewer than 7 bytes remain in this one, and that
+  // probe's TLB misses are charged cycles. Simulated time feeds back into
+  // guest state (rdtsc, interrupt release times), so the cached path must
+  // issue the exact same translation sequence.
+  if (kPageSize - page_offset(pc) < isa::kMaxInstructionLength)
+    (void)mmu.translate_page(page_base(pc) + kPageSize);
+  BlockCache::Fetched fetched =
+      block_cache_.fetch(machine_->host(), *frame, page_offset(pc), pc);
+  if (fetched.insns_decoded != 0)
+    cycles_ += static_cast<Cycles>(fetched.insns_decoded) * perf_.cost_decode;
+  // Snapshot the translation state the fetch ran under; while it is
+  // unchanged, run_cached_tail may serve straight-line instructions from
+  // this page without re-translating (the lookup would provably hit).
+  fetch_tlb_version_ = mmu.fill_version();
+  fetch_ept_gen_ = mmu.ept().generation();
+  return {fetched.insn, false};
+}
+
 Exit Vcpu::step() {
   mem::Mmu& mmu = machine_->mmu();
 
@@ -94,20 +118,40 @@ Exit Vcpu::step() {
 
   const u64 misses_before = mmu.stats().tlb_misses;
 
-  u8 window[isa::kMaxInstructionLength];
-  u32 got = mmu.fetch(regs_.pc, window, isa::kMaxInstructionLength);
-  if (got == 0) {
-    end_block(regs_.pc);
-    return {ExitReason::kFetchFault, regs_.pc};
+  // Fast path: serve the pre-decoded instruction at pc from the block
+  // cache; fall back to fetch+decode when nothing cacheable is there.
+  isa::DecodeResult dec;
+  const isa::Instruction* fetched = nullptr;
+  if (block_cache_enabled_) {
+    CachedFetch cached = cached_fetch();
+    if (cached.fetch_fault) {
+      end_block(regs_.pc);
+      return {ExitReason::kFetchFault, regs_.pc};
+    }
+    fetched = cached.insn;
   }
-  isa::DecodeResult dec = isa::decode({window, got});
-  if (!dec.ok()) {
-    // Both genuinely-invalid bytes and UD2 arrive here (UD2 decodes but is
-    // the architectural invalid-opcode instruction).
-    end_block(regs_.pc);
-    return {ExitReason::kInvalidOpcode, regs_.pc};
+  if (fetched == nullptr) {
+    u8 window[isa::kMaxInstructionLength];
+    u32 got = mmu.fetch(regs_.pc, window, isa::kMaxInstructionLength);
+    if (got == 0) {
+      end_block(regs_.pc);
+      return {ExitReason::kFetchFault, regs_.pc};
+    }
+    dec = isa::decode({window, got});
+    if (!dec.ok()) {
+      // Both genuinely-invalid bytes and UD2 arrive here (UD2 decodes but is
+      // the architectural invalid-opcode instruction).
+      end_block(regs_.pc);
+      return {ExitReason::kInvalidOpcode, regs_.pc};
+    }
+    cycles_ += perf_.cost_decode;
+    fetched = &dec.insn;
   }
-  const isa::Instruction& insn = dec.insn;
+  return exec_insn(*fetched, misses_before);
+}
+
+Exit Vcpu::exec_insn(const isa::Instruction& insn, u64 misses_before) {
+  mem::Mmu& mmu = machine_->mmu();
   if (insn.op == Op::kUd2) {
     end_block(regs_.pc);
     return {ExitReason::kInvalidOpcode, regs_.pc};
@@ -374,7 +418,37 @@ Exit Vcpu::step() {
   cycles_ += cost;
   cycles_ +=
       (mmu.stats().tlb_misses - misses_before) * perf_.cost_tlb_walk;
+  // Follow straight-line execution within the cached block (no-op when the
+  // instruction came from the slow path). Early-exit returns above leave the
+  // cursor parked on the un-retired instruction, which is exactly right: a
+  // resume re-serves it.
+  block_cache_.advance(regs_.pc);
   return pending_exit;
+}
+
+Exit Vcpu::run_cached_tail(u64 budget_end) {
+  mem::Mmu& mmu = machine_->mmu();
+  while (instructions_ < budget_end) {
+    const GVirt pc = regs_.pc;
+    // Anything that could alter behaviour sends us back to step(), which
+    // handles it exactly as the uncached interpreter would: IRQ release /
+    // delivery, breakpoints, a changed TLB or EPT (the code-page
+    // translation may now miss and must be re-run and charged), and the
+    // page-tail region where the slow path would probe the next page.
+    if (deferred_irqs_ != 0 && cycles_ >= irq_release_at_) break;
+    if (pending_irqs_ != 0 && regs_.interrupts_enabled) break;
+    if (pc == suppress_bp_at_) break;
+    if (!breakpoints_.empty() && has_breakpoint(pc)) break;
+    if (mmu.fill_version() != fetch_tlb_version_ ||
+        mmu.ept().generation() != fetch_ept_gen_)
+      break;
+    if (kPageSize - page_offset(pc) < isa::kMaxInstructionLength) break;
+    const isa::Instruction* insn = block_cache_.cursor_insn(pc);
+    if (insn == nullptr) break;
+    Exit exit = exec_insn(*insn, mmu.stats().tlb_misses);
+    if (exit.reason != ExitReason::kNone) return exit;
+  }
+  return {ExitReason::kNone, regs_.pc};
 }
 
 Exit Vcpu::run(u64 max_instructions) {
@@ -386,6 +460,10 @@ Exit Vcpu::run(u64 max_instructions) {
     }
     Exit exit = step();
     if (exit.reason != ExitReason::kNone) return exit;
+    if (block_cache_enabled_ && instructions_ < budget_end) {
+      exit = run_cached_tail(budget_end);
+      if (exit.reason != ExitReason::kNone) return exit;
+    }
   }
 }
 

@@ -17,6 +17,7 @@
 
 #include "isa/isa.hpp"
 #include "mem/machine.hpp"
+#include "vcpu/block_cache.hpp"
 #include "vcpu/perf_model.hpp"
 
 namespace fc::cpu {
@@ -89,7 +90,14 @@ class TraceSink {
 
 class Vcpu {
  public:
-  explicit Vcpu(mem::Machine& machine) : machine_(&machine) {}
+  explicit Vcpu(mem::Machine& machine) : machine_(&machine) {
+    // Register the decoded-block cache as the code write barrier's sink so
+    // any byte change in a frame we cached decodes from invalidates them.
+    machine_->host().set_code_write_sink(&block_cache_);
+  }
+  ~Vcpu() { machine_->host().set_code_write_sink(nullptr); }
+  Vcpu(const Vcpu&) = delete;
+  Vcpu& operator=(const Vcpu&) = delete;
 
   Regs& regs() { return regs_; }
   const Regs& regs() const { return regs_; }
@@ -100,6 +108,17 @@ class Vcpu {
   void set_trace_sink(TraceSink* sink) { trace_ = sink; }
   void set_perf_model(const PerfModel& pm) { perf_ = pm; }
   const PerfModel& perf_model() const { return perf_; }
+
+  /// The decoded basic-block cache (on by default). Disabling drops every
+  /// cached block and makes step() decode each instruction afresh — the
+  /// `--no-block-cache` baseline.
+  void set_block_cache_enabled(bool on) {
+    if (!on) block_cache_.clear();
+    block_cache_enabled_ = on;
+  }
+  bool block_cache_enabled() const { return block_cache_enabled_; }
+  BlockCache& block_cache() { return block_cache_; }
+  const BlockCache& block_cache() const { return block_cache_; }
 
   /// Simulated time.
   Cycles cycles() const { return cycles_; }
@@ -153,6 +172,24 @@ class Vcpu {
 
  private:
   Exit step();  // exactly one instruction (or pending-IRQ delivery)
+  /// Execute one already-fetched instruction: trace-block bookkeeping, the
+  /// exec switch, retirement accounting, and the TLB-walk cycle charge for
+  /// misses accrued since `misses_before`. UD2 / privilege traps return
+  /// without retiring.
+  Exit exec_insn(const isa::Instruction& insn, u64 misses_before);
+  /// Straight-line continuation inside the current cached block: retire
+  /// instructions directly from the cursor while nothing that could change
+  /// behaviour (IRQs, breakpoints, TLB fills, frame writes, page-end fetch
+  /// probes) is in play, bailing back to step() the moment anything is.
+  Exit run_cached_tail(u64 budget_end);
+  /// Resolve the instruction at regs_.pc through the block cache. Returns
+  /// nullptr in `insn` when the slow fetch+decode path must run; sets
+  /// `fetch_fault` when the pc's page is unmapped (a definitive exit).
+  struct CachedFetch {
+    const isa::Instruction* insn = nullptr;
+    bool fetch_fault = false;
+  };
+  CachedFetch cached_fetch();
   void end_block(GVirt end);
 
   mem::Machine* machine_;
@@ -171,6 +208,15 @@ class Vcpu {
 
   std::vector<GVirt> breakpoints_;
   GVirt suppress_bp_at_ = 0xFFFFFFFFu;
+
+  BlockCache block_cache_;
+  bool block_cache_enabled_ = true;
+  // Translation-state snapshot from the last cached_fetch(): while the
+  // MMU's fill version and the EPT generation are unchanged, the code
+  // page's translation is guaranteed to still hit (see Mmu::fill_version),
+  // so the block-tail loop may skip re-translating it.
+  u64 fetch_tlb_version_ = 0;
+  u64 fetch_ept_gen_ = 0;
 
   // Basic-block tracking for the trace sink.
   GVirt block_start_ = 0;

@@ -1,9 +1,12 @@
 #!/usr/bin/env bash
 # Tiered CI driver.
 #
-#   tools/ci.sh            tier 1: configure, build, run the full test suite
-#   tools/ci.sh sanitize   sanitizer tier: same suite under ASan + UBSan
-#   tools/ci.sh all        both tiers in sequence
+#   tools/ci.sh             tier 1: configure, build, run the full test suite
+#   tools/ci.sh sanitize    sanitizer tier: same suite under ASan + UBSan
+#   tools/ci.sh bench-smoke interpreter-throughput smoke run under ASan
+#                           (exercises the block-cache on/off paths end to
+#                           end; tiny budget, no speedup thresholds)
+#   tools/ci.sh all         all tiers in sequence
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -25,9 +28,19 @@ sanitize() {
     ctest --test-dir build-asan --output-on-failure -j "$jobs"
 }
 
+bench_smoke() {
+  cmake -B build-asan -S . -DFC_SANITIZE=ON
+  cmake --build build-asan -j "$jobs" --target interp_throughput
+  # --smoke: small cycle budget and no speedup assertion — sanitized builds
+  # are not representative of throughput, only of memory safety on the
+  # cached and uncached interpreter paths.
+  ASAN_OPTIONS=detect_leaks=0 ./build-asan/bench/interp_throughput --smoke
+}
+
 case "${1:-tier1}" in
-  tier1)    tier1 ;;
-  sanitize) sanitize ;;
-  all)      tier1; sanitize ;;
-  *) echo "usage: tools/ci.sh [tier1|sanitize|all]" >&2; exit 2 ;;
+  tier1)       tier1 ;;
+  sanitize)    sanitize ;;
+  bench-smoke) bench_smoke ;;
+  all)         tier1; sanitize; bench_smoke ;;
+  *) echo "usage: tools/ci.sh [tier1|sanitize|bench-smoke|all]" >&2; exit 2 ;;
 esac

@@ -35,7 +35,7 @@ namespace {
       "  profile  <app> [-n iterations] [-o view.cfg]\n"
       "  behavior <app> [-n iterations] [-o behavior.cfg]\n"
       "  inspect  <view.cfg>\n"
-      "  enforce  <app> -v view.cfg [-n iterations]\n"
+      "  enforce  <app> -v view.cfg [-n iterations] [--no-block-cache]\n"
       "  matrix   [-n iterations]\n"
       "  attack   <name> [--union]\n"
       "  integrity <attack-name>\n");
@@ -68,6 +68,7 @@ struct Options {
   std::string out;
   std::string view_file;
   bool union_view = false;
+  bool block_cache = true;
 };
 
 Options parse_flags(int argc, char** argv, int first) {
@@ -81,6 +82,8 @@ Options parse_flags(int argc, char** argv, int first) {
       options.view_file = argv[++i];
     } else if (!std::strcmp(argv[i], "--union")) {
       options.union_view = true;
+    } else if (!std::strcmp(argv[i], "--no-block-cache")) {
+      options.block_cache = false;
     } else {
       usage();
     }
@@ -157,6 +160,7 @@ int cmd_enforce(const std::string& app, const Options& options) {
   config.app_name = app;
 
   harness::GuestSystem sys;
+  sys.vcpu().set_block_cache_enabled(options.block_cache);
   core::FaceChangeEngine engine(sys.hv(), sys.os().kernel());
   engine.enable();
   engine.bind(app, engine.load_view(config));
@@ -168,10 +172,7 @@ int cmd_enforce(const std::string& app, const Options& options) {
   std::printf("outcome: %s\n",
               outcome == hv::RunOutcome::kGuestFault ? "GUEST FAULT"
                                                      : "completed");
-  std::printf("context-switch traps %llu, view switches %llu, skipped %llu\n",
-              (unsigned long long)engine.stats().context_switch_traps,
-              (unsigned long long)engine.stats().view_switches,
-              (unsigned long long)engine.stats().switches_skipped_same_view);
+  std::printf("%s\n", engine.render_run_report().c_str());
   std::printf("recovery log (%zu events):\n", engine.recovery_log().size());
   for (const core::RecoveryEvent& ev : engine.recovery_log().events())
     std::printf("  %s\n", ev.headline().c_str());
