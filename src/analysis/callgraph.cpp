@@ -1,0 +1,219 @@
+#include "analysis/callgraph.hpp"
+
+#include <algorithm>
+
+#include "isa/isa.hpp"
+#include "support/check.hpp"
+
+namespace fc::analysis {
+
+void CallGraph::add_unit(const std::string& unit, std::span<const u8> text,
+                         GVirt base, const std::vector<os::FuncMeta>& funcs,
+                         bool meta_relative) {
+  unit_bases_[unit] = base;
+  for (const os::FuncMeta& meta : funcs) {
+    GVirt start = meta_relative ? base + meta.address : meta.address;
+    GVirt end = start + meta.size;
+    FC_CHECK(start >= base && end <= base + text.size(),
+             << "function " << meta.name << " outside unit " << unit);
+
+    FuncNode node;
+    node.name = meta.name;
+    node.unit = unit;
+    node.start = start;
+    node.end = end;
+    node.has_frame = meta.has_frame;
+    node.page_crossing = (start >> kPageShift) != ((end - 1) >> kPageShift);
+
+    const u32 index = static_cast<u32>(funcs_.size());
+    isa::InstructionCursor cursor(text.subspan(start - base, meta.size),
+                                  start);
+    isa::Instruction insn;
+    while (cursor.next(&insn)) {
+      if (insn.op == isa::Op::kCall) {
+        GVirt site = cursor.pc() - insn.length;
+        sites_.push_back({index, site, site + insn.length,
+                          insn.rel_target(site), /*indirect=*/false});
+        node.sites.push_back(static_cast<u32>(sites_.size() - 1));
+      } else if (insn.op == isa::Op::kCallTab) {
+        GVirt site = cursor.pc() - insn.length;
+        sites_.push_back(
+            {index, site, site + insn.length, insn.imm, /*indirect=*/true});
+        node.sites.push_back(static_cast<u32>(sites_.size() - 1));
+      }
+    }
+    // Bodies end on ret/iret/jmp; a non-truncated stop inside the span means
+    // bytes the decoder rejects (a blueprint bug worth surfacing, not
+    // asserting on).
+    node.decode_clean =
+        cursor.at_end() || cursor.status() != isa::DecodeStatus::kInvalidOpcode;
+    funcs_.push_back(std::move(node));
+  }
+
+  by_start_.resize(funcs_.size());
+  for (u32 i = 0; i < funcs_.size(); ++i) by_start_[i] = i;
+  std::sort(by_start_.begin(), by_start_.end(), [this](u32 a, u32 b) {
+    return funcs_[a].start < funcs_[b].start;
+  });
+  link_edges();
+}
+
+void CallGraph::link_edges() {
+  unresolved_targets_ = 0;
+  for (FuncNode& f : funcs_) {
+    f.callees.clear();
+    f.callers.clear();
+  }
+  for (const CallSite& site : sites_) {
+    if (site.indirect) continue;
+    int callee = index_at(site.target);
+    if (callee < 0) {
+      ++unresolved_targets_;
+      continue;
+    }
+    funcs_[site.caller].callees.push_back(static_cast<u32>(callee));
+    funcs_[callee].callers.push_back(site.caller);
+  }
+  auto dedupe = [](std::vector<u32>& v) {
+    std::sort(v.begin(), v.end());
+    v.erase(std::unique(v.begin(), v.end()), v.end());
+  };
+  for (FuncNode& f : funcs_) {
+    dedupe(f.callees);
+    dedupe(f.callers);
+  }
+  // Dispatch edges resolve against the (possibly grown) function set too.
+  dispatch_edges_.clear();
+  for (const CallSite& site : sites_) {
+    if (!site.indirect) continue;
+    auto table = dispatch_tables_.find(site.target);
+    if (table == dispatch_tables_.end()) continue;
+    std::vector<u32>& out = dispatch_edges_[site.caller];
+    for (GVirt target : table->second) {
+      int callee = index_at(target);
+      if (callee >= 0) out.push_back(static_cast<u32>(callee));
+    }
+    dedupe(out);
+  }
+}
+
+void CallGraph::add_dispatch_table(GVirt table_addr,
+                                   std::span<const GVirt> targets) {
+  std::vector<GVirt>& entries = dispatch_tables_[table_addr];
+  entries.assign(targets.begin(), targets.end());
+  std::sort(entries.begin(), entries.end());
+  entries.erase(std::unique(entries.begin(), entries.end()), entries.end());
+  link_edges();
+}
+
+CallGraph CallGraph::of_kernel(const os::KernelImage& kernel) {
+  CallGraph graph;
+  graph.add_unit("", kernel.text, kernel.text_base, kernel.functions,
+                 /*meta_relative=*/false);
+  return graph;
+}
+
+int CallGraph::index_at(GVirt addr) const {
+  auto it = std::upper_bound(by_start_.begin(), by_start_.end(), addr,
+                             [this](GVirt a, u32 i) {
+                               return a < funcs_[i].start;
+                             });
+  if (it == by_start_.begin()) return -1;
+  const FuncNode& f = funcs_[*std::prev(it)];
+  return addr < f.end ? static_cast<int>(*std::prev(it)) : -1;
+}
+
+const FuncNode* CallGraph::function_at(GVirt addr) const {
+  int i = index_at(addr);
+  return i < 0 ? nullptr : &funcs_[i];
+}
+
+int CallGraph::index_of(const std::string& unit,
+                        const std::string& name) const {
+  for (std::size_t i = 0; i < funcs_.size(); ++i) {
+    if (funcs_[i].unit == unit && funcs_[i].name == name)
+      return static_cast<int>(i);
+  }
+  return -1;
+}
+
+GVirt CallGraph::unit_base(const std::string& unit) const {
+  auto it = unit_bases_.find(unit);
+  return it == unit_bases_.end() ? 0 : it->second;
+}
+
+bool CallGraph::has_unit(const std::string& unit) const {
+  return unit_bases_.count(unit) != 0;
+}
+
+std::vector<const FuncNode*> CallGraph::page_crossing_functions() const {
+  std::vector<const FuncNode*> out;
+  for (u32 i : by_start_) {
+    if (funcs_[i].page_crossing) out.push_back(&funcs_[i]);
+  }
+  return out;
+}
+
+std::vector<u32> CallGraph::dispatch_target_indices() const {
+  std::vector<u32> out;
+  for (const auto& [table, targets] : dispatch_tables_) {
+    for (GVirt target : targets) {
+      int i = index_at(target);
+      if (i >= 0) out.push_back(static_cast<u32>(i));
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::vector<u32> CallGraph::reachable_from(std::span<const u32> roots,
+                                           bool follow_dispatch) const {
+  std::vector<u8> seen(funcs_.size(), 0);
+  std::vector<u32> stack;
+  for (u32 r : roots) {
+    if (r < funcs_.size() && !seen[r]) {
+      seen[r] = 1;
+      stack.push_back(r);
+    }
+  }
+  while (!stack.empty()) {
+    u32 at = stack.back();
+    stack.pop_back();
+    auto visit = [&](u32 callee) {
+      if (!seen[callee]) {
+        seen[callee] = 1;
+        stack.push_back(callee);
+      }
+    };
+    for (u32 callee : funcs_[at].callees) visit(callee);
+    if (follow_dispatch) {
+      auto it = dispatch_edges_.find(at);
+      if (it != dispatch_edges_.end())
+        for (u32 callee : it->second) visit(callee);
+    }
+  }
+  std::vector<u32> out;
+  for (u32 i = 0; i < seen.size(); ++i)
+    if (seen[i]) out.push_back(i);
+  return out;
+}
+
+CallGraph::Stats CallGraph::stats() const {
+  Stats s;
+  s.functions = funcs_.size();
+  s.unresolved_targets = unresolved_targets_;
+  for (const CallSite& site : sites_) {
+    if (site.indirect)
+      ++s.indirect_sites;
+    else
+      ++s.direct_calls;
+  }
+  for (const FuncNode& f : funcs_) {
+    if (f.page_crossing) ++s.page_crossing;
+    if (!f.decode_clean) ++s.decode_failures;
+  }
+  return s;
+}
+
+}  // namespace fc::analysis

@@ -1,0 +1,115 @@
+// Whole-kernel static call graph (the KASR/ACHyb-style offline pass).
+//
+// Every function body of the assembled kernel image — and of any loaded
+// module image — is decoded with fc::isa::InstructionCursor into a graph of
+// direct-call edges, with per-call-site return addresses (the input to the
+// 0B 0F hazard pass in hazards.hpp), indirect dispatch sites (FF 14 85
+// table calls), and page-crossing function spans (the prologue search's
+// hard case, §III-B1).
+#pragma once
+
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "os/kernel_image.hpp"
+#include "support/types.hpp"
+
+namespace fc::analysis {
+
+/// One static call instruction.
+struct CallSite {
+  u32 caller = 0;        // index into CallGraph::functions()
+  GVirt site = 0;        // address of the call instruction
+  GVirt ret = 0;         // return target: site + encoded length
+  GVirt target = 0;      // callee entry (direct) or dispatch table VA
+  bool indirect = false; // FF 14 85 table dispatch; `target` is the table
+};
+
+/// One function node. Module functions carry absolute (load-base-resolved)
+/// spans so runtime addresses compare directly.
+struct FuncNode {
+  std::string name;
+  std::string unit;      // "" = base kernel, else module name
+  GVirt start = 0;
+  GVirt end = 0;         // start + size (exclusive)
+  bool has_frame = true;
+  bool page_crossing = false;  // [start, end) spans a 4 KiB boundary
+  bool decode_clean = true;    // body decoded end-to-end without error
+  std::vector<u32> callees;    // unique function indices (direct calls)
+  std::vector<u32> callers;    // unique reverse edges
+  std::vector<u32> sites;      // indices into CallGraph::call_sites()
+};
+
+class CallGraph {
+ public:
+  /// Decode one linkage unit into the graph. `text` holds the bytes of
+  /// [base, base + text.size()); `funcs` metadata addresses are either
+  /// absolute (base kernel) or unit-relative (modules) per `meta_relative`.
+  /// Call-graph edges resolve once all units are added; add units before
+  /// reading edges.
+  void add_unit(const std::string& unit, std::span<const u8> text, GVirt base,
+                const std::vector<os::FuncMeta>& funcs, bool meta_relative);
+
+  /// Register the contents of an indirect dispatch table (syscall / irq
+  /// table): every indirect site calling through `table_addr` gains edges
+  /// to each target. Used for reachability roots and closure-with-dispatch.
+  void add_dispatch_table(GVirt table_addr, std::span<const GVirt> targets);
+
+  /// Convenience: the base kernel alone.
+  static CallGraph of_kernel(const os::KernelImage& kernel);
+
+  const std::vector<FuncNode>& functions() const { return funcs_; }
+  const std::vector<CallSite>& call_sites() const { return sites_; }
+
+  /// Function covering `addr`, or nullptr (gaps are inter-function padding).
+  const FuncNode* function_at(GVirt addr) const;
+  /// Index form of function_at; -1 when `addr` is not inside any function.
+  int index_at(GVirt addr) const;
+  /// Lookup by name within a unit ("" = base kernel); -1 if absent.
+  int index_of(const std::string& unit, const std::string& name) const;
+
+  /// Load base of a unit added via add_unit; 0 for unknown units.
+  GVirt unit_base(const std::string& unit) const;
+  bool has_unit(const std::string& unit) const;
+
+  /// All functions whose span crosses a page boundary.
+  std::vector<const FuncNode*> page_crossing_functions() const;
+
+  /// Function indices named by any registered dispatch table — reachability
+  /// roots alongside the no-frame entry stubs (data-driven control flow the
+  /// direct-call edges cannot see).
+  std::vector<u32> dispatch_target_indices() const;
+
+  /// Forward reachability over direct-call edges (and dispatch-table edges
+  /// when `follow_dispatch`). Returns a sorted, deduplicated index set that
+  /// includes the roots themselves.
+  std::vector<u32> reachable_from(std::span<const u32> roots,
+                                  bool follow_dispatch = false) const;
+
+  struct Stats {
+    std::size_t functions = 0;
+    std::size_t direct_calls = 0;
+    std::size_t indirect_sites = 0;
+    std::size_t unresolved_targets = 0;  // direct calls into no known function
+    std::size_t page_crossing = 0;
+    std::size_t decode_failures = 0;
+  };
+  Stats stats() const;
+
+ private:
+  void link_edges();  // (re)build callee/caller lists from sites_
+
+  std::vector<FuncNode> funcs_;        // ascending start order per unit batch
+  std::vector<CallSite> sites_;
+  std::vector<u32> by_start_;          // func indices sorted by start
+  std::map<std::string, GVirt> unit_bases_;
+  std::map<GVirt, std::vector<GVirt>> dispatch_tables_;
+  // Dispatch edges: caller index → callee indices (kept apart from direct
+  // callees so closure can opt in or out of dispatch fan-out).
+  std::map<u32, std::vector<u32>> dispatch_edges_;
+  std::size_t unresolved_targets_ = 0;
+};
+
+}  // namespace fc::analysis

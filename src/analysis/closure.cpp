@@ -1,0 +1,63 @@
+#include "analysis/closure.hpp"
+
+#include <algorithm>
+
+namespace fc::analysis {
+
+namespace {
+
+bool overlaps(const core::RangeList& list, u32 begin, u32 end) {
+  for (const core::RangeList::Range& r : list.ranges()) {
+    if (r.begin < end && begin < r.end) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool config_covers_function(const CallGraph& graph,
+                            const core::KernelViewConfig& config,
+                            const FuncNode& f) {
+  if (f.unit.empty()) return overlaps(config.base, f.start, f.end);
+  auto it = config.modules.find(f.unit);
+  if (it == config.modules.end()) return false;
+  GVirt base = graph.unit_base(f.unit);
+  return overlaps(it->second, f.start - base, f.end - base);
+}
+
+ClosureResult profile_closure(const CallGraph& graph,
+                              const core::KernelViewConfig& config,
+                              const ClosureOptions& options) {
+  ClosureResult result;
+  result.expanded = config;
+
+  const std::vector<FuncNode>& funcs = graph.functions();
+  std::vector<u32> seeds;
+  std::vector<u8> is_seed(funcs.size(), 0);
+  for (u32 i = 0; i < funcs.size(); ++i) {
+    if (config_covers_function(graph, config, funcs[i])) {
+      seeds.push_back(i);
+      is_seed[i] = 1;
+    }
+  }
+  result.seed_functions = seeds.size();
+
+  for (u32 i : graph.reachable_from(seeds, options.follow_dispatch)) {
+    const FuncNode& f = funcs[i];
+    result.absolute_spans.insert(f.start, f.end);
+    if (is_seed[i]) continue;
+    if (f.unit.empty()) {
+      result.expanded.base.insert(f.start, f.end);
+      result.added.push_back(f.name);
+    } else {
+      GVirt base = graph.unit_base(f.unit);
+      result.expanded.modules[f.unit].insert(f.start - base, f.end - base);
+      result.added.push_back(f.unit + ":" + f.name);
+    }
+    result.added_bytes += f.end - f.start;
+  }
+  std::sort(result.added.begin(), result.added.end());
+  return result;
+}
+
+}  // namespace fc::analysis

@@ -1,0 +1,50 @@
+// Profile closure (the KASR idea): expand a profiled KernelViewConfig with
+// every function statically reachable from its members, so the view builder
+// can pre-load callees the profiling run happened to miss and the engine can
+// tell predicted-benign recoveries (function was statically reachable) from
+// unpredicted ones (nothing in the profile could have called it — the
+// provenance-anomaly signal).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/callgraph.hpp"
+#include "core/viewconfig.hpp"
+
+namespace fc::analysis {
+
+struct ClosureOptions {
+  /// Follow indirect dispatch-table edges (syscall/irq tables). Off by
+  /// default: dispatch fan-out from the shared entry stub would pull the
+  /// whole syscall surface into every view, defeating minimization.
+  bool follow_dispatch = false;
+};
+
+struct ClosureResult {
+  /// input ∪ spans of statically reachable callees, in config form (base
+  /// ranges absolute, module ranges module-relative).
+  core::KernelViewConfig expanded;
+  /// Every reachable function span as absolute VAs for this boot's layout —
+  /// the engine-side predicate for predicted-benign recovery classification.
+  core::RangeList absolute_spans;
+  /// Names ("unit:name" for modules) of functions the closure added.
+  std::vector<std::string> added;
+  u64 added_bytes = 0;
+  std::size_t seed_functions = 0;  // functions the profile already covered
+};
+
+/// Compute the reachable-set expansion of `config` over `graph`. Module
+/// ranges resolve against same-named units in the graph; ranges naming
+/// modules the graph does not know are copied through unexpanded.
+ClosureResult profile_closure(const CallGraph& graph,
+                              const core::KernelViewConfig& config,
+                              const ClosureOptions& options = {});
+
+/// Does `config` cover any byte of function `f`? With whole-function
+/// loading (the paper default) this is exactly "the view loads f".
+bool config_covers_function(const CallGraph& graph,
+                            const core::KernelViewConfig& config,
+                            const FuncNode& f);
+
+}  // namespace fc::analysis

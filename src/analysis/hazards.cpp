@@ -1,0 +1,71 @@
+#include "analysis/hazards.hpp"
+
+#include <sstream>
+
+#include "analysis/closure.hpp"
+
+namespace fc::analysis {
+
+namespace {
+
+std::string qualified_name(const FuncNode& f) {
+  return f.unit.empty() ? f.name : f.unit + ":" + f.name;
+}
+
+}  // namespace
+
+std::string HazardSite::key(const CallGraph& graph) const {
+  const FuncNode* f = graph.function_at(site);
+  std::ostringstream out;
+  out << caller << "+0x" << std::hex << (f != nullptr ? site - f->start : site)
+      << "->" << callee;
+  return out.str();
+}
+
+std::vector<HazardSite> enumerate_hazard_sites(const CallGraph& graph) {
+  std::vector<HazardSite> out;
+  for (const CallSite& site : graph.call_sites()) {
+    if ((site.ret & 1u) == 0) continue;
+    HazardSite hazard;
+    hazard.site = site.site;
+    hazard.ret = site.ret;
+    hazard.target = site.target;
+    hazard.indirect = site.indirect;
+    hazard.caller = qualified_name(graph.functions()[site.caller]);
+    if (site.indirect) {
+      hazard.callee = "<indirect>";
+    } else {
+      const FuncNode* callee = graph.function_at(site.target);
+      hazard.callee = callee != nullptr ? qualified_name(*callee) : "<unknown>";
+    }
+    out.push_back(std::move(hazard));
+  }
+  return out;  // call_sites() is emitted in ascending site order per unit
+}
+
+std::unordered_set<GVirt> hazard_return_set(
+    const std::vector<HazardSite>& sites) {
+  std::unordered_set<GVirt> out;
+  out.reserve(sites.size());
+  for (const HazardSite& s : sites) out.insert(s.ret);
+  return out;
+}
+
+std::vector<HazardSite> live_hazards(const CallGraph& graph,
+                                     const std::vector<HazardSite>& sites,
+                                     const core::KernelViewConfig& config) {
+  std::vector<HazardSite> out;
+  for (const HazardSite& s : sites) {
+    if (s.indirect) continue;  // dispatch targets are data, not static edges
+    const FuncNode* caller = graph.function_at(s.site);
+    const FuncNode* callee = graph.function_at(s.target);
+    if (caller == nullptr || callee == nullptr) continue;
+    if (config_covers_function(graph, config, *callee) &&
+        !config_covers_function(graph, config, *caller)) {
+      out.push_back(s);
+    }
+  }
+  return out;
+}
+
+}  // namespace fc::analysis

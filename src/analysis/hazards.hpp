@@ -1,0 +1,56 @@
+// The cross-view hazard pass: static enumeration of every call site whose
+// return target can read the shifted pair `0B 0F`.
+//
+// The view filler is UD2 (`0F 0B`) repeated from even offsets, so a return
+// target at an ODD address inside an unloaded caller reads `0B 0F` — a
+// valid OR instruction that never traps (Figure 3). The paper discovers
+// these one trap-time backtrace at a time; this pass finds all of them
+// offline: hazard site ⇔ call site with an odd return address. Assembled
+// code itself never places `0B 0F` at a return target (mod=11 OR encodings
+// have a ≥0xC0 second byte), so the static set over-approximates only in
+// the harmless direction: every runtime instant recovery must land in it
+// (zero false negatives — asserted by the differential test), while a
+// statically-listed site stays benign whenever its caller is loaded.
+#pragma once
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "analysis/callgraph.hpp"
+#include "core/viewconfig.hpp"
+
+namespace fc::analysis {
+
+struct HazardSite {
+  GVirt site = 0;    // call instruction address
+  GVirt ret = 0;     // odd return target (reads 0B 0F when caller unloaded)
+  GVirt target = 0;  // callee entry (or dispatch table for indirect)
+  bool indirect = false;
+  std::string caller;  // "unit:name" for modules, bare name for the kernel
+  std::string callee;  // resolved name, or "<indirect>"
+
+  /// Stable symbolic identity for baselines: "caller+0xOFF->callee".
+  /// Offsets are function-relative, so the key survives kernel relayouts
+  /// that merely move functions.
+  std::string key(const CallGraph& graph) const;
+};
+
+/// Every call site in the graph with an odd return address, in ascending
+/// site order.
+std::vector<HazardSite> enumerate_hazard_sites(const CallGraph& graph);
+
+/// The return-target set of `sites` — the engine-side audit predicate.
+std::unordered_set<GVirt> hazard_return_set(
+    const std::vector<HazardSite>& sites);
+
+/// Per-view refinement: hazards that are LIVE under `config` before any
+/// recovery has run — the callee's function is loaded by the view (so the
+/// call executes and returns) while the caller's is not (so the return
+/// target is UD2 fill). These are the sites RecoveryEngine will instantly
+/// recover; the rest of the static set stays dormant.
+std::vector<HazardSite> live_hazards(const CallGraph& graph,
+                                     const std::vector<HazardSite>& sites,
+                                     const core::KernelViewConfig& config);
+
+}  // namespace fc::analysis

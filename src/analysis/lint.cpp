@@ -1,0 +1,168 @@
+#include "analysis/lint.hpp"
+
+#include <sstream>
+
+#include "analysis/closure.hpp"
+#include "mem/machine.hpp"
+#include "support/hexdump.hpp"
+
+namespace fc::analysis {
+
+using mem::GuestLayout;
+
+namespace {
+
+const char* kind_name(LintFinding::Kind kind) {
+  switch (kind) {
+    case LintFinding::Kind::kUnknownRange: return "unknown-range";
+    case LintFinding::Kind::kDeadMember: return "dead-member";
+    case LintFinding::Kind::kLiveHazard: return "live-hazard";
+    case LintFinding::Kind::kPageCrossing: return "page-crossing";
+    case LintFinding::Kind::kUd2Gap: return "ud2-gap";
+  }
+  return "?";
+}
+
+bool any_function_overlaps(const CallGraph& graph, GVirt begin, GVirt end) {
+  for (const FuncNode& f : graph.functions()) {
+    if (f.start < end && begin < f.end) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::string LintFinding::render() const {
+  std::ostringstream out;
+  out << (error ? "ERROR " : "note  ") << kind_name(kind) << " "
+      << hex32(address) << "  " << detail;
+  return out.str();
+}
+
+std::size_t LintReport::count(LintFinding::Kind kind) const {
+  std::size_t n = 0;
+  for (const LintFinding& f : findings)
+    if (f.kind == kind) ++n;
+  return n;
+}
+
+bool LintReport::failed() const {
+  for (const LintFinding& f : findings)
+    if (f.error) return true;
+  return false;
+}
+
+std::string LintReport::render() const {
+  std::ostringstream out;
+  out << "lint " << app << ": " << member_functions << " member functions, "
+      << count(LintFinding::Kind::kLiveHazard) << " live hazards, "
+      << count(LintFinding::Kind::kDeadMember) << " dead members, "
+      << count(LintFinding::Kind::kPageCrossing) << " page-crossing, "
+      << count(LintFinding::Kind::kUnknownRange) << " unknown ranges, "
+      << count(LintFinding::Kind::kUd2Gap) << " UD2 gaps"
+      << (failed() ? "  [FAIL]" : "");
+  for (const LintFinding& f : findings) out << "\n  " << f.render();
+  return out.str();
+}
+
+LintReport lint_view(const CallGraph& graph,
+                     const std::vector<HazardSite>& hazards,
+                     const core::KernelViewConfig& config,
+                     const core::KernelView* built,
+                     const mem::HostMemory* host) {
+  LintReport report;
+  report.app = config.app_name;
+
+  // --- unknown ranges: config bytes that resolve to no known function.
+  for (const core::RangeList::Range& r : config.base.ranges()) {
+    if (!any_function_overlaps(graph, r.begin, r.end)) {
+      report.findings.push_back(
+          {LintFinding::Kind::kUnknownRange, /*error=*/true, r.begin,
+           "base range " + hex32(r.begin) + ".." + hex32(r.end) +
+               " covers no kernel function"});
+    }
+  }
+  for (const auto& [name, ranges] : config.modules) {
+    if (!graph.has_unit(name)) {
+      report.findings.push_back(
+          {LintFinding::Kind::kUnknownRange, /*error=*/true, 0,
+           "module '" + name + "' is not a known unit"});
+      continue;
+    }
+    GVirt base = graph.unit_base(name);
+    for (const core::RangeList::Range& r : ranges.ranges()) {
+      if (!any_function_overlaps(graph, base + r.begin, base + r.end)) {
+        report.findings.push_back(
+            {LintFinding::Kind::kUnknownRange, /*error=*/true, base + r.begin,
+             "module '" + name + "' range +" + hex32(r.begin) +
+                 " covers no function"});
+      }
+    }
+  }
+
+  // --- membership and reachability.
+  const std::vector<FuncNode>& funcs = graph.functions();
+  std::vector<u8> member(funcs.size(), 0);
+  for (u32 i = 0; i < funcs.size(); ++i) {
+    if (config_covers_function(graph, config, funcs[i])) member[i] = 1;
+  }
+  std::vector<u8> rooted(funcs.size(), 0);
+  for (u32 i : graph.dispatch_target_indices()) rooted[i] = 1;
+
+  for (u32 i = 0; i < funcs.size(); ++i) {
+    if (!member[i]) continue;
+    ++report.member_functions;
+    const FuncNode& f = funcs[i];
+    if (f.page_crossing) {
+      report.findings.push_back(
+          {LintFinding::Kind::kPageCrossing, /*error=*/false, f.start,
+           f.name + " spans pages " + hex32(f.start) + ".." + hex32(f.end)});
+    }
+    // Dead member: a framed, non-dispatch-target function no other member
+    // calls. Informational — pointer-based control flow outside the known
+    // dispatch tables can legitimize it.
+    if (!f.has_frame || rooted[i]) continue;
+    bool called = false;
+    for (u32 caller : f.callers) {
+      if (member[caller] && caller != i) {
+        called = true;
+        break;
+      }
+    }
+    if (!called) {
+      report.findings.push_back(
+          {LintFinding::Kind::kDeadMember, /*error=*/false, f.start,
+           f.name + " has no in-view caller and is not a dispatch target"});
+    }
+  }
+
+  // --- live cross-view hazards.
+  for (const HazardSite& s : live_hazards(graph, hazards, config)) {
+    report.findings.push_back(
+        {LintFinding::Kind::kLiveHazard, /*error=*/false, s.ret,
+         s.key(graph) + " (ret " + hex32(s.ret) +
+             " reads 0B 0F while the caller is unloaded)"});
+  }
+
+  // --- UD2-fill coverage of the built shadow pages.
+  if (built != nullptr && host != nullptr) {
+    for (const auto& [page, frame] : built->shadow_frames) {
+      std::span<const u8> bytes = host->frame(frame);
+      const GVirt page_va =
+          GuestLayout::kernel_va(static_cast<GPhys>(page) << kPageShift);
+      for (u32 off = 0; off < kPageSize; ++off) {
+        if (built->loaded.contains(page_va + off)) continue;
+        const u8 want = (off % 2 == 0) ? 0x0F : 0x0B;
+        if (bytes[off] != want) {
+          report.findings.push_back(
+              {LintFinding::Kind::kUd2Gap, /*error=*/true, page_va + off,
+               "unloaded shadow byte is not UD2 fill"});
+          break;  // one finding per page is enough signal
+        }
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace fc::analysis

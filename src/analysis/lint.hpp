@@ -1,0 +1,53 @@
+// View lint: static sanity checks over an app's kernel view config — and,
+// when a built KernelView is supplied, over the shadow pages themselves.
+// Backs the `fclint` CLI and the CI view-audit ctest.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/callgraph.hpp"
+#include "analysis/hazards.hpp"
+#include "core/view.hpp"
+#include "mem/host_memory.hpp"
+
+namespace fc::analysis {
+
+struct LintFinding {
+  enum class Kind {
+    kUnknownRange,    // config range maps to no known kernel/module code
+    kDeadMember,      // view member no other member (or root) can reach
+    kLiveHazard,      // 0B 0F cross-view hazard live under this view
+    kPageCrossing,    // loaded function spans a page boundary (info)
+    kUd2Gap,          // shadow bytes outside loaded ranges not UD2 fill
+  };
+  Kind kind;
+  /// Errors fail the lint; the rest are informational (hazards are expected
+  /// — they are what instant recovery exists for — but new ones must be
+  /// acknowledged via the baseline).
+  bool error = false;
+  GVirt address = 0;
+  std::string detail;
+
+  std::string render() const;
+};
+
+struct LintReport {
+  std::string app;
+  std::vector<LintFinding> findings;
+  std::size_t member_functions = 0;  // view members resolved to functions
+
+  std::size_t count(LintFinding::Kind kind) const;
+  bool failed() const;  // any error-severity finding
+  std::string render() const;
+};
+
+/// Lint one view config. `built` and `host` are optional; when both are
+/// given the UD2-fill coverage check runs against the view's shadow frames.
+LintReport lint_view(const CallGraph& graph,
+                     const std::vector<HazardSite>& hazards,
+                     const core::KernelViewConfig& config,
+                     const core::KernelView* built = nullptr,
+                     const mem::HostMemory* host = nullptr);
+
+}  // namespace fc::analysis

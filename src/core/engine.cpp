@@ -64,6 +64,16 @@ void FaceChangeEngine::disable() {
   enabled_ = false;
 }
 
+void FaceChangeEngine::install_static_audit(StaticAudit audit) {
+  audit_ = std::move(audit);
+  recovery_->set_audit(&audit_);
+}
+
+void FaceChangeEngine::set_predicted_reachable(u32 view_id, RangeList spans) {
+  audit_.predicted[view_id] = std::move(spans);
+  recovery_->set_audit(&audit_);
+}
+
 u32 FaceChangeEngine::load_view(const KernelViewConfig& config) {
   u32 id = next_view_id_++;
   views_[id] = builder_.build(config, id);
@@ -331,6 +341,18 @@ std::string FaceChangeEngine::render_run_report() const {
       << " guest write, " << cache.inval_code_load << " code load, "
       << cache.inval_recycle << " page recycle, " << cache.inval_view_switch
       << " view switch, " << cache.inval_capacity << " capacity";
+  if (!audit_.empty()) {
+    const RecoveryEngine::Stats& rs = recovery_->stats();
+    out << "\nstatic audit: " << audit_.hazard_returns.size()
+        << " hazard sites known, " << rs.instant_in_hazard_set
+        << " instant recoveries in set, " << rs.instant_off_hazard_set
+        << " off set (static false negatives)";
+    if (!audit_.predicted.empty()) {
+      out << "\nclosure: " << rs.recoveries_predicted
+          << " recoveries predicted reachable, " << rs.recoveries_unpredicted
+          << " unpredicted";
+    }
+  }
   return out.str();
 }
 

@@ -76,6 +76,15 @@ class FaceChangeEngine : public hv::ExitHandler {
   const RecoveryEngine::Stats& recovery_stats() const {
     return recovery_->stats();
   }
+  RecoveryEngine& recovery() { return *recovery_; }
+
+  /// Install the static analyzer's audit (hazard return set + per-view
+  /// closure predictions). Replaces any previous audit; the recovery engine
+  /// classifies every subsequent decision against it (see static_audit.hpp).
+  void install_static_audit(StaticAudit audit);
+  /// Merge one view's closure-predicted spans into the installed audit.
+  void set_predicted_reachable(u32 view_id, RangeList spans);
+  const StaticAudit& static_audit() const { return audit_; }
 
   struct Stats {
     u64 context_switch_traps = 0;
@@ -129,6 +138,7 @@ class FaceChangeEngine : public hv::ExitHandler {
   ViewBuilder builder_;
   RecoveryLog recovery_log_;
   std::unique_ptr<RecoveryEngine> recovery_;
+  StaticAudit audit_;
 
   std::map<u32, std::unique_ptr<KernelView>> views_;
   // (from, to) → precomputed switch delta; dropped on unload and enable.

@@ -92,6 +92,16 @@ void RecoveryEngine::recover_function(KernelView& view, GVirt addr,
   }
 }
 
+void RecoveryEngine::note_instant(GVirt ret) {
+  ++stats_.instant_recoveries;
+  instant_returns_.push_back(ret);
+  if (audit_ == nullptr) return;
+  if (audit_->hazard_returns.count(ret) != 0)
+    ++stats_.instant_in_hazard_set;
+  else
+    ++stats_.instant_off_hazard_set;
+}
+
 void RecoveryEngine::scan_stack_for_instant(KernelView& view, u32 saved_fp) {
   ++stats_.cross_view_scans;
   hv::Vmi& vmi = hv_->vmi();
@@ -109,7 +119,7 @@ void RecoveryEngine::scan_stack_for_instant(KernelView& view, u32 saved_fp) {
       if (region_for(view, prev_rip, &region)) {
         GVirt start = 0, end = 0;
         recover_function(view, prev_rip, region, &start, &end);
-        ++stats_.instant_recoveries;
+        note_instant(prev_rip);
       }
     }
     fp = prev_fp;
@@ -159,7 +169,7 @@ bool RecoveryEngine::handle(KernelView& view, GVirt pc) {
         GVirt s = 0, e = 0;
         recover_function(view, prev_rip, caller_region, &s, &e);
         frame.instant_recovered = true;
-        ++stats_.instant_recoveries;
+        note_instant(prev_rip);
       }
     } else if (frame.target_bytes[0] == 0x0F &&
                frame.target_bytes[1] == 0x0B) {
@@ -172,6 +182,15 @@ bool RecoveryEngine::handle(KernelView& view, GVirt pc) {
   // HANDLE_INVALID_OPCODE: recover the faulting function itself.
   recover_function(view, pc, region, &ev.recovered_start, &ev.recovered_end);
   ++stats_.recoveries;
+  if (audit_ != nullptr) {
+    auto predicted = audit_->predicted.find(view.id);
+    if (predicted != audit_->predicted.end()) {
+      if (predicted->second.contains(pc))
+        ++stats_.recoveries_predicted;
+      else
+        ++stats_.recoveries_unpredicted;
+    }
+  }
   vcpu.charge(vcpu.perf_model().cost_recovery_base);
   log_->add(std::move(ev));
   return true;

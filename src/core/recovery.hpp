@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "core/static_audit.hpp"
 #include "core/view.hpp"
 #include "core/viewbuilder.hpp"
 #include "hv/hypervisor.hpp"
@@ -81,14 +82,34 @@ class RecoveryEngine {
   /// executes garbage instead of trapping.
   void scan_stack_for_instant(KernelView& view, u32 saved_fp);
 
+  /// Cross-check runtime decisions against the static analyzer's audit
+  /// (see static_audit.hpp). Pass nullptr to detach. The pointee must
+  /// outlive this engine.
+  void set_audit(const StaticAudit* audit) { audit_ = audit; }
+
   struct Stats {
     u64 recoveries = 0;
     u64 instant_recoveries = 0;
     u64 lazy_pending = 0;  // callers left as 0F 0B (will trap on return)
     u64 cross_view_scans = 0;
+    // Audit classification (all zero when no audit is installed).
+    u64 instant_in_hazard_set = 0;   // instant recovery at a predicted site
+    u64 instant_off_hazard_set = 0;  // static false negative — must stay 0
+    u64 recoveries_predicted = 0;    // trap PC inside the view's closure
+    u64 recoveries_unpredicted = 0;
   };
   const Stats& stats() const { return stats_; }
-  void reset_stats() { stats_ = Stats{}; }
+  void reset_stats() {
+    stats_ = Stats{};
+    instant_returns_.clear();
+  }
+
+  /// Every return target instant-recovered so far (trap backtraces and
+  /// cross-view stack scans), in occurrence order. The differential test
+  /// checks each against the static hazard set.
+  const std::vector<GVirt>& instant_return_targets() const {
+    return instant_returns_;
+  }
 
  private:
   struct Region {
@@ -97,11 +118,14 @@ class RecoveryEngine {
   bool region_for(const KernelView& view, GVirt pc, Region* out) const;
   void recover_function(KernelView& view, GVirt addr, const Region& region,
                         GVirt* start, GVirt* end);
+  void note_instant(GVirt ret);
 
   hv::Hypervisor* hv_;
   const os::KernelImage* kernel_;
   ViewBuilder* builder_;
   RecoveryLog* log_;
+  const StaticAudit* audit_ = nullptr;
+  std::vector<GVirt> instant_returns_;
   Stats stats_;
 };
 

@@ -45,7 +45,7 @@ std::string SimilarityMatrix::render() const {
   for (std::size_t i = 0; i < n; ++i) {
     out << cell(apps[i].substr(0, 8));
     for (std::size_t j = 0; j < n; ++j) {
-      char buf[16];
+      char buf[24];  // widest: "[" + 20-digit u64 + "KB]" + NUL
       if (i == j) {
         std::snprintf(buf, sizeof(buf), "[%lluKB]",
                       static_cast<unsigned long long>(sizes_bytes[i] >> 10));

@@ -1,0 +1,36 @@
+// Plain-data bridge from the offline analyzer (src/analysis) into the
+// runtime engine. fc_analysis links fc_core, so the engine cannot include
+// analysis headers; instead the harness / tools distill the analyzer's
+// results into this struct and install it via
+// FaceChangeEngine::install_static_audit. The recovery engine then
+// cross-checks every runtime decision against the static prediction:
+//
+//  - `hazard_returns` holds every statically-enumerated return address that
+//    reads `0B 0F` under UD2 fill (the odd-return-site set). Every runtime
+//    *instant* recovery must land in this set — an off-set instant recovery
+//    is a static-analysis false negative (the differential test asserts
+//    there are none).
+//  - `predicted` holds, per view id, the closure-expanded reachable code
+//    spans. Recoveries inside the prediction are "benign" misses that
+//    closure-expanded views would have avoided; recoveries outside it are
+//    genuinely unpredicted control flow.
+#pragma once
+
+#include <map>
+#include <unordered_set>
+
+#include "core/rangelist.hpp"
+#include "support/types.hpp"
+
+namespace fc::core {
+
+struct StaticAudit {
+  /// Return targets of statically-found odd call sites (0B 0F hazards).
+  std::unordered_set<GVirt> hazard_returns;
+  /// View id → statically-reachable absolute spans (profile closure).
+  std::map<u32, RangeList> predicted;
+
+  bool empty() const { return hazard_returns.empty() && predicted.empty(); }
+};
+
+}  // namespace fc::core

@@ -2,6 +2,9 @@
 
 #include <map>
 
+#include "analysis/closure.hpp"
+#include "analysis/hazards.hpp"
+#include "hv/guest_abi.hpp"
 #include "support/check.hpp"
 #include "support/logging.hpp"
 
@@ -132,6 +135,43 @@ AttackRunResult run_attack(attacks::Attack& attack,
     result.recovered_symbols.push_back(std::move(base));
   }
   return result;
+}
+
+analysis::CallGraph build_call_graph(GuestSystem& sys) {
+  const os::KernelImage& kernel = sys.os().kernel();
+  analysis::CallGraph graph = analysis::CallGraph::of_kernel(kernel);
+  for (const os::ModuleImage& img : sys.os().loaded_module_images()) {
+    graph.add_unit(img.name, img.text, img.base, img.functions,
+                   /*meta_relative=*/true);
+  }
+
+  // Dispatch tables live in guest data; read the slots the kernel (and any
+  // module load hook) populated.
+  hv::Vmi& vmi = sys.hv().vmi();
+  auto read_table = [&](GVirt table, u32 slots) {
+    std::vector<GVirt> targets;
+    for (u32 i = 0; i < slots; ++i) {
+      GVirt target = vmi.read_u32(table + i * 4);
+      if (is_kernel_address(target)) targets.push_back(target);
+    }
+    graph.add_dispatch_table(table, targets);
+  };
+  read_table(abi::kSyscallTableAddr, abi::kSyscallTableSlots);
+  read_table(abi::kIrqHandlerTableAddr, 8);
+  return graph;
+}
+
+core::StaticAudit build_static_audit(
+    const analysis::CallGraph& graph,
+    const std::vector<std::pair<u32, core::KernelViewConfig>>& views) {
+  core::StaticAudit audit;
+  audit.hazard_returns =
+      analysis::hazard_return_set(analysis::enumerate_hazard_sites(graph));
+  for (const auto& [view_id, config] : views) {
+    audit.predicted[view_id] =
+        analysis::profile_closure(graph, config).absolute_spans;
+  }
+  return audit;
 }
 
 }  // namespace fc::harness

@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/callgraph.hpp"
 #include "apps/apps.hpp"
 #include "attacks/attacks.hpp"
 #include "core/engine.hpp"
@@ -51,6 +52,18 @@ const std::vector<core::KernelViewConfig>& profile_all_apps(
 /// Look up one app's memoized profile.
 const core::KernelViewConfig& profile_of(const std::string& app,
                                          u32 iterations = 30);
+
+/// Whole-system static call graph: the base kernel image plus every module
+/// image loaded this boot, with the syscall and IRQ dispatch tables read
+/// out of guest memory and registered as indirect-dispatch fan-out.
+analysis::CallGraph build_call_graph(GuestSystem& sys);
+
+/// Distill the analyzer's results into the runtime audit struct: the full
+/// 0B 0F hazard return set, plus (per entry in `views`) the closure of that
+/// view's config. Install with FaceChangeEngine::install_static_audit.
+core::StaticAudit build_static_audit(
+    const analysis::CallGraph& graph,
+    const std::vector<std::pair<u32, core::KernelViewConfig>>& views);
 
 // ---------------------------------------------------------------------------
 // Attack scenarios (Table II).

@@ -302,6 +302,19 @@ DecodeResult decode(std::span<const u8> bytes) {
   }
 }
 
+bool InstructionCursor::next(Instruction* out) {
+  if (at_end()) {
+    status_ = DecodeStatus::kTruncated;
+    return false;
+  }
+  DecodeResult r = decode(window_.subspan(offset_));
+  status_ = r.status;
+  if (!r.ok()) return false;
+  *out = r.insn;
+  offset_ += r.insn.length;
+  return true;
+}
+
 bool is_control_flow(Op op) {
   switch (op) {
     case Op::kCall:

@@ -118,6 +118,35 @@ DecodeResult decode(std::span<const u8> bytes);
 /// Is this opcode a control-flow instruction (ends a basic block)?
 bool is_control_flow(Op op);
 
+/// Forward iteration over the instructions of a code window — the decoder
+/// API static analysis builds on (callgraph construction, hazard scans).
+///
+/// `window` holds the bytes of [base, base + window.size()); the cursor
+/// starts at `base` and advances by each decoded instruction's length.
+/// next() decodes at the current position without advancing the cursor on
+/// failure, so callers can inspect `status()` and `pc()` at the stop point.
+class InstructionCursor {
+ public:
+  InstructionCursor(std::span<const u8> window, GVirt base)
+      : window_(window), base_(base) {}
+
+  /// Decode the instruction at pc(). On success fills `out` and advances;
+  /// returns false (leaving the cursor in place) at the window end or on an
+  /// undecodable byte sequence.
+  bool next(Instruction* out);
+
+  GVirt pc() const { return base_ + offset_; }
+  bool at_end() const { return offset_ >= window_.size(); }
+  /// Status of the most recent next() call (kOk until a failure).
+  DecodeStatus status() const { return status_; }
+
+ private:
+  std::span<const u8> window_;
+  GVirt base_;
+  std::size_t offset_ = 0;
+  DecodeStatus status_ = DecodeStatus::kOk;
+};
+
 /// Render an instruction in AT&T-ish style for logs, e.g.
 /// "call 0xc0219970". Targets are not symbolized here; callers with a
 /// symbol table append "<name>" themselves.

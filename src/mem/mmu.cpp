@@ -1,5 +1,7 @@
 #include "mem/mmu.hpp"
 
+#include <algorithm>
+
 #include "support/check.hpp"
 
 namespace fc::mem {
@@ -155,8 +157,7 @@ u32 Mmu::fetch(GVirt pc, u8* out, u32 max) {
     u32 in_page = kPageSize - page_offset(va);
     u32 take = std::min(max - fetched, in_page);
     auto bytes = host_->frame(*frame);
-    for (u32 i = 0; i < take; ++i)
-      out[fetched + i] = bytes[page_offset(va) + i];
+    std::copy_n(bytes.data() + page_offset(va), take, out + fetched);
     fetched += take;
   }
   return fetched;

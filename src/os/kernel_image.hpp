@@ -3,6 +3,7 @@
 // the view-builder ablations.
 #pragma once
 
+#include <algorithm>
 #include <string>
 #include <vector>
 
@@ -24,8 +25,19 @@ struct KernelImage {
   std::vector<u8> text;     // contiguous code, starts at text_base
   GVirt text_base = 0;
   hv::SymbolTable symbols;  // absolute addresses
-  std::vector<FuncMeta> functions;
+  std::vector<FuncMeta> functions;  // in layout (ascending address) order
   GVirt text_end() const { return text_base + static_cast<GVirt>(text.size()); }
+
+  /// The function whose [address, address+size) covers `addr`, or nullptr.
+  /// `functions` is laid out in ascending address order by the builder.
+  const FuncMeta* function_at(GVirt addr) const {
+    auto it = std::upper_bound(
+        functions.begin(), functions.end(), addr,
+        [](GVirt a, const FuncMeta& f) { return a < f.address; });
+    if (it == functions.begin()) return nullptr;
+    --it;
+    return addr < it->address + it->size ? &*it : nullptr;
+  }
 };
 
 /// A built (relocated) kernel module image.

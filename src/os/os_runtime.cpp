@@ -1702,6 +1702,7 @@ void OsRuntime::load_module_now(u32 module_id) {
   rec.size = static_cast<u32>(img.text.size());
   rec.list_node = node;
   loaded_modules_.push_back(rec);
+  loaded_module_images_.push_back(img);
 
   if (spec.publish_symbols)
     hv_->vmi().register_module_symbols(spec.name, img.symbols_rel);

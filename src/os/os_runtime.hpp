@@ -120,6 +120,12 @@ class OsRuntime : public cpu::CpuEnv {
   void load_module_now(u32 module_id);
   /// Loaded-module lookup (host-side truth, even if hidden from the guest).
   std::optional<hv::ModuleInfo> loaded_module(const std::string& name) const;
+  /// The relocated image of every module load this boot, in load order and
+  /// not pruned on delete (host-side truth; feeds the static call-graph
+  /// analyzer, which wants the code as it was when it entered memory).
+  const std::vector<ModuleImage>& loaded_module_images() const {
+    return loaded_module_images_;
+  }
 
   // --- devices / traffic ---------------------------------------------------
   void schedule_datagram(Cycles at, u16 port, u32 len);
@@ -329,6 +335,7 @@ class OsRuntime : public cpu::CpuEnv {
   };
   std::vector<ModuleSpec> module_registry_;
   std::vector<LoadedModule> loaded_modules_;
+  std::vector<ModuleImage> loaded_module_images_;
   GVirt module_arena_cursor_;
 
   struct Binary {

@@ -1,0 +1,278 @@
+// Static analyzer tests: whole-kernel call-graph decoding, profile closure,
+// 0B 0F hazard enumeration, and view lint (src/analysis).
+#include <gtest/gtest.h>
+
+#include "analysis/callgraph.hpp"
+#include "analysis/closure.hpp"
+#include "analysis/hazards.hpp"
+#include "analysis/lint.hpp"
+#include "harness/harness.hpp"
+
+namespace fc {
+namespace {
+
+namespace abi = fc::abi;
+using os::AppAction;
+
+/// One shared system+graph for the read-only graph tests (building a guest
+/// per TEST is the expensive part).
+struct GraphFixture {
+  harness::GuestSystem sys;
+  analysis::CallGraph graph = harness::build_call_graph(sys);
+};
+
+GraphFixture& fixture() {
+  static GraphFixture* f = new GraphFixture();
+  return *f;
+}
+
+TEST(CallGraph, DecodesTheWholeKernelCleanly) {
+  const analysis::CallGraph& graph = fixture().graph;
+  analysis::CallGraph::Stats s = graph.stats();
+  EXPECT_GT(s.functions, 500u);
+  EXPECT_GT(s.direct_calls, 400u);
+  EXPECT_GT(s.indirect_sites, 0u);   // syscall_call's table dispatch
+  EXPECT_EQ(s.unresolved_targets, 0u) << "every direct call must resolve";
+  EXPECT_EQ(s.decode_failures, 0u) << "every body must decode end to end";
+  EXPECT_GT(s.page_crossing, 0u);
+  for (const analysis::FuncNode& f : graph.functions())
+    EXPECT_TRUE(f.decode_clean) << f.name;
+}
+
+TEST(CallGraph, ResolvesDirectAndDispatchCallEdges) {
+  const analysis::CallGraph& graph = fixture().graph;
+  int sys_read = graph.index_of("", "sys_read");
+  int vfs_read = graph.index_of("", "vfs_read");
+  int proc_reg_read = graph.index_of("", "proc_reg_read");
+  ASSERT_GE(sys_read, 0);
+  ASSERT_GE(vfs_read, 0);
+  ASSERT_GE(proc_reg_read, 0);
+
+  auto has = [](const std::vector<u32>& v, int x) {
+    return std::find(v.begin(), v.end(), static_cast<u32>(x)) != v.end();
+  };
+  const auto& funcs = graph.functions();
+  EXPECT_TRUE(has(funcs[sys_read].callees, vfs_read));
+  // dispatch_on_a emits direct compare+call chains, so the file-class cases
+  // are plain edges.
+  EXPECT_TRUE(has(funcs[vfs_read].callees, proc_reg_read));
+  EXPECT_TRUE(has(funcs[proc_reg_read].callers, vfs_read));
+}
+
+TEST(CallGraph, FunctionLookupByAddress) {
+  const analysis::CallGraph& graph = fixture().graph;
+  const os::KernelImage& kernel = fixture().sys.os().kernel();
+  GVirt addr = kernel.symbols.must_addr("pipe_poll");
+  const analysis::FuncNode* f = graph.function_at(addr);
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(f->name, "pipe_poll");
+  EXPECT_EQ(graph.function_at(addr + 5), f);  // mid-body
+  EXPECT_EQ(graph.function_at(f->end), f->end == kernel.text_end()
+                                           ? nullptr
+                                           : graph.function_at(f->end));
+  EXPECT_EQ(graph.function_at(kernel.text_base - 4), nullptr);
+}
+
+TEST(CallGraph, LoadedModulesJoinTheGraph) {
+  const analysis::CallGraph& graph = fixture().graph;
+  ASSERT_TRUE(graph.has_unit("e1000"));  // stock NIC module, loaded at boot
+  int intr = graph.index_of("e1000", "e1000_intr");
+  ASSERT_GE(intr, 0);
+  const analysis::FuncNode& f = graph.functions()[intr];
+  EXPECT_GT(f.start, graph.unit_base("e1000") - 1);
+  // Its IRQ-table registration makes it a dispatch target (= reachability
+  // root for the dead-member lint).
+  std::vector<u32> roots = graph.dispatch_target_indices();
+  EXPECT_NE(std::find(roots.begin(), roots.end(), static_cast<u32>(intr)),
+            roots.end());
+}
+
+TEST(CallGraph, PageCrossingSpansMatchTheMetadata) {
+  const analysis::CallGraph& graph = fixture().graph;
+  std::vector<const analysis::FuncNode*> crossers =
+      graph.page_crossing_functions();
+  ASSERT_GT(crossers.size(), 0u);
+  for (const analysis::FuncNode* f : crossers) {
+    EXPECT_NE(f->start >> kPageShift, (f->end - 1) >> kPageShift) << f->name;
+  }
+}
+
+TEST(Hazards, EnumeratesExactlyTheOddReturnSites) {
+  const analysis::CallGraph& graph = fixture().graph;
+  std::vector<analysis::HazardSite> sites =
+      analysis::enumerate_hazard_sites(graph);
+  ASSERT_GT(sites.size(), 0u);
+  std::size_t odd = 0;
+  for (const analysis::CallSite& s : graph.call_sites())
+    if ((s.ret & 1u) != 0) ++odd;
+  EXPECT_EQ(sites.size(), odd);
+  for (const analysis::HazardSite& s : sites) {
+    EXPECT_EQ(s.ret & 1u, 1u) << "hazard ⇔ odd return address";
+    EXPECT_EQ(s.ret, s.site + (s.ret - s.site));  // ret derived from site
+  }
+  // The deliberately-staged Figure 3 case: sys_poll calls do_sys_poll with
+  // an ODD return address (see the kernel blueprint).
+  bool found = false;
+  for (const analysis::HazardSite& s : sites)
+    if (s.caller == "sys_poll" && s.callee == "do_sys_poll") found = true;
+  EXPECT_TRUE(found);
+}
+
+TEST(Hazards, LiveSetTracksTheViewConfig) {
+  const analysis::CallGraph& graph = fixture().graph;
+  std::vector<analysis::HazardSite> sites =
+      analysis::enumerate_hazard_sites(graph);
+  int sys_poll = graph.index_of("", "sys_poll");
+  int do_sys_poll = graph.index_of("", "do_sys_poll");
+  ASSERT_GE(sys_poll, 0);
+  ASSERT_GE(do_sys_poll, 0);
+  const analysis::FuncNode& caller = graph.functions()[sys_poll];
+  const analysis::FuncNode& callee = graph.functions()[do_sys_poll];
+
+  auto live_between = [&](const core::KernelViewConfig& config) {
+    for (const analysis::HazardSite& s :
+         analysis::live_hazards(graph, sites, config))
+      if (s.caller == "sys_poll" && s.callee == "do_sys_poll") return true;
+    return false;
+  };
+
+  core::KernelViewConfig callee_only;
+  callee_only.base.insert(callee.start, callee.end);
+  EXPECT_TRUE(live_between(callee_only))
+      << "callee loaded + caller missing = the dangerous configuration";
+
+  core::KernelViewConfig both = callee_only;
+  both.base.insert(caller.start, caller.end);
+  EXPECT_FALSE(live_between(both)) << "loading the caller disarms the site";
+}
+
+TEST(Closure, ExpandsToStaticCalleesAndIsIdempotent) {
+  const analysis::CallGraph& graph = fixture().graph;
+  int sys_poll = graph.index_of("", "sys_poll");
+  ASSERT_GE(sys_poll, 0);
+  const analysis::FuncNode& seed = graph.functions()[sys_poll];
+
+  core::KernelViewConfig config;
+  config.app_name = "t";
+  config.base.insert(seed.start, seed.end);
+  analysis::ClosureResult closure = analysis::profile_closure(graph, config);
+  EXPECT_EQ(closure.seed_functions, 1u);
+  EXPECT_GT(closure.added.size(), 0u);
+  EXPECT_GT(closure.added_bytes, 0u);
+  // do_sys_poll is a direct callee — it must be in the expansion.
+  int do_sys_poll = graph.index_of("", "do_sys_poll");
+  ASSERT_GE(do_sys_poll, 0);
+  EXPECT_TRUE(analysis::config_covers_function(
+      graph, closure.expanded, graph.functions()[do_sys_poll]));
+  // absolute_spans covers seeds and additions alike.
+  EXPECT_TRUE(closure.absolute_spans.contains(seed.start));
+
+  analysis::ClosureResult again =
+      analysis::profile_closure(graph, closure.expanded);
+  EXPECT_EQ(again.added.size(), 0u) << "closure must be a fixed point";
+  EXPECT_EQ(again.added_bytes, 0u);
+}
+
+TEST(Closure, DispatchFanOutIsOptIn) {
+  const analysis::CallGraph& graph = fixture().graph;
+  int entry = graph.index_of("", "syscall_call");
+  ASSERT_GE(entry, 0);
+  const analysis::FuncNode& stub = graph.functions()[entry];
+  core::KernelViewConfig config;
+  config.base.insert(stub.start, stub.end);
+
+  analysis::ClosureResult plain = analysis::profile_closure(graph, config);
+  analysis::ClosureOptions with;
+  with.follow_dispatch = true;
+  analysis::ClosureResult fanout =
+      analysis::profile_closure(graph, config, with);
+  EXPECT_GT(fanout.added.size(), plain.added.size() + 20)
+      << "following the syscall table must pull in the handler surface, and "
+         "the default must not";
+}
+
+TEST(Lint, FlagsRangesNoKernelFunctionBacks) {
+  const analysis::CallGraph& graph = fixture().graph;
+  std::vector<analysis::HazardSite> sites =
+      analysis::enumerate_hazard_sites(graph);
+  core::KernelViewConfig config;
+  config.app_name = "bogus";
+  config.base.insert(0xDEAD0000u, 0xDEAD0100u);     // far outside the text
+  config.modules["no_such_mod"].insert(0, 0x100);   // unknown unit
+  analysis::LintReport report = analysis::lint_view(graph, sites, config);
+  EXPECT_TRUE(report.failed());
+  EXPECT_EQ(report.count(analysis::LintFinding::Kind::kUnknownRange), 2u);
+  EXPECT_NE(report.render().find("ERROR"), std::string::npos);
+}
+
+TEST(Lint, RealViewsPassWithUd2CoverageVerified) {
+  harness::GuestSystem sys;
+  analysis::CallGraph graph = harness::build_call_graph(sys);
+  std::vector<analysis::HazardSite> sites =
+      analysis::enumerate_hazard_sites(graph);
+  core::FaceChangeEngine engine(sys.hv(), sys.os().kernel());
+  const core::KernelViewConfig& config = harness::profile_of("gzip");
+  u32 id = engine.load_view(config);
+  analysis::LintReport report = analysis::lint_view(
+      graph, sites, config, engine.view(id), &sys.hv().machine().host());
+  EXPECT_FALSE(report.failed()) << report.render();
+  EXPECT_EQ(report.count(analysis::LintFinding::Kind::kUnknownRange), 0u);
+  EXPECT_EQ(report.count(analysis::LintFinding::Kind::kUd2Gap), 0u);
+  EXPECT_GT(report.member_functions, 50u);
+}
+
+/// Minimal model: open+read a proc file, then exit — under gzip's view the
+/// procfs chain is missing, but it is statically reachable from the profiled
+/// vfs entry points, so closure eliminates those recoveries.
+class ProcReader : public os::AppModel {
+ public:
+  AppAction next(u32 last, os::OsRuntime&, u32) override {
+    switch (phase_++) {
+      case 0: return AppAction::syscall(abi::kSysOpen, os::kPathProcStat, 0);
+      case 1: fd_ = last; return AppAction::syscall(abi::kSysRead, fd_, 1024);
+      default: return AppAction::syscall(abi::kSysExit);
+    }
+  }
+ private:
+  int phase_ = 0;
+  u32 fd_ = 0;
+};
+
+TEST(Closure, ExpandedViewEliminatesPredictedBenignRecoveries) {
+  auto run = [](bool expand) {
+    harness::GuestSystem sys;
+    analysis::CallGraph graph = harness::build_call_graph(sys);
+    core::KernelViewConfig config = harness::profile_of("gzip");
+    config.app_name = "procreader";
+    analysis::ClosureResult closure = analysis::profile_closure(graph, config);
+    if (expand) config = closure.expanded;
+
+    core::FaceChangeEngine engine(sys.hv(), sys.os().kernel());
+    engine.enable();
+    u32 view = engine.load_view(config);
+    engine.bind("procreader", view);
+    engine.install_static_audit(
+        harness::build_static_audit(graph, {{view, config}}));
+    // The prediction is always the *closure* span set, so the unexpanded
+    // run classifies its misses against what closure would have loaded.
+    engine.set_predicted_reachable(view, closure.absolute_spans);
+
+    u32 pid = sys.os().spawn("procreader", std::make_shared<ProcReader>());
+    EXPECT_NE(sys.run_until_exit(pid, 300'000'000),
+              hv::RunOutcome::kGuestFault);
+    return engine.recovery_stats();
+  };
+
+  core::RecoveryEngine::Stats plain = run(false);
+  core::RecoveryEngine::Stats expanded = run(true);
+  ASSERT_GT(plain.recoveries, 0u)
+      << "the unexpanded gzip view must miss the procfs chain";
+  EXPECT_EQ(plain.recoveries_unpredicted, 0u)
+      << "every miss here is statically reachable, i.e. predicted";
+  EXPECT_EQ(plain.recoveries_predicted, plain.recoveries);
+  EXPECT_LT(expanded.recoveries, plain.recoveries)
+      << "closure pre-loading must measurably cut benign recovery traps";
+}
+
+}  // namespace
+}  // namespace fc

@@ -26,8 +26,8 @@ INSTANTIATE_TEST_SUITE_P(
                       "Cymothoa v4", "Hotpatch", "Xlibtrace", "Hijacker",
                       "Infelf v1", "Infelf v2", "Arches", "Elf-infector",
                       "ERESI", "KBeast", "Sebek", "Adore-ng"),
-    [](const ::testing::TestParamInfo<std::string>& info) {
-      std::string name = info.param;
+    [](const ::testing::TestParamInfo<std::string>& param_info) {
+      std::string name = param_info.param;
       for (char& c : name)
         if (!isalnum(static_cast<unsigned char>(c))) c = '_';
       return name;

@@ -52,7 +52,9 @@ TEST_P(RobustnessGoal, ViewEnforcementDoesNotChangeBehaviour) {
 
 INSTANTIATE_TEST_SUITE_P(AllApps, RobustnessGoal,
                          ::testing::ValuesIn(apps::all_app_names()),
-                         [](const auto& info) { return info.param; });
+                         [](const auto& param_info) {
+                           return param_info.param;
+                         });
 
 // --------------------------------------------------------------------------
 // Strictness: under a custom view, unprofiled kernel code is unreachable

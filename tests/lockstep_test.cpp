@@ -83,7 +83,9 @@ TEST_P(LockstepEquivalence, CachedAndUncachedVcpusNeverDiverge) {
 
 INSTANTIATE_TEST_SUITE_P(Apps, LockstepEquivalence,
                          ::testing::ValuesIn(apps::all_app_names()),
-                         [](const auto& info) { return info.param; });
+                         [](const auto& param_info) {
+                           return param_info.param;
+                         });
 
 // The hostile path: a mismatched view forces UD2 traps, recoveries (code
 // rewrites through the write barrier), and instant-recovery checks — the

@@ -3,6 +3,7 @@
 // benign interrupt-context classification (the kvm-clock case).
 #include <gtest/gtest.h>
 
+#include "analysis/callgraph.hpp"
 #include "harness/harness.hpp"
 
 namespace fc {
@@ -247,6 +248,41 @@ TEST(Recovery, InstantRecoveryOnOddReturnAddresses) {
     for (const core::BacktraceFrame& frame : ev.backtrace)
       if (frame.instant_recovered) saw_instant_frame = true;
   EXPECT_TRUE(saw_instant_frame);
+}
+
+TEST(Recovery, PrologueSearchWalksBackAcrossPageBoundaries) {
+  // §III-B1's hard case: the trap lands on the *second* page of a function
+  // whose span crosses a 4 KiB boundary, so the prologue search must walk
+  // back into the preceding page. The static analyzer's page-crossing list
+  // drives the cases — every one of them, not a hand-picked sample.
+  harness::GuestSystem sys;
+  analysis::CallGraph graph = harness::build_call_graph(sys);
+  core::FaceChangeEngine engine(sys.hv(), sys.os().kernel());
+
+  core::KernelViewConfig empty;
+  empty.app_name = "pagecross";  // loads nothing: every function traps
+  u32 id = engine.load_view(empty);
+  engine.force_activate(id);
+  sys.vcpu().regs()[isa::Reg::FP] = 0;  // terminate the backtrace walk
+
+  std::size_t tested = 0;
+  for (const analysis::FuncNode* f : graph.page_crossing_functions()) {
+    if (!f->unit.empty() || !f->has_frame) continue;
+    // First address on the page after the one holding the prologue.
+    GVirt pc = ((f->start >> kPageShift) + 1) << kPageShift;
+    ASSERT_LT(pc, f->end) << f->name;
+    ASSERT_TRUE(engine.handle_invalid_opcode(pc)) << f->name;
+    const core::RecoveryEvent& ev = engine.recovery_log().events().back();
+    EXPECT_EQ(ev.recovered_start, f->start)
+        << f->name << ": prologue search stopped short of the boundary";
+    EXPECT_GT(ev.recovered_end, pc) << f->name;
+    // Both sides of the boundary are loaded now.
+    EXPECT_TRUE(engine.view(id)->loaded.contains(f->start)) << f->name;
+    EXPECT_TRUE(engine.view(id)->loaded.contains(pc)) << f->name;
+    ++tested;
+  }
+  EXPECT_GT(tested, 50u) << "the kernel image should be full of "
+                            "page-crossing functions";
 }
 
 }  // namespace

@@ -6,6 +6,10 @@
 #   tools/ci.sh bench-smoke interpreter-throughput smoke run under ASan
 #                           (exercises the block-cache on/off paths end to
 #                           end; tiny budget, no speedup thresholds)
+#   tools/ci.sh lint        clang-tidy over src/ with the repo .clang-tidy
+#                           profile (skipped with a notice when clang-tidy
+#                           is not installed — the container image has no
+#                           llvm-tidy), then the fclint view audit
 #   tools/ci.sh all         all tiers in sequence
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -13,13 +17,29 @@ cd "$(dirname "$0")/.."
 jobs="$(nproc)"
 
 tier1() {
-  cmake -B build -S .
+  cmake -B build -S . -DFC_WERROR=ON
   cmake --build build -j "$jobs"
   ctest --test-dir build --output-on-failure -j "$jobs"
 }
 
+lint() {
+  # clang-tidy is optional tooling (not baked into the CI container);
+  # when absent the tier degrades to the fclint view audit alone.
+  if command -v clang-tidy >/dev/null 2>&1; then
+    cmake -B build -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
+    # Sources only; headers are pulled in via HeaderFilterRegex.
+    find src tools -name '*.cpp' -print0 |
+      xargs -0 -P "$jobs" -n 4 clang-tidy -p build --quiet
+  else
+    echo "lint: clang-tidy not installed; skipping the tidy pass" >&2
+  fi
+  cmake -B build -S . -DFC_WERROR=ON
+  cmake --build build -j "$jobs" --target fclint
+  ./build/tools/fclint lint --baseline tools/fclint.baseline
+}
+
 sanitize() {
-  cmake -B build-asan -S . -DFC_SANITIZE=ON
+  cmake -B build-asan -S . -DFC_SANITIZE=ON -DFC_WERROR=ON
   cmake --build build-asan -j "$jobs"
   # Leak checking is off: the tier exists to catch out-of-bounds accesses
   # and UB in the simulator, and death tests fork in ways LeakSanitizer
@@ -29,7 +49,7 @@ sanitize() {
 }
 
 bench_smoke() {
-  cmake -B build-asan -S . -DFC_SANITIZE=ON
+  cmake -B build-asan -S . -DFC_SANITIZE=ON -DFC_WERROR=ON
   cmake --build build-asan -j "$jobs" --target interp_throughput
   # --smoke: small cycle budget and no speedup assertion — sanitized builds
   # are not representative of throughput, only of memory safety on the
@@ -39,8 +59,10 @@ bench_smoke() {
 
 case "${1:-tier1}" in
   tier1)       tier1 ;;
+  lint)        lint ;;
   sanitize)    sanitize ;;
   bench-smoke) bench_smoke ;;
-  all)         tier1; sanitize; bench_smoke ;;
-  *) echo "usage: tools/ci.sh [tier1|sanitize|bench-smoke|all]" >&2; exit 2 ;;
+  all)         tier1; lint; sanitize; bench_smoke ;;
+  *) echo "usage: tools/ci.sh [tier1|lint|sanitize|bench-smoke|all]" >&2
+     exit 2 ;;
 esac

@@ -1,0 +1,175 @@
+// fclint — static lint over the FACE-CHANGE kernel views.
+//
+// Boots a guest (deterministic kernel layout), decodes the whole kernel
+// image plus loaded modules into a call graph, profiles the Table I
+// applications, and lints every view:
+//
+//   fclint [lint] [-n iter] [--baseline FILE] [--update-baseline FILE] [app..]
+//       lint each app's view: unknown ranges (errors), dead members, live
+//       0B 0F hazards, page-crossing functions, UD2-fill gaps (errors).
+//       With --baseline, hazard sites not listed in FILE are errors too.
+//   fclint graph                  whole-kernel call-graph statistics
+//   fclint hazards                every static 0B 0F hazard site
+//
+// Exit status: 0 clean, 1 lint errors or new hazard sites, 2 usage.
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/closure.hpp"
+#include "analysis/hazards.hpp"
+#include "analysis/lint.hpp"
+#include "harness/harness.hpp"
+#include "support/hexdump.hpp"
+
+using namespace fc;
+
+namespace {
+
+[[noreturn]] void usage() {
+  std::fprintf(
+      stderr,
+      "usage: fclint [command] [flags]\n"
+      "  lint [-n iterations] [--baseline FILE] [--update-baseline FILE]\n"
+      "       [app...]        lint app views (default: all 12 apps)\n"
+      "  graph                call-graph statistics\n"
+      "  hazards              list every static 0B 0F hazard site\n");
+  std::exit(2);
+}
+
+std::set<std::string> read_baseline(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "fclint: cannot read baseline %s\n", path.c_str());
+    std::exit(2);
+  }
+  std::set<std::string> keys;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line[0] != '#') keys.insert(line);
+  }
+  return keys;
+}
+
+int cmd_graph() {
+  harness::GuestSystem sys;
+  analysis::CallGraph graph = harness::build_call_graph(sys);
+  analysis::CallGraph::Stats s = graph.stats();
+  std::printf("functions:          %zu\n", s.functions);
+  std::printf("direct calls:       %zu\n", s.direct_calls);
+  std::printf("indirect sites:     %zu\n", s.indirect_sites);
+  std::printf("unresolved targets: %zu\n", s.unresolved_targets);
+  std::printf("page-crossing:      %zu\n", s.page_crossing);
+  std::printf("decode failures:    %zu\n", s.decode_failures);
+  std::printf("dispatch targets:   %zu\n",
+              graph.dispatch_target_indices().size());
+  return s.decode_failures == 0 ? 0 : 1;
+}
+
+int cmd_hazards() {
+  harness::GuestSystem sys;
+  analysis::CallGraph graph = harness::build_call_graph(sys);
+  std::vector<analysis::HazardSite> sites =
+      analysis::enumerate_hazard_sites(graph);
+  for (const analysis::HazardSite& s : sites) {
+    std::printf("%s  site %s ret %s\n", s.key(graph).c_str(),
+                hex32(s.site).c_str(), hex32(s.ret).c_str());
+  }
+  std::printf("%zu hazard sites (odd return addresses: the 0B 0F "
+              "instant-recovery cases)\n",
+              sites.size());
+  return 0;
+}
+
+int cmd_lint(u32 iterations, const std::string& baseline_path,
+             const std::string& update_path,
+             const std::vector<std::string>& only_apps) {
+  harness::GuestSystem sys;
+  analysis::CallGraph graph = harness::build_call_graph(sys);
+  std::vector<analysis::HazardSite> hazards =
+      analysis::enumerate_hazard_sites(graph);
+
+  // Hazard baseline: symbolic keys survive layout changes; any key not in
+  // the baseline is a *new* hazard an engineer must acknowledge.
+  bool failed = false;
+  if (!baseline_path.empty()) {
+    std::set<std::string> known = read_baseline(baseline_path);
+    std::size_t new_sites = 0;
+    for (const analysis::HazardSite& s : hazards) {
+      if (known.count(s.key(graph)) == 0) {
+        std::printf("NEW hazard site: %s (ret %s)\n", s.key(graph).c_str(),
+                    hex32(s.ret).c_str());
+        ++new_sites;
+        failed = true;
+      }
+    }
+    std::printf("baseline: %zu known, %zu current, %zu new\n", known.size(),
+                hazards.size(), new_sites);
+  }
+  if (!update_path.empty()) {
+    std::set<std::string> keys;
+    for (const analysis::HazardSite& s : hazards) keys.insert(s.key(graph));
+    std::ofstream out(update_path);
+    out << "# fclint hazard baseline: every statically-known 0B 0F call "
+           "site,\n# as caller+offset->callee keys. Regenerate with\n"
+           "# `fclint lint --update-baseline <file>`.\n";
+    for (const std::string& key : keys) out << key << "\n";
+    std::printf("wrote %s (%zu sites)\n", update_path.c_str(), keys.size());
+  }
+
+  // Build each app's view inside the engine so the UD2-gap check can see
+  // the actual shadow frames.
+  core::FaceChangeEngine engine(sys.hv(), sys.os().kernel());
+  for (const core::KernelViewConfig& config :
+       harness::profile_all_apps(iterations)) {
+    if (!only_apps.empty() &&
+        std::find(only_apps.begin(), only_apps.end(), config.app_name) ==
+            only_apps.end()) {
+      continue;
+    }
+    u32 id = engine.load_view(config);
+    analysis::LintReport report =
+        analysis::lint_view(graph, hazards, config, engine.view(id),
+                            &sys.hv().machine().host());
+    std::printf("%s\n", report.render().c_str());
+    failed = failed || report.failed();
+  }
+  return failed ? 1 : 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string cmd = argc > 1 ? argv[1] : "lint";
+  int first = 2;
+  if (cmd == "-n" || cmd.rfind("--", 0) == 0) {  // bare `fclint --flag ...`
+    cmd = "lint";
+    first = 1;
+  }
+  if (cmd == "graph") return cmd_graph();
+  if (cmd == "hazards") return cmd_hazards();
+  if (cmd != "lint") usage();
+
+  u32 iterations = 20;
+  std::string baseline, update;
+  std::vector<std::string> apps;
+  for (int i = first; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "-n") && i + 1 < argc) {
+      iterations = static_cast<u32>(std::atoi(argv[++i]));
+    } else if (!std::strcmp(argv[i], "--baseline") && i + 1 < argc) {
+      baseline = argv[++i];
+    } else if (!std::strcmp(argv[i], "--update-baseline") && i + 1 < argc) {
+      update = argv[++i];
+    } else if (argv[i][0] == '-') {
+      usage();
+    } else {
+      apps.emplace_back(argv[i]);
+    }
+  }
+  return cmd_lint(iterations, baseline, update, apps);
+}

@@ -18,6 +18,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "analysis/closure.hpp"
 #include "core/behavior.hpp"
 #include "core/integrity.hpp"
 #include "core/similarity.hpp"
@@ -36,6 +37,8 @@ namespace {
       "  behavior <app> [-n iterations] [-o behavior.cfg]\n"
       "  inspect  <view.cfg>\n"
       "  enforce  <app> -v view.cfg [-n iterations] [--no-block-cache]\n"
+      "           [--closure]  (expand the view by static call-graph "
+      "closure)\n"
       "  matrix   [-n iterations]\n"
       "  attack   <name> [--union]\n"
       "  integrity <attack-name>\n");
@@ -69,6 +72,7 @@ struct Options {
   std::string view_file;
   bool union_view = false;
   bool block_cache = true;
+  bool closure = false;  // enforce: expand the view by static closure
 };
 
 Options parse_flags(int argc, char** argv, int first) {
@@ -84,6 +88,8 @@ Options parse_flags(int argc, char** argv, int first) {
       options.union_view = true;
     } else if (!std::strcmp(argv[i], "--no-block-cache")) {
       options.block_cache = false;
+    } else if (!std::strcmp(argv[i], "--closure")) {
+      options.closure = true;
     } else {
       usage();
     }
@@ -163,7 +169,20 @@ int cmd_enforce(const std::string& app, const Options& options) {
   sys.vcpu().set_block_cache_enabled(options.block_cache);
   core::FaceChangeEngine engine(sys.hv(), sys.os().kernel());
   engine.enable();
-  engine.bind(app, engine.load_view(config));
+
+  analysis::CallGraph graph = harness::build_call_graph(sys);
+  if (options.closure) {
+    analysis::ClosureResult closure = analysis::profile_closure(graph, config);
+    std::printf("closure: %zu seed functions +%zu statically-reachable "
+                "(%llu KB added)\n",
+                closure.seed_functions, closure.added.size(),
+                static_cast<unsigned long long>(closure.added_bytes >> 10));
+    config = std::move(closure.expanded);
+  }
+  u32 view_id = engine.load_view(config);
+  engine.bind(app, view_id);
+  engine.install_static_audit(
+      harness::build_static_audit(graph, {{view_id, config}}));
   apps::AppScenario scenario = apps::make_app(app, options.iterations);
   u32 pid = sys.os().spawn(app, scenario.model);
   scenario.install_environment(sys.os());
