@@ -50,7 +50,7 @@ TwoAppResult run_two_apps(bool switch_at_resume) {
   });
 
   TwoAppResult r;
-  r.view_switches = engine.stats().view_switches;
+  r.view_switches = engine.stats().view_switches();
   r.ctx_traps = engine.stats().context_switch_traps;
   r.combined_ops =
       sys.os().counters().fs_bytes_read + sys.os().counters().fs_bytes_written;

@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "ubench_models.hpp"
 
 namespace {
@@ -46,6 +47,18 @@ Sample measure(const fc::ubench::Subtest& subtest, bool block_cache,
   s.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
   if (s.wall_seconds > 0)
     s.insns_per_sec = static_cast<double>(s.insns) / s.wall_seconds;
+  if (block_cache) {
+    // Accumulate the cached runs' counters into the obs registry; the
+    // whole registry is embedded in BENCH_interp.json below.
+    const fc::cpu::BlockCache::Stats& bc = sys.vcpu().block_cache().stats();
+    fc::obs::Metrics& m = fc::obs::metrics();
+    m.add("bench.insns_retired", s.insns);
+    m.add("block_cache.insn_hits", bc.insn_hits);
+    m.add("block_cache.block_misses", bc.block_misses);
+    m.add("block_cache.blocks_built", bc.blocks_built);
+    m.add("block_cache.insns_decoded", bc.insns_decoded);
+    m.observe("bench.subtest_insns", s.insns);
+  }
   return s;
 }
 
@@ -67,6 +80,7 @@ int main(int argc, char** argv) {
               "on (insn/s)", "speedup");
   std::printf("%s\n", std::string(72, '-').c_str());
 
+  obs::metrics().reset();
   auto suite = ubench::unixbench_suite();
   double log_sum = 0;
   std::vector<double> speedups;
@@ -104,9 +118,10 @@ int main(int argc, char** argv) {
   std::printf("%-30s %38.2fx\n", "GEOMEAN", geomean);
 
   char tail[64];
-  std::snprintf(tail, sizeof(tail), "  ],\n  \"geomean_speedup\": %.3f\n}\n",
+  std::snprintf(tail, sizeof(tail), "  ],\n  \"geomean_speedup\": %.3f,\n",
                 geomean);
   json += tail;
+  json += "  \"metrics\": " + obs::metrics().to_json() + "\n}\n";
   std::ofstream("BENCH_interp.json") << json;
 
   if (smoke) {

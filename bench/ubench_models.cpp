@@ -289,7 +289,7 @@ MeasureResult measure_subtest(const Subtest& subtest,
   result.ops_per_second = static_cast<double>(ops1 - ops0) / seconds;
   if (engine) {
     result.context_switch_traps = engine->stats().context_switch_traps;
-    result.view_switches = engine->stats().view_switches;
+    result.view_switches = engine->stats().view_switches();
     result.recoveries = engine->recovery_stats().recoveries;
   }
   return result;
@@ -364,7 +364,7 @@ double run_httperf(double rate_per_second, const HttperfOptions& options) {
                      "skipped=%llu switch_cycles=%llu recoveries=%llu\n",
                      (unsigned long long)e->stats().context_switch_traps,
                      (unsigned long long)e->stats().resume_traps,
-                     (unsigned long long)e->stats().view_switches,
+                     (unsigned long long)e->stats().view_switches(),
                      (unsigned long long)e->stats().switches_skipped_same_view,
                      (unsigned long long)e->stats().switch_cycles_charged,
                      (unsigned long long)e->recovery_stats().recoveries);

@@ -71,7 +71,7 @@ int main() {
   std::printf("      context-switch traps: %llu, view switches: %llu, "
               "same-view skips: %llu\n",
               (unsigned long long)engine.stats().context_switch_traps,
-              (unsigned long long)engine.stats().view_switches,
+              (unsigned long long)engine.stats().view_switches(),
               (unsigned long long)engine.stats().switches_skipped_same_view);
 
   // ------------------------------------------------------------------

@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "hv/guest_abi.hpp"
+#include "obs/trace.hpp"
 #include "support/logging.hpp"
 
 namespace fc::core {
@@ -20,6 +21,7 @@ FaceChangeEngine::FaceChangeEngine(hv::Hypervisor& hv,
                                                recovery_log_);
   switch_to_addr_ = kernel.symbols.must_addr("__switch_to");
   resume_userspace_addr_ = kernel.symbols.must_addr("resume_userspace");
+  switch_cost_hist_ = &obs::metrics().histogram("engine.switch_cost_cycles");
 }
 
 FaceChangeEngine::~FaceChangeEngine() {
@@ -77,10 +79,14 @@ void FaceChangeEngine::set_predicted_reachable(u32 view_id, RangeList spans) {
 u32 FaceChangeEngine::load_view(const KernelViewConfig& config) {
   u32 id = next_view_id_++;
   views_[id] = builder_.build(config, id);
+  const KernelView& built = *views_[id];
+  FC_TRACE_EVENT(kViewLoad, 0, id, built.shadow_frames.size() * kPageSize,
+                 built.base_pdes.size(), built.module_ptes.size(), 0);
   return id;
 }
 
 void FaceChangeEngine::unload_view(u32 view_id) {
+  FC_TRACE_EVENT(kViewUnload, 0, view_id, 0, 0, 0, 0);
   if (active_view_ == view_id) {
     // §III-B4: drop back to the full kernel view without interrupting the
     // running application.
@@ -157,12 +163,14 @@ void FaceChangeEngine::apply_view(const KernelView* next) {
                   mem::EptEntry{true, ov.view_frame});
   }
 
+  const mem::Ept::Stats& written = ept.stats();
+  FC_TRACE_EVENT(kEptRepoint, 0, 0, written.pde_writes - before.pde_writes,
+                 written.pte_writes - before.pte_writes, 0, 0);
   ept.invalidate();
   // Cached decodes are keyed by host frame, so the repoint itself cannot
   // stale them; the notification drops the straight-line cursor and records
   // the switch in the cache's invalidation stats.
   hv_->vcpu().block_cache().note_view_switch();
-  ++stats_.slowpath_switches;
   charge_switch(before, hv_->vcpu().perf_model().cost_tlb_flush);
 }
 
@@ -176,6 +184,11 @@ void FaceChangeEngine::apply_descriptor(const SwitchDescriptor& descriptor) {
     ept.set_pde(pw.pde_index, pw.table);
   for (const SwitchDescriptor::PteWrite& tw : descriptor.pte_writes)
     ept.set_pte(tw.table, tw.slot, mem::EptEntry{true, tw.frame});
+  {
+    const mem::Ept::Stats& written = ept.stats();
+    FC_TRACE_EVENT(kEptRepoint, 1, 0, written.pde_writes - before.pde_writes,
+                   written.pte_writes - before.pte_writes, 0, 0);
+  }
 
   Cycles invalidation_cost = 0;
   u32 dropped = 0;
@@ -220,6 +233,7 @@ void FaceChangeEngine::charge_switch(const mem::Ept::Stats& before,
                 invalidation_cost;
   hv_->vcpu().charge(cost);
   stats_.switch_cycles_charged += cost;
+  FC_OBS_OBSERVE(switch_cost_hist_, cost);
 }
 
 const SwitchDescriptor& FaceChangeEngine::switch_descriptor(u32 from_id,
@@ -240,14 +254,31 @@ const SwitchDescriptor& FaceChangeEngine::switch_descriptor(u32 from_id,
 void FaceChangeEngine::switch_to_view(u32 view_id) {
   if (options_.same_view_optimization && view_id == active_view_) {
     ++stats_.switches_skipped_same_view;
+    FC_TRACE_EVENT(kSwitchSkipped, 0, view_id, 0, 0, 0, 0);
     return;
   }
-  if (options_.delta_switch_fastpath)
+#if !defined(FC_OBS_DISABLED)
+  const u32 from = active_view_;
+  const mem::Ept::Stats ept_before = hv_->machine().ept().stats();
+  const Cycles charged_before = stats_.switch_cycles_charged;
+  const u64 scoped_before = stats_.scoped_invalidations;
+#endif
+  if (options_.delta_switch_fastpath) {
     apply_descriptor(switch_descriptor(active_view_, view_id));
-  else
+  } else {
     apply_view(view(view_id));  // nullptr for the full view
+    ++stats_.slowpath_switches;
+  }
   active_view_ = view_id;
-  ++stats_.view_switches;
+#if !defined(FC_OBS_DISABLED)
+  const mem::Ept::Stats& ept_after = hv_->machine().ept().stats();
+  u8 flags = options_.delta_switch_fastpath ? 0x1 : 0;
+  flags |= stats_.scoped_invalidations > scoped_before ? 0x2 : 0x4;
+  FC_TRACE_EVENT(kViewSwitch, flags, view_id, from,
+                 ept_after.pde_writes - ept_before.pde_writes,
+                 ept_after.pte_writes - ept_before.pte_writes,
+                 stats_.switch_cycles_charged - charged_before);
+#endif
 }
 
 void FaceChangeEngine::force_activate(u32 view_id) { switch_to_view(view_id); }
@@ -261,6 +292,7 @@ void FaceChangeEngine::handle_breakpoint(GVirt pc) {
     GVirt next_task_ptr = vcpu.regs()[isa::Reg::B];
     hv::TaskInfo info = hv_->vmi().task_at(next_task_ptr);
     u32 index = select_view(info);
+    FC_TRACE_EVENT(kContextSwitchTrap, 0, index, info.pid, active_view_, 0, 0);
 
     // Cross-view protection: the incoming task's saved kernel continuation
     // executes under `effective` (the deferred case keeps the current view
@@ -311,6 +343,7 @@ void FaceChangeEngine::handle_breakpoint(GVirt pc) {
   }
   if (pc == resume_userspace_addr_) {
     ++stats_.resume_traps;
+    FC_TRACE_EVENT(kResumeTrap, 0, pending_view_, 0, 0, 0, 0);
     vcpu.remove_breakpoint(resume_userspace_addr_);
     resume_trap_armed_ = false;
     switch_to_view(pending_view_);
@@ -324,7 +357,7 @@ std::string FaceChangeEngine::render_run_report() const {
   const cpu::BlockCache::Stats& cache = bc.stats();
   std::ostringstream out;
   out << "view switching: " << stats_.context_switch_traps
-      << " context-switch traps, " << stats_.view_switches << " switches, "
+      << " context-switch traps, " << stats_.view_switches() << " switches, "
       << stats_.switches_skipped_same_view << " skipped (same view), "
       << stats_.fastpath_switches << " via delta fast path\n";
   out << "tlb: " << mmu.tlb_hits << " hits, " << mmu.tlb_misses
@@ -353,15 +386,96 @@ std::string FaceChangeEngine::render_run_report() const {
           << " unpredicted";
     }
   }
+  if (obs::trace_enabled()) out << "\nmetrics: " << metrics_json();
   return out.str();
+}
+
+void FaceChangeEngine::export_metrics(obs::Metrics& out) const {
+  out.set("engine.context_switch_traps", stats_.context_switch_traps);
+  out.set("engine.resume_traps", stats_.resume_traps);
+  out.set("engine.view_switches", stats_.view_switches());
+  out.set("engine.switches_skipped_same_view",
+          stats_.switches_skipped_same_view);
+  out.set("engine.switch_cycles_charged", stats_.switch_cycles_charged);
+  out.set("engine.fastpath_switches", stats_.fastpath_switches);
+  out.set("engine.slowpath_switches", stats_.slowpath_switches);
+  out.set("engine.descriptor_cache_hits", stats_.descriptor_cache_hits);
+  out.set("engine.descriptor_cache_misses", stats_.descriptor_cache_misses);
+  out.set("engine.fastpath_pde_writes", stats_.fastpath_pde_writes);
+  out.set("engine.fastpath_pte_writes", stats_.fastpath_pte_writes);
+  out.set("engine.naive_pde_writes_avoided", stats_.naive_pde_writes_avoided);
+  out.set("engine.naive_pte_writes_avoided", stats_.naive_pte_writes_avoided);
+  out.set("engine.scoped_invalidations", stats_.scoped_invalidations);
+  out.set("engine.scoped_tlb_entries_dropped",
+          stats_.scoped_tlb_entries_dropped);
+  out.set("engine.full_flush_fallbacks", stats_.full_flush_fallbacks);
+  out.set("engine.views_loaded", views_.size());
+
+  const RecoveryEngine::Stats& rs = recovery_->stats();
+  out.set("recovery.recoveries", rs.recoveries);
+  out.set("recovery.instant_recoveries", rs.instant_recoveries);
+  out.set("recovery.lazy_pending", rs.lazy_pending);
+  out.set("recovery.cross_view_scans", rs.cross_view_scans);
+  out.set("recovery.instant_in_hazard_set", rs.instant_in_hazard_set);
+  out.set("recovery.instant_off_hazard_set", rs.instant_off_hazard_set);
+  out.set("recovery.predicted", rs.recoveries_predicted);
+  out.set("recovery.unpredicted", rs.recoveries_unpredicted);
+
+  const mem::Mmu::Stats& mmu = hv_->machine().mmu().stats();
+  out.set("mmu.tlb_hits", mmu.tlb_hits);
+  out.set("mmu.tlb_misses", mmu.tlb_misses);
+  out.set("mmu.tlb_full_flushes", mmu.flushes);
+  out.set("mmu.tlb_scoped_flushes", mmu.scoped_flushes);
+  out.set("mmu.tlb_scoped_entries_dropped", mmu.scoped_entries_dropped);
+
+  const mem::Ept::Stats& ept = hv_->machine().ept().stats();
+  out.set("ept.pde_writes", ept.pde_writes);
+  out.set("ept.pte_writes", ept.pte_writes);
+  out.set("ept.invalidations", ept.invalidations);
+  out.set("ept.scoped_invalidations", ept.scoped_invalidations);
+
+  const cpu::BlockCache& bc = hv_->vcpu().block_cache();
+  const cpu::BlockCache::Stats& cache = bc.stats();
+  out.set("block_cache.insn_hits", cache.insn_hits);
+  out.set("block_cache.block_misses", cache.block_misses);
+  out.set("block_cache.blocks_built", cache.blocks_built);
+  out.set("block_cache.insns_decoded", cache.insns_decoded);
+  out.set("block_cache.uncacheable", cache.uncacheable);
+  out.set("block_cache.inval_guest_write", cache.inval_guest_write);
+  out.set("block_cache.inval_code_load", cache.inval_code_load);
+  out.set("block_cache.inval_recycle", cache.inval_recycle);
+  out.set("block_cache.inval_view_switch", cache.inval_view_switch);
+  out.set("block_cache.inval_capacity", cache.inval_capacity);
+  out.gauge_set("block_cache.blocks_resident", bc.size());
+
+  const hv::Hypervisor::Stats& hvs = hv_->stats();
+  out.set("hv.invalid_opcode_exits", hvs.invalid_opcode_exits);
+  out.set("hv.breakpoint_exits", hvs.breakpoint_exits);
+  out.set("hv.halt_exits", hvs.halt_exits);
+
+  out.set("vcpu.instructions_retired", hv_->vcpu().instructions_retired());
+  out.set("vcpu.cycles", hv_->vcpu().cycles());
+}
+
+std::string FaceChangeEngine::metrics_json() const {
+  obs::Metrics snapshot;
+  export_metrics(snapshot);
+  snapshot.merge(obs::metrics());
+  return snapshot.to_json();
 }
 
 bool FaceChangeEngine::handle_invalid_opcode(GVirt pc) {
   KernelView* active = nullptr;
   auto it = views_.find(active_view_);
   if (it != views_.end()) active = it->second.get();
-  if (active == nullptr) return false;  // full view: a genuine guest fault
-  return recovery_->handle(*active, pc);
+  if (active == nullptr) {
+    // Full view: a genuine guest fault.
+    FC_TRACE_EVENT(kUd2Trap, 1, active_view_, pc, 0, 0, 0);
+    return false;
+  }
+  bool handled = recovery_->handle(*active, pc);
+  FC_TRACE_EVENT(kUd2Trap, handled ? 0 : 1, active_view_, pc, 0, 0, 0);
+  return handled;
 }
 
 }  // namespace fc::core

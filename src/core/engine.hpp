@@ -15,6 +15,7 @@
 #include "core/view.hpp"
 #include "core/viewbuilder.hpp"
 #include "hv/hypervisor.hpp"
+#include "obs/metrics.hpp"
 #include "os/kernel_image.hpp"
 
 namespace fc::core {
@@ -89,12 +90,15 @@ class FaceChangeEngine : public hv::ExitHandler {
   struct Stats {
     u64 context_switch_traps = 0;
     u64 resume_traps = 0;
-    u64 view_switches = 0;
     u64 switches_skipped_same_view = 0;
     Cycles switch_cycles_charged = 0;
-    // Fast-path attribution (see switchdelta.hpp).
+    // Fast-path attribution (see switchdelta.hpp). Every applied switch is
+    // exactly one of the two, so their sum is the total — there is no
+    // separate total counter to drift out of sync (disable()'s restore of
+    // the full view, notably, is not a switch and counts as neither).
     u64 fastpath_switches = 0;
     u64 slowpath_switches = 0;
+    u64 view_switches() const { return fastpath_switches + slowpath_switches; }
     u64 descriptor_cache_hits = 0;
     u64 descriptor_cache_misses = 0;
     u64 fastpath_pde_writes = 0;  // issued via descriptors
@@ -114,7 +118,18 @@ class FaceChangeEngine : public hv::ExitHandler {
   /// Multi-line run report: engine switch/trap counters plus the memory
   /// system underneath them (Mmu TLB stats and the vCPU's decoded-block
   /// cache, including invalidations by cause). Shown by `fcsh enforce`.
+  /// When the flight recorder is capturing, a final `metrics: {...}` line
+  /// carries the full registry export (see metrics_json).
   std::string render_run_report() const;
+
+  /// Snapshot every layer's Stats struct into `out` as named counters
+  /// (engine.*, recovery.*, mmu.*, ept.*, block_cache.*, hv.*). The report
+  /// and all exporters read from this one export — no parallel ad-hoc
+  /// fields to double-count.
+  void export_metrics(obs::Metrics& out) const;
+  /// export_metrics + the process-wide registry (histograms recorded by
+  /// instrumented slow paths), rendered as deterministic JSON.
+  std::string metrics_json() const;
 
   // --- hv::ExitHandler ---
   bool handle_invalid_opcode(GVirt pc) override;
@@ -158,6 +173,7 @@ class FaceChangeEngine : public hv::ExitHandler {
   std::vector<KernelView::BasePde> full_pdes_;
 
   Stats stats_;
+  obs::Histogram* switch_cost_hist_ = nullptr;  // engine.switch_cost_cycles
 };
 
 }  // namespace fc::core

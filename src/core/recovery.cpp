@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "support/hexdump.hpp"
 
 namespace fc::core {
@@ -92,11 +94,16 @@ void RecoveryEngine::recover_function(KernelView& view, GVirt addr,
   }
 }
 
-void RecoveryEngine::note_instant(GVirt ret) {
+void RecoveryEngine::note_instant(GVirt ret, bool from_scan) {
   ++stats_.instant_recoveries;
   instant_returns_.push_back(ret);
+  bool in_set = audit_ != nullptr && audit_->hazard_returns.count(ret) != 0;
+  FC_TRACE_EVENT(kInstantRecovery,
+                 (in_set ? 0x1 : 0) | (audit_ != nullptr ? 0x2 : 0) |
+                     (from_scan ? 0x4 : 0),
+                 0, ret, 0, 0, 0);
   if (audit_ == nullptr) return;
-  if (audit_->hazard_returns.count(ret) != 0)
+  if (in_set)
     ++stats_.instant_in_hazard_set;
   else
     ++stats_.instant_off_hazard_set;
@@ -119,7 +126,7 @@ void RecoveryEngine::scan_stack_for_instant(KernelView& view, u32 saved_fp) {
       if (region_for(view, prev_rip, &region)) {
         GVirt start = 0, end = 0;
         recover_function(view, prev_rip, region, &start, &end);
-        note_instant(prev_rip);
+        note_instant(prev_rip, /*from_scan=*/true);
       }
     }
     fp = prev_fp;
@@ -169,11 +176,12 @@ bool RecoveryEngine::handle(KernelView& view, GVirt pc) {
         GVirt s = 0, e = 0;
         recover_function(view, prev_rip, caller_region, &s, &e);
         frame.instant_recovered = true;
-        note_instant(prev_rip);
+        note_instant(prev_rip, /*from_scan=*/false);
       }
     } else if (frame.target_bytes[0] == 0x0F &&
                frame.target_bytes[1] == 0x0B) {
       ++stats_.lazy_pending;
+      FC_TRACE_EVENT(kLazyPending, 0, view.id, prev_rip, 0, 0, 0);
     }
     ev.backtrace.push_back(std::move(frame));
     fp = prev_fp;
@@ -182,16 +190,36 @@ bool RecoveryEngine::handle(KernelView& view, GVirt pc) {
   // HANDLE_INVALID_OPCODE: recover the faulting function itself.
   recover_function(view, pc, region, &ev.recovered_start, &ev.recovered_end);
   ++stats_.recoveries;
+  bool audit_present = audit_ != nullptr;
+  bool predicted_reachable = false;
   if (audit_ != nullptr) {
     auto predicted = audit_->predicted.find(view.id);
     if (predicted != audit_->predicted.end()) {
-      if (predicted->second.contains(pc))
+      if (predicted->second.contains(pc)) {
         ++stats_.recoveries_predicted;
-      else
+        predicted_reachable = true;
+      } else {
         ++stats_.recoveries_unpredicted;
+      }
     }
   }
   vcpu.charge(vcpu.perf_model().cost_recovery_base);
+#if !defined(FC_OBS_DISABLED)
+  if (obs::trace_enabled()) {
+    obs::metrics().observe("recovery.recovered_bytes",
+                           ev.recovered_end - ev.recovered_start);
+  }
+  FC_TRACE_EVENT(kRecovery,
+                 (ev.interrupt_context ? 0x1 : 0) |
+                     (predicted_reachable ? 0x2 : 0) |
+                     (audit_present ? 0x4 : 0),
+                 view.id, pc, ev.recovered_start,
+                 ev.recovered_end - ev.recovered_start,
+                 vcpu.perf_model().cost_recovery_base);
+#else
+  (void)audit_present;
+  (void)predicted_reachable;
+#endif
   log_->add(std::move(ev));
   return true;
 }

@@ -118,7 +118,7 @@ class RecoveryEngine {
   bool region_for(const KernelView& view, GVirt pc, Region* out) const;
   void recover_function(KernelView& view, GVirt addr, const Region& region,
                         GVirt* start, GVirt* end);
-  void note_instant(GVirt ret);
+  void note_instant(GVirt ret, bool from_scan);
 
   hv::Hypervisor* hv_;
   const os::KernelImage* kernel_;

@@ -5,6 +5,7 @@
 #include "analysis/closure.hpp"
 #include "analysis/hazards.hpp"
 #include "hv/guest_abi.hpp"
+#include "obs/trace.hpp"
 #include "support/check.hpp"
 #include "support/logging.hpp"
 
@@ -134,6 +135,9 @@ AttackRunResult run_attack(attacks::Attack& attack,
     std::string base = ev.symbol.substr(0, ev.symbol.find('+'));
     result.recovered_symbols.push_back(std::move(base));
   }
+  FC_TRACE_EVENT(kAttackVerdict, 0, view_id, result.detected ? 1 : 0,
+                 result.recovery_events, obs::name_hash(attack.name().c_str()),
+                 0);
   return result;
 }
 

@@ -7,6 +7,7 @@
 #include <queue>
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "support/types.hpp"
 
 namespace fc::hv {
@@ -17,10 +18,15 @@ class EventQueue {
 
   void schedule_at(Cycles when, Action action) {
     heap_.push(Entry{when, next_seq_++, std::move(action)});
+    if (heap_.size() > max_depth_) max_depth_ = heap_.size();
   }
 
   bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
   Cycles next_deadline() const { return heap_.top().when; }
+
+  /// High-water mark of pending events since construction (depth gauge).
+  std::size_t max_depth() const { return max_depth_; }
 
   /// Run all events due at or before `now`. Returns how many fired.
   u32 run_due(Cycles now) {
@@ -32,11 +38,14 @@ class EventQueue {
       action();
       ++fired;
     }
+    if (fired > 0)
+      FC_TRACE_EVENT(kEventQueueFire, 0, 0, fired, heap_.size(), 0, 0);
     return fired;
   }
 
   void clear() {
-    while (!heap_.empty()) heap_.pop();
+    // O(1): popping element-by-element is O(n log n) for no benefit.
+    Heap{}.swap(heap_);
   }
 
  private:
@@ -49,8 +58,10 @@ class EventQueue {
       return seq > other.seq;
     }
   };
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  using Heap = std::priority_queue<Entry, std::vector<Entry>, std::greater<>>;
+  Heap heap_;
   u64 next_seq_ = 0;
+  std::size_t max_depth_ = 0;
 };
 
 }  // namespace fc::hv

@@ -1,10 +1,31 @@
 #include "hv/hypervisor.hpp"
 
+#include "obs/trace.hpp"
 #include "support/logging.hpp"
 
 namespace fc::hv {
 
+Hypervisor::Hypervisor(u32 guest_phys_mib)
+    : machine_(guest_phys_mib), vcpu_(machine_), vmi_(machine_) {
+  // The flight recorder stamps events with simulated time. There is one
+  // recorder per process; the most recently constructed hypervisor's vCPU
+  // supplies the clock (lockstep harnesses construct pairs but record from
+  // at most one).
+  obs::recorder().set_clock(vcpu_.cycles_addr());
+  obs::recorder().set_cycles_per_second(vcpu_.perf_model().cycles_per_second);
+}
+
+Hypervisor::~Hypervisor() {
+  // Never leave the recorder pointing at a destroyed counter.
+  if (obs::recorder().clock() == vcpu_.cycles_addr())
+    obs::recorder().set_clock(nullptr);
+}
+
 std::optional<RunOutcome> Hypervisor::handle_exit(const cpu::Exit& exit) {
+  // Slice exhaustion is run-loop bookkeeping, not a guest event.
+  if (exit.reason != cpu::ExitReason::kNone &&
+      exit.reason != cpu::ExitReason::kInstructionLimit)
+    FC_TRACE_EVENT(kVmExit, static_cast<u8>(exit.reason), 0, exit.pc, 0, 0, 0);
   switch (exit.reason) {
     case cpu::ExitReason::kInstructionLimit:
       return std::nullopt;

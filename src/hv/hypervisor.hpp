@@ -38,8 +38,10 @@ enum class RunOutcome {
 
 class Hypervisor {
  public:
-  explicit Hypervisor(u32 guest_phys_mib = 64)
-      : machine_(guest_phys_mib), vcpu_(machine_), vmi_(machine_) {}
+  explicit Hypervisor(u32 guest_phys_mib = 64);
+  ~Hypervisor();
+  Hypervisor(const Hypervisor&) = delete;
+  Hypervisor& operator=(const Hypervisor&) = delete;
 
   mem::Machine& machine() { return machine_; }
   cpu::Vcpu& vcpu() { return vcpu_; }

@@ -67,6 +67,7 @@ u32 Mmu::invalidate_gpa_ranges(std::span<const GpaRange> ranges) {
   ++stats_.scoped_flushes;
   stats_.scoped_entries_dropped += dropped;
   ++fill_version_;
+  FC_TRACE_EVENT(kTlbFlush, 1, 0, dropped, ranges.size(), 0, 0);
   return dropped;
 }
 

@@ -14,6 +14,7 @@
 
 #include "mem/ept.hpp"
 #include "mem/host_memory.hpp"
+#include "obs/trace.hpp"
 #include "support/types.hpp"
 
 namespace fc::mem {
@@ -47,6 +48,7 @@ class Mmu {
     tlb_.fill({});
     ++stats_.flushes;
     ++fill_version_;
+    FC_TRACE_EVENT(kTlbFlush, 0, 0, kTlbSize, 0, 0, 0);
   }
 
   /// Monotonic counter bumped whenever the TLB's contents change: any miss

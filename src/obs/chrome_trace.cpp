@@ -1,0 +1,112 @@
+#include "obs/chrome_trace.hpp"
+
+#include <cstdio>
+#include <set>
+#include <sstream>
+
+namespace fc::obs {
+
+namespace {
+
+/// Simulated microseconds with fixed 3-digit precision (integer math, so
+/// formatting is bit-stable across runs and libcs).
+std::string sim_us(Cycles cycles, u64 cycles_per_second) {
+  if (cycles_per_second == 0) cycles_per_second = 100'000'000;
+  // cycles → nanoseconds, then print as µs with three decimals.
+  u64 ns = cycles * 1000ull / (cycles_per_second / 1'000'000ull);
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%llu.%03llu",
+                static_cast<unsigned long long>(ns / 1000),
+                static_cast<unsigned long long>(ns % 1000));
+  return buf;
+}
+
+bool view_scoped(EventKind kind) {
+  switch (kind) {
+    case EventKind::kContextSwitchTrap:
+    case EventKind::kResumeTrap:
+    case EventKind::kViewSwitch:
+    case EventKind::kSwitchSkipped:
+    case EventKind::kViewLoad:
+    case EventKind::kViewUnload:
+    case EventKind::kUd2Trap:
+    case EventKind::kRecovery:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// Duration in cycles for events rendered as complete slices; 0 = instant.
+Cycles slice_cycles(const TraceEvent& ev) {
+  if (ev.kind == EventKind::kViewSwitch || ev.kind == EventKind::kRecovery)
+    return ev.arg3;
+  return 0;
+}
+
+void append_args(std::ostringstream& out, const TraceEvent& ev) {
+  out << "{\"flags\":" << static_cast<u32>(ev.flags)
+      << ",\"view\":" << ev.view << ",\"a0\":" << ev.arg0
+      << ",\"a1\":" << ev.arg1 << ",\"a2\":" << ev.arg2
+      << ",\"a3\":" << ev.arg3 << "}";
+}
+
+}  // namespace
+
+std::string chrome_trace_json(const std::vector<TraceEvent>& events,
+                              u64 cycles_per_second) {
+  std::ostringstream out;
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+
+  // Track metadata: name the process and every track we will reference.
+  std::set<u16> tids{0};
+  for (const TraceEvent& ev : events)
+    if (view_scoped(ev.kind)) tids.insert(ev.view);
+  out << "{\"ph\":\"M\",\"pid\":1,\"tid\":0,\"name\":\"process_name\","
+         "\"args\":{\"name\":\"face-change\"}}";
+  for (u16 tid : tids) {
+    out << ",\n{\"ph\":\"M\",\"pid\":1,\"tid\":" << tid
+        << ",\"name\":\"thread_name\",\"args\":{\"name\":\"";
+    if (tid == 0)
+      out << "system";
+    else
+      out << "view " << tid;
+    out << "\"}}";
+  }
+
+  for (const TraceEvent& ev : events) {
+    const u16 tid = view_scoped(ev.kind) ? ev.view : 0;
+    const Cycles dur = slice_cycles(ev);
+    // Events are stamped at emit time, which for the sliced kinds is after
+    // the cost was charged — the slice covers [when - dur, when].
+    const Cycles start = ev.when >= dur ? ev.when - dur : 0;
+    out << ",\n{\"name\":\"" << kind_name(ev.kind) << "\",\"pid\":1,\"tid\":"
+        << tid << ",\"ts\":" << sim_us(start, cycles_per_second);
+    if (dur != 0) {
+      out << ",\"ph\":\"X\",\"dur\":" << sim_us(dur, cycles_per_second);
+    } else {
+      out << ",\"ph\":\"i\",\"s\":\"t\"";
+    }
+    out << ",\"args\":";
+    append_args(out, ev);
+    out << "}";
+  }
+  out << "\n]}\n";
+  return out.str();
+}
+
+std::string chrome_trace_json(const Recorder& rec) {
+  return chrome_trace_json(rec.snapshot(), rec.cycles_per_second());
+}
+
+std::string render_event(const TraceEvent& ev) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "%12llu %-19s view=%-3u flags=0x%02x a0=0x%08x a1=%u a2=%u "
+                "a3=%u",
+                static_cast<unsigned long long>(ev.when), kind_name(ev.kind),
+                ev.view, ev.flags, ev.arg0, ev.arg1, ev.arg2, ev.arg3);
+  return buf;
+}
+
+}  // namespace fc::obs

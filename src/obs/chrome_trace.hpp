@@ -1,0 +1,29 @@
+// Exporters for recorded event streams.
+//
+// chrome_trace_json renders a stream as Chrome trace_event JSON loadable
+// in chrome://tracing and Perfetto: one process ("face-change"), one track
+// (tid) per kernel view plus a tid-0 system track for view-agnostic events
+// (TLB, block cache, device queue, VM exits). Events that carry a cycle
+// cost (view_switch, recovery) become complete ("X") slices with that
+// duration; everything else is an instant event. Timestamps are simulated
+// microseconds derived from the stream's recorded cycles_per_second, so
+// the output is as deterministic as the stream itself.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace fc::obs {
+
+std::string chrome_trace_json(const std::vector<TraceEvent>& events,
+                              u64 cycles_per_second);
+
+/// Convenience: export the recorder's current contents.
+std::string chrome_trace_json(const Recorder& rec);
+
+/// One line per event, for `fctrace dump` and debugging.
+std::string render_event(const TraceEvent& ev);
+
+}  // namespace fc::obs

@@ -1,0 +1,56 @@
+#include "obs/metrics.hpp"
+
+#include <sstream>
+
+namespace fc::obs {
+
+void Metrics::merge(const Metrics& other) {
+  for (const auto& [name, value] : other.counters_) counters_[name] += value;
+  for (const auto& [name, g] : other.gauges_) {
+    Gauge& mine = gauges_[name];
+    mine.value = g.value;
+    if (g.max > mine.max) mine.max = g.max;
+  }
+  for (const auto& [name, h] : other.hists_) hists_[name].merge(h);
+}
+
+std::string Metrics::to_json() const {
+  std::ostringstream out;
+  out << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : counters_) {
+    out << (first ? "" : ",") << "\"" << name << "\":" << value;
+    first = false;
+  }
+  out << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    out << (first ? "" : ",") << "\"" << name << "\":{\"value\":" << g.value
+        << ",\"max\":" << g.max << "}";
+    first = false;
+  }
+  out << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : hists_) {
+    out << (first ? "" : ",") << "\"" << name << "\":{\"count\":" << h.count
+        << ",\"sum\":" << h.sum << ",\"min\":" << (h.count != 0 ? h.min : 0)
+        << ",\"max\":" << h.max << ",\"buckets\":[";
+    // Elide the all-zero tail so the dump stays short and stable.
+    u32 last = 0;
+    for (u32 i = 0; i < Histogram::kBuckets; ++i)
+      if (h.buckets[i] != 0) last = i + 1;
+    for (u32 i = 0; i < last; ++i)
+      out << (i != 0 ? "," : "") << h.buckets[i];
+    out << "]}";
+    first = false;
+  }
+  out << "}}";
+  return out.str();
+}
+
+Metrics& metrics() {
+  static Metrics instance;
+  return instance;
+}
+
+}  // namespace fc::obs

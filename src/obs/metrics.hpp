@@ -1,0 +1,132 @@
+// Metrics registry: named counters, gauges, and fixed-bucket (power-of-two)
+// histograms, exportable as deterministic JSON (keys sorted, integer math
+// only). Counters for the steady-state numbers every layer already tracks
+// in its Stats structs (snapshotted in at export time — hot paths keep
+// their cheap struct fields), histograms for distributions only the
+// instrumented slow paths can see (switch cost cycles, recovered bytes).
+//
+// The registry is a process-wide singleton like the recorder; scenario
+// drivers (fctrace, benches) reset() it around a run.
+#pragma once
+
+#include <array>
+#include <map>
+#include <string>
+
+#include "support/types.hpp"
+
+namespace fc::obs {
+
+/// Power-of-two-bucket histogram: bucket i counts values v with
+/// bit_width(v) == i, i.e. bucket 0 holds 0, bucket 1 holds 1, bucket 2
+/// holds 2-3, ... deterministic and O(1) to record.
+struct Histogram {
+  static constexpr u32 kBuckets = 48;
+
+  u64 count = 0;
+  u64 sum = 0;
+  u64 min = ~0ull;
+  u64 max = 0;
+  std::array<u64, kBuckets> buckets{};
+
+  void record(u64 value) {
+    ++count;
+    sum += value;
+    if (value < min) min = value;
+    if (value > max) max = value;
+    u32 b = 0;
+    for (u64 v = value; v != 0; v >>= 1) ++b;
+    if (b >= kBuckets) b = kBuckets - 1;
+    ++buckets[b];
+  }
+
+  void merge(const Histogram& other) {
+    count += other.count;
+    sum += other.sum;
+    if (other.count != 0) {
+      if (other.min < min) min = other.min;
+      if (other.max > max) max = other.max;
+    }
+    for (u32 i = 0; i < kBuckets; ++i) buckets[i] += other.buckets[i];
+  }
+};
+
+class Metrics {
+ public:
+  /// Add to (creating at zero) a named counter.
+  void add(const std::string& name, u64 delta = 1) {
+    counters_[name] += delta;
+  }
+  /// Set a counter to an absolute value (snapshot-style export).
+  void set(const std::string& name, u64 value) { counters_[name] = value; }
+  u64 counter(const std::string& name) const {
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second;
+  }
+
+  /// Gauges track the latest value and the high-water mark.
+  void gauge_set(const std::string& name, u64 value) {
+    Gauge& g = gauges_[name];
+    g.value = value;
+    if (value > g.max) g.max = value;
+  }
+  u64 gauge_max(const std::string& name) const {
+    auto it = gauges_.find(name);
+    return it == gauges_.end() ? 0 : it->second.max;
+  }
+
+  /// Stable reference: histograms live for the registry's lifetime, so
+  /// instrumented objects may cache the pointer.
+  Histogram& histogram(const std::string& name) { return hists_[name]; }
+  const Histogram* find_histogram(const std::string& name) const {
+    auto it = hists_.find(name);
+    return it == hists_.end() ? nullptr : &it->second;
+  }
+  void observe(const std::string& name, u64 value) {
+    hists_[name].record(value);
+  }
+
+  /// Merge every series of `other` into this registry.
+  void merge(const Metrics& other);
+
+  bool empty() const {
+    return counters_.empty() && gauges_.empty() && hists_.empty();
+  }
+
+  /// Deterministic JSON: {"counters":{...},"gauges":{...},"histograms":
+  /// {...}} with keys in sorted order and trailing-zero buckets elided.
+  std::string to_json() const;
+
+  void reset() {
+    counters_.clear();
+    gauges_.clear();
+    // Histogram references are pointer-stable (instrumented objects cache
+    // Histogram*), so zero entries in place rather than erasing them.
+    for (auto& kv : hists_) kv.second = Histogram{};
+  }
+
+ private:
+  struct Gauge {
+    u64 value = 0;
+    u64 max = 0;
+  };
+  std::map<std::string, u64> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, Histogram> hists_;
+};
+
+/// Process-wide live registry.
+Metrics& metrics();
+
+}  // namespace fc::obs
+
+// Histogram-observation guard for instrumented sites that cache a
+// Histogram*; compiled out together with the trace macros.
+#if defined(FC_OBS_DISABLED)
+#define FC_OBS_OBSERVE(hist_ptr, value) ((void)0)
+#else
+#define FC_OBS_OBSERVE(hist_ptr, value)                    \
+  do {                                                     \
+    if ((hist_ptr) != nullptr) (hist_ptr)->record(value);  \
+  } while (0)
+#endif

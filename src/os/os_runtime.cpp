@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <cstdio>
 
+#include "obs/trace.hpp"
 #include "support/check.hpp"
 #include "support/logging.hpp"
 
@@ -464,6 +465,7 @@ u32 OsRuntime::spawn(const std::string& comm, std::shared_ptr<AppModel> model,
   kwrite32(hv_->machine(), abi::Task::addr(t.slot) + abi::Task::kSavedFp,
            t.saved_fp);
   kwrite32(hv_->machine(), abi::kNeedReschedAddr, 1);
+  FC_TRACE_EVENT(kTaskSpawn, 0, 0, t.pid, obs::name_hash(comm.c_str()), 0, 0);
   return t.pid;
 }
 

@@ -1,11 +1,22 @@
 #include "support/logging.hpp"
 
 #include <atomic>
+#include <cctype>
 #include <cstdio>
+#include <cstdlib>
 
 namespace fc {
 namespace {
-std::atomic<LogLevel> g_level{LogLevel::kWarn};
+
+LogLevel initial_level() {
+  if (const char* env = std::getenv("FC_LOG_LEVEL")) {
+    if (auto parsed = parse_log_level(env)) return *parsed;
+    std::fprintf(stderr, "[WARN ] logging: unknown FC_LOG_LEVEL '%s'\n", env);
+  }
+  return LogLevel::kWarn;
+}
+
+std::atomic<LogLevel> g_level{initial_level()};
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -19,6 +30,18 @@ const char* level_name(LogLevel level) {
   return "?????";
 }
 }  // namespace
+
+std::optional<LogLevel> parse_log_level(std::string_view name) {
+  std::string lower(name);
+  for (char& c : lower) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  if (lower == "trace") return LogLevel::kTrace;
+  if (lower == "debug") return LogLevel::kDebug;
+  if (lower == "info") return LogLevel::kInfo;
+  if (lower == "warn" || lower == "warning") return LogLevel::kWarn;
+  if (lower == "error") return LogLevel::kError;
+  if (lower == "off" || lower == "none") return LogLevel::kOff;
+  return std::nullopt;
+}
 
 LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
 void set_log_level(LogLevel level) {

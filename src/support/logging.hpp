@@ -3,6 +3,7 @@
 // by callers that have it).
 #pragma once
 
+#include <optional>
 #include <sstream>
 #include <string>
 #include <string_view>
@@ -11,9 +12,15 @@ namespace fc {
 
 enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
 
-/// Global minimum level; messages below it are discarded.
+/// Global minimum level; messages below it are discarded. The initial
+/// level comes from the FC_LOG_LEVEL environment variable when set (any
+/// name parse_log_level accepts), else kWarn.
 LogLevel log_level();
 void set_log_level(LogLevel level);
+
+/// Parse a level name ("trace", "debug", "info", "warn"/"warning",
+/// "error", "off"/"none"; case-insensitive). nullopt on anything else.
+std::optional<LogLevel> parse_log_level(std::string_view name);
 
 /// Emit one formatted line to stderr. Used by the FC_LOG macro.
 void log_emit(LogLevel level, std::string_view file, int line,

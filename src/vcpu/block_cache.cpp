@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/trace.hpp"
+
 namespace fc::cpu {
 
 namespace {
@@ -41,6 +43,7 @@ BlockCache::Fetched BlockCache::fetch(mem::HostMemory& host,
       return {nullptr, 0};
     }
     decoded = static_cast<u32>(block->insns.size());
+    if (decoded > 0) FC_TRACE_EVENT(kBlockBuild, 0, 0, va, decoded, frame, 0);
   }
   set_cursor(*block, va);
   ++stats_.insn_hits;
@@ -50,6 +53,7 @@ BlockCache::Fetched BlockCache::fetch(mem::HostMemory& host,
 const DecodedBlock* BlockCache::build(mem::HostMemory& host,
                                       HostFrame frame, u32 offset) {
   if (arena_.size() >= kMaxBlocks) {
+    FC_TRACE_EVENT(kBlockInvalidate, 0, 0, 0, resident_, 0, 0);
     clear();
     ++stats_.inval_capacity;
   }
@@ -111,17 +115,22 @@ void BlockCache::on_code_frame_write(HostFrame frame,
   if (frame >= frame_live_.size() || frame_live_[frame] == 0) return;
   frame_live_[frame] = 0;
   ++frame_gens_[frame];
+  u8 cause_flag = 0;
   switch (cause) {
     case mem::FrameWriteCause::kGuestStore:
       ++stats_.inval_guest_write;
+      cause_flag = 1;
       break;
     case mem::FrameWriteCause::kCodeLoad:
       ++stats_.inval_code_load;
+      cause_flag = 2;
       break;
     case mem::FrameWriteCause::kRecycle:
       ++stats_.inval_recycle;
+      cause_flag = 3;
       break;
   }
+  FC_TRACE_EVENT(kBlockInvalidate, cause_flag, 0, frame, 0, 0, 0);
 }
 
 void BlockCache::clear() {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.hpp"
 #include "support/check.hpp"
 
 namespace fc::cpu {
@@ -43,6 +44,7 @@ bool Vcpu::deliver_interrupt(u8 vector, bool hardware) {
   }
   end_block(regs_.pc);
   if (trace_ != nullptr) trace_->on_interrupt(vector, hardware);
+  FC_TRACE_EVENT(kInterrupt, hardware ? 1 : 0, 0, vector, regs_.pc, 0, 0);
 
   u32 flags = FlagsWord::pack(regs_.mode, regs_.zf, regs_.interrupts_enabled);
   u32 old_sp = regs_[Reg::SP];

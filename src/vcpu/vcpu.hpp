@@ -123,6 +123,9 @@ class Vcpu {
   /// Simulated time.
   Cycles cycles() const { return cycles_; }
   void charge(Cycles extra) { cycles_ += extra; }
+  /// Stable address of the cycle counter; the hypervisor installs it as the
+  /// flight recorder's clock so trace events carry simulated time.
+  const Cycles* cycles_addr() const { return &cycles_; }
 
   u64 instructions_retired() const { return instructions_; }
 

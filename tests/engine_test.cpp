@@ -70,7 +70,7 @@ TEST_F(EngineFixture, SwitchesOnGuestContextSwitches) {
 
   EXPECT_GT(engine_.stats().context_switch_traps, 10u);
   EXPECT_GT(engine_.stats().resume_traps, 0u);
-  EXPECT_GT(engine_.stats().view_switches, 1u);
+  EXPECT_GT(engine_.stats().view_switches(), 1u);
   EXPECT_GT(engine_.stats().switch_cycles_charged, 0u);
   // After the workload, the idle task (full view) is current again.
   EXPECT_EQ(engine_.active_view_id(), core::kFullKernelViewId);
@@ -167,7 +167,7 @@ TEST_F(EngineFixture, MultipleViewsCoexistAndSwitchPerProcess) {
   // Both completed under enforcement with at most benign recoveries.
   EXPECT_TRUE(sys_.os().task_zombie_or_dead(p1));
   EXPECT_TRUE(sys_.os().task_zombie_or_dead(p2));
-  EXPECT_GT(engine_.stats().view_switches, 4u);
+  EXPECT_GT(engine_.stats().view_switches(), 4u);
 }
 
 TEST_F(EngineFixture, SwitchCostsScaleWithEptWrites) {

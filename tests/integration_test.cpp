@@ -133,7 +133,7 @@ TEST(FlexibilityGoal, HotPlugAndUnplugMidRun) {
   engine.bind("top", view);
   sys.run_for(20'000'000);
   EXPECT_TRUE(sys.os().task_alive(pid));
-  EXPECT_GT(engine.stats().view_switches, 0u);
+  EXPECT_GT(engine.stats().view_switches(), 0u);
 
   // Hot-unplug: back to the full view without disturbing the app.
   engine.unload_view(view);

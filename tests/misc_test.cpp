@@ -67,7 +67,7 @@ TEST(BehaviorMonitor, DisableRestoresTheChainedHandler) {
   top.install_environment(sys.os());
   EXPECT_NE(sys.run_until_exit(pid, 600'000'000),
             hv::RunOutcome::kGuestFault);
-  EXPECT_GT(engine.stats().view_switches, 0u);
+  EXPECT_GT(engine.stats().view_switches(), 0u);
 }
 
 TEST(EventQueue, ClearDropsEverything) {

@@ -1,0 +1,219 @@
+// Observability subsystem tests: flight-recorder ring semantics, the
+// serialized stream format, metrics registry determinism, Chrome-trace
+// export, two-run bit-reproducibility, and the PerfModel cross-check —
+// cycles charged for a fast-path view switch must equal the sum of the
+// per-write and invalidation costs the trace attributes to that switch.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "harness/harness.hpp"
+#include "hv/event_queue.hpp"
+#include "obs/chrome_trace.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace fc {
+namespace {
+
+TEST(Recorder, RingWrapKeepsNewestAndCountsDrops) {
+  obs::Recorder rec;
+  rec.set_capacity(4);
+  Cycles clock = 0;
+  rec.set_clock(&clock);
+  for (u32 i = 0; i < 10; ++i) {
+    clock = 100 + i;
+    rec.emit(obs::EventKind::kInterrupt, 0, 0, i, 0, 0, 0);
+  }
+  EXPECT_EQ(rec.size(), 4u);
+  EXPECT_EQ(rec.total_emitted(), 10u);
+  EXPECT_EQ(rec.dropped(), 6u);
+  std::vector<obs::TraceEvent> events = rec.snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  // Oldest surviving first: emissions 6..9.
+  for (u32 i = 0; i < 4; ++i) {
+    EXPECT_EQ(events[i].arg0, 6u + i);
+    EXPECT_EQ(events[i].when, 106u + i);
+  }
+}
+
+TEST(Recorder, SerializeParseRoundTrip) {
+  obs::Recorder rec;
+  rec.set_capacity(16);
+  rec.set_cycles_per_second(100'000'000);
+  Cycles clock = 0;
+  rec.set_clock(&clock);
+  clock = 12345;
+  rec.emit(obs::EventKind::kViewSwitch, 0x3, 7, 1, 2, 3, 444);
+  clock = 99999;
+  rec.emit(obs::EventKind::kUd2Trap, 0x1, 2, 0xC0100000u, 0, 0, 0);
+
+  std::vector<u8> bytes = rec.serialize();
+  obs::TraceHeader header;
+  std::vector<obs::TraceEvent> events;
+  ASSERT_TRUE(obs::parse_trace(bytes, &header, &events));
+  EXPECT_EQ(header.version, 1u);
+  EXPECT_EQ(header.event_count, 2u);
+  EXPECT_EQ(header.total_emitted, 2u);
+  EXPECT_EQ(header.cycles_per_second, 100'000'000u);
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].when, 12345u);
+  EXPECT_EQ(events[0].kind, obs::EventKind::kViewSwitch);
+  EXPECT_EQ(events[0].flags, 0x3u);
+  EXPECT_EQ(events[0].view, 7u);
+  EXPECT_EQ(events[0].arg3, 444u);
+  EXPECT_EQ(events[1].when, 99999u);
+  EXPECT_EQ(events[1].arg0, 0xC0100000u);
+
+  // Corrupt the magic: must be rejected.
+  bytes[0] ^= 0xFF;
+  EXPECT_FALSE(obs::parse_trace(bytes, &header, &events));
+}
+
+TEST(Recorder, NameHashIsStableFnv1a) {
+  EXPECT_EQ(obs::name_hash(""), 2166136261u);
+  EXPECT_EQ(obs::name_hash("apache"), obs::name_hash("apache"));
+  EXPECT_NE(obs::name_hash("apache"), obs::name_hash("vim"));
+}
+
+TEST(Metrics, JsonIsDeterministicAndHistogramSurvivesReset) {
+  obs::Metrics m;
+  m.add("b.counter", 2);
+  m.add("a.counter", 1);
+  m.gauge_set("depth", 7);
+  obs::Histogram& hist = m.histogram("cost");
+  obs::Histogram* cached = &hist;
+  hist.record(100);
+  hist.record(3000);
+  std::string first = m.to_json();
+  EXPECT_EQ(first, m.to_json());
+  // Keys are emitted sorted, so insertion order cannot leak into the JSON.
+  EXPECT_LT(first.find("a.counter"), first.find("b.counter"));
+
+  m.reset();
+  // The histogram object is zeroed in place, never erased: cached pointers
+  // (the engine holds one across runs) stay valid.
+  EXPECT_EQ(&m.histogram("cost"), cached);
+  EXPECT_EQ(m.histogram("cost").count, 0u);
+}
+
+TEST(ChromeTrace, SlicesAndInstantsRenderWithSimulatedTimestamps) {
+  std::vector<obs::TraceEvent> events(2);
+  events[0].when = 2000;  // stamped at completion; 500-cycle slice
+  events[0].kind = obs::EventKind::kViewSwitch;
+  events[0].view = 3;
+  events[0].arg3 = 500;
+  events[1].when = 2100;
+  events[1].kind = obs::EventKind::kInterrupt;
+  events[1].arg0 = 32;
+
+  std::string json = obs::chrome_trace_json(events, 100'000'000);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("face-change"), std::string::npos);
+  EXPECT_NE(json.find("view 3"), std::string::npos);
+  // 100 MHz → 10 ns/cycle. The switch spans [1500, 2000] cycles = 5 µs
+  // starting at 15 µs; the interrupt is an instant at 21 µs on track 0.
+  EXPECT_NE(json.find("\"ts\":15.000"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":5.000"), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":21.000"), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+}
+
+TEST(EventQueue, ClearIsObservableAndDepthGaugeTracksHighWater) {
+  hv::EventQueue q;
+  int fired = 0;
+  for (int i = 0; i < 5; ++i) q.schedule_at(10 + i, [&] { ++fired; });
+  EXPECT_EQ(q.size(), 5u);
+  EXPECT_EQ(q.max_depth(), 5u);
+  q.clear();
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+  EXPECT_EQ(q.run_due(1000), 0u);
+  EXPECT_EQ(fired, 0);
+  EXPECT_EQ(q.max_depth(), 5u);  // high-water survives clear
+}
+
+/// Satellite check: the cycles a fast-path switch charges to the vCPU are
+/// exactly the sum of the per-PDE/PTE write costs plus the scoped (or
+/// full) invalidation cost — cross-checked from the trace alone.
+TEST(ObsIntegration, FastpathSwitchCostMatchesPerfModel) {
+#if defined(FC_OBS_DISABLED)
+  GTEST_SKIP() << "FC_OBS_DISABLED build: emit sites compiled out";
+#endif
+  harness::GuestSystem sys;
+  core::FaceChangeEngine engine(sys.hv(), sys.os().kernel());
+  engine.enable();
+  u32 top = engine.load_view(harness::profile_of("top"));
+  u32 vim = engine.load_view(harness::profile_of("gvim"));
+
+  obs::recorder().start();
+  engine.force_activate(top);
+  engine.force_activate(vim);
+  engine.force_activate(top);
+  obs::recorder().stop();
+
+  const cpu::PerfModel& pm = sys.vcpu().perf_model();
+  std::vector<obs::TraceEvent> events = obs::recorder().snapshot();
+  u32 checked = 0;
+  u32 last_scoped_dropped = 0;
+  for (const obs::TraceEvent& ev : events) {
+    if (ev.kind == obs::EventKind::kTlbFlush && (ev.flags & 0x1))
+      last_scoped_dropped = ev.arg0;
+    if (ev.kind != obs::EventKind::kViewSwitch) continue;
+    ASSERT_TRUE(ev.flags & 0x1) << "delta fast path expected";
+    Cycles expected = static_cast<Cycles>(ev.arg1) * pm.cost_ept_pde_write +
+                      static_cast<Cycles>(ev.arg2) * pm.cost_ept_pte_write;
+    if (ev.flags & 0x2) {
+      expected += pm.cost_tlb_scoped_base +
+                  static_cast<Cycles>(last_scoped_dropped) *
+                      pm.cost_tlb_scoped_per_entry;
+    } else {
+      ASSERT_TRUE(ev.flags & 0x4);
+      expected += pm.cost_tlb_flush;
+    }
+    EXPECT_EQ(ev.arg3, expected)
+        << "switch to view " << ev.view << " from " << ev.arg0;
+    ++checked;
+  }
+  EXPECT_EQ(checked, 3u);
+  engine.force_activate(core::kFullKernelViewId);
+}
+
+/// Determinism contract end-to-end: the same guest scenario recorded twice
+/// (fresh guest system each time) serializes to byte-identical streams.
+TEST(ObsIntegration, TwoRunsProduceByteIdenticalStreams) {
+#if defined(FC_OBS_DISABLED)
+  GTEST_SKIP() << "FC_OBS_DISABLED build: emit sites compiled out";
+#endif
+  harness::profile_of("top");  // memoized profiling happens outside capture
+
+  auto record_run = [] {
+    harness::GuestSystem sys;
+    core::FaceChangeEngine engine(sys.hv(), sys.os().kernel());
+    engine.enable();
+    engine.bind("top", engine.load_view(harness::profile_of("top")));
+    obs::recorder().start();
+    apps::AppScenario top = apps::make_app("top", 4);
+    u32 pid = sys.os().spawn("top", top.model);
+    top.install_environment(sys.os());
+    sys.run_until_exit(pid, 600'000'000);
+    obs::recorder().stop();
+    return obs::recorder().serialize();
+  };
+
+  std::vector<u8> first = record_run();
+  std::vector<u8> second = record_run();
+  ASSERT_GT(first.size(), obs::kSerializedEventSize);
+  EXPECT_EQ(first, second);
+
+  // And the stream is a valid, event-bearing recording.
+  obs::TraceHeader header;
+  std::vector<obs::TraceEvent> events;
+  ASSERT_TRUE(obs::parse_trace(first, &header, &events));
+  EXPECT_GT(header.event_count, 0u);
+  EXPECT_EQ(events.size(), header.event_count);
+}
+
+}  // namespace
+}  // namespace fc

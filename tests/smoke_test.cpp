@@ -62,7 +62,7 @@ TEST(Smoke, EnforcesAViewWithoutBehaviourChange) {
   hv::RunOutcome outcome = sys.run_until_exit(pid, 800'000'000);
   EXPECT_NE(outcome, hv::RunOutcome::kGuestFault);
   EXPECT_TRUE(sys.os().task_zombie_or_dead(pid));
-  EXPECT_GT(engine.stats().view_switches, 0u);
+  EXPECT_GT(engine.stats().view_switches(), 0u);
 }
 
 }  // namespace

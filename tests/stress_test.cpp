@@ -50,7 +50,7 @@ TEST(Stress, AllTwelveAppsConcurrentlyUnderTheirOwnViews) {
   EXPECT_NE(outcome, hv::RunOutcome::kGuestFault);
   for (u32 pid : pids) EXPECT_TRUE(sys.os().task_zombie_or_dead(pid));
   // Twelve different views were actually switched between.
-  EXPECT_GT(engine.stats().view_switches, 24u);
+  EXPECT_GT(engine.stats().view_switches(), 24u);
 }
 
 TEST(Stress, RepeatedLoadUnloadChurn) {

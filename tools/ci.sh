@@ -10,7 +10,13 @@
 #                           profile (skipped with a notice when clang-tidy
 #                           is not installed — the container image has no
 #                           llvm-tidy), then the fclint view audit
+#   tools/ci.sh trace-determinism
+#                           record the 12-app scenario twice in separate
+#                           fctrace processes and byte-compare the streams,
+#                           then the in-process ctest variant
 #   tools/ci.sh all         all tiers in sequence
+#
+# Artifacts (bench metrics JSON, trace recordings) land in ci-artifacts/.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -55,14 +61,36 @@ bench_smoke() {
   # are not representative of throughput, only of memory safety on the
   # cached and uncached interpreter paths.
   ASAN_OPTIONS=detect_leaks=0 ./build-asan/bench/interp_throughput --smoke
+  # The bench embeds the obs metrics registry in its JSON; keep it as a
+  # CI artifact so runs can be compared over time.
+  mkdir -p ci-artifacts
+  cp BENCH_interp.json ci-artifacts/BENCH_interp.json
+  echo "bench-smoke: metrics artifact at ci-artifacts/BENCH_interp.json"
+}
+
+trace_determinism() {
+  cmake -B build -S . -DFC_WERROR=ON
+  cmake --build build -j "$jobs" --target fctrace
+  mkdir -p ci-artifacts
+  # Cross-process reproducibility: two fctrace invocations of the same
+  # scenario must serialize byte-identical streams.
+  ./build/tools/fctrace record -o ci-artifacts/trace-a.fctrace \
+    --chrome ci-artifacts/trace-a.json \
+    --metrics ci-artifacts/metrics-a.json
+  ./build/tools/fctrace record -o ci-artifacts/trace-b.fctrace
+  cmp ci-artifacts/trace-a.fctrace ci-artifacts/trace-b.fctrace
+  echo "trace-determinism: cross-process streams byte-identical"
+  # In-process variant (also part of the tier-1 ctest suite).
+  ctest --test-dir build --output-on-failure -R '^trace_determinism$'
 }
 
 case "${1:-tier1}" in
-  tier1)       tier1 ;;
-  lint)        lint ;;
-  sanitize)    sanitize ;;
-  bench-smoke) bench_smoke ;;
-  all)         tier1; lint; sanitize; bench_smoke ;;
-  *) echo "usage: tools/ci.sh [tier1|lint|sanitize|bench-smoke|all]" >&2
+  tier1)             tier1 ;;
+  lint)              lint ;;
+  sanitize)          sanitize ;;
+  bench-smoke)       bench_smoke ;;
+  trace-determinism) trace_determinism ;;
+  all)               tier1; lint; sanitize; bench_smoke; trace_determinism ;;
+  *) echo "usage: tools/ci.sh [tier1|lint|sanitize|bench-smoke|trace-determinism|all]" >&2
      exit 2 ;;
 esac

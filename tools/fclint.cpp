@@ -25,7 +25,10 @@
 #include "analysis/hazards.hpp"
 #include "analysis/lint.hpp"
 #include "harness/harness.hpp"
+#include "obs/chrome_trace.hpp"
+#include "obs/trace.hpp"
 #include "support/hexdump.hpp"
+#include "support/logging.hpp"
 
 using namespace fc;
 
@@ -38,7 +41,9 @@ namespace {
       "  lint [-n iterations] [--baseline FILE] [--update-baseline FILE]\n"
       "       [app...]        lint app views (default: all 12 apps)\n"
       "  graph                call-graph statistics\n"
-      "  hazards              list every static 0B 0F hazard site\n");
+      "  hazards              list every static 0B 0F hazard site\n"
+      "flags: --log-level LEVEL (or FC_LOG_LEVEL env), --trace-out FILE\n"
+      "       (record the profiling runs; writes Chrome trace JSON)\n");
   std::exit(2);
 }
 
@@ -156,7 +161,7 @@ int main(int argc, char** argv) {
   if (cmd != "lint") usage();
 
   u32 iterations = 20;
-  std::string baseline, update;
+  std::string baseline, update, trace_out;
   std::vector<std::string> apps;
   for (int i = first; i < argc; ++i) {
     if (!std::strcmp(argv[i], "-n") && i + 1 < argc) {
@@ -165,11 +170,29 @@ int main(int argc, char** argv) {
       baseline = argv[++i];
     } else if (!std::strcmp(argv[i], "--update-baseline") && i + 1 < argc) {
       update = argv[++i];
+    } else if (!std::strcmp(argv[i], "--trace-out") && i + 1 < argc) {
+      trace_out = argv[++i];
+    } else if (!std::strcmp(argv[i], "--log-level") && i + 1 < argc) {
+      auto level = parse_log_level(argv[++i]);
+      if (!level) {
+        std::fprintf(stderr, "fclint: unknown log level '%s'\n", argv[i]);
+        return 2;
+      }
+      set_log_level(*level);
     } else if (argv[i][0] == '-') {
       usage();
     } else {
       apps.emplace_back(argv[i]);
     }
   }
-  return cmd_lint(iterations, baseline, update, apps);
+  if (!trace_out.empty()) obs::recorder().start();
+  int rc = cmd_lint(iterations, baseline, update, apps);
+  if (!trace_out.empty()) {
+    obs::recorder().stop();
+    std::ofstream out(trace_out);
+    out << obs::chrome_trace_json(obs::recorder());
+    std::printf("wrote %s (%llu events)\n", trace_out.c_str(),
+                static_cast<unsigned long long>(obs::recorder().size()));
+  }
+  return rc;
 }

@@ -23,6 +23,9 @@
 #include "core/integrity.hpp"
 #include "core/similarity.hpp"
 #include "harness/harness.hpp"
+#include "obs/chrome_trace.hpp"
+#include "obs/trace.hpp"
+#include "support/logging.hpp"
 
 using namespace fc;
 
@@ -41,7 +44,12 @@ namespace {
       "closure)\n"
       "  matrix   [-n iterations]\n"
       "  attack   <name> [--union]\n"
-      "  integrity <attack-name>\n");
+      "  integrity <attack-name>\n"
+      "global flags:\n"
+      "  --log-level LEVEL   trace|debug|info|warn|error|off (also the\n"
+      "                      FC_LOG_LEVEL environment variable)\n"
+      "  --trace-out FILE    record the run in the flight recorder and\n"
+      "                      write a Chrome trace JSON (enforce/attack)\n");
   std::exit(2);
 }
 
@@ -70,6 +78,7 @@ struct Options {
   u32 iterations = 20;
   std::string out;
   std::string view_file;
+  std::string trace_out;  // Chrome trace JSON destination ("" = no capture)
   bool union_view = false;
   bool block_cache = true;
   bool closure = false;  // enforce: expand the view by static closure
@@ -90,6 +99,15 @@ Options parse_flags(int argc, char** argv, int first) {
       options.block_cache = false;
     } else if (!std::strcmp(argv[i], "--closure")) {
       options.closure = true;
+    } else if (!std::strcmp(argv[i], "--trace-out") && i + 1 < argc) {
+      options.trace_out = argv[++i];
+    } else if (!std::strcmp(argv[i], "--log-level") && i + 1 < argc) {
+      auto level = parse_log_level(argv[++i]);
+      if (!level) {
+        std::fprintf(stderr, "fcsh: unknown log level '%s'\n", argv[i]);
+        std::exit(2);
+      }
+      set_log_level(*level);
     } else {
       usage();
     }
@@ -179,6 +197,7 @@ int cmd_enforce(const std::string& app, const Options& options) {
                 static_cast<unsigned long long>(closure.added_bytes >> 10));
     config = std::move(closure.expanded);
   }
+  if (!options.trace_out.empty()) obs::recorder().start();
   u32 view_id = engine.load_view(config);
   engine.bind(app, view_id);
   engine.install_static_audit(
@@ -191,7 +210,16 @@ int cmd_enforce(const std::string& app, const Options& options) {
   std::printf("outcome: %s\n",
               outcome == hv::RunOutcome::kGuestFault ? "GUEST FAULT"
                                                      : "completed");
+  obs::metrics().gauge_set("os.event_queue_max_depth",
+                           sys.os().events().max_depth());
   std::printf("%s\n", engine.render_run_report().c_str());
+  if (!options.trace_out.empty()) {
+    obs::recorder().stop();
+    spit(options.trace_out, obs::chrome_trace_json(obs::recorder()));
+    std::printf("trace: %llu events recorded (%llu dropped)\n",
+                static_cast<unsigned long long>(obs::recorder().total_emitted()),
+                static_cast<unsigned long long>(obs::recorder().dropped()));
+  }
   std::printf("recovery log (%zu events):\n", engine.recovery_log().size());
   for (const core::RecoveryEvent& ev : engine.recovery_log().events())
     std::printf("  %s\n", ev.headline().c_str());
@@ -216,11 +244,16 @@ int cmd_attack(const std::string& name, const Options& options) {
   std::printf("staging %s against %s under the %s view...\n",
               attack->name().c_str(), attack->victim().c_str(),
               options.union_view ? "system-wide union" : "per-application");
+  if (!options.trace_out.empty()) obs::recorder().start();
   harness::AttackRunResult result = harness::run_attack(*attack, run_options);
   for (const std::string& ev : result.rendered_events)
     std::printf("%s\n", ev.c_str());
   std::printf("detected: %s (%zu recovery events)\n",
               result.detected ? "YES" : "no", result.recovery_events);
+  if (!options.trace_out.empty()) {
+    obs::recorder().stop();
+    spit(options.trace_out, obs::chrome_trace_json(obs::recorder()));
+  }
   return 0;
 }
 

@@ -1,0 +1,391 @@
+// fctrace — flight-recorder inspection CLI.
+//
+//   fctrace record [-n ITER] [--apps a,b,..] [--ring N] [--budget CYCLES]
+//                  [-o FILE] [--chrome FILE] [--metrics FILE]
+//       Run the multi-app enforcement scenario (default: all 12 modelled
+//       applications concurrently under their own views) with the flight
+//       recorder on; write the binary event stream (default: trace.fctrace).
+//   fctrace dump FILE [--kind NAME] [--view N] [--limit N]
+//       Print events, optionally filtered by kind or view id.
+//   fctrace aggregate FILE
+//       Per-kind event counts and cycle totals.
+//   fctrace chrome FILE [-o OUT.json]
+//       Convert a recording to Chrome trace_event JSON (Perfetto-loadable).
+//   fctrace diff A B
+//       Byte-level and event-level comparison of two recordings.
+//   fctrace selftest
+//       Record the same scenario twice in-process and verify the two
+//       serialized streams are byte-identical (the determinism contract).
+//       Wired into ctest as `trace_determinism`.
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "harness/harness.hpp"
+#include "obs/chrome_trace.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "support/logging.hpp"
+
+using namespace fc;
+
+namespace {
+
+[[noreturn]] void usage() {
+  std::fprintf(
+      stderr,
+      "usage: fctrace <command> [args]\n"
+      "  record [-n iterations] [--apps a,b,..] [--ring events]\n"
+      "         [--budget cycles] [-o trace.fctrace] [--chrome out.json]\n"
+      "         [--metrics out.json]\n"
+      "  dump <trace.fctrace> [--kind name] [--view id] [--limit n]\n"
+      "  aggregate <trace.fctrace>\n"
+      "  chrome <trace.fctrace> [-o out.json]\n"
+      "  diff <a.fctrace> <b.fctrace>\n"
+      "  selftest\n"
+      "flags: --log-level LEVEL (or FC_LOG_LEVEL env)\n");
+  std::exit(2);
+}
+
+std::vector<u8> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "fctrace: cannot read %s\n", path.c_str());
+    std::exit(1);
+  }
+  return std::vector<u8>(std::istreambuf_iterator<char>(in),
+                         std::istreambuf_iterator<char>());
+}
+
+void write_file(const std::string& path, const void* data, std::size_t size) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    std::fprintf(stderr, "fctrace: cannot write %s\n", path.c_str());
+    std::exit(1);
+  }
+  out.write(static_cast<const char*>(data), static_cast<std::streamsize>(size));
+  std::printf("wrote %s (%zu bytes)\n", path.c_str(), size);
+}
+
+void parse_or_die(const std::vector<u8>& bytes, obs::TraceHeader* header,
+                  std::vector<obs::TraceEvent>* events) {
+  if (!obs::parse_trace(bytes, header, events)) {
+    std::fprintf(stderr, "fctrace: not a valid FCTR stream\n");
+    std::exit(1);
+  }
+}
+
+struct RecordOptions {
+  u32 iterations = 4;
+  u32 ring = obs::Recorder::kDefaultCapacity;
+  Cycles budget = 3'000'000'000ull;
+  std::vector<std::string> apps;  // empty = all
+  std::string out = "trace.fctrace";
+  std::string chrome_out;
+  std::string metrics_out;
+};
+
+/// Run the enforcement scenario with the recorder capturing and return the
+/// serialized stream. Profiling happens *before* capture starts, so the
+/// stream contains exactly the enforcement run — which is deterministic,
+/// making the result bit-reproducible.
+std::vector<u8> record_scenario(const RecordOptions& options,
+                                std::string* report) {
+  std::vector<std::string> apps = options.apps;
+  if (apps.empty()) apps = apps::all_app_names();
+
+  // Memoized profiling phase (never captured).
+  harness::profile_all_apps();
+
+  harness::GuestSystem sys;
+  core::FaceChangeEngine engine(sys.hv(), sys.os().kernel());
+  engine.enable();
+
+  obs::metrics().reset();
+  obs::recorder().set_capacity(options.ring);
+  obs::recorder().start();
+
+  std::vector<u32> pids;
+  for (const std::string& app : apps) {
+    const core::KernelViewConfig& cfg = harness::profile_of(app);
+    engine.bind(app, engine.load_view(cfg));
+    apps::AppScenario scenario = apps::make_app(app, options.iterations);
+    pids.push_back(sys.os().spawn(app, scenario.model));
+    scenario.install_environment(sys.os());
+  }
+
+  const Cycles end = sys.vcpu().cycles() + options.budget;
+  sys.hv().run([&] {
+    if (sys.vcpu().cycles() >= end) return true;
+    for (u32 pid : pids)
+      if (!sys.os().task_zombie_or_dead(pid)) return false;
+    return true;
+  });
+
+  obs::recorder().stop();
+  obs::metrics().gauge_set("os.event_queue_max_depth",
+                           sys.os().events().max_depth());
+  if (report != nullptr) *report = engine.metrics_json();
+  return obs::recorder().serialize();
+}
+
+int cmd_record(const RecordOptions& options) {
+  std::string metrics_json;
+  std::vector<u8> bytes = record_scenario(options, &metrics_json);
+  std::printf("recorded %llu events (%llu emitted, %llu dropped by ring)\n",
+              static_cast<unsigned long long>(obs::recorder().size()),
+              static_cast<unsigned long long>(obs::recorder().total_emitted()),
+              static_cast<unsigned long long>(obs::recorder().dropped()));
+  write_file(options.out, bytes.data(), bytes.size());
+  if (!options.chrome_out.empty()) {
+    std::string json = obs::chrome_trace_json(obs::recorder());
+    write_file(options.chrome_out, json.data(), json.size());
+  }
+  if (!options.metrics_out.empty())
+    write_file(options.metrics_out, metrics_json.data(), metrics_json.size());
+  return 0;
+}
+
+int cmd_dump(const std::string& path, const std::string& kind_filter,
+             int view_filter, u64 limit) {
+  obs::TraceHeader header;
+  std::vector<obs::TraceEvent> events;
+  parse_or_die(read_file(path), &header, &events);
+  std::printf("# %u events (%llu emitted), %llu cycles/sec\n",
+              header.event_count,
+              static_cast<unsigned long long>(header.total_emitted),
+              static_cast<unsigned long long>(header.cycles_per_second));
+  u64 shown = 0;
+  for (const obs::TraceEvent& ev : events) {
+    if (!kind_filter.empty() && kind_filter != obs::kind_name(ev.kind))
+      continue;
+    if (view_filter >= 0 && ev.view != static_cast<u16>(view_filter)) continue;
+    std::printf("%s\n", obs::render_event(ev).c_str());
+    if (++shown == limit) break;
+  }
+  return 0;
+}
+
+int cmd_aggregate(const std::string& path) {
+  obs::TraceHeader header;
+  std::vector<obs::TraceEvent> events;
+  parse_or_die(read_file(path), &header, &events);
+
+  struct Agg {
+    u64 count = 0;
+    u64 cycles = 0;  // summed arg3 (the sliced kinds charge cycles there)
+  };
+  std::map<std::string, Agg> by_kind;
+  for (const obs::TraceEvent& ev : events) {
+    Agg& agg = by_kind[obs::kind_name(ev.kind)];
+    ++agg.count;
+    if (ev.kind == obs::EventKind::kViewSwitch ||
+        ev.kind == obs::EventKind::kRecovery)
+      agg.cycles += ev.arg3;
+  }
+  Cycles span = events.empty() ? 0 : events.back().when - events.front().when;
+  std::printf("%u events spanning %llu cycles (%llu dropped by ring)\n",
+              header.event_count, static_cast<unsigned long long>(span),
+              static_cast<unsigned long long>(
+                  header.total_emitted - header.event_count));
+  std::printf("%-20s %10s %14s\n", "kind", "count", "cycles");
+  for (const auto& [kind, agg] : by_kind)
+    std::printf("%-20s %10llu %14llu\n", kind.c_str(),
+                static_cast<unsigned long long>(agg.count),
+                static_cast<unsigned long long>(agg.cycles));
+  return 0;
+}
+
+int cmd_chrome(const std::string& path, std::string out_path) {
+  obs::TraceHeader header;
+  std::vector<obs::TraceEvent> events;
+  parse_or_die(read_file(path), &header, &events);
+  if (out_path.empty()) out_path = path + ".json";
+  std::string json = obs::chrome_trace_json(events, header.cycles_per_second);
+  write_file(out_path, json.data(), json.size());
+  return 0;
+}
+
+int cmd_diff(const std::string& path_a, const std::string& path_b) {
+  std::vector<u8> raw_a = read_file(path_a);
+  std::vector<u8> raw_b = read_file(path_b);
+  if (raw_a == raw_b) {
+    std::printf("identical (%zu bytes)\n", raw_a.size());
+    return 0;
+  }
+  obs::TraceHeader ha, hb;
+  std::vector<obs::TraceEvent> ea, eb;
+  parse_or_die(raw_a, &ha, &ea);
+  parse_or_die(raw_b, &hb, &eb);
+  if (ha.event_count != hb.event_count)
+    std::printf("event counts differ: %u vs %u\n", ha.event_count,
+                hb.event_count);
+  std::size_t n = std::min(ea.size(), eb.size());
+  u64 mismatches = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const obs::TraceEvent& a = ea[i];
+    const obs::TraceEvent& b = eb[i];
+    bool same = a.when == b.when && a.kind == b.kind && a.flags == b.flags &&
+                a.view == b.view && a.arg0 == b.arg0 && a.arg1 == b.arg1 &&
+                a.arg2 == b.arg2 && a.arg3 == b.arg3;
+    if (same) continue;
+    if (mismatches == 0) {
+      std::printf("first divergence at event %zu:\n", i);
+      std::printf("  a: %s\n", obs::render_event(a).c_str());
+      std::printf("  b: %s\n", obs::render_event(b).c_str());
+    }
+    ++mismatches;
+  }
+  std::printf("%llu of %zu compared events differ\n",
+              static_cast<unsigned long long>(mismatches), n);
+  return 1;
+}
+
+int cmd_selftest() {
+#if defined(FC_OBS_DISABLED)
+  std::printf("SKIP: built with FC_OBS_DISABLED, emit sites compiled out\n");
+  return 77;  // ctest SKIP_RETURN_CODE
+#endif
+  RecordOptions options;  // all apps, default iterations and budget
+  std::vector<u8> first = record_scenario(options, nullptr);
+  std::vector<u8> second = record_scenario(options, nullptr);
+  std::printf("run 1: %zu bytes, run 2: %zu bytes\n", first.size(),
+              second.size());
+  if (first.size() <= obs::kSerializedEventSize) {
+    std::printf("FAIL: recording is empty\n");
+    return 1;
+  }
+  if (first != second) {
+    std::printf("FAIL: streams differ — determinism contract broken\n");
+    obs::TraceHeader ha, hb;
+    std::vector<obs::TraceEvent> ea, eb;
+    if (obs::parse_trace(first, &ha, &ea) &&
+        obs::parse_trace(second, &hb, &eb)) {
+      std::size_t n = std::min(ea.size(), eb.size());
+      for (std::size_t i = 0; i < n; ++i) {
+        if (std::memcmp(&ea[i], &eb[i], sizeof(obs::TraceEvent)) == 0)
+          continue;
+        std::printf("first divergence at event %zu:\n  a: %s\n  b: %s\n", i,
+                    obs::render_event(ea[i]).c_str(),
+                    obs::render_event(eb[i]).c_str());
+        break;
+      }
+    }
+    return 1;
+  }
+  // Round-trip sanity: the stream parses back to the same events.
+  obs::TraceHeader header;
+  std::vector<obs::TraceEvent> events;
+  if (!obs::parse_trace(first, &header, &events) ||
+      events.size() != header.event_count) {
+    std::printf("FAIL: serialized stream does not parse back\n");
+    return 1;
+  }
+  std::printf("OK: %u events byte-identical across two runs\n",
+              header.event_count);
+  return 0;
+}
+
+std::vector<std::string> split_csv(const std::string& csv) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= csv.size()) {
+    std::size_t comma = csv.find(',', start);
+    if (comma == std::string::npos) comma = csv.size();
+    if (comma > start) out.push_back(csv.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) usage();
+  std::string cmd = argv[1];
+
+  // Global flags valid for every subcommand.
+  std::vector<std::string> args;
+  for (int i = 2; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--log-level") && i + 1 < argc) {
+      auto level = parse_log_level(argv[++i]);
+      if (!level) {
+        std::fprintf(stderr, "fctrace: unknown log level '%s'\n", argv[i]);
+        return 2;
+      }
+      set_log_level(*level);
+    } else {
+      args.emplace_back(argv[i]);
+    }
+  }
+  auto flag_value = [&](const char* flag) -> const std::string* {
+    for (std::size_t i = 0; i + 1 < args.size(); ++i)
+      if (args[i] == flag) return &args[i + 1];
+    return nullptr;
+  };
+  auto positional = [&](std::size_t index) -> const std::string* {
+    std::size_t seen = 0;
+    for (std::size_t i = 0; i < args.size(); ++i) {
+      if (args[i].rfind("-", 0) == 0) {
+        ++i;  // every flag takes a value
+        continue;
+      }
+      if (seen++ == index) return &args[i];
+    }
+    return nullptr;
+  };
+
+  if (cmd == "record") {
+    RecordOptions options;
+    if (const std::string* v = flag_value("-n"))
+      options.iterations = static_cast<u32>(std::atoi(v->c_str()));
+    if (const std::string* v = flag_value("--ring"))
+      options.ring = static_cast<u32>(std::atoi(v->c_str()));
+    if (const std::string* v = flag_value("--budget"))
+      options.budget = std::strtoull(v->c_str(), nullptr, 10);
+    if (const std::string* v = flag_value("--apps"))
+      options.apps = split_csv(*v);
+    if (const std::string* v = flag_value("-o")) options.out = *v;
+    if (const std::string* v = flag_value("--chrome"))
+      options.chrome_out = *v;
+    if (const std::string* v = flag_value("--metrics"))
+      options.metrics_out = *v;
+    return cmd_record(options);
+  }
+  if (cmd == "dump") {
+    const std::string* path = positional(0);
+    if (path == nullptr) usage();
+    std::string kind;
+    int view = -1;
+    u64 limit = ~0ull;
+    if (const std::string* v = flag_value("--kind")) kind = *v;
+    if (const std::string* v = flag_value("--view"))
+      view = std::atoi(v->c_str());
+    if (const std::string* v = flag_value("--limit"))
+      limit = std::strtoull(v->c_str(), nullptr, 10);
+    return cmd_dump(*path, kind, view, limit);
+  }
+  if (cmd == "aggregate") {
+    const std::string* path = positional(0);
+    if (path == nullptr) usage();
+    return cmd_aggregate(*path);
+  }
+  if (cmd == "chrome") {
+    const std::string* path = positional(0);
+    if (path == nullptr) usage();
+    const std::string* out = flag_value("-o");
+    return cmd_chrome(*path, out != nullptr ? *out : "");
+  }
+  if (cmd == "diff") {
+    const std::string* a = positional(0);
+    const std::string* b = positional(1);
+    if (a == nullptr || b == nullptr) usage();
+    return cmd_diff(*a, *b);
+  }
+  if (cmd == "selftest") return cmd_selftest();
+  usage();
+}
