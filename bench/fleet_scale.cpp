@@ -1,0 +1,175 @@
+// Fleet scaling: aggregate guest instructions per host second and resident
+// host-frame footprint for an N-VM fleet running over one copy-on-write
+// SharedImage, against the pre-fleet baseline where every VM assembles its
+// own kernel and builds its own views from scratch.
+//
+// Two axes are measured:
+//   compute  aggregate insns/sec for 8 VMs at --jobs 8 (shared image)
+//            vs 8 VMs at --jobs 1 rebuilding everything per VM — the
+//            end-to-end cost an operator pays per additional guest.
+//            Worker threads only help on multi-core hosts; the dominant,
+//            machine-independent term is the per-VM setup work COW sharing
+//            deletes (kernel assembly, module builds, view construction,
+//            switch-descriptor prebuilds).
+//   memory   resident frames (shared store pages + per-VM private frames)
+//            for an 8-VM fleet vs a 1-VM fleet. COW holds the marginal
+//            cost of a guest to its privately-dirtied pages.
+//
+// Usage: fleet_scale [--smoke]
+//   --smoke   tiny workload, no thresholds (CI / sanitizer tier)
+//
+// Writes BENCH_fleet.json and exits non-zero (unless --smoke) if the
+// shared-vs-rebuild aggregate speedup falls below 4x or 8 VMs cost more
+// than 1.5x the resident frames of 1 VM.
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "fleet/fleet.hpp"
+#include "harness/harness.hpp"
+
+namespace {
+
+struct Sample {
+  double insns_per_sec = 0;
+  fc::u64 insns = 0;
+  double wall_seconds = 0;
+  fc::u64 resident_frames = 0;
+};
+
+Sample measure(const fc::core::SharedImage& image,
+               const fc::fleet::FleetOptions& options) {
+  fc::fleet::FleetRunner runner(image, options);
+  fc::fleet::FleetReport report = runner.run();
+  Sample s;
+  s.insns = report.total_instructions();
+  s.wall_seconds = report.wall_seconds;
+  s.resident_frames = report.resident_frames();
+  if (s.wall_seconds > 0)
+    s.insns_per_sec = static_cast<double>(s.insns) / s.wall_seconds;
+  for (const fc::fleet::VmResult& vm : report.vms) {
+    if (vm.fault) {
+      std::fprintf(stderr, "FAULT in vm %u (%s)\n", vm.vm, vm.app.c_str());
+      std::exit(1);
+    }
+  }
+  return s;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace fc;
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+
+  // Setup outside the timed region: profiles + one template capture. The
+  // full run carries all 12 Table I views — the realistic fleet image, and
+  // the workload whose per-VM rebuild cost COW sharing deletes.
+  harness::SharedImageOptions img_options;
+  if (smoke) img_options.apps = {"gzip", "bash"};
+  img_options.profile_iterations = smoke ? 4 : 8;
+  auto image = harness::build_shared_image(img_options);
+  std::printf("Fleet scaling — COW shared image vs per-VM rebuild\n");
+  std::printf("(shared image: %u store pages, %zu views%s)\n\n",
+              image->store.page_count(), image->views.size(),
+              smoke ? ", SMOKE" : "");
+
+  fleet::FleetOptions base;
+  base.vms = 8;
+  base.iterations = smoke ? 1 : 2;  // keep runtime work in the mix
+
+  fleet::FleetOptions rebuild = base;  // the pre-fleet world
+  rebuild.jobs = 1;
+  rebuild.share_image = false;
+
+  fleet::FleetOptions shared1 = base;
+  shared1.jobs = 1;
+
+  fleet::FleetOptions shared8 = base;
+  shared8.jobs = 8;
+
+  Sample s_rebuild = measure(*image, rebuild);
+  Sample s_shared1 = measure(*image, shared1);
+  Sample s_shared8 = measure(*image, shared8);
+
+  fleet::FleetOptions one_vm = shared1;
+  one_vm.vms = 1;
+  Sample s_one = measure(*image, one_vm);
+
+  std::printf("%-34s %14s %10s %12s\n", "configuration", "insns/sec",
+              "wall (s)", "frames");
+  std::printf("%s\n", std::string(74, '-').c_str());
+  auto row = [](const char* name, const Sample& s) {
+    std::printf("%-34s %14.0f %10.2f %12llu\n", name, s.insns_per_sec,
+                s.wall_seconds, (unsigned long long)s.resident_frames);
+  };
+  row("8 VMs, rebuild per VM, jobs=1", s_rebuild);
+  row("8 VMs, shared image,  jobs=1", s_shared1);
+  row("8 VMs, shared image,  jobs=8", s_shared8);
+  row("1 VM,  shared image", s_one);
+
+  // The fleet runner picks its worker count; credit the best configuration
+  // (on a single-core host extra workers only add scheduling overhead, on
+  // multi-core hosts jobs=8 wins).
+  const double best_shared =
+      std::max(s_shared1.insns_per_sec, s_shared8.insns_per_sec);
+  const double speedup =
+      s_rebuild.insns_per_sec > 0 ? best_shared / s_rebuild.insns_per_sec : 0;
+  const double thread_scaling =
+      s_shared1.insns_per_sec > 0
+          ? s_shared8.insns_per_sec / s_shared1.insns_per_sec
+          : 0;
+  const double mem_ratio =
+      s_one.resident_frames > 0
+          ? static_cast<double>(s_shared8.resident_frames) /
+                static_cast<double>(s_one.resident_frames)
+          : 0;
+  std::printf("%s\n", std::string(74, '-').c_str());
+  std::printf("aggregate speedup (best shared jobs vs rebuild jobs=1): %.2fx\n",
+              speedup);
+  std::printf("thread scaling    (shared jobs=8 vs shared jobs=1):  %.2fx\n",
+              thread_scaling);
+  std::printf("memory ratio      (8 VMs vs 1 VM resident frames):   %.2fx\n",
+              mem_ratio);
+
+  char json[1024];
+  std::snprintf(
+      json, sizeof(json),
+      "{\n"
+      "  \"smoke\": %s,\n"
+      "  \"vms\": 8,\n"
+      "  \"iterations\": %u,\n"
+      "  \"shared_store_pages\": %u,\n"
+      "  \"rebuild_jobs1_insns_per_sec\": %.0f,\n"
+      "  \"shared_jobs1_insns_per_sec\": %.0f,\n"
+      "  \"shared_jobs8_insns_per_sec\": %.0f,\n"
+      "  \"aggregate_speedup\": %.3f,\n"
+      "  \"thread_scaling\": %.3f,\n"
+      "  \"resident_frames_1vm\": %llu,\n"
+      "  \"resident_frames_8vm\": %llu,\n"
+      "  \"resident_frames_8vm_rebuild\": %llu,\n"
+      "  \"memory_ratio_8v1\": %.3f\n"
+      "}\n",
+      smoke ? "true" : "false", base.iterations, image->store.page_count(),
+      s_rebuild.insns_per_sec, s_shared1.insns_per_sec,
+      s_shared8.insns_per_sec, speedup, thread_scaling,
+      (unsigned long long)s_one.resident_frames,
+      (unsigned long long)s_shared8.resident_frames,
+      (unsigned long long)s_rebuild.resident_frames, mem_ratio);
+  std::ofstream("BENCH_fleet.json") << json;
+
+  if (smoke) {
+    std::printf("\nsmoke run: thresholds not enforced\n");
+    return 0;
+  }
+  const bool speed_ok = speedup >= 4.0;
+  const bool mem_ok = mem_ratio > 0 && mem_ratio <= 1.5;
+  std::printf("\nthreshold (speedup >= 4.0x): %s\n",
+              speed_ok ? "OK" : "FAILED");
+  std::printf("threshold (memory <= 1.5x):  %s\n", mem_ok ? "OK" : "FAILED");
+  return speed_ok && mem_ok ? 0 : 1;
+}

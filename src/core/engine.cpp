@@ -85,6 +85,29 @@ u32 FaceChangeEngine::load_view(const KernelViewConfig& config) {
   return id;
 }
 
+void FaceChangeEngine::adopt_shared_views(const SharedImage& image) {
+  FC_CHECK(enabled_, << "adopt_shared_views before enable()");
+  FC_CHECK(views_.empty() && next_view_id_ == 1,
+           << "adopt_shared_views on an engine with views");
+  const mem::HostMemory& host = hv_->machine().host();
+  FC_CHECK(host.frame_count() == image.frames_after_boot,
+           << "machine diverged from the shared image before view adoption ("
+           << host.frame_count() << " frames, expected "
+           << image.frames_after_boot << ")");
+  for (const SharedView& sv : image.views) {
+    u32 id = next_view_id_++;
+    views_[id] = builder_.build_shared(sv, id);
+    const KernelView& built = *views_[id];
+    FC_TRACE_EVENT(kViewLoad, 0, id, built.shadow_frames.size() * kPageSize,
+                   built.base_pdes.size(), built.module_ptes.size(), 0);
+  }
+  FC_CHECK(host.frame_count() == image.frames_after_views,
+           << "shared view rehydration allocated unexpected frames");
+  if (!image.audit.empty()) install_static_audit(image.audit);
+  for (const SharedImage::PrebuiltSwitch& ps : image.switches)
+    switch_cache_.emplace(std::make_pair(ps.from, ps.to), ps.descriptor);
+}
+
 void FaceChangeEngine::unload_view(u32 view_id) {
   FC_TRACE_EVENT(kViewUnload, 0, view_id, 0, 0, 0, 0);
   if (active_view_ == view_id) {

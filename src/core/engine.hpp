@@ -11,6 +11,7 @@
 #include <utility>
 
 #include "core/recovery.hpp"
+#include "core/shared_image.hpp"
 #include "core/switchdelta.hpp"
 #include "core/view.hpp"
 #include "core/viewbuilder.hpp"
@@ -58,6 +59,14 @@ class FaceChangeEngine : public hv::ExitHandler {
 
   /// Build a view from a profile and register it. Returns the view id.
   u32 load_view(const KernelViewConfig& config);
+
+  /// Fleet path: rehydrate every view captured in `image` (ids come out
+  /// 1..image.views.size(), matching the template load order the image's
+  /// audit and descriptors are keyed by), install the audit, and prefill
+  /// the switch-descriptor cache with the prebuilt descriptors. Requires
+  /// enable() first, no views loaded yet, and a hypervisor constructed from
+  /// the same image (validated via the image's frame-count invariants).
+  void adopt_shared_views(const SharedImage& image);
   /// Hot-unload (§III-B4): deregister; if active, the EPT reverts to the
   /// full kernel view without interrupting the guest.
   void unload_view(u32 view_id);

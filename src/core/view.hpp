@@ -52,6 +52,12 @@ struct KernelView {
   /// (key = GPA >> 12). Code recovery writes into these.
   std::unordered_map<u32, HostFrame> shadow_frames;
 
+  /// Guest-physical pages in the order their shadow frames were allocated.
+  /// A clone VM replaying this order gets identical frame numbers, which is
+  /// what lets SharedImage capture a view once and rehydrate it per VM
+  /// (including prebuilt switch descriptors, which embed frame numbers).
+  std::vector<u32> shadow_page_order;
+
   /// Currently-loaded code (grows as functions are recovered).
   RangeList loaded;
 

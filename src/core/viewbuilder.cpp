@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "core/shared_image.hpp"
 #include "hv/guest_abi.hpp"
 #include "os/kbuilder.hpp"
 #include "support/check.hpp"
@@ -95,6 +96,7 @@ std::unique_ptr<KernelView> ViewBuilder::build(const KernelViewConfig& config,
     HostFrame f = machine.host().alloc_frame();
     fill_ud2(machine.host().frame(f));
     view->shadow_frames[pa >> kPageShift] = f;
+    view->shadow_page_order.push_back(pa >> kPageShift);
   }
 
   // ---- Load whole functions (or raw blocks for the ablation).
@@ -148,6 +150,7 @@ std::unique_ptr<KernelView> ViewBuilder::build(const KernelViewConfig& config,
       HostFrame f = machine.host().alloc_frame();
       fill_ud2(machine.host().frame(f));
       view->shadow_frames[pa >> kPageShift] = f;
+      view->shadow_page_order.push_back(pa >> kPageShift);
       view->module_ptes.push_back({mem::Ept::pde_index_of(pa),
                                    mem::Ept::pte_slot_of(pa), f,
                                    machine.boot_frame_for(pa)});
@@ -184,6 +187,61 @@ std::unique_ptr<KernelView> ViewBuilder::build(const KernelViewConfig& config,
   // The EPT writes performed while *building* are setup cost, not switch
   // cost; the engine charges switch costs from stat deltas, so reset here
   // would be wrong — instead the engine snapshots stats around switches.
+  return view;
+}
+
+std::unique_ptr<KernelView> ViewBuilder::build_shared(const SharedView& sv,
+                                                      u32 id) {
+  auto view = std::make_unique<KernelView>();
+  view->id = id;
+  view->config = sv.config;
+  view->loaded = sv.loaded;
+  mem::Machine& machine = hv_->machine();
+  mem::Ept& ept = machine.ept();
+
+  const GVirt text_begin = kernel_->text_base;
+  const GVirt text_end = kernel_->text_end();
+  const GPhys code_pa_begin = GuestLayout::kernel_pa(page_base(text_begin));
+  const GPhys code_pa_end =
+      GuestLayout::kernel_pa((text_end + kPageMask) & ~kPageMask);
+
+  // Shadow frames adopt store pages in the template's allocation order, so
+  // frame numbers come out identical to the template's build().
+  for (const SharedView::Page& p : sv.pages) {
+    HostFrame f = machine.host().adopt_shared(p.store_page);
+    view->shadow_frames[p.gpp] = f;
+    view->shadow_page_order.push_back(p.gpp);
+    if (p.module) {
+      GPhys pa = static_cast<GPhys>(p.gpp) << kPageShift;
+      view->module_ptes.push_back({mem::Ept::pde_index_of(pa),
+                                   mem::Ept::pte_slot_of(pa), f,
+                                   machine.boot_frame_for(pa)});
+    }
+  }
+
+  // Per-view EPT tables, exactly as build() makes them.
+  u32 pde_lo = mem::Ept::pde_index_of(code_pa_begin);
+  u32 pde_hi = mem::Ept::pde_index_of(code_pa_end - 1);
+  for (u32 pde = pde_lo; pde <= pde_hi; ++pde) {
+    mem::EptTableId table = ept.alloc_table();
+    ept.copy_table(table, ept.pde(pde));
+    view->base_pdes.push_back({pde, table});
+  }
+  for (const auto& [page, frame] : view->shadow_frames) {
+    GPhys pa = static_cast<GPhys>(page) << kPageShift;
+    if (pa < code_pa_begin || pa >= code_pa_end) continue;
+    const KernelView::BasePde& bp =
+        view->base_pdes[mem::Ept::pde_index_of(pa) - pde_lo];
+    ept.set_pte(bp.table, mem::Ept::pte_slot_of(pa),
+                mem::EptEntry{true, frame});
+  }
+
+  std::sort(view->module_ptes.begin(), view->module_ptes.end(),
+            [](const KernelView::PteOverride& a,
+               const KernelView::PteOverride& b) {
+              return std::make_pair(a.pde_index, a.slot) <
+                     std::make_pair(b.pde_index, b.slot);
+            });
   return view;
 }
 

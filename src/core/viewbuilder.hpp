@@ -14,6 +14,8 @@
 
 namespace fc::core {
 
+struct SharedView;
+
 struct ViewBuilderOptions {
   /// Paper default: relax block granularity to whole kernel functions
   /// (§III-B1's two rationales). false = load raw profiled blocks only
@@ -33,6 +35,13 @@ class ViewBuilder {
   /// Build a view from a config. Allocates shadow host frames and EPT
   /// tables; does not install anything.
   std::unique_ptr<KernelView> build(const KernelViewConfig& config, u32 id);
+
+  /// Rehydrate a captured view (see core::SharedImage): shadow frames adopt
+  /// the store's pages copy-on-write in the recorded allocation order — no
+  /// UD2 fills, no function-bounds search, no byte writes — and per-VM EPT
+  /// tables are rebuilt exactly as build() would. Produces identical frame
+  /// numbers to the template when replayed in the same machine state.
+  std::unique_ptr<KernelView> build_shared(const SharedView& sv, u32 id);
 
   /// Function-boundary search on the pristine kernel bytes. Returns
   /// [start, end) of the function containing `addr`, clamped to

@@ -1,0 +1,227 @@
+#include "fleet/fleet.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <sstream>
+#include <thread>
+
+#include "apps/apps.hpp"
+#include "core/engine.hpp"
+#include "harness/harness.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "support/check.hpp"
+
+namespace fc::fleet {
+
+namespace {
+void put_u32(std::vector<u8>& out, u32 v) {
+  out.push_back(static_cast<u8>(v));
+  out.push_back(static_cast<u8>(v >> 8));
+  out.push_back(static_cast<u8>(v >> 16));
+  out.push_back(static_cast<u8>(v >> 24));
+}
+bool get_u32(const std::vector<u8>& in, std::size_t& at, u32* v) {
+  if (at + 4 > in.size()) return false;
+  *v = static_cast<u32>(in[at]) | (static_cast<u32>(in[at + 1]) << 8) |
+       (static_cast<u32>(in[at + 2]) << 16) |
+       (static_cast<u32>(in[at + 3]) << 24);
+  at += 4;
+  return true;
+}
+}  // namespace
+
+u64 FleetReport::total_instructions() const {
+  u64 total = 0;
+  for (const VmResult& vm : vms) total += vm.instructions;
+  return total;
+}
+
+u64 FleetReport::resident_frames() const {
+  u64 total = shared_store_pages;
+  for (const VmResult& vm : vms) total += vm.private_frames;
+  return total;
+}
+
+std::string FleetReport::to_json() const {
+  // Deterministic: depends only on per-VM simulation results (VM-id order),
+  // never on worker count or interleaving. No wall-clock fields.
+  std::ostringstream out;
+  out << "{\"fleet\":{\"vms\":" << vms.size()
+      << ",\"shared_store_pages\":" << shared_store_pages
+      << ",\"resident_frames\":" << resident_frames()
+      << ",\"total_instructions\":" << total_instructions() << "},\"per_vm\":[";
+  for (std::size_t i = 0; i < vms.size(); ++i) {
+    const VmResult& vm = vms[i];
+    if (i != 0) out << ",";
+    out << "{\"vm\":" << vm.vm << ",\"app\":\"" << vm.app << "\""
+        << ",\"instructions\":" << vm.instructions
+        << ",\"cycles\":" << vm.cycles << ",\"recoveries\":" << vm.recoveries
+        << ",\"view_switches\":" << vm.view_switches
+        << ",\"private_frames\":" << vm.private_frames
+        << ",\"total_frames\":" << vm.total_frames
+        << ",\"fault\":" << (vm.fault ? "true" : "false")
+        << ",\"trace_bytes\":" << vm.trace.size()
+        << ",\"metrics\":" << (vm.metrics_json.empty() ? "{}" : vm.metrics_json)
+        << "}";
+  }
+  out << "]}";
+  return out.str();
+}
+
+std::vector<u8> FleetReport::merged_trace() const {
+  bool any = false;
+  for (const VmResult& vm : vms) any = any || !vm.trace.empty();
+  if (!any) return {};
+  std::vector<u8> out;
+  out.push_back('F');
+  out.push_back('C');
+  out.push_back('F');
+  out.push_back('L');
+  put_u32(out, 1);  // version
+  put_u32(out, static_cast<u32>(vms.size()));
+  for (const VmResult& vm : vms) {
+    put_u32(out, vm.vm);
+    put_u32(out, static_cast<u32>(vm.trace.size()));
+    out.insert(out.end(), vm.trace.begin(), vm.trace.end());
+  }
+  return out;
+}
+
+bool parse_fleet_trace(const std::vector<u8>& bytes,
+                       std::vector<std::pair<u32, std::vector<u8>>>* out) {
+  if (!is_fleet_trace(bytes)) return false;
+  std::size_t at = 4;
+  u32 version = 0;
+  u32 count = 0;
+  if (!get_u32(bytes, at, &version) || version != 1) return false;
+  if (!get_u32(bytes, at, &count)) return false;
+  out->clear();
+  for (u32 i = 0; i < count; ++i) {
+    u32 vm = 0;
+    u32 len = 0;
+    if (!get_u32(bytes, at, &vm) || !get_u32(bytes, at, &len)) return false;
+    if (at + len > bytes.size()) return false;
+    out->emplace_back(vm, std::vector<u8>(bytes.begin() + at,
+                                          bytes.begin() + at + len));
+    at += len;
+  }
+  return at == bytes.size();
+}
+
+FleetRunner::FleetRunner(const core::SharedImage& image, FleetOptions options)
+    : image_(&image), options_(std::move(options)) {
+  FC_CHECK(image_->store.frozen(), << "fleet image must be finalized");
+  FC_CHECK(!image_->views.empty(), << "fleet image carries no views");
+}
+
+VmResult FleetRunner::run_one_vm(u32 vm_id) {
+  const std::vector<std::string>& apps = options_.apps;
+  std::string app =
+      apps.empty()
+          ? image_->views[vm_id % image_->views.size()].config.app_name
+          : apps[vm_id % apps.size()];
+
+  VmResult result;
+  result.vm = vm_id;
+  result.app = app;
+
+  // Per-VM isolation of the thread-local registries: a VM's exported
+  // metrics must not depend on what ran earlier on this worker (jobs=1 runs
+  // every VM on one thread; jobs=N spreads them).
+  obs::metrics().reset();
+
+  // This worker owns the whole VM stack; the shared image is only ever read.
+  std::unique_ptr<harness::GuestSystem> sys;
+  if (options_.share_image) {
+    sys = std::make_unique<harness::GuestSystem>(options_.os_config, *image_);
+  } else {
+    sys = std::make_unique<harness::GuestSystem>(
+        options_.os_config, harness::GuestSystem::FreshBoot{});
+  }
+  core::FaceChangeEngine engine(sys->hv(), sys->os().kernel());
+  engine.enable();
+
+  u32 view_id = 0;
+  if (options_.share_image) {
+    engine.adopt_shared_views(*image_);
+  } else {
+    // Baseline: build every view privately (the pre-SharedImage world).
+    for (const core::SharedView& sv : image_->views)
+      engine.load_view(sv.config);
+    if (!image_->audit.empty()) engine.install_static_audit(image_->audit);
+  }
+  for (u32 i = 0; i < image_->views.size(); ++i) {
+    if (image_->views[i].config.app_name == app) view_id = i + 1;
+  }
+  FC_CHECK(view_id != 0, << "fleet app " << app << " has no view in image");
+  engine.bind(app, view_id);
+
+  obs::Recorder& rec = obs::recorder();
+  if (options_.capture_traces) {
+    rec.set_capacity(options_.trace_capacity);
+    rec.start();
+  }
+
+  apps::AppScenario scenario = apps::make_app(app, options_.iterations);
+  u32 pid = sys->os().spawn(app, scenario.model);
+  scenario.install_environment(sys->os());
+  hv::RunOutcome outcome = sys->run_until_exit(pid, options_.run_budget);
+  result.fault = outcome == hv::RunOutcome::kGuestFault;
+
+  if (options_.capture_traces) {
+    rec.stop();
+    result.trace = rec.serialize();
+    rec.clear();
+  }
+
+  result.instructions = sys->vcpu().instructions_retired();
+  result.cycles = sys->vcpu().cycles();
+  result.recoveries = engine.recovery_stats().recoveries;
+  result.view_switches = engine.stats().view_switches();
+  const mem::HostMemory& host = sys->hv().machine().host();
+  result.private_frames = host.private_frame_count();
+  result.total_frames = host.frame_count();
+  result.metrics_json = engine.metrics_json();
+  return result;
+}
+
+FleetReport FleetRunner::run() {
+  const u32 vms = options_.vms;
+  u32 jobs = options_.jobs == 0 ? vms : options_.jobs;
+  jobs = std::min(std::max(jobs, 1u), std::max(vms, 1u));
+
+  FleetReport report;
+  report.vms.resize(vms);
+  report.shared_store_pages =
+      options_.share_image ? image_->store.page_count() : 0;
+
+  const auto start = std::chrono::steady_clock::now();
+  std::atomic<u32> next_vm{0};
+  std::mutex sink_mutex;  // the result sink is the one shared mutable sink
+  auto worker = [&] {
+    for (;;) {
+      u32 vm = next_vm.fetch_add(1, std::memory_order_relaxed);
+      if (vm >= vms) return;
+      VmResult result = run_one_vm(vm);
+      std::lock_guard<std::mutex> lock(sink_mutex);
+      report.vms[vm] = std::move(result);
+    }
+  };
+  if (jobs <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(jobs);
+    for (u32 j = 0; j < jobs; ++j) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
+  }
+  report.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return report;
+}
+
+}  // namespace fc::fleet

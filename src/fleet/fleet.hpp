@@ -1,0 +1,107 @@
+// Multi-VM fleet runner: N independent guest VMs scheduled onto a bounded
+// worker-thread pool, all referencing one immutable core::SharedImage.
+//
+// Thread model: each worker owns the full stack of the VM it is currently
+// running — Machine, vCPU, MMU, engine, OS runtime — so the simulation hot
+// path takes no locks. The only synchronized structures are the shared
+// store's page refcounts (atomics, touched at VM construction/teardown and
+// on COW promotion) and the result sink (mutex, touched once per VM). The
+// obs recorder/metrics registries are thread-local, so tracing one VM never
+// races another.
+//
+// Determinism contract (extends PR 4's across threads): a VM's simulation
+// depends only on (shared image, app, iterations, budget) — never on which
+// worker ran it or what ran before it on that worker (the thread-local
+// metrics registry is reset per VM). The report is keyed by VM id, so
+// FleetReport::to_json() and merged_trace() are byte-identical for any
+// --jobs value; the fleet determinism test asserts this at jobs 1/4/8.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/shared_image.hpp"
+#include "os/os_runtime.hpp"
+#include "support/types.hpp"
+
+namespace fc::fleet {
+
+struct FleetOptions {
+  u32 vms = 8;
+  /// Worker threads; 0 = one per VM (capped at the VM count either way).
+  u32 jobs = 1;
+  /// Per-VM app workload iterations.
+  u32 iterations = 4;
+  Cycles run_budget = 300'000'000;
+  /// Per-VM app assignment, round-robin; empty = the image's view order.
+  std::vector<std::string> apps;
+  os::OsConfig os_config;
+  /// Capture a per-VM trace ring and carry it into the merged stream.
+  bool capture_traces = false;
+  u32 trace_capacity = 1u << 14;
+  /// false = baseline for the fleet_scale bench: every VM assembles its own
+  /// kernel and builds its own views (the pre-SharedImage world).
+  bool share_image = true;
+};
+
+struct VmResult {
+  u32 vm = 0;
+  std::string app;
+  u64 instructions = 0;
+  Cycles cycles = 0;
+  u64 recoveries = 0;
+  u64 view_switches = 0;
+  /// COW residency at end of run: frames this VM privately owns / total.
+  u32 private_frames = 0;
+  u32 total_frames = 0;
+  bool fault = false;
+  /// engine.metrics_json() for this VM alone (deterministic JSON).
+  std::string metrics_json;
+  /// Serialized per-VM trace stream (empty unless capture_traces).
+  std::vector<u8> trace;
+};
+
+struct FleetReport {
+  std::vector<VmResult> vms;  // indexed by VM id
+  u64 shared_store_pages = 0;
+  /// Wall-clock duration of the run; intentionally NOT part of to_json()
+  /// (the deterministic report must not depend on scheduling).
+  double wall_seconds = 0.0;
+
+  u64 total_instructions() const;
+  /// Shared store pages + every VM's private frames: the fleet's resident
+  /// host-memory footprint in 4 KiB frames.
+  u64 resident_frames() const;
+  /// Deterministic merged report, keyed by VM id; byte-identical for any
+  /// jobs count.
+  std::string to_json() const;
+  /// Deterministic merged trace container ("FCFL": per-VM FCTR streams in
+  /// VM-id order). Empty when no VM captured a trace.
+  std::vector<u8> merged_trace() const;
+};
+
+/// Parse an FCFL container into (vm id, FCTR stream) pairs. Returns false
+/// on bad magic/truncation.
+bool parse_fleet_trace(const std::vector<u8>& bytes,
+                       std::vector<std::pair<u32, std::vector<u8>>>* out);
+inline bool is_fleet_trace(const std::vector<u8>& bytes) {
+  return bytes.size() >= 4 && bytes[0] == 'F' && bytes[1] == 'C' &&
+         bytes[2] == 'F' && bytes[3] == 'L';
+}
+
+class FleetRunner {
+ public:
+  /// `image` must outlive the runner and every run() call.
+  FleetRunner(const core::SharedImage& image, FleetOptions options);
+
+  FleetReport run();
+
+ private:
+  VmResult run_one_vm(u32 vm_id);
+
+  const core::SharedImage* image_;
+  FleetOptions options_;
+};
+
+}  // namespace fc::fleet

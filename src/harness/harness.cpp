@@ -1,6 +1,8 @@
 #include "harness/harness.hpp"
 
 #include <map>
+#include <mutex>
+#include <tuple>
 
 #include "analysis/closure.hpp"
 #include "analysis/hazards.hpp"
@@ -10,6 +12,28 @@
 #include "support/logging.hpp"
 
 namespace fc::harness {
+
+const core::SharedImage& boot_image_for(const os::OsConfig& config) {
+  using Key = std::tuple<Cycles, u32, u32, Cycles, Cycles>;
+  const Key key{config.timer_period, config.quantum_ticks, config.clocksource,
+                config.disk_latency, config.net_rtt};
+  static std::mutex mutex;
+  static std::map<Key, std::unique_ptr<core::SharedImage>> memo;
+  std::lock_guard<std::mutex> lock(mutex);
+  auto it = memo.find(key);
+  if (it != memo.end()) return *it->second;
+
+  // Template boot: assemble everything once, then capture.
+  GuestSystem tmpl(config, GuestSystem::FreshBoot{});
+  auto image = std::make_unique<core::SharedImage>();
+  image->capture_machine(tmpl.hv().machine());
+  image->boot.kernel = tmpl.os().kernel();
+  image->boot.modules = tmpl.os().loaded_module_images();
+  image->frames_after_boot = tmpl.hv().machine().host().frame_count();
+  image->frames_after_views = image->frames_after_boot;
+  image->finalize();
+  return *memo.emplace(key, std::move(image)).first->second;
+}
 
 hv::RunOutcome GuestSystem::run_until_exit(u32 pid, Cycles max_cycles) {
   const Cycles end = vcpu().cycles() + max_cycles;
@@ -41,7 +65,11 @@ core::KernelViewConfig profile_app(const std::string& app, u32 iterations) {
 }
 
 const std::vector<core::KernelViewConfig>& profile_all_apps(u32 iterations) {
+  // The mutex makes concurrent first use safe; fleet runs pre-profile on the
+  // main thread, so workers only ever hit the memoized fast path.
+  static std::mutex mutex;
   static std::map<u32, std::vector<core::KernelViewConfig>> memo;
+  std::lock_guard<std::mutex> lock(mutex);
   auto it = memo.find(iterations);
   if (it != memo.end()) return it->second;
   std::vector<core::KernelViewConfig> configs;
@@ -176,6 +204,63 @@ core::StaticAudit build_static_audit(
         analysis::profile_closure(graph, config).absolute_spans;
   }
   return audit;
+}
+
+std::unique_ptr<core::SharedImage> build_shared_image(
+    const SharedImageOptions& options) {
+  // 1. Profiles (separate clean sessions, as the paper's profiling phase).
+  std::vector<std::string> apps = options.apps;
+  std::vector<core::KernelViewConfig> configs;
+  if (apps.empty()) {
+    apps = apps::all_app_names();
+    configs = profile_all_apps(options.profile_iterations);
+  } else {
+    for (const std::string& app : apps)
+      configs.push_back(profile_app(app, options.profile_iterations));
+  }
+
+  // 2. Template boot under the runtime config; capture memory + boot
+  //    artifacts before the engine touches anything.
+  auto image = std::make_unique<core::SharedImage>();
+  GuestSystem tmpl(options.runtime_config);
+  const mem::HostMemory& host = tmpl.hv().machine().host();
+  image->capture_machine(tmpl.hv().machine());
+  image->boot.kernel = tmpl.os().kernel();
+  image->boot.modules = tmpl.os().loaded_module_images();
+  image->frames_after_boot = host.frame_count();
+
+  // 3. Load every view on the template and capture its shadow pages.
+  core::FaceChangeEngine engine(tmpl.hv(), tmpl.os().kernel());
+  engine.enable();
+  std::vector<std::pair<u32, core::KernelViewConfig>> loaded;
+  for (const core::KernelViewConfig& config : configs) {
+    u32 id = engine.load_view(config);
+    image->capture_view(host, *engine.view(id), config);
+    loaded.emplace_back(id, config);
+  }
+  image->frames_after_views = host.frame_count();
+
+  // 4. Prebuild all (from, to) switch descriptors, full view included. The
+  //    frame numbers and EPT table ids they embed are valid in any clone
+  //    because rehydration replays the template's allocation order.
+  const u32 n = static_cast<u32>(loaded.size());
+  for (u32 from = 0; from <= n; ++from) {
+    for (u32 to = 0; to <= n; ++to) {
+      if (from == to) continue;
+      image->switches.push_back(
+          {from, to, engine.switch_descriptor(from, to)});
+    }
+  }
+
+  // 5. Static audit (hazard returns + per-view closures, keyed by the same
+  //    1..n ids adopt_shared_views hands out).
+  if (options.with_static_audit) {
+    analysis::CallGraph graph = build_call_graph(tmpl);
+    image->audit = build_static_audit(graph, loaded);
+  }
+
+  image->finalize();
+  return image;
 }
 
 }  // namespace fc::harness

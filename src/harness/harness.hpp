@@ -12,17 +12,45 @@
 #include "attacks/attacks.hpp"
 #include "core/engine.hpp"
 #include "core/profiler.hpp"
+#include "core/shared_image.hpp"
 #include "hv/hypervisor.hpp"
 #include "os/os_runtime.hpp"
 
 namespace fc::harness {
 
+/// The memoized boot-only SharedImage for one OsConfig: kernel + module
+/// images plus the post-boot guest memory pages, captured from a template
+/// boot on first use. Every GuestSystem constructed with the same config
+/// afterwards boots copy-on-write against it instead of reassembling the
+/// kernel from scratch. Thread-safe (mutex on the memo; the images
+/// themselves are immutable once built).
+const core::SharedImage& boot_image_for(const os::OsConfig& config);
+
 /// A booted guest: hypervisor + OS. The kernel layout is deterministic, so
 /// view configs profiled in one GuestSystem are valid in another.
 class GuestSystem {
  public:
+  /// Tag: assemble kernel and views from scratch instead of adopting a
+  /// shared image (template capture; byte-equivalence regression tests).
+  struct FreshBoot {};
+
   explicit GuestSystem(os::OsConfig config = {})
-      : os_(hv_, config) {
+      : GuestSystem(config, boot_image_for(config)) {}
+
+  /// Boot copy-on-write from a shared image (fleet VMs; the default ctor
+  /// routes here via the memoized boot image). `image` must outlive this
+  /// system.
+  GuestSystem(os::OsConfig config, const core::SharedImage& image)
+      : hv_(image.guest_phys_mib, &image.machine),
+        os_(hv_, config, &image.boot) {
+    os_.boot();
+    // Boot replay transiently diverges a handful of frames (table pages are
+    // zeroed then rebuilt to their captured contents); fold the pure copies
+    // back into the store now that the replay has settled.
+    hv_.machine().host().reshare_identical();
+  }
+
+  GuestSystem(os::OsConfig config, FreshBoot) : os_(hv_, config) {
     os_.boot();
   }
 
@@ -64,6 +92,28 @@ analysis::CallGraph build_call_graph(GuestSystem& sys);
 core::StaticAudit build_static_audit(
     const analysis::CallGraph& graph,
     const std::vector<std::pair<u32, core::KernelViewConfig>>& views);
+
+// ---------------------------------------------------------------------------
+// Fleet images.
+// ---------------------------------------------------------------------------
+
+struct SharedImageOptions {
+  /// Apps whose views the image carries (empty = all 12 Table I apps).
+  std::vector<std::string> apps;
+  u32 profile_iterations = 30;
+  /// Config the fleet VMs will boot with (the captured memory image depends
+  /// on it).
+  os::OsConfig runtime_config;
+  /// Run the static analyzer and embed the audit + per-view closures.
+  bool with_static_audit = true;
+};
+
+/// Build the full fleet SharedImage: profile the apps, boot a template,
+/// capture its memory, load and capture every view, prebuild all (from, to)
+/// switch descriptors, and (optionally) the static audit. The returned
+/// image is immutable and must outlive every VM constructed from it.
+std::unique_ptr<core::SharedImage> build_shared_image(
+    const SharedImageOptions& options = {});
 
 // ---------------------------------------------------------------------------
 // Attack scenarios (Table II).

@@ -5,12 +5,12 @@
 
 namespace fc::hv {
 
-Hypervisor::Hypervisor(u32 guest_phys_mib)
-    : machine_(guest_phys_mib), vcpu_(machine_), vmi_(machine_) {
+Hypervisor::Hypervisor(u32 guest_phys_mib, const mem::MachineImage* image)
+    : machine_(guest_phys_mib, image), vcpu_(machine_), vmi_(machine_) {
   // The flight recorder stamps events with simulated time. There is one
-  // recorder per process; the most recently constructed hypervisor's vCPU
-  // supplies the clock (lockstep harnesses construct pairs but record from
-  // at most one).
+  // recorder per thread; the most recently constructed hypervisor's vCPU
+  // on this thread supplies the clock (lockstep harnesses construct pairs
+  // but record from at most one).
   obs::recorder().set_clock(vcpu_.cycles_addr());
   obs::recorder().set_cycles_per_second(vcpu_.perf_model().cycles_per_second);
 }

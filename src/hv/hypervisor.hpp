@@ -38,7 +38,8 @@ enum class RunOutcome {
 
 class Hypervisor {
  public:
-  explicit Hypervisor(u32 guest_phys_mib = 64);
+  explicit Hypervisor(u32 guest_phys_mib = 64,
+                      const mem::MachineImage* image = nullptr);
   ~Hypervisor();
   Hypervisor(const Hypervisor&) = delete;
   Hypervisor& operator=(const Hypervisor&) = delete;

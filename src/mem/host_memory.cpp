@@ -1,0 +1,92 @@
+#include "mem/host_memory.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace fc::mem {
+
+const u8* zero_page_data() {
+  alignas(64) static const u8 zero[kPageSize] = {};
+  return zero;
+}
+
+void HostMemory::promote(HostFrame f) {
+  u32 b = backing_at(f);
+  if (b == kPrivate) return;
+  auto storage = std::make_unique<u8[]>(kPageSize);
+  std::memcpy(storage.get(), page_ptr_[f], kPageSize);
+  if (b != kZeroBacked) store_->unref(b);
+  private_[f] = std::move(storage);
+  page_ptr_[f] = private_[f].get();
+  backing_[f] = kPrivate;
+  ++private_count_;
+  ++cow_promotions_;
+}
+
+void HostMemory::write_bytes(HostFrame f, u32 offset,
+                             std::span<const u8> bytes) {
+  FC_CHECK(offset + bytes.size() <= kPageSize, << "write_bytes crosses frame");
+  if (bytes.empty()) return;
+  if (backing_at(f) != kPrivate) {
+    if (std::memcmp(page_ptr_[f] + offset, bytes.data(), bytes.size()) == 0) {
+      ++cow_suppressed_writes_;
+      return;
+    }
+    promote(f);
+  }
+  note_frame_write(f);
+  std::memcpy(private_[f].get() + offset, bytes.data(), bytes.size());
+}
+
+void HostMemory::zero_frame(HostFrame f) {
+  u32 b = backing_at(f);
+  if (b == kZeroBacked) return;  // bytes already all-zero, nothing to report
+  if (b != kPrivate &&
+      std::memcmp(page_ptr_[f], zero_page_data(), kPageSize) == 0) {
+    // A shared page that happens to be all-zero: re-back by the zero page
+    // without touching the barrier (bytes unchanged).
+    store_->unref(b);
+    backing_[f] = kZeroBacked;
+    page_ptr_[f] = zero_page_data();
+    return;
+  }
+  note_frame_write(f);
+  if (b == kPrivate) {
+    private_[f].reset();
+    --private_count_;
+  } else {
+    store_->unref(b);
+  }
+  backing_[f] = kZeroBacked;
+  page_ptr_[f] = zero_page_data();
+}
+
+u32 HostMemory::reshare_identical() {
+  if (store_ == nullptr) return 0;
+  u32 reshared = 0;
+  for (HostFrame f = 0; f < frame_count(); ++f) {
+    if (backing_[f] != kPrivate || origin_[f] == kNoOrigin) continue;
+    const u8* page = store_->page_data(origin_[f]);
+    if (std::memcmp(private_[f].get(), page, kPageSize) != 0) continue;
+    // Identical bytes: drop the private copy and point back at the store.
+    // No barrier — readers (including cached decodes) observe no change.
+    private_[f].reset();
+    --private_count_;
+    page_ptr_[f] = page;
+    backing_[f] = origin_[f];
+    store_->ref(origin_[f]);
+    ++reshared;
+  }
+  cow_reshares_ += reshared;
+  return reshared;
+}
+
+void HostMemory::release_all_shared() {
+  if (store_ == nullptr) return;
+  for (u32 f = 0; f < backing_.size(); ++f) {
+    u32 b = backing_[f];
+    if (b != kPrivate && b != kZeroBacked) store_->unref(b);
+  }
+}
+
+}  // namespace fc::mem

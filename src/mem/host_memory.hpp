@@ -1,14 +1,33 @@
 // Host "physical" memory: the backing store that EPT entries point into.
 //
-// Frames are allocated once and never move. Besides the frames backing guest
-// physical memory 1:1 at boot, FACE-CHANGE allocates extra frames here for
-// each kernel view's shadow copies of kernel code pages (filled with UD2),
-// and the hypervisor keeps pristine snapshot frames for code recovery.
+// Frames are allocated once and never move (frame *numbers* are stable; the
+// bytes backing a frame may change residence, see below). Besides the frames
+// backing guest physical memory 1:1 at boot, FACE-CHANGE allocates extra
+// frames here for each kernel view's shadow copies of kernel code pages
+// (filled with UD2), and the hypervisor keeps pristine snapshot frames for
+// code recovery.
+//
+// Copy-on-write sharing: a frame is backed one of three ways —
+//   zero-backed   fresh allocation; reads see the canonical zero page
+//   shared        references an immutable SharedFrameStore page (fleet VMs
+//                 share one copy of the kernel image / module bytes / view
+//                 shadow pages this way)
+//   private       owns its 4 KiB (the only state that existed before COW)
+// The first *divergent* write promotes a zero/shared frame to private. A
+// write that would not change the byte(s) of a zero/shared frame is
+// suppressed entirely — no promotion, no write-barrier callback — which is
+// what lets a clone VM replay its boot over a shared image without unsharing
+// anything. Private frames keep the exact pre-COW write semantics (every
+// write fires the barrier if watched), preserving single-VM behaviour.
+// Promotion preserves the frame number and the bytes, so cached decodes keyed
+// by (frame, generation) in the block cache stay valid across promotion.
 #pragma once
 
+#include <memory>
 #include <span>
 #include <vector>
 
+#include "mem/shared_frames.hpp"
 #include "support/check.hpp"
 #include "support/types.hpp"
 
@@ -34,55 +53,139 @@ class CodeWriteSink {
   virtual void on_code_frame_write(HostFrame frame, FrameWriteCause cause) = 0;
 };
 
+/// The canonical all-zero page backing fresh frames until first write.
+const u8* zero_page_data();
+
 class HostMemory {
  public:
   explicit HostMemory(u32 max_frames = 1u << 17)  // 512 MiB default cap
       : max_frames_(max_frames) {}
+  ~HostMemory() { release_all_shared(); }
+  HostMemory(const HostMemory&) = delete;
+  HostMemory& operator=(const HostMemory&) = delete;
 
-  /// Allocate one zeroed 4 KiB frame; returns its frame number.
+  /// Attach the shared store this memory may adopt pages from. Must be
+  /// frozen already; must outlive this HostMemory.
+  void attach_store(const SharedFrameStore* store) {
+    FC_CHECK(store == nullptr || store->frozen(),
+             << "attach requires a frozen store");
+    store_ = store;
+  }
+  const SharedFrameStore* store() const { return store_; }
+
+  /// Allocate one zeroed 4 KiB frame; returns its frame number. The frame is
+  /// zero-backed (no private storage) until its first non-zero write.
   HostFrame alloc_frame() {
     FC_CHECK(frame_count() < max_frames_, << "host memory exhausted");
-    frames_.resize(frames_.size() + kPageSize, 0);
+    page_ptr_.push_back(zero_page_data());
+    backing_.push_back(kZeroBacked);
+    private_.emplace_back(nullptr);
+    origin_.push_back(kNoOrigin);
     return frame_count() - 1;
   }
 
-  u32 frame_count() const {
-    return static_cast<u32>(frames_.size() / kPageSize);
+  /// Allocate a frame backed read-only by a shared store page (COW).
+  HostFrame adopt_shared(u32 page_id) {
+    FC_CHECK(store_ != nullptr, << "adopt_shared without a store");
+    FC_CHECK(frame_count() < max_frames_, << "host memory exhausted");
+    page_ptr_.push_back(store_->page_data(page_id));
+    backing_.push_back(page_id);
+    private_.emplace_back(nullptr);
+    origin_.push_back(page_id);
+    store_->ref(page_id);
+    return frame_count() - 1;
   }
 
+  u32 frame_count() const { return static_cast<u32>(page_ptr_.size()); }
+  /// Frames that own private storage (the resident cost a VM adds on top of
+  /// the shared store).
+  u32 private_frame_count() const { return private_count_; }
+  bool is_private(HostFrame f) const { return backing_at(f) == kPrivate; }
+  bool is_zero_backed(HostFrame f) const {
+    return backing_at(f) == kZeroBacked;
+  }
+  bool is_shared(HostFrame f) const {
+    u32 b = backing_at(f);
+    return b != kPrivate && b != kZeroBacked;
+  }
+  /// Store page id backing a shared frame (test hook).
+  u32 shared_backing(HostFrame f) const {
+    FC_CHECK(is_shared(f), << "frame " << f << " is not shared");
+    return backing_[f];
+  }
+
+  u64 cow_promotions() const { return cow_promotions_; }
+  u64 cow_suppressed_writes() const { return cow_suppressed_writes_; }
+  u64 cow_reshares() const { return cow_reshares_; }
+
+  /// Demote every private frame whose bytes are byte-identical to the store
+  /// page it was adopted from back to shared backing. Boot replay on a clone
+  /// transiently diverges a few frames (a table page is zeroed, then rebuilt
+  /// to its captured contents; kernel data is written A→B→A) — after the
+  /// replay settles they are pure copies again. Bytes are unchanged by
+  /// construction, so cached decodes and watchers are unaffected. Returns
+  /// the number of frames reshared.
+  u32 reshare_identical();
+
+  /// Mutable view of a frame's bytes; promotes to private first (callers are
+  /// about to write). Read-only users must go through the const overload.
   std::span<u8> frame(HostFrame f) {
-    FC_CHECK(f < frame_count(), << "bad host frame " << f);
-    return {frames_.data() + static_cast<std::size_t>(f) * kPageSize,
-            kPageSize};
+    promote(f);
+    return {private_[f].get(), kPageSize};
   }
   std::span<const u8> frame(HostFrame f) const {
-    FC_CHECK(f < frame_count(), << "bad host frame " << f);
-    return {frames_.data() + static_cast<std::size_t>(f) * kPageSize,
-            kPageSize};
+    return {page_ptr_at(f), kPageSize};
   }
 
-  u8 read8(HostFrame f, u32 offset) const { return frame(f)[offset]; }
+  u8 read8(HostFrame f, u32 offset) const { return page_ptr_at(f)[offset]; }
   void write8(HostFrame f, u32 offset, u8 value) {
+    if (backing_at(f) != kPrivate) {
+      if (page_ptr_[f][offset] == value) {  // same-value: frame unchanged
+        ++cow_suppressed_writes_;
+        return;
+      }
+      promote(f);
+    }
     note_frame_write(f);
-    frame(f)[offset] = value;
+    private_[f][offset] = value;
   }
 
   u32 read32(HostFrame f, u32 offset) const {
     FC_CHECK(offset + 4 <= kPageSize, << "read32 crosses frame");
-    auto b = frame(f);
-    return static_cast<u32>(b[offset]) | (static_cast<u32>(b[offset + 1]) << 8) |
+    const u8* b = page_ptr_at(f);
+    return static_cast<u32>(b[offset]) |
+           (static_cast<u32>(b[offset + 1]) << 8) |
            (static_cast<u32>(b[offset + 2]) << 16) |
            (static_cast<u32>(b[offset + 3]) << 24);
   }
   void write32(HostFrame f, u32 offset, u32 value) {
     FC_CHECK(offset + 4 <= kPageSize, << "write32 crosses frame");
+    if (backing_at(f) != kPrivate) {
+      const u8* b = page_ptr_[f];
+      if (b[offset] == static_cast<u8>(value) &&
+          b[offset + 1] == static_cast<u8>(value >> 8) &&
+          b[offset + 2] == static_cast<u8>(value >> 16) &&
+          b[offset + 3] == static_cast<u8>(value >> 24)) {
+        ++cow_suppressed_writes_;
+        return;
+      }
+      promote(f);
+    }
     note_frame_write(f);
-    auto b = frame(f);
+    u8* b = private_[f].get();
     b[offset] = static_cast<u8>(value);
     b[offset + 1] = static_cast<u8>(value >> 8);
     b[offset + 2] = static_cast<u8>(value >> 16);
     b[offset + 3] = static_cast<u8>(value >> 24);
   }
+
+  /// Bulk write with same-value suppression on zero/shared frames.
+  void write_bytes(HostFrame f, u32 offset, std::span<const u8> bytes);
+
+  /// Reset a frame to all-zero contents, releasing private storage (page
+  /// recycling). Fires the write barrier unless the frame is already
+  /// zero-backed (bytes unchanged → cached decodes stay valid).
+  void zero_frame(HostFrame f);
 
   // --- code write barrier ------------------------------------------------
   void set_code_write_sink(CodeWriteSink* sink) { sink_ = sink; }
@@ -116,8 +219,36 @@ class HostMemory {
   };
 
  private:
+  static constexpr u32 kPrivate = 0xFFFFFFFFu;
+  static constexpr u32 kZeroBacked = 0xFFFFFFFEu;
+  static constexpr u32 kNoOrigin = 0xFFFFFFFFu;
+
+  const u8* page_ptr_at(HostFrame f) const {
+    FC_CHECK(f < frame_count(), << "bad host frame " << f);
+    return page_ptr_[f];
+  }
+  u32 backing_at(HostFrame f) const {
+    FC_CHECK(f < frame_count(), << "bad host frame " << f);
+    return backing_[f];
+  }
+
+  /// Give `f` private storage, preserving its current bytes and frame number.
+  void promote(HostFrame f);
+  void release_all_shared();
+
   u32 max_frames_;
-  std::vector<u8> frames_;
+  // Per frame: the bytes visible to readers (zero page / store page /
+  // private storage), which backing those bytes live in, and the private
+  // storage when owned.
+  std::vector<const u8*> page_ptr_;
+  std::vector<u32> backing_;  // kPrivate, kZeroBacked, or store page id
+  std::vector<std::unique_ptr<u8[]>> private_;
+  std::vector<u32> origin_;  // store page adopted at allocation (kNoOrigin)
+  u32 private_count_ = 0;
+  u64 cow_promotions_ = 0;
+  u64 cow_suppressed_writes_ = 0;
+  u64 cow_reshares_ = 0;
+  const SharedFrameStore* store_ = nullptr;
   std::vector<u8> code_watch_;  // 1 = frame has (had) cached decodes
   CodeWriteSink* sink_ = nullptr;
   FrameWriteCause write_cause_ = FrameWriteCause::kGuestStore;

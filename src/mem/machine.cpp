@@ -4,9 +4,11 @@
 
 namespace fc::mem {
 
-Machine::Machine(u32 guest_phys_mib) : mmu_(host_, ept_) {
+Machine::Machine(u32 guest_phys_mib, const MachineImage* image)
+    : mmu_(host_, ept_) {
   guest_phys_pages_ = guest_phys_mib * (1024 * 1024 / kPageSize);
   boot_frames_.reserve(guest_phys_pages_);
+  if (image != nullptr) host_.attach_store(image->store);
 
   // Identity-back guest physical memory with host frames and build the
   // boot EPT: one pool table per 4 MiB, PDEs pointing at them.
@@ -17,8 +19,18 @@ Machine::Machine(u32 guest_phys_mib) : mmu_(host_, ept_) {
     EptTableId id = ept_.alloc_table();
     ept_.set_pde(t, id);
   }
+  // Pages present in the image adopt its shared store pages copy-on-write;
+  // the rest start zero-backed. Frame numbers come out identical either way.
+  auto next = image != nullptr ? image->pages.begin()
+                               : std::vector<std::pair<u32, u32>>::const_iterator{};
   for (u32 page = 0; page < guest_phys_pages_; ++page) {
-    HostFrame f = host_.alloc_frame();
+    HostFrame f;
+    if (image != nullptr && next != image->pages.end() && next->first == page) {
+      f = host_.adopt_shared(next->second);
+      ++next;
+    } else {
+      f = host_.alloc_frame();
+    }
     boot_frames_.push_back(f);
     ept_.map(static_cast<GPhys>(page) * kPageSize, f);
   }
@@ -33,10 +45,8 @@ void Machine::pwrite_bytes(GPhys pa, std::span<const u8> bytes) {
     u32 in_page = kPageSize - page_offset(at);
     u32 take = static_cast<u32>(
         std::min<std::size_t>(bytes.size() - done, in_page));
-    HostFrame f = frame_for(at);
-    host_.note_frame_write(f);
-    auto frame = host_.frame(f);
-    std::copy_n(bytes.data() + done, take, frame.data() + page_offset(at));
+    host_.write_bytes(frame_for(at), page_offset(at),
+                      bytes.subspan(done, take));
     done += take;
   }
 }
@@ -65,12 +75,8 @@ GPhys Machine::alloc_phys_pages(u32 count, GPhys region_base,
     // may carry cached decodes from its previous life as a code page, so the
     // zeroing must hit the write barrier.
     HostMemory::WriteCauseScope cause(host_, FrameWriteCause::kRecycle);
-    for (u32 i = 0; i < count; ++i) {
-      HostFrame f = frame_for(at + i * kPageSize);
-      host_.note_frame_write(f);
-      auto frame = host_.frame(f);
-      std::fill(frame.begin(), frame.end(), 0);
-    }
+    for (u32 i = 0; i < count; ++i)
+      host_.zero_frame(frame_for(at + i * kPageSize));
     return at;
   }
   // Find or create the cursor for this region.
@@ -95,10 +101,7 @@ void Machine::free_phys_pages(GPhys at, u32 count, GPhys region_base) {
 GPhys GuestPageTableBuilder::alloc_table_page() {
   GPhys pa = machine_->alloc_phys_pages(1, region_base_, region_limit_);
   // Zero it (through the write barrier — the page could be recycled).
-  HostFrame f = machine_->frame_for(pa);
-  machine_->host().note_frame_write(f);
-  auto frame = machine_->host().frame(f);
-  std::fill(frame.begin(), frame.end(), 0);
+  machine_->host().zero_frame(machine_->frame_for(pa));
   if (allocation_log_ != nullptr) allocation_log_->push_back(pa);
   return pa;
 }

@@ -37,7 +37,12 @@ struct GuestLayout {
 
 class Machine {
  public:
-  explicit Machine(u32 guest_phys_mib = 64);
+  /// With `image`, guest physical pages listed there are adopted
+  /// copy-on-write from the image's shared store instead of starting zeroed;
+  /// frame numbering is identical either way (frames are allocated in guest
+  /// page order), so EPT contents and switch descriptors built against one
+  /// machine are valid for any clone of the same image.
+  explicit Machine(u32 guest_phys_mib = 64, const MachineImage* image = nullptr);
 
   HostMemory& host() { return host_; }
   const HostMemory& host() const { return host_; }

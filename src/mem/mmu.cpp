@@ -1,6 +1,7 @@
 #include "mem/mmu.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "support/check.hpp"
 
@@ -157,7 +158,7 @@ u32 Mmu::fetch(GVirt pc, u8* out, u32 max) {
     if (!frame) break;
     u32 in_page = kPageSize - page_offset(va);
     u32 take = std::min(max - fetched, in_page);
-    auto bytes = host_->frame(*frame);
+    auto bytes = std::as_const(*host_).frame(*frame);
     std::copy_n(bytes.data() + page_offset(va), take, out + fetched);
     fetched += take;
   }

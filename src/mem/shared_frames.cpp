@@ -1,0 +1,62 @@
+#include "mem/shared_frames.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace fc::mem {
+
+namespace {
+u64 page_hash(std::span<const u8> bytes) {
+  u64 h = 1469598103934665603ull;  // FNV-1a
+  for (u8 b : bytes) {
+    h ^= b;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+}  // namespace
+
+u32 SharedFrameStore::add_page(std::span<const u8> bytes) {
+  FC_CHECK(!frozen_, << "add_page on a frozen store");
+  FC_CHECK(bytes.size() == kPageSize, << "shared pages are 4 KiB");
+  u64 h = page_hash(bytes);
+  auto& candidates = dedup_[h];
+  for (u32 id : candidates)
+    if (std::memcmp(pages_[id].get(), bytes.data(), kPageSize) == 0) return id;
+  auto page = std::make_unique<u8[]>(kPageSize);
+  std::copy(bytes.begin(), bytes.end(), page.get());
+  pages_.push_back(std::move(page));
+  u32 id = static_cast<u32>(pages_.size() - 1);
+  candidates.push_back(id);
+  return id;
+}
+
+void SharedFrameStore::freeze() {
+  FC_CHECK(!frozen_, << "store already frozen");
+  frozen_ = true;
+  if (!pages_.empty())
+    refs_ = std::make_unique<std::atomic<u64>[]>(pages_.size());
+  dedup_.clear();
+}
+
+void SharedFrameStore::ref(u32 id) const {
+  FC_CHECK(frozen_, << "ref before freeze");
+  FC_CHECK(id < pages_.size(), << "bad shared page " << id);
+  refs_[id].fetch_add(1, std::memory_order_relaxed);
+}
+
+void SharedFrameStore::unref(u32 id) const {
+  FC_CHECK(frozen_, << "unref before freeze");
+  FC_CHECK(id < pages_.size(), << "bad shared page " << id);
+  refs_[id].fetch_sub(1, std::memory_order_relaxed);
+}
+
+u64 SharedFrameStore::attached_refs() const {
+  if (!frozen_ || pages_.empty()) return 0;
+  u64 total = 0;
+  for (u32 i = 0; i < pages_.size(); ++i)
+    total += refs_[i].load(std::memory_order_relaxed);
+  return total;
+}
+
+}  // namespace fc::mem

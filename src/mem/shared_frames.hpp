@@ -1,0 +1,71 @@
+// Immutable, refcounted page store shared across VMs (copy-on-write backing).
+//
+// A fleet of guests runs the same kernel: the assembled kernel image, module
+// bytes and per-view UD2-filled shadow pages are byte-identical in every VM.
+// SharedFrameStore holds one copy of each distinct 4 KiB page; per-VM
+// HostMemory frames reference store pages read-only and promote to private
+// storage on first divergent write (see HostMemory).
+//
+// Lifecycle contract:
+//   build phase   single-threaded: add_page() dedups and appends
+//   freeze()      store becomes immutable
+//   attach phase  any thread: ref()/unref() (atomic), page_data() (const)
+// A store must outlive every HostMemory that references it.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "support/check.hpp"
+#include "support/types.hpp"
+
+namespace fc::mem {
+
+class SharedFrameStore {
+ public:
+  SharedFrameStore() = default;
+  SharedFrameStore(const SharedFrameStore&) = delete;
+  SharedFrameStore& operator=(const SharedFrameStore&) = delete;
+
+  /// Add a page (deduplicated: identical bytes return the same id). The
+  /// dedup matters — every view's unloaded shadow pages are the same
+  /// UD2-filled page, so V views of K pages cost ~1 page, not V*K.
+  u32 add_page(std::span<const u8> bytes);
+
+  /// End the build phase; ref/unref become legal (and thread-safe).
+  void freeze();
+  bool frozen() const { return frozen_; }
+
+  const u8* page_data(u32 id) const {
+    FC_CHECK(id < pages_.size(), << "bad shared page " << id);
+    return pages_[id].get();
+  }
+  u32 page_count() const { return static_cast<u32>(pages_.size()); }
+
+  // Attach-phase refcounts (accounting for "how shared is the fleet"; pages
+  // are never freed — the store owns them until destruction).
+  void ref(u32 id) const;
+  void unref(u32 id) const;
+  u64 attached_refs() const;
+
+ private:
+  std::vector<std::unique_ptr<u8[]>> pages_;
+  // FNV-1a(bytes) → candidate page ids (byte-compared on lookup).
+  std::unordered_map<u64, std::vector<u32>> dedup_;
+  std::unique_ptr<std::atomic<u64>[]> refs_;  // sized at freeze()
+  bool frozen_ = false;
+};
+
+/// A guest-physical memory image: which store page backs each non-zero guest
+/// page. Machine adopts these copy-on-write at construction; guest pages not
+/// listed start zero-backed (lazily materialized on first write).
+struct MachineImage {
+  const SharedFrameStore* store = nullptr;
+  /// (guest physical page number, store page id), sorted by page number.
+  std::vector<std::pair<u32, u32>> pages;
+};
+
+}  // namespace fc::mem

@@ -49,7 +49,7 @@ std::string Metrics::to_json() const {
 }
 
 Metrics& metrics() {
-  static Metrics instance;
+  thread_local Metrics instance;
   return instance;
 }
 

@@ -115,7 +115,9 @@ class Metrics {
   std::map<std::string, Histogram> hists_;
 };
 
-/// Process-wide live registry.
+/// Per-thread live registry (each fleet worker accumulates its own VM's
+/// histograms lock-free; single-threaded callers see the old process-wide
+/// behaviour).
 Metrics& metrics();
 
 }  // namespace fc::obs

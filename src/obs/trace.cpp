@@ -4,7 +4,7 @@
 
 namespace fc::obs {
 
-bool g_trace_enabled = false;
+thread_local bool g_trace_enabled = false;
 
 const char* kind_name(EventKind kind) {
   switch (kind) {
@@ -173,7 +173,7 @@ u32 name_hash(const char* s) {
 }
 
 Recorder& recorder() {
-  static Recorder instance;
+  thread_local Recorder instance;
   return instance;
 }
 

@@ -130,9 +130,11 @@ class Recorder {
   u64 cycles_per_second_ = 100'000'000;
 };
 
-/// Process-wide recorder. The simulation is single-threaded; when several
-/// guest systems coexist (lockstep tests), the clock follows the most
-/// recently constructed hypervisor — record one system at a time.
+/// Per-thread recorder. Each fleet worker thread records its own VM into its
+/// own ring with no synchronization; single-threaded callers see exactly the
+/// old process-wide behaviour. When several guest systems coexist on one
+/// thread (lockstep tests), the clock follows the most recently constructed
+/// hypervisor — record one system at a time.
 Recorder& recorder();
 
 /// Parse a stream produced by Recorder::serialize. Returns false on a bad
@@ -144,8 +146,10 @@ bool parse_trace(const std::vector<u8>& bytes, TraceHeader* header,
 /// 32-bit stand-in for strings the fixed-width event cannot carry.
 u32 name_hash(const char* s);
 
-// Global capture flag, read inline by the emit macro.
-extern bool g_trace_enabled;
+// Capture flag, read inline by the emit macro. Thread-local like the
+// recorder it gates: capture on one fleet worker doesn't enable emission
+// (or data races) on the others.
+extern thread_local bool g_trace_enabled;
 inline bool trace_enabled() { return g_trace_enabled; }
 
 }  // namespace fc::obs

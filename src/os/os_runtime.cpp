@@ -38,9 +38,11 @@ u32 align_up(u32 v, u32 a) { return (v + a - 1) & ~(a - 1); }
 
 }  // namespace
 
-OsRuntime::OsRuntime(hv::Hypervisor& hv, OsConfig config)
+OsRuntime::OsRuntime(hv::Hypervisor& hv, OsConfig config,
+                     const SharedBoot* shared)
     : hv_(&hv),
       config_(config),
+      shared_boot_(shared),
       module_arena_cursor_(GuestLayout::kernel_va(kModuleArenaPhys)) {}
 
 OsRuntime::~OsRuntime() = default;
@@ -124,9 +126,14 @@ void OsRuntime::set_current(u32 slot) {
 void OsRuntime::boot() {
   mem::Machine& machine = hv_->machine();
 
-  // 1. Build and install the kernel text.
-  kernel_ = KernelBuilder::build(make_base_kernel_blueprint(),
-                                 GuestLayout::kernel_va(GuestLayout::kKernelCodePhys));
+  // 1. Build and install the kernel text (reuse the template's image when
+  //    booting from a SharedBoot — assembly is the expensive part of boot,
+  //    and the result is byte-identical by construction).
+  if (shared_boot_ != nullptr)
+    kernel_ = shared_boot_->kernel;
+  else
+    kernel_ = KernelBuilder::build(make_base_kernel_blueprint(),
+                                   GuestLayout::kernel_va(GuestLayout::kKernelCodePhys));
   FC_CHECK(kernel_.text.size() <= GuestLayout::kKernelCodeMax,
            << "kernel too large: " << kernel_.text.size());
   machine.pwrite_bytes(GuestLayout::kKernelCodePhys, kernel_.text);
@@ -1672,9 +1679,16 @@ void OsRuntime::load_module_now(u32 module_id) {
   mem::Machine& m = hv_->machine();
 
   GVirt base = align_up(module_arena_cursor_, kPageSize);
-  ModuleImage img =
-      KernelBuilder::build_module(spec.blueprint, spec.name, base,
-                                  kernel_.symbols);
+  ModuleImage img;
+  if (const ModuleImage* cached =
+          shared_boot_ != nullptr ? shared_boot_->find_module(spec.name, base)
+                                  : nullptr;
+      cached != nullptr) {
+    img = *cached;
+  } else {
+    img = KernelBuilder::build_module(spec.blueprint, spec.name, base,
+                                      kernel_.symbols);
+  }
   FC_CHECK(base + img.text.size() <=
                GuestLayout::kernel_va(kModuleArenaLimit),
            << "module arena exhausted");

@@ -57,13 +57,33 @@ enum WellKnownPath : u32 {
   kPathFirstFree = 32,
 };
 
+/// Prebuilt boot artifacts captured from a template boot. A clone OsRuntime
+/// constructed with one skips kernel/module assembly (the expensive part of
+/// boot) and takes byte-identical copies instead; all guest-memory writes it
+/// then replays are same-value no-ops against the shared machine image (see
+/// mem::HostMemory), so clones keep sharing the template's frames.
+struct SharedBoot {
+  KernelImage kernel;
+  /// Module images the template built, keyed by (name, link base).
+  std::vector<ModuleImage> modules;
+
+  const ModuleImage* find_module(const std::string& name, GVirt base) const {
+    for (const ModuleImage& img : modules)
+      if (img.name == name && img.base == base) return &img;
+    return nullptr;
+  }
+};
+
 class OsRuntime : public cpu::CpuEnv {
  public:
-  OsRuntime(hv::Hypervisor& hv, OsConfig config = {});
+  OsRuntime(hv::Hypervisor& hv, OsConfig config = {},
+            const SharedBoot* shared = nullptr);
   ~OsRuntime() override;
 
   /// Build the kernel, write it into guest memory, set up page tables, IDT,
   /// syscall table, the idle task, the timer, and the stock e1000 module.
+  /// With a SharedBoot the kernel and module images are reused instead of
+  /// rebuilt (byte-identical by the sharedimage regression test).
   void boot();
 
   const KernelImage& kernel() const { return kernel_; }
@@ -304,6 +324,7 @@ class OsRuntime : public cpu::CpuEnv {
 
   hv::Hypervisor* hv_;
   OsConfig config_;
+  const SharedBoot* shared_boot_ = nullptr;
   KernelImage kernel_;
   hv::EventQueue events_;
   std::unique_ptr<mem::GuestPageTableBuilder> ptb_;

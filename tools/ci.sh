@@ -3,9 +3,13 @@
 #
 #   tools/ci.sh             tier 1: configure, build, run the full test suite
 #   tools/ci.sh sanitize    sanitizer tier: same suite under ASan + UBSan
-#   tools/ci.sh bench-smoke interpreter-throughput smoke run under ASan
-#                           (exercises the block-cache on/off paths end to
-#                           end; tiny budget, no speedup thresholds)
+#   tools/ci.sh tsan        ThreadSanitizer tier: the fleet determinism and
+#                           COW isolation tests under -fsanitize=thread
+#                           (workers share only refcounts + the result sink)
+#   tools/ci.sh bench-smoke interpreter-throughput + fleet-scaling smoke
+#                           runs under ASan (exercises the block-cache
+#                           on/off paths and the COW fleet end to end;
+#                           tiny budgets, no thresholds)
 #   tools/ci.sh lint        clang-tidy over src/ with the repo .clang-tidy
 #                           profile (skipped with a notice when clang-tidy
 #                           is not installed — the container image has no
@@ -54,6 +58,15 @@ sanitize() {
     ctest --test-dir build-asan --output-on-failure -j "$jobs"
 }
 
+tsan() {
+  cmake -B build-tsan -S . -DFC_SANITIZE=thread -DFC_WERROR=ON
+  cmake --build build-tsan -j "$jobs" --target fleet_test
+  # The fleet suite is the only multi-threaded surface: run it (determinism
+  # at jobs 1/4/8, COW promotion isolation, shared-image rehydration) with
+  # TSan watching the shared-store refcounts and the result sink.
+  ./build-tsan/tests/fleet_test
+}
+
 bench_smoke() {
   cmake -B build-asan -S . -DFC_SANITIZE=ON -DFC_WERROR=ON
   cmake --build build-asan -j "$jobs" --target interp_throughput
@@ -61,11 +74,15 @@ bench_smoke() {
   # are not representative of throughput, only of memory safety on the
   # cached and uncached interpreter paths.
   ASAN_OPTIONS=detect_leaks=0 ./build-asan/bench/interp_throughput --smoke
-  # The bench embeds the obs metrics registry in its JSON; keep it as a
-  # CI artifact so runs can be compared over time.
+  cmake --build build-asan -j "$jobs" --target fleet_scale
+  ASAN_OPTIONS=detect_leaks=0 ./build-asan/bench/fleet_scale --smoke
+  # The benches embed their metrics in JSON; keep them as CI artifacts so
+  # runs can be compared over time.
   mkdir -p ci-artifacts
   cp BENCH_interp.json ci-artifacts/BENCH_interp.json
-  echo "bench-smoke: metrics artifact at ci-artifacts/BENCH_interp.json"
+  cp BENCH_fleet.json ci-artifacts/BENCH_fleet.json
+  echo "bench-smoke: metrics artifacts at ci-artifacts/BENCH_interp.json" \
+       "and ci-artifacts/BENCH_fleet.json"
 }
 
 trace_determinism() {
@@ -88,9 +105,11 @@ case "${1:-tier1}" in
   tier1)             tier1 ;;
   lint)              lint ;;
   sanitize)          sanitize ;;
+  tsan)              tsan ;;
   bench-smoke)       bench_smoke ;;
   trace-determinism) trace_determinism ;;
-  all)               tier1; lint; sanitize; bench_smoke; trace_determinism ;;
-  *) echo "usage: tools/ci.sh [tier1|lint|sanitize|bench-smoke|trace-determinism|all]" >&2
+  all)               tier1; lint; sanitize; tsan; bench_smoke
+                     trace_determinism ;;
+  *) echo "usage: tools/ci.sh [tier1|lint|sanitize|tsan|bench-smoke|trace-determinism|all]" >&2
      exit 2 ;;
 esac

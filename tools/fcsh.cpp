@@ -13,6 +13,7 @@
 //   fcsh matrix [-n ITER]                    Table I similarity matrix
 //   fcsh attack <name> [--union]             stage one attack end to end
 //   fcsh integrity <attack>                  §V-B data-integrity scan demo
+//   fcsh fleet [--vms N] [--jobs N]          multi-VM COW fleet run
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -22,6 +23,7 @@
 #include "core/behavior.hpp"
 #include "core/integrity.hpp"
 #include "core/similarity.hpp"
+#include "fleet/fleet.hpp"
 #include "harness/harness.hpp"
 #include "obs/chrome_trace.hpp"
 #include "obs/trace.hpp"
@@ -45,6 +47,8 @@ namespace {
       "  matrix   [-n iterations]\n"
       "  attack   <name> [--union]\n"
       "  integrity <attack-name>\n"
+      "  fleet    [--vms N] [--jobs N] [-n iterations] [--apps a,b,c]\n"
+      "           [--no-share] [-o report.json] [--trace-out fleet.fctr]\n"
       "global flags:\n"
       "  --log-level LEVEL   trace|debug|info|warn|error|off (also the\n"
       "                      FC_LOG_LEVEL environment variable)\n"
@@ -82,6 +86,10 @@ struct Options {
   bool union_view = false;
   bool block_cache = true;
   bool closure = false;  // enforce: expand the view by static closure
+  u32 vms = 8;           // fleet: guest count
+  u32 jobs = 1;          // fleet: worker threads (0 = one per VM)
+  std::vector<std::string> fleet_apps;  // fleet: --apps subset
+  bool share = true;     // fleet: --no-share = per-VM rebuild baseline
 };
 
 Options parse_flags(int argc, char** argv, int first) {
@@ -101,6 +109,21 @@ Options parse_flags(int argc, char** argv, int first) {
       options.closure = true;
     } else if (!std::strcmp(argv[i], "--trace-out") && i + 1 < argc) {
       options.trace_out = argv[++i];
+    } else if (!std::strcmp(argv[i], "--vms") && i + 1 < argc) {
+      options.vms = static_cast<u32>(std::atoi(argv[++i]));
+    } else if (!std::strcmp(argv[i], "--jobs") && i + 1 < argc) {
+      options.jobs = static_cast<u32>(std::atoi(argv[++i]));
+    } else if (!std::strcmp(argv[i], "--no-share")) {
+      options.share = false;
+    } else if (!std::strcmp(argv[i], "--apps") && i + 1 < argc) {
+      std::string list = argv[++i];
+      std::size_t at = 0;
+      while (at <= list.size()) {
+        std::size_t comma = list.find(',', at);
+        if (comma == std::string::npos) comma = list.size();
+        if (comma > at) options.fleet_apps.push_back(list.substr(at, comma - at));
+        at = comma + 1;
+      }
     } else if (!std::strcmp(argv[i], "--log-level") && i + 1 < argc) {
       auto level = parse_log_level(argv[++i]);
       if (!level) {
@@ -289,6 +312,66 @@ int cmd_integrity(const std::string& attack_name) {
   return violations.empty() ? 1 : 0;
 }
 
+int cmd_fleet(const Options& options) {
+  harness::SharedImageOptions img_options;
+  img_options.apps = options.fleet_apps;
+  img_options.profile_iterations = options.iterations;
+  std::printf("building shared image (%s)...\n",
+              options.fleet_apps.empty()
+                  ? "all apps"
+                  : std::to_string(options.fleet_apps.size()).append(" apps")
+                        .c_str());
+  auto image = harness::build_shared_image(img_options);
+  std::printf("shared image: %u store pages, %zu views, %zu prebuilt "
+              "switches\n",
+              image->store.page_count(), image->views.size(),
+              image->switches.size());
+
+  fleet::FleetOptions fleet_options;
+  fleet_options.vms = options.vms;
+  fleet_options.jobs = options.jobs;
+  fleet_options.iterations = options.iterations;
+  fleet_options.apps = options.fleet_apps;
+  fleet_options.share_image = options.share;
+  fleet_options.capture_traces = !options.trace_out.empty();
+  fleet::FleetRunner runner(*image, fleet_options);
+  fleet::FleetReport report = runner.run();
+
+  std::printf("%-4s %-10s %12s %12s %6s %8s %9s %6s\n", "vm", "app", "insns",
+              "cycles", "recov", "switches", "priv/tot", "fault");
+  for (const fleet::VmResult& vm : report.vms)
+    std::printf("%-4u %-10s %12llu %12llu %6llu %8llu %4u/%-4u %6s\n", vm.vm,
+                vm.app.c_str(), static_cast<unsigned long long>(vm.instructions),
+                static_cast<unsigned long long>(vm.cycles),
+                static_cast<unsigned long long>(vm.recoveries),
+                static_cast<unsigned long long>(vm.view_switches),
+                vm.private_frames, vm.total_frames, vm.fault ? "FAULT" : "-");
+  std::printf("fleet: %zu VMs, %llu insns total, resident %llu frames "
+              "(%llu shared + per-VM private), %.2fs wall "
+              "(%.0f aggregate insns/sec)\n",
+              report.vms.size(),
+              static_cast<unsigned long long>(report.total_instructions()),
+              static_cast<unsigned long long>(report.resident_frames()),
+              static_cast<unsigned long long>(report.shared_store_pages),
+              report.wall_seconds,
+              report.wall_seconds > 0
+                  ? static_cast<double>(report.total_instructions()) /
+                        report.wall_seconds
+                  : 0.0);
+  if (!options.out.empty()) spit(options.out, report.to_json());
+  if (!options.trace_out.empty()) {
+    std::vector<u8> merged = report.merged_trace();
+    std::ofstream out(options.trace_out, std::ios::binary);
+    out.write(reinterpret_cast<const char*>(merged.data()),
+              static_cast<std::streamsize>(merged.size()));
+    std::printf("wrote %s (%zu bytes, FCFL container)\n",
+                options.trace_out.c_str(), merged.size());
+  }
+  bool any_fault = false;
+  for (const fleet::VmResult& vm : report.vms) any_fault |= vm.fault;
+  return any_fault ? 1 : 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -297,6 +380,7 @@ int main(int argc, char** argv) {
   if (cmd == "apps") return cmd_apps();
   if (cmd == "attacks") return cmd_attacks();
   if (cmd == "matrix") return cmd_matrix(parse_flags(argc, argv, 2));
+  if (cmd == "fleet") return cmd_fleet(parse_flags(argc, argv, 2));
   if (argc < 3) usage();
   std::string arg = argv[2];
   Options options = parse_flags(argc, argv, 3);

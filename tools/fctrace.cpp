@@ -1,16 +1,22 @@
 // fctrace — flight-recorder inspection CLI.
 //
 //   fctrace record [-n ITER] [--apps a,b,..] [--ring N] [--budget CYCLES]
-//                  [-o FILE] [--chrome FILE] [--metrics FILE]
+//                  [-o FILE] [--chrome FILE] [--metrics FILE] [--vms N]
+//                  [--jobs N]
 //       Run the multi-app enforcement scenario (default: all 12 modelled
 //       applications concurrently under their own views) with the flight
 //       recorder on; write the binary event stream (default: trace.fctrace).
-//   fctrace dump FILE [--kind NAME] [--view N] [--limit N]
-//       Print events, optionally filtered by kind or view id.
+//       With --vms N, run an N-guest COW fleet instead and write the merged
+//       per-VM container (FCFL: one FCTR stream per VM, in VM-id order).
+//   fctrace dump FILE [--kind NAME] [--view N] [--vm N] [--limit N]
+//       Print events, optionally filtered by kind or view id. FCFL
+//       containers dump every VM stream (or just --vm N).
 //   fctrace aggregate FILE
-//       Per-kind event counts and cycle totals.
-//   fctrace chrome FILE [-o OUT.json]
+//       Per-kind event counts and cycle totals; for FCFL containers, adds a
+//       per-VM breakdown column and a per-VM summary table.
+//   fctrace chrome FILE [-o OUT.json] [--vm N]
 //       Convert a recording to Chrome trace_event JSON (Perfetto-loadable).
+//       FCFL containers need --vm to select one stream.
 //   fctrace diff A B
 //       Byte-level and event-level comparison of two recordings.
 //   fctrace selftest
@@ -25,6 +31,7 @@
 #include <string>
 #include <vector>
 
+#include "fleet/fleet.hpp"
 #include "harness/harness.hpp"
 #include "obs/chrome_trace.hpp"
 #include "obs/metrics.hpp"
@@ -41,10 +48,10 @@ namespace {
       "usage: fctrace <command> [args]\n"
       "  record [-n iterations] [--apps a,b,..] [--ring events]\n"
       "         [--budget cycles] [-o trace.fctrace] [--chrome out.json]\n"
-      "         [--metrics out.json]\n"
-      "  dump <trace.fctrace> [--kind name] [--view id] [--limit n]\n"
+      "         [--metrics out.json] [--vms n] [--jobs n]\n"
+      "  dump <trace.fctrace> [--kind name] [--view id] [--vm id] [--limit n]\n"
       "  aggregate <trace.fctrace>\n"
-      "  chrome <trace.fctrace> [-o out.json]\n"
+      "  chrome <trace.fctrace> [-o out.json] [--vm id]\n"
       "  diff <a.fctrace> <b.fctrace>\n"
       "  selftest\n"
       "flags: --log-level LEVEL (or FC_LOG_LEVEL env)\n");
@@ -87,6 +94,8 @@ struct RecordOptions {
   std::string out = "trace.fctrace";
   std::string chrome_out;
   std::string metrics_out;
+  u32 vms = 0;   // > 0: record a COW fleet, write an FCFL container
+  u32 jobs = 1;  // fleet worker threads
 };
 
 /// Run the enforcement scenario with the recorder capturing and return the
@@ -133,7 +142,42 @@ std::vector<u8> record_scenario(const RecordOptions& options,
   return obs::recorder().serialize();
 }
 
+int cmd_record_fleet(const RecordOptions& options) {
+  harness::SharedImageOptions img_options;
+  img_options.apps = options.apps;
+  auto image = harness::build_shared_image(img_options);
+
+  fleet::FleetOptions fleet_options;
+  fleet_options.vms = options.vms;
+  fleet_options.jobs = options.jobs;
+  fleet_options.iterations = options.iterations;
+  fleet_options.apps = options.apps;
+  fleet_options.run_budget = options.budget;
+  fleet_options.capture_traces = true;
+  fleet_options.trace_capacity = options.ring;
+  fleet::FleetRunner runner(*image, fleet_options);
+  fleet::FleetReport report = runner.run();
+
+  for (const fleet::VmResult& vm : report.vms)
+    std::printf("vm %u (%s): %zu trace bytes, %llu insns%s\n", vm.vm,
+                vm.app.c_str(), vm.trace.size(),
+                static_cast<unsigned long long>(vm.instructions),
+                vm.fault ? " [FAULT]" : "");
+  std::vector<u8> merged = report.merged_trace();
+  write_file(options.out, merged.data(), merged.size());
+  if (!options.metrics_out.empty()) {
+    std::string json = report.to_json();
+    write_file(options.metrics_out, json.data(), json.size());
+  }
+  if (!options.chrome_out.empty())
+    std::fprintf(stderr, "fctrace: --chrome is per-stream; run "
+                         "`fctrace chrome %s --vm N` instead\n",
+                 options.out.c_str());
+  return 0;
+}
+
 int cmd_record(const RecordOptions& options) {
+  if (options.vms > 0) return cmd_record_fleet(options);
   std::string metrics_json;
   std::vector<u8> bytes = record_scenario(options, &metrics_json);
   std::printf("recorded %llu events (%llu emitted, %llu dropped by ring)\n",
@@ -150,60 +194,136 @@ int cmd_record(const RecordOptions& options) {
   return 0;
 }
 
+/// FCFL containers: the per-VM streams, parsed. Returns false (untouched
+/// out) when `raw` is a plain FCTR stream.
+bool parse_fleet_or_die(const std::vector<u8>& raw,
+                        std::vector<std::pair<u32, std::vector<u8>>>* out) {
+  if (!fleet::is_fleet_trace(raw)) return false;
+  if (!fleet::parse_fleet_trace(raw, out)) {
+    std::fprintf(stderr, "fctrace: corrupt FCFL container\n");
+    std::exit(1);
+  }
+  return true;
+}
+
 int cmd_dump(const std::string& path, const std::string& kind_filter,
-             int view_filter, u64 limit) {
-  obs::TraceHeader header;
-  std::vector<obs::TraceEvent> events;
-  parse_or_die(read_file(path), &header, &events);
-  std::printf("# %u events (%llu emitted), %llu cycles/sec\n",
-              header.event_count,
-              static_cast<unsigned long long>(header.total_emitted),
-              static_cast<unsigned long long>(header.cycles_per_second));
+             int view_filter, int vm_filter, u64 limit) {
+  std::vector<u8> raw = read_file(path);
+  std::vector<std::pair<u32, std::vector<u8>>> streams;
+  if (parse_fleet_or_die(raw, &streams)) {
+    std::printf("# FCFL container: %zu vm streams\n", streams.size());
+  } else {
+    streams.emplace_back(0, std::move(raw));
+    vm_filter = -1;  // plain stream: no vm scoping
+  }
   u64 shown = 0;
-  for (const obs::TraceEvent& ev : events) {
-    if (!kind_filter.empty() && kind_filter != obs::kind_name(ev.kind))
-      continue;
-    if (view_filter >= 0 && ev.view != static_cast<u16>(view_filter)) continue;
-    std::printf("%s\n", obs::render_event(ev).c_str());
-    if (++shown == limit) break;
+  for (const auto& [vm, bytes] : streams) {
+    if (vm_filter >= 0 && vm != static_cast<u32>(vm_filter)) continue;
+    obs::TraceHeader header;
+    std::vector<obs::TraceEvent> events;
+    parse_or_die(bytes, &header, &events);
+    std::printf("# vm %u: %u events (%llu emitted), %llu cycles/sec\n", vm,
+                header.event_count,
+                static_cast<unsigned long long>(header.total_emitted),
+                static_cast<unsigned long long>(header.cycles_per_second));
+    for (const obs::TraceEvent& ev : events) {
+      if (!kind_filter.empty() && kind_filter != obs::kind_name(ev.kind))
+        continue;
+      if (view_filter >= 0 && ev.view != static_cast<u16>(view_filter))
+        continue;
+      std::printf("%s\n", obs::render_event(ev).c_str());
+      if (++shown == limit) return 0;
+    }
   }
   return 0;
 }
 
 int cmd_aggregate(const std::string& path) {
-  obs::TraceHeader header;
-  std::vector<obs::TraceEvent> events;
-  parse_or_die(read_file(path), &header, &events);
+  std::vector<u8> raw = read_file(path);
+  std::vector<std::pair<u32, std::vector<u8>>> streams;
+  bool is_fleet = parse_fleet_or_die(raw, &streams);
+  if (!is_fleet) streams.emplace_back(0, std::move(raw));
 
   struct Agg {
     u64 count = 0;
     u64 cycles = 0;  // summed arg3 (the sliced kinds charge cycles there)
+    std::map<u32, u64> per_vm;  // vm id → count (fleet containers)
   };
   std::map<std::string, Agg> by_kind;
-  for (const obs::TraceEvent& ev : events) {
-    Agg& agg = by_kind[obs::kind_name(ev.kind)];
-    ++agg.count;
-    if (ev.kind == obs::EventKind::kViewSwitch ||
-        ev.kind == obs::EventKind::kRecovery)
-      agg.cycles += ev.arg3;
+  u64 total_events = 0;
+  u64 total_dropped = 0;
+  for (const auto& [vm, bytes] : streams) {
+    obs::TraceHeader header;
+    std::vector<obs::TraceEvent> events;
+    parse_or_die(bytes, &header, &events);
+    total_events += header.event_count;
+    total_dropped += header.total_emitted - header.event_count;
+    for (const obs::TraceEvent& ev : events) {
+      Agg& agg = by_kind[obs::kind_name(ev.kind)];
+      ++agg.count;
+      ++agg.per_vm[vm];
+      if (ev.kind == obs::EventKind::kViewSwitch ||
+          ev.kind == obs::EventKind::kRecovery)
+        agg.cycles += ev.arg3;
+    }
+    if (is_fleet) {
+      Cycles span =
+          events.empty() ? 0 : events.back().when - events.front().when;
+      std::printf("vm %-3u %8u events spanning %llu cycles\n", vm,
+                  header.event_count, static_cast<unsigned long long>(span));
+    }
   }
-  Cycles span = events.empty() ? 0 : events.back().when - events.front().when;
-  std::printf("%u events spanning %llu cycles (%llu dropped by ring)\n",
-              header.event_count, static_cast<unsigned long long>(span),
-              static_cast<unsigned long long>(
-                  header.total_emitted - header.event_count));
-  std::printf("%-20s %10s %14s\n", "kind", "count", "cycles");
-  for (const auto& [kind, agg] : by_kind)
-    std::printf("%-20s %10llu %14llu\n", kind.c_str(),
+  std::printf("%llu events total (%llu dropped by rings)\n",
+              static_cast<unsigned long long>(total_events),
+              static_cast<unsigned long long>(total_dropped));
+  std::printf("%-20s %10s %14s%s\n", "kind", "count", "cycles",
+              is_fleet ? "  per-vm" : "");
+  for (const auto& [kind, agg] : by_kind) {
+    std::printf("%-20s %10llu %14llu", kind.c_str(),
                 static_cast<unsigned long long>(agg.count),
                 static_cast<unsigned long long>(agg.cycles));
+    if (is_fleet) {
+      std::printf("  ");
+      bool first = true;
+      for (const auto& [vm, bytes] : streams) {
+        auto it = agg.per_vm.find(vm);
+        std::printf("%s%llu", first ? "" : "/",
+                    static_cast<unsigned long long>(
+                        it == agg.per_vm.end() ? 0 : it->second));
+        first = false;
+      }
+    }
+    std::printf("\n");
+  }
   return 0;
 }
 
-int cmd_chrome(const std::string& path, std::string out_path) {
+int cmd_chrome(const std::string& path, std::string out_path, int vm_filter) {
+  std::vector<u8> raw = read_file(path);
+  std::vector<std::pair<u32, std::vector<u8>>> streams;
+  if (parse_fleet_or_die(raw, &streams)) {
+    if (vm_filter < 0) {
+      std::fprintf(stderr,
+                   "fctrace: FCFL container holds %zu streams; pick one "
+                   "with --vm N\n",
+                   streams.size());
+      return 2;
+    }
+    bool found = false;
+    for (auto& [vm, bytes] : streams) {
+      if (vm != static_cast<u32>(vm_filter)) continue;
+      raw = std::move(bytes);
+      found = true;
+      break;
+    }
+    if (!found) {
+      std::fprintf(stderr, "fctrace: no vm %d in container\n", vm_filter);
+      return 2;
+    }
+  }
   obs::TraceHeader header;
   std::vector<obs::TraceEvent> events;
-  parse_or_die(read_file(path), &header, &events);
+  parse_or_die(raw, &header, &events);
   if (out_path.empty()) out_path = path + ".json";
   std::string json = obs::chrome_trace_json(events, header.cycles_per_second);
   write_file(out_path, json.data(), json.size());
@@ -354,6 +474,10 @@ int main(int argc, char** argv) {
       options.chrome_out = *v;
     if (const std::string* v = flag_value("--metrics"))
       options.metrics_out = *v;
+    if (const std::string* v = flag_value("--vms"))
+      options.vms = static_cast<u32>(std::atoi(v->c_str()));
+    if (const std::string* v = flag_value("--jobs"))
+      options.jobs = static_cast<u32>(std::atoi(v->c_str()));
     return cmd_record(options);
   }
   if (cmd == "dump") {
@@ -361,13 +485,15 @@ int main(int argc, char** argv) {
     if (path == nullptr) usage();
     std::string kind;
     int view = -1;
+    int vm = -1;
     u64 limit = ~0ull;
     if (const std::string* v = flag_value("--kind")) kind = *v;
     if (const std::string* v = flag_value("--view"))
       view = std::atoi(v->c_str());
+    if (const std::string* v = flag_value("--vm")) vm = std::atoi(v->c_str());
     if (const std::string* v = flag_value("--limit"))
       limit = std::strtoull(v->c_str(), nullptr, 10);
-    return cmd_dump(*path, kind, view, limit);
+    return cmd_dump(*path, kind, view, vm, limit);
   }
   if (cmd == "aggregate") {
     const std::string* path = positional(0);
@@ -378,7 +504,9 @@ int main(int argc, char** argv) {
     const std::string* path = positional(0);
     if (path == nullptr) usage();
     const std::string* out = flag_value("-o");
-    return cmd_chrome(*path, out != nullptr ? *out : "");
+    int vm = -1;
+    if (const std::string* v = flag_value("--vm")) vm = std::atoi(v->c_str());
+    return cmd_chrome(*path, out != nullptr ? *out : "", vm);
   }
   if (cmd == "diff") {
     const std::string* a = positional(0);
