@@ -1,14 +1,14 @@
 #include "fleet/fleet.hpp"
 
 #include <algorithm>
-#include <atomic>
 #include <chrono>
-#include <mutex>
+#include <cstdio>
 #include <sstream>
 #include <thread>
 
 #include "apps/apps.hpp"
 #include "core/engine.hpp"
+#include "fleet/work_steal.hpp"
 #include "harness/harness.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -17,6 +17,35 @@
 namespace fc::fleet {
 
 namespace {
+/// JSON string escaping for interpolated fields (app names flow in from
+/// external config; a quote or backslash must not produce invalid JSON for
+/// the fctrace/bench consumers).
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+        break;
+    }
+  }
+  return out;
+}
+
 void put_u32(std::vector<u8>& out, u32 v) {
   out.push_back(static_cast<u8>(v));
   out.push_back(static_cast<u8>(v >> 8));
@@ -56,7 +85,7 @@ std::string FleetReport::to_json() const {
   for (std::size_t i = 0; i < vms.size(); ++i) {
     const VmResult& vm = vms[i];
     if (i != 0) out << ",";
-    out << "{\"vm\":" << vm.vm << ",\"app\":\"" << vm.app << "\""
+    out << "{\"vm\":" << vm.vm << ",\"app\":\"" << json_escape(vm.app) << "\""
         << ",\"instructions\":" << vm.instructions
         << ",\"cycles\":" << vm.cycles << ",\"recoveries\":" << vm.recoveries
         << ",\"view_switches\":" << vm.view_switches
@@ -117,6 +146,43 @@ FleetRunner::FleetRunner(const core::SharedImage& image, FleetOptions options)
   FC_CHECK(!image_->views.empty(), << "fleet image carries no views");
 }
 
+namespace {
+/// Fences off the calling thread's recorder for the duration of a VM run.
+/// With jobs<=1 the VM executes on the *caller's* thread: if the caller has
+/// its own capture in flight (fctrace, a test), the VM's events must neither
+/// bleed into that ring nor leave the recorder's clock pointing at the VM's
+/// (destroyed) vCPU afterwards. Suspends an active capture on entry and
+/// restores the enabled flag, clock and cycle rate on exit; when the fleet
+/// itself captures (capture_traces) the ring's events are repurposed for the
+/// VM, but the caller's recorder configuration still comes back intact.
+class RecorderQuarantine {
+ public:
+  RecorderQuarantine()
+      : rec_(obs::recorder()),
+        was_capturing_(rec_.capturing()),
+        clock_(rec_.clock()),
+        cycles_per_second_(rec_.cycles_per_second()),
+        capacity_(rec_.capacity()) {
+    if (was_capturing_) rec_.stop();
+  }
+  ~RecorderQuarantine() {
+    if (rec_.capacity() != capacity_) rec_.set_capacity(capacity_);
+    rec_.set_clock(clock_);
+    rec_.set_cycles_per_second(cycles_per_second_);
+    if (was_capturing_) rec_.resume();
+  }
+  RecorderQuarantine(const RecorderQuarantine&) = delete;
+  RecorderQuarantine& operator=(const RecorderQuarantine&) = delete;
+
+ private:
+  obs::Recorder& rec_;
+  bool was_capturing_;
+  const Cycles* clock_;
+  u64 cycles_per_second_;
+  u32 capacity_;
+};
+}  // namespace
+
 VmResult FleetRunner::run_one_vm(u32 vm_id) {
   const std::vector<std::string>& apps = options_.apps;
   std::string app =
@@ -127,6 +193,10 @@ VmResult FleetRunner::run_one_vm(u32 vm_id) {
   VmResult result;
   result.vm = vm_id;
   result.app = app;
+
+  // Fence the caller's recorder off for the whole VM lifetime (construction
+  // emits events too); destroyed last, after the VM stack is gone.
+  RecorderQuarantine quarantine;
 
   // Per-VM isolation of the thread-local registries: a VM's exported
   // metrics must not depend on what ran earlier on this worker (jobs=1 runs
@@ -199,25 +269,23 @@ FleetReport FleetRunner::run() {
       options_.share_image ? image_->store.page_count() : 0;
 
   const auto start = std::chrono::steady_clock::now();
-  std::atomic<u32> next_vm{0};
-  std::mutex sink_mutex;  // the result sink is the one shared mutable sink
-  auto worker = [&] {
-    for (;;) {
-      u32 vm = next_vm.fetch_add(1, std::memory_order_relaxed);
-      if (vm >= vms) return;
-      VmResult result = run_one_vm(vm);
-      std::lock_guard<std::mutex> lock(sink_mutex);
-      report.vms[vm] = std::move(result);
-    }
+  WorkStealingQueues queue(jobs, vms);
+  // No result-sink lock: report.vms is pre-sized and each VM id is claimed
+  // by exactly one worker, so workers move results into disjoint slots; the
+  // pool join below is the happens-before edge that publishes them to the
+  // caller (the TSan tier keeps this honest).
+  auto worker = [&](u32 self) {
+    for (u32 vm = 0; queue.next(self, &vm);) report.vms[vm] = run_one_vm(vm);
   };
   if (jobs <= 1) {
-    worker();
+    worker(0);
   } else {
     std::vector<std::thread> pool;
     pool.reserve(jobs);
-    for (u32 j = 0; j < jobs; ++j) pool.emplace_back(worker);
+    for (u32 j = 0; j < jobs; ++j) pool.emplace_back(worker, j);
     for (std::thread& t : pool) t.join();
   }
+  report.steals = queue.stolen();
   report.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();

@@ -3,10 +3,15 @@
 //
 // Thread model: each worker owns the full stack of the VM it is currently
 // running — Machine, vCPU, MMU, engine, OS runtime — so the simulation hot
-// path takes no locks. The only synchronized structures are the shared
-// store's page refcounts (atomics, touched at VM construction/teardown and
-// on COW promotion) and the result sink (mutex, touched once per VM). The
-// obs recorder/metrics registries are thread-local, so tracing one VM never
+// path takes no locks. VM ids are claimed through a work-stealing scheduler
+// (per-worker deques, steal-half; see work_steal.hpp); results land in
+// disjoint pre-sized report slots with the pool join as the publishing edge,
+// so there is no result-sink lock. The only cross-worker state is the shared
+// store's page refcounts — cache-line-isolated atomics that each VM batches
+// locally and flushes at boot-settle/teardown (see HostMemory) — and the
+// scheduler deques. Private frame storage comes from thread-local page
+// arenas, keeping the global allocator off the VM hot path. The obs
+// recorder/metrics registries are thread-local, so tracing one VM never
 // races another.
 //
 // Determinism contract (extends PR 4's across threads): a VM's simulation
@@ -68,6 +73,9 @@ struct FleetReport {
   /// Wall-clock duration of the run; intentionally NOT part of to_json()
   /// (the deterministic report must not depend on scheduling).
   double wall_seconds = 0.0;
+  /// VM ids migrated between workers by the work-stealing scheduler.
+  /// Scheduling telemetry — like wall_seconds, excluded from to_json().
+  u64 steals = 0;
 
   u64 total_instructions() const;
   /// Shared store pages + every VM's private frames: the fleet's resident

@@ -13,9 +13,9 @@ const u8* zero_page_data() {
 void HostMemory::promote(HostFrame f) {
   u32 b = backing_at(f);
   if (b == kPrivate) return;
-  auto storage = std::make_unique<u8[]>(kPageSize);
+  PagePtr storage = alloc_page();
   std::memcpy(storage.get(), page_ptr_[f], kPageSize);
-  if (b != kZeroBacked) store_->unref(b);
+  if (b != kZeroBacked) note_ref(b, -1);
   private_[f] = std::move(storage);
   page_ptr_[f] = private_[f].get();
   backing_[f] = kPrivate;
@@ -40,12 +40,17 @@ void HostMemory::write_bytes(HostFrame f, u32 offset,
 
 void HostMemory::zero_frame(HostFrame f) {
   u32 b = backing_at(f);
-  if (b == kZeroBacked) return;  // bytes already all-zero, nothing to report
+  if (b == kZeroBacked) {
+    // Bytes already all-zero: one suppressed write, nothing to report.
+    ++cow_suppressed_writes_;
+    return;
+  }
   if (b != kPrivate &&
       std::memcmp(page_ptr_[f], zero_page_data(), kPageSize) == 0) {
     // A shared page that happens to be all-zero: re-back by the zero page
-    // without touching the barrier (bytes unchanged).
-    store_->unref(b);
+    // without touching the barrier (bytes unchanged → a suppressed write).
+    ++cow_suppressed_writes_;
+    note_ref(b, -1);
     backing_[f] = kZeroBacked;
     page_ptr_[f] = zero_page_data();
     return;
@@ -55,7 +60,7 @@ void HostMemory::zero_frame(HostFrame f) {
     private_[f].reset();
     --private_count_;
   } else {
-    store_->unref(b);
+    note_ref(b, -1);
   }
   backing_[f] = kZeroBacked;
   page_ptr_[f] = zero_page_data();
@@ -74,18 +79,44 @@ u32 HostMemory::reshare_identical() {
     --private_count_;
     page_ptr_[f] = page;
     backing_[f] = origin_[f];
-    store_->ref(origin_[f]);
+    note_ref(origin_[f], +1);
     ++reshared;
   }
   cow_reshares_ += reshared;
+  // The boot replay has settled: publish this VM's net refcounts so
+  // attached_refs() is exact while the fleet runs.
+  flush_shared_refs();
   return reshared;
+}
+
+void HostMemory::flush_shared_refs() {
+  if (ref_log_.empty() || store_ == nullptr) return;
+  // Net the log down to one signed delta per distinct page, then apply in
+  // one pass: the store sees O(distinct pages) relaxed RMWs on cache-line-
+  // isolated counters instead of O(events) interleaved with other workers.
+  std::sort(ref_log_.begin(), ref_log_.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::vector<std::pair<u32, i64>> net;
+  net.reserve(ref_log_.size());
+  for (const auto& [id, delta] : ref_log_) {
+    if (!net.empty() && net.back().first == id) {
+      net.back().second += delta;
+    } else {
+      net.emplace_back(id, delta);
+    }
+  }
+  net.erase(std::remove_if(net.begin(), net.end(),
+                           [](const auto& e) { return e.second == 0; }),
+            net.end());
+  store_->apply_ref_deltas(net);
+  ref_log_.clear();
 }
 
 void HostMemory::release_all_shared() {
   if (store_ == nullptr) return;
   for (u32 f = 0; f < backing_.size(); ++f) {
     u32 b = backing_[f];
-    if (b != kPrivate && b != kZeroBacked) store_->unref(b);
+    if (b != kPrivate && b != kZeroBacked) note_ref(b, -1);
   }
 }
 

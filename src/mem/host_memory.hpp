@@ -21,12 +21,25 @@
 // write fires the barrier if watched), preserving single-VM behaviour.
 // Promotion preserves the frame number and the bytes, so cached decodes keyed
 // by (frame, generation) in the block cache stay valid across promotion.
+//
+// Concurrency: a HostMemory is single-threaded (one VM, one worker), but
+// many HostMemorys attach to one SharedFrameStore concurrently. The two
+// fleet-scaling mechanisms live here:
+//   - private storage comes from the thread-local page arena
+//     (mem/page_arena.hpp), so promote/zero/reshare churn never touches the
+//     global allocator;
+//   - store refcount traffic is batched in ref_log_ and flushed as net
+//     per-page deltas at sync points (end of reshare_identical, teardown,
+//     or an explicit flush_shared_refs()), so a VM boot's thousands of
+//     adopts cost a handful of atomic RMWs instead of one each.
 #pragma once
 
 #include <memory>
 #include <span>
+#include <utility>
 #include <vector>
 
+#include "mem/page_arena.hpp"
 #include "mem/shared_frames.hpp"
 #include "support/check.hpp"
 #include "support/types.hpp"
@@ -60,7 +73,10 @@ class HostMemory {
  public:
   explicit HostMemory(u32 max_frames = 1u << 17)  // 512 MiB default cap
       : max_frames_(max_frames) {}
-  ~HostMemory() { release_all_shared(); }
+  ~HostMemory() {
+    release_all_shared();
+    flush_shared_refs();
+  }
   HostMemory(const HostMemory&) = delete;
   HostMemory& operator=(const HostMemory&) = delete;
 
@@ -92,7 +108,7 @@ class HostMemory {
     backing_.push_back(page_id);
     private_.emplace_back(nullptr);
     origin_.push_back(page_id);
-    store_->ref(page_id);
+    note_ref(page_id, +1);
     return frame_count() - 1;
   }
 
@@ -114,6 +130,12 @@ class HostMemory {
     return backing_[f];
   }
 
+  // --- COW statistics ------------------------------------------------------
+  // Unit contract: cow_suppressed_writes counts suppressed *writes* — one
+  // per write8/write32/write_bytes/zero_frame call whose bytes would be
+  // unchanged on a zero/shared frame and was therefore elided (no promotion,
+  // no barrier). It is a call count, never a byte count: four same-value
+  // write8 calls count 4, one same-value write_bytes of 4 KiB counts 1.
   u64 cow_promotions() const { return cow_promotions_; }
   u64 cow_suppressed_writes() const { return cow_suppressed_writes_; }
   u64 cow_reshares() const { return cow_reshares_; }
@@ -124,8 +146,16 @@ class HostMemory {
   /// to its captured contents; kernel data is written A→B→A) — after the
   /// replay settles they are pure copies again. Bytes are unchanged by
   /// construction, so cached decodes and watchers are unaffected. Returns
-  /// the number of frames reshared.
+  /// the number of frames reshared. Flushes batched refcount deltas — the
+  /// post-boot sync point.
   u32 reshare_identical();
+
+  /// Push this VM's accumulated net refcount deltas to the shared store (one
+  /// atomic RMW per distinct page). Called automatically at teardown and at
+  /// the end of reshare_identical(); until a flush the store's
+  /// attached_refs() may over/undercount this VM's in-flight churn (the
+  /// "exact at quiescence" contract, see shared_frames.hpp).
+  void flush_shared_refs();
 
   /// Mutable view of a frame's bytes; promotes to private first (callers are
   /// about to write). Read-only users must go through the const overload.
@@ -183,8 +213,9 @@ class HostMemory {
   void write_bytes(HostFrame f, u32 offset, std::span<const u8> bytes);
 
   /// Reset a frame to all-zero contents, releasing private storage (page
-  /// recycling). Fires the write barrier unless the frame is already
-  /// zero-backed (bytes unchanged → cached decodes stay valid).
+  /// recycling). Fires the write barrier unless the bytes are already
+  /// all-zero (cached decodes stay valid; the call counts as one suppressed
+  /// write).
   void zero_frame(HostFrame f);
 
   // --- code write barrier ------------------------------------------------
@@ -222,6 +253,9 @@ class HostMemory {
   static constexpr u32 kPrivate = 0xFFFFFFFFu;
   static constexpr u32 kZeroBacked = 0xFFFFFFFEu;
   static constexpr u32 kNoOrigin = 0xFFFFFFFFu;
+  /// Auto-flush bound on the batched refcount log (entries, not pages);
+  /// keeps a pathological promote/reshare loop from growing it unboundedly.
+  static constexpr std::size_t kRefLogFlushAt = 1u << 16;
 
   const u8* page_ptr_at(HostFrame f) const {
     FC_CHECK(f < frame_count(), << "bad host frame " << f);
@@ -232,6 +266,12 @@ class HostMemory {
     return backing_[f];
   }
 
+  /// Record a +1/-1 store refcount event locally (flushed as net deltas).
+  void note_ref(u32 page_id, i64 delta) {
+    ref_log_.emplace_back(page_id, delta);
+    if (ref_log_.size() >= kRefLogFlushAt) flush_shared_refs();
+  }
+
   /// Give `f` private storage, preserving its current bytes and frame number.
   void promote(HostFrame f);
   void release_all_shared();
@@ -239,16 +279,17 @@ class HostMemory {
   u32 max_frames_;
   // Per frame: the bytes visible to readers (zero page / store page /
   // private storage), which backing those bytes live in, and the private
-  // storage when owned.
+  // storage when owned (arena-backed).
   std::vector<const u8*> page_ptr_;
   std::vector<u32> backing_;  // kPrivate, kZeroBacked, or store page id
-  std::vector<std::unique_ptr<u8[]>> private_;
+  std::vector<PagePtr> private_;
   std::vector<u32> origin_;  // store page adopted at allocation (kNoOrigin)
   u32 private_count_ = 0;
   u64 cow_promotions_ = 0;
   u64 cow_suppressed_writes_ = 0;
   u64 cow_reshares_ = 0;
   const SharedFrameStore* store_ = nullptr;
+  std::vector<std::pair<u32, i64>> ref_log_;  // batched ref/unref events
   std::vector<u8> code_watch_;  // 1 = frame has (had) cached decodes
   CodeWriteSink* sink_ = nullptr;
   FrameWriteCause write_cause_ = FrameWriteCause::kGuestStore;

@@ -1,0 +1,84 @@
+#include "mem/page_arena.hpp"
+
+#include <cstring>
+#include <vector>
+
+namespace fc::mem {
+
+namespace {
+
+// 64 pages (256 KiB) per slab: large enough that a VM boot's promotion
+// burst refills a handful of times, small enough that an idle worker parks
+// little memory.
+constexpr u32 kPagesPerSlab = 64;
+
+class PageArena {
+ public:
+  u8* alloc() {
+    if (free_.empty()) refill();
+    u8* page = free_.back();
+    free_.pop_back();
+    ++stats_.allocs;
+    return page;
+  }
+
+  void free(u8* page) noexcept {
+    free_.push_back(page);
+    ++stats_.frees;
+  }
+
+  ArenaStats stats() const {
+    ArenaStats s = stats_;
+    s.free_pages = free_.size();
+    return s;
+  }
+
+  ~PageArena() {
+    // Slabs are only released when every page has come home; otherwise a
+    // page freed after this thread exits (cross-thread hand-off) would
+    // dangle. Leaking the slabs in that rare case is the safe failure mode.
+    if (stats_.allocs != stats_.frees) return;
+    for (u8* slab : slabs_) ::operator delete[](slab, kSlabAlign);
+  }
+
+ private:
+  static constexpr std::align_val_t kSlabAlign{kPageSize};
+
+  void refill() {
+    u8* slab = static_cast<u8*>(
+        ::operator new[](static_cast<std::size_t>(kPagesPerSlab) * kPageSize,
+                         kSlabAlign));
+    slabs_.push_back(slab);
+    free_.reserve(free_.size() + kPagesPerSlab);
+    for (u32 i = 0; i < kPagesPerSlab; ++i)
+      free_.push_back(slab + static_cast<std::size_t>(i) * kPageSize);
+    ++stats_.slab_refills;
+  }
+
+  std::vector<u8*> free_;
+  std::vector<u8*> slabs_;
+  ArenaStats stats_;
+};
+
+PageArena& arena() {
+  thread_local PageArena a;
+  return a;
+}
+
+}  // namespace
+
+u8* arena_alloc_page() { return arena().alloc(); }
+void arena_free_page(u8* page) noexcept {
+  if (page != nullptr) arena().free(page);
+}
+
+PagePtr alloc_page() { return PagePtr(arena_alloc_page()); }
+PagePtr alloc_page_zeroed() {
+  PagePtr p = alloc_page();
+  std::memset(p.get(), 0, kPageSize);
+  return p;
+}
+
+ArenaStats arena_stats() { return arena().stats(); }
+
+}  // namespace fc::mem

@@ -1,0 +1,57 @@
+// Thread-local 4 KiB page arena: the allocator behind HostMemory's private
+// frame storage.
+//
+// Why it exists: a fleet boot performs thousands of COW promotions per VM
+// (each a 4 KiB allocation) and page recycling frees/reallocates them at a
+// similar rate. With N worker threads those allocations all land on the
+// global allocator, whose arena locks serialize the workers — on the
+// profiled 8-job fleet this was one of the three contention sources capping
+// thread scaling (see DESIGN.md "Fleet concurrency"). Each worker instead
+// draws pages from a thread-local free list refilled in multi-page slabs,
+// so the steady state (promote/zero/reshare churn) never takes a lock or a
+// futex.
+//
+// Contract:
+//   - alloc_page() returns an uninitialized 4 KiB block; PagePtr returns it
+//     to the *freeing* thread's arena.
+//   - Pages are expected to be freed on the thread that allocated them (the
+//     fleet runs each VM's whole lifetime on one worker). A cross-thread
+//     free is safe — the page just migrates to the freeing thread's list —
+//     but an arena whose pages are still outstanding at thread exit leaks
+//     its slabs rather than risk freeing memory another thread still holds.
+//   - Slabs are reused for the lifetime of the thread; arena_stats() exposes
+//     the counters the allocator tests assert against.
+#pragma once
+
+#include <memory>
+
+#include "support/types.hpp"
+
+namespace fc::mem {
+
+/// Allocate one uninitialized 4 KiB page from this thread's arena.
+u8* arena_alloc_page();
+/// Return a page to this thread's arena free list.
+void arena_free_page(u8* page) noexcept;
+
+struct PageDeleter {
+  void operator()(u8* p) const noexcept { arena_free_page(p); }
+};
+/// Owning handle for an arena page (drop-in for unique_ptr<u8[]>).
+using PagePtr = std::unique_ptr<u8[], PageDeleter>;
+
+/// Arena page with indeterminate contents (caller overwrites all 4 KiB).
+PagePtr alloc_page();
+/// Arena page zero-filled.
+PagePtr alloc_page_zeroed();
+
+struct ArenaStats {
+  u64 allocs = 0;        // pages handed out
+  u64 frees = 0;         // pages returned
+  u64 slab_refills = 0;  // times the free list went to the global allocator
+  u64 free_pages = 0;    // pages currently parked on the free list
+};
+/// Counters for the calling thread's arena.
+ArenaStats arena_stats();
+
+}  // namespace fc::mem

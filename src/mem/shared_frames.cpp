@@ -34,29 +34,46 @@ u32 SharedFrameStore::add_page(std::span<const u8> bytes) {
 void SharedFrameStore::freeze() {
   FC_CHECK(!frozen_, << "store already frozen");
   frozen_ = true;
-  if (!pages_.empty())
-    refs_ = std::make_unique<std::atomic<u64>[]>(pages_.size());
+  if (!pages_.empty()) refs_ = std::make_unique<RefSlot[]>(pages_.size());
   dedup_.clear();
 }
 
 void SharedFrameStore::ref(u32 id) const {
   FC_CHECK(frozen_, << "ref before freeze");
   FC_CHECK(id < pages_.size(), << "bad shared page " << id);
-  refs_[id].fetch_add(1, std::memory_order_relaxed);
+  refs_[id].count.fetch_add(1, std::memory_order_relaxed);
 }
 
 void SharedFrameStore::unref(u32 id) const {
   FC_CHECK(frozen_, << "unref before freeze");
   FC_CHECK(id < pages_.size(), << "bad shared page " << id);
-  refs_[id].fetch_sub(1, std::memory_order_relaxed);
+  refs_[id].count.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void SharedFrameStore::apply_ref_deltas(
+    std::span<const std::pair<u32, i64>> deltas) const {
+  FC_CHECK(frozen_, << "ref deltas before freeze");
+  for (const auto& [id, delta] : deltas) {
+    FC_CHECK(id < pages_.size(), << "bad shared page " << id);
+    // Two's-complement add: negative deltas subtract, and a VM's net
+    // contribution per page is >= 0, so counts never wrap at quiescence.
+    refs_[id].count.fetch_add(static_cast<u64>(delta),
+                              std::memory_order_relaxed);
+  }
 }
 
 u64 SharedFrameStore::attached_refs() const {
   if (!frozen_ || pages_.empty()) return 0;
   u64 total = 0;
   for (u32 i = 0; i < pages_.size(); ++i)
-    total += refs_[i].load(std::memory_order_relaxed);
+    total += refs_[i].count.load(std::memory_order_relaxed);
   return total;
+}
+
+u64 SharedFrameStore::page_refs(u32 id) const {
+  FC_CHECK(frozen_, << "page_refs before freeze");
+  FC_CHECK(id < pages_.size(), << "bad shared page " << id);
+  return refs_[id].count.load(std::memory_order_relaxed);
 }
 
 }  // namespace fc::mem

@@ -9,14 +9,24 @@
 // Lifecycle contract:
 //   build phase   single-threaded: add_page() dedups and appends
 //   freeze()      store becomes immutable
-//   attach phase  any thread: ref()/unref() (atomic), page_data() (const)
+//   attach phase  any thread: ref()/unref()/apply_ref_deltas() (atomic),
+//                 page_data() (const)
 // A store must outlive every HostMemory that references it.
+//
+// Refcount scaling: each refcount lives in its own cache line (RefSlot is
+// alignas(64)) so sibling VMs adopting/promoting the same kernel image never
+// false-share counter lines, and HostMemory batches its ref/unref traffic
+// locally, flushing net per-page deltas at sync points (boot settle,
+// teardown) through apply_ref_deltas(). attached_refs() is therefore exact
+// at quiescence — when no VM is mid-boot or mid-teardown — which is the only
+// time the "how shared is the fleet" number is meaningful.
 #pragma once
 
 #include <atomic>
 #include <memory>
 #include <span>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "support/check.hpp"
@@ -49,13 +59,27 @@ class SharedFrameStore {
   // are never freed — the store owns them until destruction).
   void ref(u32 id) const;
   void unref(u32 id) const;
+  /// Apply a batch of net per-page deltas in one pass: one atomic RMW per
+  /// entry instead of one per historical ref/unref. Entries are (page id,
+  /// signed delta); a VM's net delta per page is never negative overall, so
+  /// the u64 counters cannot underflow at quiescence.
+  void apply_ref_deltas(
+      std::span<const std::pair<u32, i64>> deltas) const;
   u64 attached_refs() const;
+  u64 page_refs(u32 id) const;
 
  private:
+  /// One refcount per cache line: fleet workers bump refs for *different*
+  /// VMs concurrently, and 8 packed u64s per line would make every bump a
+  /// coherence miss for 7 sibling counters.
+  struct alignas(64) RefSlot {
+    std::atomic<u64> count{0};
+  };
+
   std::vector<std::unique_ptr<u8[]>> pages_;
   // FNV-1a(bytes) → candidate page ids (byte-compared on lookup).
   std::unordered_map<u64, std::vector<u32>> dedup_;
-  std::unique_ptr<std::atomic<u64>[]> refs_;  // sized at freeze()
+  std::unique_ptr<RefSlot[]> refs_;  // sized at freeze()
   bool frozen_ = false;
 };
 

@@ -47,6 +47,10 @@ void Recorder::start() {
 
 void Recorder::stop() { g_trace_enabled = false; }
 
+void Recorder::resume() { g_trace_enabled = true; }
+
+bool Recorder::capturing() const { return g_trace_enabled; }
+
 void Recorder::clear() {
   next_ = 0;
   size_ = 0;

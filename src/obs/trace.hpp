@@ -103,6 +103,13 @@ class Recorder {
   void start();
   /// Stop capturing; recorded events stay readable.
   void stop();
+  /// Re-enable capturing *without* clearing recorded events — the restore
+  /// half of a suspend (stop) / resume pair around work that must not bleed
+  /// events into this recorder (e.g. FleetRunner borrowing the caller's
+  /// thread for a VM).
+  void resume();
+  /// Whether this thread is currently capturing (the emit-gate flag).
+  bool capturing() const;
   void clear();
 
   void emit(EventKind kind, u8 flags, u16 view, u32 arg0, u32 arg1, u32 arg2,

@@ -8,11 +8,14 @@
 // 1/4/8).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstring>
 
 #include "fleet/fleet.hpp"
+#include "fleet/work_steal.hpp"
 #include "harness/harness.hpp"
 #include "mem/shared_frames.hpp"
+#include "obs/trace.hpp"
 #include "vcpu/vcpu.hpp"
 
 namespace fc::fleet {
@@ -267,6 +270,117 @@ TEST(FleetTrace, ContainerRoundTrips) {
   merged.pop_back();
   EXPECT_FALSE(parse_fleet_trace(merged, &streams));
   EXPECT_FALSE(is_fleet_trace({1, 2, 3}));
+}
+
+// ---------------------------------------------------------------------------
+// Work-stealing scheduler.
+// ---------------------------------------------------------------------------
+
+TEST(WorkStealing, SingleThiefDrainsEveryItemExactlyOnce) {
+  // Worker 2 never touches its own seed through next(0): everything worker
+  // 0 gets beyond its own chunk arrives by steal-half.
+  WorkStealingQueues queue(3, 10);
+  std::vector<u32> claimed;
+  for (u32 item = 0; queue.next(0, &item);) claimed.push_back(item);
+  ASSERT_EQ(claimed.size(), 10u);
+  std::vector<u32> sorted = claimed;
+  std::sort(sorted.begin(), sorted.end());
+  for (u32 i = 0; i < 10; ++i) EXPECT_EQ(sorted[i], i);  // each exactly once
+  EXPECT_GT(queue.stolen(), 0u);
+  u32 ignored = 0;
+  EXPECT_FALSE(queue.next(1, &ignored));  // nothing left for anyone
+}
+
+TEST(FleetWorkStealing, UnevenFleetMatchesSerialRunByteForByte) {
+  const core::SharedImage& image = test_image();
+  FleetOptions options;
+  options.vms = 13;  // does not divide 5: uneven chunks force steals
+  options.jobs = 5;
+  options.iterations = 1;
+  FleetReport stolen = FleetRunner(image, options).run();
+  ASSERT_EQ(stolen.vms.size(), 13u);
+  for (u32 i = 0; i < 13; ++i) {
+    EXPECT_EQ(stolen.vms[i].vm, i) << "vm " << i << " never ran";
+    EXPECT_GT(stolen.vms[i].instructions, 0u);
+  }
+  options.jobs = 1;
+  FleetReport serial = FleetRunner(image, options).run();
+  EXPECT_EQ(serial.to_json(), stolen.to_json());
+}
+
+// ---------------------------------------------------------------------------
+// Report JSON hygiene.
+// ---------------------------------------------------------------------------
+
+TEST(FleetReport, JsonEscapesAppStrings) {
+  FleetReport report;
+  report.vms.resize(1);
+  report.vms[0].vm = 0;
+  report.vms[0].app = "ev\"il\\app\nname";
+  std::string json = report.to_json();
+  // The raw quote/backslash/newline must not reach the JSON unescaped.
+  EXPECT_NE(json.find("\"app\":\"ev\\\"il\\\\app\\nname\""),
+            std::string::npos)
+      << json;
+  EXPECT_EQ(json.find('\n'), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Recorder quarantine: inline VM runs must not leak into the caller's ring.
+// ---------------------------------------------------------------------------
+
+TEST(FleetRecorder, CallerRecorderSurvivesInlineVmRuns) {
+  const core::SharedImage& image = test_image();
+  obs::Recorder& rec = obs::recorder();
+  Cycles fake_clock = 42;  // a clock the test owns (never dangles)
+  rec.set_clock(&fake_clock);
+  rec.set_cycles_per_second(123);
+  rec.set_capacity(1u << 8);
+  rec.start();
+  rec.emit(obs::EventKind::kTaskSpawn, 0, 0, 7, 0, 0, 0);
+  const std::size_t events_before = rec.size();
+  ASSERT_EQ(events_before, 1u);
+
+  // jobs=1 runs both VMs on THIS thread; without the quarantine their boot
+  // and runtime events would land in (and overflow) the caller's ring.
+  FleetOptions options;
+  options.vms = 2;
+  options.jobs = 1;
+  options.iterations = 1;
+  options.capture_traces = false;
+  FleetReport report = FleetRunner(image, options).run();
+  for (const VmResult& vm : report.vms) {
+    EXPECT_GT(vm.instructions, 0u);
+    EXPECT_TRUE(vm.trace.empty());
+  }
+
+  EXPECT_TRUE(rec.capturing());          // capture resumed...
+  EXPECT_EQ(rec.size(), events_before);  // ...with no fleet events absorbed
+  EXPECT_EQ(rec.clock(), &fake_clock);   // not left at a destroyed vCPU
+  EXPECT_EQ(rec.cycles_per_second(), 123u);
+  EXPECT_EQ(rec.capacity(), 1u << 8);
+
+  // Still usable afterwards: the next caller event records normally.
+  rec.emit(obs::EventKind::kTaskSpawn, 0, 0, 8, 0, 0, 0);
+  EXPECT_EQ(rec.size(), events_before + 1);
+  EXPECT_EQ(rec.snapshot().back().when, 42u);
+
+  // capture_traces=true repurposes the ring for the VMs but must still hand
+  // the caller's configuration (clock, rate, capacity, enablement) back.
+  options.capture_traces = true;
+  options.trace_capacity = 1u << 12;
+  report = FleetRunner(image, options).run();
+  for (const VmResult& vm : report.vms) EXPECT_FALSE(vm.trace.empty());
+  EXPECT_TRUE(rec.capturing());
+  EXPECT_EQ(rec.clock(), &fake_clock);
+  EXPECT_EQ(rec.cycles_per_second(), 123u);
+  EXPECT_EQ(rec.capacity(), 1u << 8);
+
+  rec.stop();
+  rec.clear();
+  rec.set_clock(nullptr);
+  rec.set_cycles_per_second(100'000'000);
+  rec.set_capacity(obs::Recorder::kDefaultCapacity);
 }
 
 // ---------------------------------------------------------------------------

@@ -1,8 +1,13 @@
 // Memory subsystem: host frames, EPT structure and switching semantics,
-// guest page tables, two-stage translation, TLB invalidation, recycling.
+// guest page tables, two-stage translation, TLB invalidation, recycling,
+// the thread-local page arena, and the COW statistics unit contract.
 #include <gtest/gtest.h>
 
+#include <cstring>
+#include <vector>
+
 #include "mem/machine.hpp"
+#include "mem/page_arena.hpp"
 
 namespace fc::mem {
 namespace {
@@ -13,6 +18,123 @@ TEST(HostMemory, AllocatesZeroedFrames) {
   for (u32 i = 0; i < kPageSize; i += 512) EXPECT_EQ(host.read8(f, i), 0);
   host.write32(f, 128, 0xDEADBEEF);
   EXPECT_EQ(host.read32(f, 128), 0xDEADBEEFu);
+}
+
+TEST(PageArena, RecyclesPagesWithoutGlobalAllocations) {
+  ArenaStats before = arena_stats();
+  {
+    PagePtr a = alloc_page_zeroed();
+    EXPECT_EQ(a.get()[0], 0);
+    EXPECT_EQ(a.get()[kPageSize - 1], 0);
+    a.get()[17] = 0xAB;
+  }
+  // The page went back to the free list; the next alloc reuses it (same
+  // thread) without another slab refill.
+  ArenaStats mid = arena_stats();
+  EXPECT_EQ(mid.frees, before.frees + 1);
+  PagePtr b = alloc_page();
+  ArenaStats after = arena_stats();
+  EXPECT_EQ(after.allocs, mid.allocs + 1);
+  EXPECT_EQ(after.slab_refills, mid.slab_refills);  // served from free list
+  // Arena pages are page-aligned (slabs are carved on 4 KiB boundaries).
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(b.get()) % kPageSize, 0u);
+}
+
+// The unit contract: cow_suppressed_writes counts suppressed write *calls*
+// (one per elided write8/write32/write_bytes/zero_frame), never bytes.
+TEST(CowStats, SuppressedWritesCountCallsAcrossAllWritePaths) {
+  SharedFrameStore store;
+  std::vector<u8> page(kPageSize, 0x5A);
+  u32 id = store.add_page(page);
+  std::vector<u8> zeros(kPageSize, 0x00);
+  u32 zero_id = store.add_page(zeros);
+  store.freeze();
+
+  HostMemory host;
+  host.attach_store(&store);
+  HostFrame f = host.adopt_shared(id);
+
+  // write8: four same-value calls = four suppressed writes (per call, so
+  // trivially also per byte for the 1-byte path).
+  for (u32 i = 0; i < 4; ++i) host.write8(f, i, 0x5A);
+  EXPECT_EQ(host.cow_suppressed_writes(), 4u);
+  // write32: one same-value call covering 4 bytes = ONE suppressed write.
+  host.write32(f, 8, 0x5A5A5A5Au);
+  EXPECT_EQ(host.cow_suppressed_writes(), 5u);
+  // write_bytes: one same-value call covering 4 KiB = ONE suppressed write.
+  host.write_bytes(f, 0, page);
+  EXPECT_EQ(host.cow_suppressed_writes(), 6u);
+  EXPECT_EQ(host.cow_promotions(), 0u);
+  EXPECT_TRUE(host.is_shared(f));
+
+  // zero_frame on an already-zero-backed frame: one suppressed write.
+  HostFrame z = host.alloc_frame();
+  host.zero_frame(z);
+  EXPECT_EQ(host.cow_suppressed_writes(), 7u);
+  // zero_frame on a shared all-zero page: bytes unchanged (re-backed by the
+  // canonical zero page) — also one suppressed write, no promotion.
+  HostFrame zs = host.adopt_shared(zero_id);
+  host.zero_frame(zs);
+  EXPECT_EQ(host.cow_suppressed_writes(), 8u);
+  EXPECT_TRUE(host.is_zero_backed(zs));
+  EXPECT_EQ(host.cow_promotions(), 0u);
+
+  // Divergent writes are never "suppressed": promotion + real write.
+  host.write32(f, 16, 0x11111111u);
+  EXPECT_EQ(host.cow_promotions(), 1u);
+  EXPECT_EQ(host.cow_suppressed_writes(), 8u);
+  EXPECT_TRUE(host.is_private(f));
+  // Private frames take the pre-COW path: no suppression bookkeeping.
+  host.write8(f, 16, 0x11);
+  EXPECT_EQ(host.cow_suppressed_writes(), 8u);
+
+  // reshare: the promoted frame's bytes were restored to the store page's
+  // contents, so reshare_identical() folds it back and counts it.
+  host.write32(f, 16, 0x5A5A5A5Au);
+  EXPECT_TRUE(host.is_private(f));
+  EXPECT_EQ(host.reshare_identical(), 1u);
+  EXPECT_EQ(host.cow_reshares(), 1u);
+  EXPECT_TRUE(host.is_shared(f));
+}
+
+// Batched refcounts: ref/unref traffic is accumulated per-VM and flushed at
+// sync points; after a flush attached_refs() is exact (the quiescence
+// contract), and teardown returns the store to its prior counts.
+TEST(SharedFrameStoreRefs, BatchedDeltasAreExactAtQuiescence) {
+  SharedFrameStore store;
+  std::vector<u8> a(kPageSize, 0xAA);
+  std::vector<u8> b(kPageSize, 0xBB);
+  u32 ida = store.add_page(a);
+  u32 idb = store.add_page(b);
+  store.freeze();
+  EXPECT_EQ(store.attached_refs(), 0u);
+
+  {
+    HostMemory host;
+    host.attach_store(&store);
+    host.adopt_shared(ida);
+    host.adopt_shared(ida);
+    HostFrame fb = host.adopt_shared(idb);
+    // Nothing flushed yet: adopts are batched locally.
+    EXPECT_EQ(store.attached_refs(), 0u);
+    // Promote one frame (an unref event), then flush: net = what is still
+    // shared right now.
+    host.write8(fb, 0, 0x01);
+    EXPECT_TRUE(host.is_private(fb));
+    host.flush_shared_refs();
+    EXPECT_EQ(store.page_refs(ida), 2u);
+    EXPECT_EQ(store.page_refs(idb), 0u);
+    EXPECT_EQ(store.attached_refs(), 2u);
+  }
+  // Teardown flushed the release deltas: back to the pre-VM counts.
+  EXPECT_EQ(store.attached_refs(), 0u);
+  EXPECT_EQ(store.page_refs(ida), 0u);
+
+  // Direct (unbatched) ref/unref still works for non-HostMemory users.
+  store.ref(ida);
+  EXPECT_EQ(store.attached_refs(), 1u);
+  store.unref(ida);
+  EXPECT_EQ(store.attached_refs(), 0u);
 }
 
 TEST(Ept, MapAndTranslate) {

@@ -10,6 +10,11 @@
 #                           runs under ASan (exercises the block-cache
 #                           on/off paths and the COW fleet end to end;
 #                           tiny budgets, no thresholds)
+#   tools/ci.sh fleet-scale-smoke
+#                           determinism gate for the work-stealing fleet
+#                           scheduler: bench/fleet_scale --smoke must emit
+#                           byte-identical 8-VM report JSON + merged FCFL
+#                           traces for jobs 1/4/8
 #   tools/ci.sh lint        clang-tidy over src/ with the repo .clang-tidy
 #                           profile (skipped with a notice when clang-tidy
 #                           is not installed — the container image has no
@@ -85,6 +90,23 @@ bench_smoke() {
        "and ci-artifacts/BENCH_fleet.json"
 }
 
+fleet_scale_smoke() {
+  cmake -B build -S . -DFC_WERROR=ON
+  cmake --build build -j "$jobs" --target fleet_scale
+  mkdir -p ci-artifacts
+  # The bench re-runs the 8-VM fleet at jobs 1/4/8 with traces on, asserts
+  # the merged outputs match internally, and writes them out; the cmp here
+  # keeps the on-disk artifacts honest too (and fails loudly in CI logs).
+  ./build/bench/fleet_scale --smoke --determinism-out ci-artifacts
+  for j in 4 8; do
+    cmp "ci-artifacts/fleet-report-jobs1.json" \
+        "ci-artifacts/fleet-report-jobs$j.json"
+    cmp "ci-artifacts/fleet-trace-jobs1.fcfl" \
+        "ci-artifacts/fleet-trace-jobs$j.fcfl"
+  done
+  echo "fleet-scale-smoke: report + FCFL trace byte-identical at jobs 1/4/8"
+}
+
 trace_determinism() {
   cmake -B build -S . -DFC_WERROR=ON
   cmake --build build -j "$jobs" --target fctrace
@@ -107,9 +129,10 @@ case "${1:-tier1}" in
   sanitize)          sanitize ;;
   tsan)              tsan ;;
   bench-smoke)       bench_smoke ;;
+  fleet-scale-smoke) fleet_scale_smoke ;;
   trace-determinism) trace_determinism ;;
   all)               tier1; lint; sanitize; tsan; bench_smoke
-                     trace_determinism ;;
-  *) echo "usage: tools/ci.sh [tier1|lint|sanitize|tsan|bench-smoke|trace-determinism|all]" >&2
+                     fleet_scale_smoke; trace_determinism ;;
+  *) echo "usage: tools/ci.sh [tier1|lint|sanitize|tsan|bench-smoke|fleet-scale-smoke|trace-determinism|all]" >&2
      exit 2 ;;
 esac
