@@ -314,6 +314,40 @@ int main(int argc, char** argv) {
     curves.push_back(curve);
   }
 
+  // Uneven-workload sweep: 16 VMs whose first four run 8x the iterations of
+  // the rest. The heavy VMs all land in the leading contiguous chunks, so a
+  // static split leaves the other workers idle for most of the run — the
+  // shape work stealing exists for. Steals must actually happen once there
+  // are thieves (jobs >= 4); scheduling stays invisible in the report (the
+  // determinism gate below covers the same scheduler).
+  fleet::FleetOptions uneven;
+  uneven.vms = 16;
+  uneven.iteration_mix.assign(16, iterations);
+  for (u32 vm = 0; vm < 4; ++vm) uneven.iteration_mix[vm] = iterations * 8;
+  struct UnevenPoint {
+    u32 jobs = 0;
+    Sample sample;
+  };
+  std::vector<UnevenPoint> uneven_points;
+  bool steals_ok = true;
+  std::printf("\nuneven workload (16 VMs, first 4 at 8x iterations)\n");
+  std::printf("%6s %14s %10s %8s\n", "jobs", "insns/sec", "wall (s)",
+              "steals");
+  std::printf("%s\n", std::string(42, '-').c_str());
+  for (u32 jobs : {1u, 4u, 8u}) {
+    uneven.jobs = jobs;
+    UnevenPoint point;
+    point.jobs = jobs;
+    point.sample = measure(*image, uneven);
+    if (jobs >= 4 && point.sample.steals == 0) steals_ok = false;
+    std::printf("%6u %14.0f %10.3f %8llu\n", jobs,
+                point.sample.insns_per_sec, point.sample.wall_seconds,
+                (unsigned long long)point.sample.steals);
+    uneven_points.push_back(point);
+  }
+  std::printf("steal gate (steals > 0 at jobs >= 4): %s\n",
+              steals_ok ? "OK" : "FAILED");
+
   // Determinism gate: the scheduler rework must never cost byte-identical
   // reports/traces across worker counts.
   const bool deterministic = determinism_gate(*image, smoke, determinism_out);
@@ -350,6 +384,20 @@ int main(int argc, char** argv) {
   json << buf;
   json << "  \"deterministic_across_jobs\": "
        << (deterministic ? "true" : "false") << ",\n";
+  json << "  \"uneven\": {\"vms\": 16, \"heavy_vms\": 4, "
+       << "\"heavy_iterations\": " << iterations * 8
+       << ", \"light_iterations\": " << iterations << ", \"points\": [";
+  for (std::size_t p = 0; p < uneven_points.size(); ++p) {
+    const UnevenPoint& point = uneven_points[p];
+    std::snprintf(buf, sizeof(buf),
+                  "%s{\"jobs\": %u, \"insns_per_sec\": %.0f, "
+                  "\"wall_seconds\": %.4f, \"steals\": %llu}",
+                  p == 0 ? "" : ", ", point.jobs,
+                  point.sample.insns_per_sec, point.sample.wall_seconds,
+                  (unsigned long long)point.sample.steals);
+    json << buf;
+  }
+  json << "]},\n";
   json << "  \"curves\": [\n";
   for (std::size_t c = 0; c < curves.size(); ++c) {
     json << "    {\"vms\": " << curves[c].vms << ", \"points\": [";
@@ -371,8 +419,9 @@ int main(int argc, char** argv) {
 
   if (smoke) {
     std::printf("\nsmoke run: thresholds not enforced%s\n",
-                deterministic ? "" : " (but determinism gate FAILED)");
-    return deterministic ? 0 : 1;
+                deterministic && steals_ok ? ""
+                                           : " (but a structural gate FAILED)");
+    return deterministic && steals_ok ? 0 : 1;
   }
   const bool speed_ok = speedup >= 3.5;
   const bool mem_ok = mem_ratio > 0 && mem_ratio <= 1.5;
@@ -383,5 +432,6 @@ int main(int argc, char** argv) {
               mem_ok ? "OK" : "FAILED");
   std::printf("threshold (thread scaling >= 0.8):  %s\n",
               scaling_ok ? "OK" : "FAILED");
-  return speed_ok && mem_ok && scaling_ok && deterministic ? 0 : 1;
+  return speed_ok && mem_ok && scaling_ok && deterministic && steals_ok ? 0
+                                                                        : 1;
 }

@@ -1,15 +1,17 @@
-// Interpreter throughput: guest instructions per host second with the
-// decoded basic-block cache on vs off, across the Figure-6 UnixBench-like
-// workloads. Both runs execute the identical deterministic instruction
-// stream for the same simulated-cycle budget (the lockstep test proves
-// byte-equivalence), so the on/off ratio isolates exactly the fetch+decode
-// work the cache removes.
+// Interpreter throughput: guest instructions per host second across the
+// Figure-6 UnixBench-like workloads, at the three execution tiers —
+// uncached fetch+decode, the decoded basic-block cache, and the
+// superblock/trace tier stacked on top of it. All runs execute the
+// identical deterministic instruction stream for the same simulated-cycle
+// budget (the lockstep test proves byte-equivalence), so the ratios isolate
+// exactly the dispatch work each tier removes.
 //
 // Usage: interp_throughput [--smoke]
-//   --smoke   tiny cycle budget, no speedup threshold (CI / sanitizer tier)
+//   --smoke   tiny cycle budget, no speedup thresholds (CI / sanitizer tier)
 //
 // Writes BENCH_interp.json next to the working directory and exits non-zero
-// if the suite-wide geomean speedup falls below 2x (unless --smoke).
+// if the block-cache geomean falls below 2x over uncached, or the trace-tier
+// geomean below 1.5x over block-cache-only (unless --smoke).
 #include <chrono>
 #include <cmath>
 #include <cstdio>
@@ -23,17 +25,20 @@
 
 namespace {
 
+enum class Tier { kUncached, kBlockOnly, kTrace };
+
 struct Sample {
   double insns_per_sec = 0;
   fc::u64 insns = 0;
   double wall_seconds = 0;
 };
 
-Sample measure(const fc::ubench::Subtest& subtest, bool block_cache,
+Sample measure(const fc::ubench::Subtest& subtest, Tier tier,
                fc::Cycles warmup, fc::Cycles budget) {
   using Clock = std::chrono::steady_clock;
   fc::harness::GuestSystem sys;
-  sys.vcpu().set_block_cache_enabled(block_cache);
+  sys.vcpu().set_block_cache_enabled(tier != Tier::kUncached);
+  sys.vcpu().set_trace_cache_enabled(tier == Tier::kTrace);
   if (subtest.needs_binaries) fc::apps::register_utility_binaries(sys.os());
   sys.os().spawn("ubench", subtest.factory());
   sys.run_for(warmup);
@@ -47,7 +52,7 @@ Sample measure(const fc::ubench::Subtest& subtest, bool block_cache,
   s.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
   if (s.wall_seconds > 0)
     s.insns_per_sec = static_cast<double>(s.insns) / s.wall_seconds;
-  if (block_cache) {
+  if (tier == Tier::kBlockOnly) {
     // Accumulate the cached runs' counters into the obs registry; the
     // whole registry is embedded in BENCH_interp.json below.
     const fc::cpu::BlockCache::Stats& bc = sys.vcpu().block_cache().stats();
@@ -58,6 +63,17 @@ Sample measure(const fc::ubench::Subtest& subtest, bool block_cache,
     m.add("block_cache.blocks_built", bc.blocks_built);
     m.add("block_cache.insns_decoded", bc.insns_decoded);
     m.observe("bench.subtest_insns", s.insns);
+  } else if (tier == Tier::kTrace) {
+    const fc::cpu::TraceCache::Stats& tc = sys.vcpu().trace_cache().stats();
+    fc::obs::Metrics& m = fc::obs::metrics();
+    m.add("trace_cache.built", tc.built);
+    m.add("trace_cache.dispatched", tc.dispatched);
+    m.add("trace_cache.completions", tc.completions);
+    m.add("trace_cache.side_exits", tc.side_exits);
+    m.add("trace_cache.trace_insns", tc.trace_insns);
+    m.add("trace_cache.fused_built", tc.fused_built);
+    m.add("trace_cache.fused_exec", tc.fused_exec);
+    m.add("trace_cache.retired", tc.retired);
   }
   return s;
 }
@@ -73,53 +89,69 @@ int main(int argc, char** argv) {
   const Cycles warmup = smoke ? 500'000 : 3'000'000;
   const Cycles budget = smoke ? 2'000'000 : 60'000'000;
 
-  std::printf("Interpreter throughput — decoded-block cache on vs off\n");
+  std::printf("Interpreter throughput — uncached vs block cache vs trace tier\n");
   std::printf("(budget %llu simulated cycles per run%s)\n\n",
               (unsigned long long)budget, smoke ? ", SMOKE" : "");
-  std::printf("%-30s %14s %14s %9s\n", "Subtest", "off (insn/s)",
-              "on (insn/s)", "speedup");
-  std::printf("%s\n", std::string(72, '-').c_str());
+  std::printf("%-22s %13s %13s %13s %7s %7s\n", "Subtest", "off (i/s)",
+              "block (i/s)", "trace (i/s)", "blk/off", "trc/blk");
+  std::printf("%s\n", std::string(80, '-').c_str());
 
   obs::metrics().reset();
   auto suite = ubench::unixbench_suite();
-  double log_sum = 0;
-  std::vector<double> speedups;
+  double log_sum_block = 0;
+  double log_sum_trace = 0;
   std::string json = "{\n  \"budget_cycles\": " + std::to_string(budget) +
                      ",\n  \"smoke\": " + (smoke ? "true" : "false") +
                      ",\n  \"subtests\": [\n";
   for (std::size_t i = 0; i < suite.size(); ++i) {
     const auto& subtest = suite[i];
-    Sample off = measure(subtest, /*block_cache=*/false, warmup, budget);
-    Sample on = measure(subtest, /*block_cache=*/true, warmup, budget);
-    // Determinism check: same simulated budget → same instruction stream.
-    if (on.insns != off.insns)
+    Sample trace = measure(subtest, Tier::kTrace, warmup, budget);
+    Sample off = measure(subtest, Tier::kUncached, warmup, budget);
+    Sample block = measure(subtest, Tier::kBlockOnly, warmup, budget);
+    // Determinism check: same simulated budget → same instruction stream at
+    // every tier (lockstep_test proves the stronger per-step property).
+    if (block.insns != off.insns || trace.insns != off.insns)
       std::printf("  WARNING: retired-instruction mismatch on %s "
-                  "(%llu vs %llu)\n",
+                  "(%llu / %llu / %llu)\n",
                   subtest.name.c_str(), (unsigned long long)off.insns,
-                  (unsigned long long)on.insns);
-    double speedup =
-        off.insns_per_sec > 0 ? on.insns_per_sec / off.insns_per_sec : 0;
-    speedups.push_back(speedup);
-    log_sum += std::log(speedup > 0 ? speedup : 1e-9);
-    std::printf("%-30s %14.0f %14.0f %8.2fx\n", subtest.name.c_str(),
-                off.insns_per_sec, on.insns_per_sec, speedup);
-    char entry[256];
+                  (unsigned long long)block.insns,
+                  (unsigned long long)trace.insns);
+    double block_speedup =
+        off.insns_per_sec > 0 ? block.insns_per_sec / off.insns_per_sec : 0;
+    double trace_speedup = block.insns_per_sec > 0
+                               ? trace.insns_per_sec / block.insns_per_sec
+                               : 0;
+    log_sum_block += std::log(block_speedup > 0 ? block_speedup : 1e-9);
+    log_sum_trace += std::log(trace_speedup > 0 ? trace_speedup : 1e-9);
+    std::printf("%-22s %13.0f %13.0f %13.0f %6.2fx %6.2fx\n",
+                subtest.name.c_str(), off.insns_per_sec, block.insns_per_sec,
+                trace.insns_per_sec, block_speedup, trace_speedup);
+    char entry[384];
     std::snprintf(entry, sizeof(entry),
                   "    {\"name\": \"%s\", \"insns\": %llu, "
                   "\"off_insns_per_sec\": %.0f, \"on_insns_per_sec\": %.0f, "
-                  "\"speedup\": %.3f}%s\n",
-                  subtest.name.c_str(), (unsigned long long)on.insns,
-                  off.insns_per_sec, on.insns_per_sec, speedup,
+                  "\"trace_insns_per_sec\": %.0f, \"speedup\": %.3f, "
+                  "\"trace_speedup\": %.3f}%s\n",
+                  subtest.name.c_str(), (unsigned long long)block.insns,
+                  off.insns_per_sec, block.insns_per_sec,
+                  trace.insns_per_sec, block_speedup, trace_speedup,
                   i + 1 < suite.size() ? "," : "");
     json += entry;
   }
-  const double geomean = std::exp(log_sum / static_cast<double>(suite.size()));
-  std::printf("%s\n", std::string(72, '-').c_str());
-  std::printf("%-30s %38.2fx\n", "GEOMEAN", geomean);
+  const double n = static_cast<double>(suite.size());
+  const double geomean_block = std::exp(log_sum_block / n);
+  const double geomean_trace = std::exp(log_sum_trace / n);
+  std::printf("%s\n", std::string(80, '-').c_str());
+  std::printf("%-22s %41s %6.2fx %6.2fx\n", "GEOMEAN", "",
+              geomean_block, geomean_trace);
+  std::printf("%-22s trace tier vs uncached: %.2fx\n", "",
+              geomean_block * geomean_trace);
 
-  char tail[64];
-  std::snprintf(tail, sizeof(tail), "  ],\n  \"geomean_speedup\": %.3f,\n",
-                geomean);
+  char tail[160];
+  std::snprintf(tail, sizeof(tail),
+                "  ],\n  \"geomean_speedup\": %.3f,\n"
+                "  \"trace_geomean_speedup\": %.3f,\n",
+                geomean_block, geomean_trace);
   json += tail;
   json += "  \"metrics\": " + obs::metrics().to_json() + "\n}\n";
   std::ofstream("BENCH_interp.json") << json;
@@ -128,7 +160,11 @@ int main(int argc, char** argv) {
     std::printf("\nsmoke run: thresholds not enforced\n");
     return 0;
   }
-  const bool ok = geomean >= 2.0;
-  std::printf("\nthreshold (geomean >= 2.0x): %s\n", ok ? "OK" : "FAILED");
-  return ok ? 0 : 1;
+  const bool block_ok = geomean_block >= 2.0;
+  const bool trace_ok = geomean_trace >= 1.5;
+  std::printf("\nthreshold (block geomean >= 2.0x): %s\n",
+              block_ok ? "OK" : "FAILED");
+  std::printf("threshold (trace geomean >= 1.5x over block-only): %s\n",
+              trace_ok ? "OK" : "FAILED");
+  return (block_ok && trace_ok) ? 0 : 1;
 }

@@ -190,10 +190,11 @@ void FaceChangeEngine::apply_view(const KernelView* next) {
   FC_TRACE_EVENT(kEptRepoint, 0, 0, written.pde_writes - before.pde_writes,
                  written.pte_writes - before.pte_writes, 0, 0);
   ept.invalidate();
-  // Cached decodes are keyed by host frame, so the repoint itself cannot
-  // stale them; the notification drops the straight-line cursor and records
-  // the switch in the cache's invalidation stats.
+  // Cached decodes and traces are keyed by host frame, so the repoint
+  // itself cannot stale them; the notifications drop the straight-line
+  // cursor and record the switch in each cache's invalidation stats.
   hv_->vcpu().block_cache().note_view_switch();
+  hv_->vcpu().trace_cache().note_view_switch();
   charge_switch(before, hv_->vcpu().perf_model().cost_tlb_flush);
 }
 
@@ -232,6 +233,7 @@ void FaceChangeEngine::apply_descriptor(const SwitchDescriptor& descriptor) {
   }
 
   hv_->vcpu().block_cache().note_view_switch();
+  hv_->vcpu().trace_cache().note_view_switch();
   ++stats_.fastpath_switches;
   stats_.fastpath_pde_writes += descriptor.pde_writes.size();
   stats_.fastpath_pte_writes += descriptor.pte_writes.size();
@@ -396,7 +398,15 @@ std::string FaceChangeEngine::render_run_report() const {
   out << "block cache invalidations: " << cache.inval_guest_write
       << " guest write, " << cache.inval_code_load << " code load, "
       << cache.inval_recycle << " page recycle, " << cache.inval_view_switch
-      << " view switch, " << cache.inval_capacity << " capacity";
+      << " view switch, " << cache.inval_capacity << " capacity\n";
+  const cpu::TraceCache& tc = hv_->vcpu().trace_cache();
+  const cpu::TraceCache::Stats& ts = tc.stats();
+  out << "trace tier: "
+      << (hv_->vcpu().trace_cache_enabled() ? "enabled" : "disabled") << ", "
+      << ts.built << " built, " << ts.dispatched << " dispatched ("
+      << ts.completions << " completions, " << ts.side_exits
+      << " side exits), " << ts.trace_insns << " insns retired in traces, "
+      << ts.retired << " retired stale, " << tc.size() << " resident";
   if (!audit_.empty()) {
     const RecoveryEngine::Stats& rs = recovery_->stats();
     out << "\nstatic audit: " << audit_.hazard_returns.size()
@@ -470,6 +480,24 @@ void FaceChangeEngine::export_metrics(obs::Metrics& out) const {
   out.set("block_cache.inval_view_switch", cache.inval_view_switch);
   out.set("block_cache.inval_capacity", cache.inval_capacity);
   out.gauge_set("block_cache.blocks_resident", bc.size());
+
+  const cpu::TraceCache& tc = hv_->vcpu().trace_cache();
+  const cpu::TraceCache::Stats& ts = tc.stats();
+  out.set("trace_cache.built", ts.built);
+  out.set("trace_cache.build_failures", ts.build_failures);
+  out.set("trace_cache.dispatched", ts.dispatched);
+  out.set("trace_cache.completions", ts.completions);
+  out.set("trace_cache.side_exits", ts.side_exits);
+  out.set("trace_cache.retired", ts.retired);
+  out.set("trace_cache.trace_insns", ts.trace_insns);
+  out.set("trace_cache.fused_built", ts.fused_built);
+  out.set("trace_cache.fused_exec", ts.fused_exec);
+  out.set("trace_cache.inval_guest_write", ts.inval_guest_write);
+  out.set("trace_cache.inval_code_load", ts.inval_code_load);
+  out.set("trace_cache.inval_recycle", ts.inval_recycle);
+  out.set("trace_cache.inval_view_switch", ts.inval_view_switch);
+  out.set("trace_cache.inval_capacity", ts.inval_capacity);
+  out.gauge_set("trace_cache.traces_resident", tc.size());
 
   const hv::Hypervisor::Stats& hvs = hv_->stats();
   out.set("hv.invalid_opcode_exits", hvs.invalid_opcode_exits);

@@ -235,7 +235,11 @@ VmResult FleetRunner::run_one_vm(u32 vm_id) {
     rec.start();
   }
 
-  apps::AppScenario scenario = apps::make_app(app, options_.iterations);
+  const u32 iterations =
+      options_.iteration_mix.empty()
+          ? options_.iterations
+          : options_.iteration_mix[vm_id % options_.iteration_mix.size()];
+  apps::AppScenario scenario = apps::make_app(app, iterations);
   u32 pid = sys->os().spawn(app, scenario.model);
   scenario.install_environment(sys->os());
   hv::RunOutcome outcome = sys->run_until_exit(pid, options_.run_budget);

@@ -38,6 +38,12 @@ struct FleetOptions {
   u32 jobs = 1;
   /// Per-VM app workload iterations.
   u32 iterations = 4;
+  /// Uneven workloads: when non-empty, VM i runs iteration_mix[i % size]
+  /// iterations instead of `iterations`. Part of the determinism key (a
+  /// VM's work depends on its id, never on scheduling), so reports stay
+  /// byte-identical across --jobs while the per-VM runtimes diverge — the
+  /// shape that makes work stealing observable.
+  std::vector<u32> iteration_mix;
   Cycles run_budget = 300'000'000;
   /// Per-VM app assignment, round-robin; empty = the image's view order.
   std::vector<std::string> apps;

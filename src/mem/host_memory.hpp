@@ -219,8 +219,16 @@ class HostMemory {
   void zero_frame(HostFrame f);
 
   // --- code write barrier ------------------------------------------------
-  void set_code_write_sink(CodeWriteSink* sink) { sink_ = sink; }
-  /// Start reporting writes to `f` to the sink (frames are never unwatched;
+  /// Register a write-barrier observer. Multiple sinks may attach (the block
+  /// cache and the trace cache each watch code frames); every watched-frame
+  /// write fans out to all of them in registration order.
+  void add_code_write_sink(CodeWriteSink* sink) {
+    if (sink != nullptr) sinks_.push_back(sink);
+  }
+  void remove_code_write_sink(CodeWriteSink* sink) {
+    std::erase(sinks_, sink);
+  }
+  /// Start reporting writes to `f` to the sinks (frames are never unwatched;
   /// the sink side drops its interest cheaply instead).
   void watch_code_frame(HostFrame f) {
     if (f >= code_watch_.size()) code_watch_.resize(f + 1, 0);
@@ -229,8 +237,9 @@ class HostMemory {
   /// Must be called by every writer that mutates frame bytes through a raw
   /// span from frame() instead of write8/write32.
   void note_frame_write(HostFrame f) {
-    if (f < code_watch_.size() && code_watch_[f] != 0 && sink_ != nullptr)
-      sink_->on_code_frame_write(f, write_cause_);
+    if (f < code_watch_.size() && code_watch_[f] != 0)
+      for (CodeWriteSink* sink : sinks_)
+        sink->on_code_frame_write(f, write_cause_);
   }
 
   /// Attribute frame writes inside the scope to `cause` (see FrameWriteCause).
@@ -291,7 +300,7 @@ class HostMemory {
   const SharedFrameStore* store_ = nullptr;
   std::vector<std::pair<u32, i64>> ref_log_;  // batched ref/unref events
   std::vector<u8> code_watch_;  // 1 = frame has (had) cached decodes
-  CodeWriteSink* sink_ = nullptr;
+  std::vector<CodeWriteSink*> sinks_;
   FrameWriteCause write_cause_ = FrameWriteCause::kGuestStore;
 };
 

@@ -51,6 +51,15 @@ enum class EventKind : u8 {
   kVmExit,           // a0=pc; flags=cpu::ExitReason
   kTaskSpawn,        // a0=pid, a1=FNV-1a hash of comm
   kAttackVerdict,    // a0=detected, a1=recovery events, a2=name hash
+  // Trace-tier events (appended after kAttackVerdict so the wire encodings
+  // of every earlier kind are unchanged).
+  kTraceBuild,       // a0=entry va, a1=ops, a2=entry frame, a3=blocks chained
+  kTraceDispatch,    // a0=entry va, a2=entry frame (one per dispatch, which
+                     // may cover many self-loop iterations)
+  kTraceSideExit,    // a0=exit pc, a1=ops executed; flags: reason (see
+                     // TraceCache::SideExit)
+  kTraceRetire,      // a0=stale frame, a1=entry va; flags: write cause as in
+                     // kBlockInvalidate (0 = capacity clear)
 };
 
 /// Human-readable kind name ("view_switch", "ud2_trap", ...).

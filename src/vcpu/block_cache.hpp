@@ -45,6 +45,7 @@ struct DecodedBlock {
   HostFrame frame = 0;
   u16 offset = 0;     // first instruction's offset within the frame
   u32 frame_gen = 0;  // frame write-generation the decode is valid for
+  u32 heat = 0;       // table-probe hit count; the trace tier's promotion key
   std::vector<isa::Instruction> insns;
 };
 
@@ -139,6 +140,11 @@ class BlockCache final : public mem::CodeWriteSink {
 
   /// Test hook: the current write generation of a frame.
   u32 frame_generation(HostFrame frame) const { return gen(frame); }
+
+  /// Read-only lookup for the trace tier: the cached block at
+  /// (frame, offset) if one exists at the frame's current generation.
+  /// Never builds, never touches the cursor or the stats.
+  const DecodedBlock* peek(HostFrame frame, u32 offset) const;
 
  private:
   static constexpr u32 kEmptySlot = 0xFFFFFFFFu;

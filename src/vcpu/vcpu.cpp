@@ -92,7 +92,7 @@ Vcpu::CachedFetch Vcpu::cached_fetch() {
   return {fetched.insn, false};
 }
 
-Exit Vcpu::step() {
+Exit Vcpu::step(u64 misses_before) {
   mem::Mmu& mmu = machine_->mmu();
 
   // Re-detect deferred ("missed") interrupt edges once their release time
@@ -117,8 +117,6 @@ Exit Vcpu::step() {
     end_block(regs_.pc);
     return {ExitReason::kBreakpoint, regs_.pc};
   }
-
-  const u64 misses_before = mmu.stats().tlb_misses;
 
   // Fast path: serve the pre-decoded instruction at pc from the block
   // cache; fall back to fetch+decode when nothing cacheable is there.
@@ -453,6 +451,558 @@ Exit Vcpu::run_cached_tail(u64 budget_end) {
   return {ExitReason::kNone, regs_.pc};
 }
 
+Exit Vcpu::run_traced(u64 budget_end, u64* misses_io, bool* dispatched) {
+  *dispatched = false;
+  mem::Mmu& mmu = machine_->mmu();
+  // Outer loop: a completed (or prediction-exited) dispatch lands on a pc
+  // that very often heads another trace — a call-heavy loop alternates
+  // between a body trace ending in RET and the continuation trace after the
+  // call site. Chaining here skips the return to run() and its preamble;
+  // every decline below still hands control back so step() handles the
+  // condition exactly as if this tier did not exist.
+  for (;;) {
+    const GVirt pc = regs_.pc;
+    // The walk-charge baseline for the next retired instruction: predates
+    // this iteration's entry translate, so a probe miss from a dispatch
+    // that then declines still reaches step() (via *misses_io) uncharged
+    // exactly once.
+    const u64 misses_before = *misses_io;
+    // Once a chained dispatch has retired instructions, declines must report
+    // kNone at the current pc (run() resumes with step); before any dispatch
+    // the caller ignores the value.
+    if (instructions_ >= budget_end) return {ExitReason::kNone, pc};
+    // Anything the step() preamble would handle first declines the dispatch:
+    // step() re-evaluates the identical conditions on identical state.
+    // Likewise the page-tail fetch region, where the slow path probes the
+    // next page.
+    if (deferred_irqs_ != 0 && cycles_ >= irq_release_at_)
+      return {ExitReason::kNone, pc};
+    if (pending_irqs_ != 0 && regs_.interrupts_enabled)
+      return {ExitReason::kNone, pc};
+    if (pc == suppress_bp_at_) return {ExitReason::kNone, pc};
+    if (!breakpoints_.empty() && has_breakpoint(pc))
+      return {ExitReason::kNone, pc};
+    if (kPageSize - page_offset(pc) < isa::kMaxInstructionLength)
+      return {ExitReason::kNone, pc};
+
+    auto frame = mmu.translate_page(page_base(pc));
+    if (!frame) {
+      // Returning the definitive exit here (instead of declining) keeps the
+      // failed translation's miss count at exactly one — step() would
+      // translate, and count, again.
+      *dispatched = true;
+      end_block(pc);
+      return {ExitReason::kFetchFault, pc};
+    }
+    const u32 offset = page_offset(pc);
+    Trace* tr = trace_cache_.find(*frame, offset);
+    if (tr == nullptr) {
+      // Promote on the spot if the block here has gone hot; dispatch on the
+      // next visit (the entry-translate miss, if any, is charged by the
+      // block tier through the shared misses_before snapshot either way).
+      const DecodedBlock* block = block_cache_.peek(*frame, offset);
+      if (block != nullptr && block->heat >= trace_hot_threshold_)
+        trace_cache_.build(machine_->host(), mmu, block_cache_, *frame,
+                           offset, pc);
+      return {ExitReason::kNone, pc};
+    }
+    if (!trace_cache_.validate_translations(*tr, mmu))
+      return {ExitReason::kNone, pc};
+
+    *dispatched = true;
+    trace_cache_.note_dispatch(*tr);
+    block_cache_.drop_cursor();
+    // Snapshots the per-op guards revalidate: while none of these move, every
+    // translation the trace skips (block boundaries, the self-loop re-entry)
+    // would provably hit, and no code byte under the trace has changed.
+    const u64 entry_fill = mmu.fill_version();
+    const u64 entry_ept = mmu.ept().generation();
+    const u64 entry_epoch = trace_cache_.write_epoch();
+    const TraceOp* ops = tr->ops.data();
+    const MicroOp* uops = tr->uops.data();
+    const std::size_t n = tr->uops.size();
+    const GVirt entry_va = tr->entry_va;
+    u32 executed = 0;
+    std::size_t i = 0;
+    // While `fast` holds and cycles_ stays below `fast_until`, every guard
+    // except the budget compare is provably quiescent: the last full pass saw
+    // no deliverable IRQ, no breakpoints and no armed suppress-once, and every
+    // op executed since was pure (register-only — cannot fill the TLB, write
+    // code bytes, call the environment, or raise/unmask an IRQ). The only
+    // guard input pure ops do advance is cycles_, which matters exactly when a
+    // deferred IRQ's release time is crossed — hence the cycle bound instead
+    // of a per-op re-test. Only a non-pure op can disturb the rest, and
+    // executing one clears the flag.
+    bool fast = false;
+    u64 fast_until = 0;
+    // regs_.pc stays lazy inside the dispatch: straight-line micro-ops and
+    // in-trace branches never store it (the micro-op index tracks it), and
+    // every exit path materialises the architectural pc from the micro-op
+    // record before anything can observe it.
+    while (true) {
+      const MicroOp& u = uops[i];
+      if (instructions_ >= budget_end) {
+        regs_.pc = u.va;
+        trace_cache_.note_side_exit(TraceCache::kExitBudget, regs_.pc,
+                                    executed);
+        // Past the first op every retired instruction charged its own walk
+        // delta, so the caller's next baseline is "now". With nothing
+        // retired the entry baseline still stands (the entry translate's
+        // miss, if any, is charged by whoever executes the first op).
+        if (executed != 0) *misses_io = mmu.stats().tlb_misses;
+        return {ExitReason::kNone, regs_.pc};
+      }
+      if (fast && cycles_ >= fast_until) fast = false;
+      if (!fast) {
+        // The same bail set as run_cached_tail, applied before the op (and
+        // between the halves of a fused pair): side exits hand the
+        // architectural state to the block tier exactly as uncached execution
+        // would see it.
+        u8 guard = 0;
+        if ((deferred_irqs_ != 0 && cycles_ >= irq_release_at_) ||
+            (pending_irqs_ != 0 && regs_.interrupts_enabled)) {
+          guard = TraceCache::kExitIrq;
+        } else if (u.va == suppress_bp_at_ ||
+                   (!breakpoints_.empty() && has_breakpoint(u.va))) {
+          guard = TraceCache::kExitBreakpoint;
+        } else if (mmu.fill_version() != entry_fill ||
+                   mmu.ept().generation() != entry_ept) {
+          guard = TraceCache::kExitTranslation;
+        } else if (trace_cache_.write_epoch() != entry_epoch) {
+          guard = TraceCache::kExitCodeWrite;
+        }
+        if (guard != 0) {
+          regs_.pc = u.va;
+          trace_cache_.note_side_exit(guard, regs_.pc, executed);
+          if (executed != 0) *misses_io = mmu.stats().tlb_misses;
+          return {ExitReason::kNone, regs_.pc};
+        }
+        // Pending-but-masked IRQs stay undeliverable across pure ops; a
+        // deferred IRQ is handled by the cycle bound.
+        fast = breakpoints_.empty() && suppress_bp_at_ == 0xFFFFFFFFu &&
+               !(pending_irqs_ != 0 && regs_.interrupts_enabled);
+        fast_until =
+            deferred_irqs_ != 0 ? irq_release_at_ : ~static_cast<u64>(0);
+      }
+      if (fast && u.seg > 1) {
+        // Straight-line simple run: every op in it retires one instruction
+        // for cost_default, cannot fault, never reads cycles_, and cannot
+        // disturb any guard input — so the per-op budget/guard checks and
+        // the retirement accounting hoist out of the loop entirely. The
+        // batch is clamped so it stops at exactly the op boundary where
+        // per-op execution would have re-checked the budget or crossed the
+        // deferred-IRQ release cycle (fast implies cycles_ < fast_until and
+        // the loop-top check implies at least one instruction of budget, so
+        // len >= 1 and at least one op retires).
+        const u32 cd = perf_.cost_default != 0 ? perf_.cost_default : 1;
+        u64 len = u.seg;
+        if (budget_end - instructions_ < len) len = budget_end - instructions_;
+        const u64 by_cycles = (fast_until - cycles_ - 1) / cd + 1;
+        if (by_cycles < len) len = by_cycles;
+        if (executed == 0)
+          cycles_ +=
+              (mmu.stats().tlb_misses - misses_before) * perf_.cost_tlb_walk;
+        const std::size_t stop = i + static_cast<std::size_t>(len);
+        for (std::size_t e = i; e < stop; ++e) {
+          const MicroOp& v = uops[e];
+          switch (v.kind) {
+            case UOp::kNop:
+              break;
+            case UOp::kMovRR:
+              regs_.gpr[v.r1] = regs_.gpr[v.r2];
+              break;
+            case UOp::kMovImm:
+              regs_.gpr[v.r1] = v.imm;
+              break;
+            case UOp::kAddRR:
+              regs_.zf = (regs_.gpr[v.r1] += regs_.gpr[v.r2]) == 0;
+              break;
+            case UOp::kSubRR:
+              regs_.zf = (regs_.gpr[v.r1] -= regs_.gpr[v.r2]) == 0;
+              break;
+            case UOp::kXorRR:
+              regs_.zf = (regs_.gpr[v.r1] ^= regs_.gpr[v.r2]) == 0;
+              break;
+            case UOp::kOrRR:
+              regs_.zf = (regs_.gpr[v.r1] |= regs_.gpr[v.r2]) == 0;
+              break;
+            case UOp::kCmpRR:
+              regs_.zf = (regs_.gpr[v.r1] - regs_.gpr[v.r2]) == 0;
+              break;
+            case UOp::kAddImm:
+              regs_.zf = (regs_.gpr[v.r1] += v.imm) == 0;
+              break;
+            case UOp::kSubImm:
+              regs_.zf = (regs_.gpr[v.r1] -= v.imm) == 0;
+              break;
+            case UOp::kCmpImm:
+              regs_.zf = (regs_.gpr[v.r1] - v.imm) == 0;
+              break;
+            default:
+              FC_UNREACHABLE(<< "non-simple micro-op inside a segment");
+          }
+        }
+        instructions_ += len;
+        cycles_ += len * perf_.cost_default;
+        executed += static_cast<u32>(len);
+        i = stop;
+        if (i == n) {
+          // The segment reached the end of the trace (a trace only ends on a
+          // simple op when the op or block cap cut it mid-block).
+          regs_.pc = uops[n - 1].fall_va;
+          trace_cache_.note_completion(executed);
+          break;  // chain: try to dispatch at the landing pc
+        }
+        continue;
+      }
+      // Micro-op execution. Architectural and cycle effects mirror exec_insn
+      // case by case (ZF rules, rdtsc reading cycles_ before its own charge,
+      // cost_default per retired instruction, the first op carrying the
+      // entry-translate walk delta); branch targets were resolved to
+      // micro-op indices at build, so staying on the predicted chain is an
+      // index assignment, not a pc compare.
+      u64 m0;        // mem micro-ops: walk-charge baseline for this op
+      u32 mem_cost;  // mem micro-ops: cost (default / call / ret)
+      switch (u.kind) {
+        case UOp::kNop:
+          break;
+        case UOp::kMovRR:
+          regs_.gpr[u.r1] = regs_.gpr[u.r2];
+          break;
+        case UOp::kMovImm:
+          regs_.gpr[u.r1] = u.imm;
+          break;
+        case UOp::kAddRR:
+          regs_.zf = (regs_.gpr[u.r1] += regs_.gpr[u.r2]) == 0;
+          break;
+        case UOp::kSubRR:
+          regs_.zf = (regs_.gpr[u.r1] -= regs_.gpr[u.r2]) == 0;
+          break;
+        case UOp::kXorRR:
+          regs_.zf = (regs_.gpr[u.r1] ^= regs_.gpr[u.r2]) == 0;
+          break;
+        case UOp::kOrRR:
+          regs_.zf = (regs_.gpr[u.r1] |= regs_.gpr[u.r2]) == 0;
+          break;
+        case UOp::kCmpRR:
+          regs_.zf = (regs_.gpr[u.r1] - regs_.gpr[u.r2]) == 0;
+          break;
+        case UOp::kAddImm:
+          regs_.zf = (regs_.gpr[u.r1] += u.imm) == 0;
+          break;
+        case UOp::kSubImm:
+          regs_.zf = (regs_.gpr[u.r1] -= u.imm) == 0;
+          break;
+        case UOp::kCmpImm:
+          regs_.zf = (regs_.gpr[u.r1] - u.imm) == 0;
+          break;
+        case UOp::kRdtsc:
+          // Reads cycles_ before this op's own cost is charged, exactly
+          // like exec_insn (cost accrues after the switch there too).
+          regs_[Reg::A] = static_cast<u32>(cycles_);
+          regs_[Reg::D] = static_cast<u32>(cycles_ >> 32);
+          break;
+        case UOp::kJmp:
+          ++instructions_;
+          cycles_ += perf_.cost_default;
+          if (executed == 0)
+            cycles_ += (mmu.stats().tlb_misses - misses_before) *
+                       perf_.cost_tlb_walk;
+          ++executed;
+          if (u.taken_idx != kNoTarget) {
+            i = u.taken_idx;
+            continue;
+          }
+          regs_.pc = u.taken_va;
+          goto leave_trace;
+        case UOp::kJcc: {
+          ++instructions_;
+          cycles_ += perf_.cost_default;
+          if (executed == 0)
+            cycles_ += (mmu.stats().tlb_misses - misses_before) *
+                       perf_.cost_tlb_walk;
+          ++executed;
+          const bool taken = regs_.zf == (u.aux != 0);
+          const u16 idx = taken ? u.taken_idx : u.fall_idx;
+          if (idx != kNoTarget) {
+            i = idx;
+            continue;
+          }
+          regs_.pc = taken ? u.taken_va : u.fall_va;
+          goto leave_trace;
+        }
+        case UOp::kFused: {
+          // Fused ALU half: register-only, cannot fault, sets the ZF the
+          // branch consumes. Charged exactly like exec_insn.
+          u32 result = 0;
+          switch (static_cast<FusedAlu>(u.aux & 0x7F)) {
+            case FusedAlu::kAddRR:
+              result = (regs_.gpr[u.r1] += regs_.gpr[u.r2]);
+              break;
+            case FusedAlu::kSubRR:
+              result = (regs_.gpr[u.r1] -= regs_.gpr[u.r2]);
+              break;
+            case FusedAlu::kXorRR:
+              result = (regs_.gpr[u.r1] ^= regs_.gpr[u.r2]);
+              break;
+            case FusedAlu::kOrRR:
+              result = (regs_.gpr[u.r1] |= regs_.gpr[u.r2]);
+              break;
+            case FusedAlu::kCmpRR:
+              result = regs_.gpr[u.r1] - regs_.gpr[u.r2];
+              break;
+            case FusedAlu::kAddImm:
+              result = (regs_.gpr[u.r1] += u.imm);
+              break;
+            case FusedAlu::kSubImm:
+              result = (regs_.gpr[u.r1] -= u.imm);
+              break;
+            case FusedAlu::kCmpImm:
+              result = regs_.gpr[u.r1] - u.imm;
+              break;
+          }
+          regs_.zf = (result == 0);
+          ++instructions_;
+          cycles_ += perf_.cost_default;
+          if (executed == 0)
+            cycles_ += (mmu.stats().tlb_misses - misses_before) *
+                       perf_.cost_tlb_walk;
+          ++executed;
+          // Inter-pair window: if anything fires here the ALU half is
+          // retired and pc sits on the branch — byte-identical to uncached
+          // stepping. Under `fast` only the budget can fire (the ALU half is
+          // pure).
+          if (instructions_ >= budget_end) {
+            regs_.pc = u.jcc_va;
+            trace_cache_.note_side_exit(TraceCache::kExitBudget, regs_.pc,
+                                        executed);
+            *misses_io = mmu.stats().tlb_misses;  // executed >= 1 here
+            return {ExitReason::kNone, regs_.pc};
+          }
+          if (fast && cycles_ >= fast_until) fast = false;
+          if (!fast) {
+            u8 pair_guard = 0;
+            if ((deferred_irqs_ != 0 && cycles_ >= irq_release_at_) ||
+                (pending_irqs_ != 0 && regs_.interrupts_enabled)) {
+              pair_guard = TraceCache::kExitIrq;
+            } else if (u.jcc_va == suppress_bp_at_ ||
+                       (!breakpoints_.empty() && has_breakpoint(u.jcc_va))) {
+              pair_guard = TraceCache::kExitBreakpoint;
+            } else if (mmu.fill_version() != entry_fill ||
+                       mmu.ept().generation() != entry_ept) {
+              pair_guard = TraceCache::kExitTranslation;
+            } else if (trace_cache_.write_epoch() != entry_epoch) {
+              pair_guard = TraceCache::kExitCodeWrite;
+            }
+            if (pair_guard != 0) {
+              regs_.pc = u.jcc_va;
+              trace_cache_.note_side_exit(pair_guard, regs_.pc, executed);
+              *misses_io = mmu.stats().tlb_misses;  // executed >= 1 here
+              return {ExitReason::kNone, regs_.pc};
+            }
+          }
+          // Branch half: no memory access, so no walk delta to charge.
+          const bool taken = regs_.zf == ((u.aux & 0x80) != 0);
+          ++instructions_;
+          cycles_ += perf_.cost_default;
+          ++executed;
+          trace_cache_.note_fused_exec();
+          const u16 idx = taken ? u.taken_idx : u.fall_idx;
+          if (idx != kNoTarget) {
+            i = idx;
+            continue;
+          }
+          regs_.pc = taken ? u.taken_va : u.fall_va;
+          goto leave_trace;
+        }
+        case UOp::kPush: {
+          m0 = executed == 0 ? misses_before : mmu.stats().tlb_misses;
+          const u32 value = regs_.gpr[u.r1];  // pre-decrement, like push32
+          regs_[Reg::SP] -= 4;
+          if (!mmu.try_write32(regs_[Reg::SP], value)) goto mem_fault;
+          mem_cost = perf_.cost_default;
+          goto mem_retire;
+        }
+        case UOp::kPop: {
+          m0 = executed == 0 ? misses_before : mmu.stats().tlb_misses;
+          auto value = mmu.try_read32(regs_[Reg::SP]);
+          if (!value) goto mem_fault;
+          regs_[Reg::SP] += 4;
+          regs_.gpr[u.r1] = *value;  // after the bump, like exec_insn
+          mem_cost = perf_.cost_default;
+          goto mem_retire;
+        }
+        case UOp::kLoad: {
+          m0 = executed == 0 ? misses_before : mmu.stats().tlb_misses;
+          auto value = mmu.try_read32(regs_.gpr[u.r2] + u.imm);
+          if (!value) goto mem_fault;
+          regs_.gpr[u.r1] = *value;
+          mem_cost = perf_.cost_default;
+          goto mem_retire;
+        }
+        case UOp::kStore:
+          m0 = executed == 0 ? misses_before : mmu.stats().tlb_misses;
+          if (!mmu.try_write32(regs_.gpr[u.r1] + u.imm, regs_.gpr[u.r2]))
+            goto mem_fault;
+          mem_cost = perf_.cost_default;
+          goto mem_retire;
+        case UOp::kLoadAbs: {
+          m0 = executed == 0 ? misses_before : mmu.stats().tlb_misses;
+          auto value = mmu.try_read32(u.imm);
+          if (!value) goto mem_fault;
+          regs_.gpr[u.r1] = *value;
+          mem_cost = perf_.cost_default;
+          goto mem_retire;
+        }
+        case UOp::kStoreAbs:
+          m0 = executed == 0 ? misses_before : mmu.stats().tlb_misses;
+          if (!mmu.try_write32(u.imm, regs_.gpr[u.r2])) goto mem_fault;
+          mem_cost = perf_.cost_default;
+          goto mem_retire;
+        case UOp::kLeave: {
+          m0 = executed == 0 ? misses_before : mmu.stats().tlb_misses;
+          regs_[Reg::SP] = regs_[Reg::FP];  // before the read, like exec_insn
+          auto value = mmu.try_read32(regs_[Reg::SP]);
+          if (!value) goto mem_fault;
+          regs_[Reg::SP] += 4;
+          regs_[Reg::FP] = *value;
+          mem_cost = perf_.cost_default;
+          goto mem_retire;
+        }
+        case UOp::kCall: {
+          m0 = executed == 0 ? misses_before : mmu.stats().tlb_misses;
+          regs_[Reg::SP] -= 4;
+          if (!mmu.try_write32(regs_[Reg::SP], u.fall_va)) goto mem_fault;
+          ++instructions_;
+          cycles_ += perf_.cost_call;
+          cycles_ += (mmu.stats().tlb_misses - m0) * perf_.cost_tlb_walk;
+          ++executed;
+          if (fast && (mmu.fill_version() != entry_fill ||
+                       mmu.ept().generation() != entry_ept ||
+                       trace_cache_.write_epoch() != entry_epoch))
+            fast = false;
+          if (u.taken_idx != kNoTarget) {
+            i = u.taken_idx;
+            continue;
+          }
+          regs_.pc = u.taken_va;
+          goto leave_trace;
+        }
+        case UOp::kRet: {
+          m0 = executed == 0 ? misses_before : mmu.stats().tlb_misses;
+          auto value = mmu.try_read32(regs_[Reg::SP]);
+          if (!value) goto mem_fault;
+          regs_[Reg::SP] += 4;
+          ++instructions_;
+          cycles_ += perf_.cost_ret;
+          cycles_ += (mmu.stats().tlb_misses - m0) * perf_.cost_tlb_walk;
+          ++executed;
+          if (fast && (mmu.fill_version() != entry_fill ||
+                       mmu.ept().generation() != entry_ept ||
+                       trace_cache_.write_epoch() != entry_epoch))
+            fast = false;
+          regs_.pc = *value;
+          // Dynamic landing, resolved like kSlow: builds stop the chain at
+          // RET, so this is normally the last micro-op, but a recursive loop
+          // can return straight onto the trace entry.
+          if (i + 1 < n && regs_.pc == uops[i + 1].va) {
+            ++i;
+            continue;
+          }
+          if (regs_.pc == entry_va) {
+            i = 0;
+            continue;
+          }
+          goto leave_trace;
+        }
+        case UOp::kSlow: {
+          regs_.pc = u.va;  // materialise: exec_insn is pc-relative
+          const u64 op_misses =
+              executed == 0 ? misses_before : mmu.stats().tlb_misses;
+          Exit exit = exec_insn(ops[u.slow_index].insn, op_misses);
+          if (exit.reason != ExitReason::kNone) {
+            trace_cache_.note_side_exit(TraceCache::kExitTrap, regs_.pc,
+                                        executed);
+            return exit;
+          }
+          ++executed;
+          fast = false;  // may have filled the TLB, run the env, raised IRQs
+          // Landing resolution for the one op class whose successor is only
+          // known at runtime: the predicted chain, the hot-loop back edge,
+          // or off the trace.
+          if (i + 1 < n && regs_.pc == uops[i + 1].va) {
+            ++i;
+            continue;
+          }
+          if (regs_.pc == entry_va) {
+            i = 0;
+            continue;
+          }
+          goto leave_trace;
+        }
+      }
+      // Straight-line retire shared by every non-branch pure micro-op above.
+      ++instructions_;
+      cycles_ += perf_.cost_default;
+      if (executed == 0)
+        cycles_ +=
+            (mmu.stats().tlb_misses - misses_before) * perf_.cost_tlb_walk;
+      ++executed;
+      if (++i == n) {
+        regs_.pc = u.fall_va;
+        trace_cache_.note_completion(executed);
+        break;  // chain: try to dispatch at the landing pc
+      }
+      continue;
+    mem_retire:
+      // Straight-line retire for the data-memory micro-ops: each charges its
+      // own walk delta (against m0, so the first op still carries the
+      // entry-translate miss). A data access can fill the TLB — evicting a
+      // boundary the hoisted translation check relies on — and a store can
+      // hit a watched code frame; either shows up as a version move, and
+      // dropping `fast` lets the next op's full guard attribute the exit.
+      ++instructions_;
+      cycles_ += mem_cost;
+      cycles_ += (mmu.stats().tlb_misses - m0) * perf_.cost_tlb_walk;
+      ++executed;
+      if (fast && (mmu.fill_version() != entry_fill ||
+                   mmu.ept().generation() != entry_ept ||
+                   trace_cache_.write_epoch() != entry_epoch))
+        fast = false;
+      if (++i == n) {
+        regs_.pc = u.fall_va;
+        trace_cache_.note_completion(executed);
+        break;
+      }
+      continue;
+    mem_fault:
+      // Mirror exec_insn's GuestDataFault path exactly: no instruction or
+      // cycle charge, pc back on the faulting op, partial register effects
+      // (a push's moved SP) left in place.
+      in_block_ = false;  // end_block with no trace sink attached
+      regs_.pc = u.va;
+      trace_cache_.note_side_exit(TraceCache::kExitTrap, regs_.pc, executed);
+      return {ExitReason::kFetchFault, u.va};
+    leave_trace:
+      // A branch (or slow op) left the micro-op array: running off the last
+      // op is a completion, leaving mid-trace is a prediction side exit.
+      // Either way regs_.pc is materialised and the outer loop tries to
+      // chain into a trace at the landing pc.
+      if (i + 1 == n)
+        trace_cache_.note_completion(executed);
+      else
+        trace_cache_.note_side_exit(TraceCache::kExitPrediction, regs_.pc,
+                                    executed);
+      break;
+    }
+    // Chain point: every retired op charged its own walk delta, so the next
+    // dispatch's first-op baseline is "right here" — crucially *before* the
+    // next iteration's entry translate, whose miss must survive a decline
+    // and reach step() uncharged.
+    *misses_io = mmu.stats().tlb_misses;
+  }
+}
+
 Exit Vcpu::run(u64 max_instructions) {
   const u64 budget_end = instructions_ + max_instructions;
   while (true) {
@@ -460,7 +1010,27 @@ Exit Vcpu::run(u64 max_instructions) {
       end_block(regs_.pc);
       return {ExitReason::kInstructionLimit, regs_.pc};
     }
-    Exit exit = step();
+    // The snapshot all three tiers charge TLB walks against; taken before
+    // run_traced so a declined dispatch's entry translation is charged once,
+    // by whichever tier executes the instruction. run_traced maintains it
+    // across chained dispatches, and the kNone fall-through below hands the
+    // maintained value straight to step() — re-snapshotting here would hide
+    // a chained dispatch's uncharged entry-probe miss.
+    u64 misses_before = machine_->mmu().stats().tlb_misses;
+    // Trace dispatch is gated off under a TraceSink: the profiler needs the
+    // per-block on_block callbacks that only the step path produces.
+    if (block_cache_enabled_ && trace_cache_enabled_ && trace_ == nullptr) {
+      bool dispatched = false;
+      Exit exit = run_traced(budget_end, &misses_before, &dispatched);
+      if (dispatched) {
+        if (exit.reason != ExitReason::kNone) return exit;
+        if (instructions_ >= budget_end) {
+          end_block(regs_.pc);
+          return {ExitReason::kInstructionLimit, regs_.pc};
+        }
+      }
+    }
+    Exit exit = step(misses_before);
     if (exit.reason != ExitReason::kNone) return exit;
     if (block_cache_enabled_ && instructions_ < budget_end) {
       exit = run_cached_tail(budget_end);

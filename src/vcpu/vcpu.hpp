@@ -19,6 +19,7 @@
 #include "mem/machine.hpp"
 #include "vcpu/block_cache.hpp"
 #include "vcpu/perf_model.hpp"
+#include "vcpu/trace_cache.hpp"
 
 namespace fc::cpu {
 
@@ -91,11 +92,15 @@ class TraceSink {
 class Vcpu {
  public:
   explicit Vcpu(mem::Machine& machine) : machine_(&machine) {
-    // Register the decoded-block cache as the code write barrier's sink so
-    // any byte change in a frame we cached decodes from invalidates them.
-    machine_->host().set_code_write_sink(&block_cache_);
+    // Register both execution caches on the code write barrier so any byte
+    // change in a frame they cached decodes/traces from invalidates them.
+    machine_->host().add_code_write_sink(&block_cache_);
+    machine_->host().add_code_write_sink(&trace_cache_);
   }
-  ~Vcpu() { machine_->host().set_code_write_sink(nullptr); }
+  ~Vcpu() {
+    machine_->host().remove_code_write_sink(&block_cache_);
+    machine_->host().remove_code_write_sink(&trace_cache_);
+  }
   Vcpu(const Vcpu&) = delete;
   Vcpu& operator=(const Vcpu&) = delete;
 
@@ -119,6 +124,24 @@ class Vcpu {
   bool block_cache_enabled() const { return block_cache_enabled_; }
   BlockCache& block_cache() { return block_cache_; }
   const BlockCache& block_cache() const { return block_cache_; }
+
+  /// The superblock/trace tier (on by default; only dispatches when the
+  /// block cache is also enabled, since traces are stitched from its
+  /// decoded blocks). Disabling drops every trace — the `--no-trace-cache`
+  /// ablation baseline.
+  void set_trace_cache_enabled(bool on) {
+    if (!on) trace_cache_.clear();
+    trace_cache_enabled_ = on;
+  }
+  bool trace_cache_enabled() const { return trace_cache_enabled_; }
+  /// Block heat (taken-branch entries) required before promotion to a
+  /// trace; 1 forces every block hot (the lockstep parity configuration).
+  void set_trace_hot_threshold(u32 threshold) {
+    trace_hot_threshold_ = threshold < 1 ? 1 : threshold;
+  }
+  u32 trace_hot_threshold() const { return trace_hot_threshold_; }
+  TraceCache& trace_cache() { return trace_cache_; }
+  const TraceCache& trace_cache() const { return trace_cache_; }
 
   /// Simulated time.
   Cycles cycles() const { return cycles_; }
@@ -174,7 +197,12 @@ class Vcpu {
   bool deliver_interrupt(u8 vector, bool hardware);
 
  private:
-  Exit step();  // exactly one instruction (or pending-IRQ delivery)
+  /// Exactly one instruction (or pending-IRQ delivery). `misses_before` is
+  /// the caller's TLB-miss snapshot from before any translation this
+  /// dispatch attempt performed (run() takes it ahead of run_traced, so an
+  /// entry-translate miss from a declined trace dispatch is charged exactly
+  /// once, here).
+  Exit step(u64 misses_before);
   /// Execute one already-fetched instruction: trace-block bookkeeping, the
   /// exec switch, retirement accounting, and the TLB-walk cycle charge for
   /// misses accrued since `misses_before`. UD2 / privilege traps return
@@ -185,6 +213,19 @@ class Vcpu {
   /// behaviour (IRQs, breakpoints, TLB fills, frame writes, page-end fetch
   /// probes) is in play, bailing back to step() the moment anything is.
   Exit run_cached_tail(u64 budget_end);
+  /// Trace-tier dispatch at regs_.pc, chaining trace-to-trace as long as
+  /// each landing pc heads another valid trace. Sets *dispatched when it
+  /// either ran a trace (the returned Exit is authoritative, kNone meaning
+  /// "hand the current pc to step()") or produced a definitive exit itself
+  /// (entry fetch fault); leaves it false when the block tier should handle
+  /// this pc — including after promoting a newly-hot block, which
+  /// dispatches on the next visit. *misses_io is the TLB-miss baseline the
+  /// next retired instruction charges walks against: on entry the caller's
+  /// pre-translate snapshot, updated here whenever earlier misses have all
+  /// been charged (chain points, side exits past the first op) — run()
+  /// must pass the updated value to step() unchanged, so probe misses from
+  /// a declined chain dispatch are charged exactly once.
+  Exit run_traced(u64 budget_end, u64* misses_io, bool* dispatched);
   /// Resolve the instruction at regs_.pc through the block cache. Returns
   /// nullptr in `insn` when the slow fetch+decode path must run; sets
   /// `fetch_fault` when the pc's page is unmapped (a definitive exit).
@@ -214,6 +255,9 @@ class Vcpu {
 
   BlockCache block_cache_;
   bool block_cache_enabled_ = true;
+  TraceCache trace_cache_;
+  bool trace_cache_enabled_ = true;
+  u32 trace_hot_threshold_ = TraceCache::kDefaultHotThreshold;
   // Translation-state snapshot from the last cached_fetch(): while the
   // MMU's fill version and the EPT generation are unchanged, the code
   // page's translation is guaranteed to still hit (see Mmu::fill_version),

@@ -55,6 +55,9 @@ class BlockCacheFixture : public ::testing::Test {
 };
 
 TEST_F(BlockCacheFixture, HotLoopIsServedFromDecodedBlocks) {
+  // Pin execution to the block tier: with tracing on, the hot loop would be
+  // promoted after a few iterations and insn_hits would stop growing.
+  g_.vcpu.set_trace_cache_enabled(false);
   Assembler a;
   a.mov_imm(Reg::A, 200);
   auto loop = a.make_label();

@@ -1,0 +1,312 @@
+// Trace-tier tests: promotion and dispatch of hot loops, fused-pair parity
+// against the uncached interpreter, lazy retirement through the write
+// barrier (a guest store over the *middle* constituent frame of a
+// multi-page trace must retire exactly that trace), code-load rewrites
+// (the recovery path), and EPT view repoints mid-run — which must swing
+// execution to the other view's traces without flushing anything, and
+// revive the originals on switch-back.
+#include <gtest/gtest.h>
+
+#include "harness/harness.hpp"
+#include "isa/assembler.hpp"
+#include "vcpu/vcpu.hpp"
+
+namespace fc::cpu {
+namespace {
+
+using isa::Assembler;
+using isa::Reg;
+
+constexpr GVirt kCodeVa = kKernelBase + 0x10000;
+constexpr GVirt kStackTop = kKernelBase + 0x20000;
+constexpr GVirt kIdt = kKernelBase + 0x30000;
+constexpr GVirt kEsp0 = kKernelBase + 0x30400;
+
+/// Bare machine + vCPU, kernel half direct-mapped (the blockcache_test
+/// setup). Trace promotion is left at the default threshold unless a test
+/// lowers it.
+struct MiniGuest {
+  MiniGuest() : machine(8), vcpu(machine) {
+    mem::GuestPageTableBuilder builder(machine, 0x1000, 0x100000);
+    dir = builder.create_directory();
+    builder.map(dir, kKernelBase, 0, machine.guest_phys_pages());
+    vcpu.set_cr3(dir);
+    vcpu.set_idt_base(kIdt);
+    vcpu.set_kstack_ptr_addr(kEsp0);
+    vcpu.regs().mode = Mode::kKernel;
+    vcpu.regs()[Reg::SP] = kStackTop;
+  }
+
+  void load(Assembler& a) {
+    std::vector<u8> bytes = a.finish(kCodeVa);
+    machine.pwrite_bytes(mem::GuestLayout::kernel_pa(kCodeVa), bytes);
+    vcpu.regs().pc = kCodeVa;
+  }
+
+  Exit run(u64 budget = 100'000) { return vcpu.run(budget); }
+
+  mem::Machine machine;
+  Vcpu vcpu;
+  GPhys dir = 0;
+};
+
+class TraceCacheFixture : public ::testing::Test {
+ protected:
+  MiniGuest g_;
+};
+
+/// The canonical countdown loop: A starts at `iters`, the body adds `step`
+/// to D each pass. Identical layout for any `step`, so a rewritten page can
+/// swap semantics without moving a single branch target.
+Assembler countdown_loop(u32 iters, u32 step) {
+  Assembler a;
+  a.mov_imm(Reg::A, iters);
+  a.mov_imm(Reg::B, 1);
+  a.mov_imm(Reg::D, 0);
+  auto head = a.make_label();
+  a.bind(head);
+  for (u32 i = 0; i < step; ++i) a.add(Reg::D, Reg::B);
+  a.sub(Reg::A, Reg::B);
+  a.jnz(head);
+  a.hlt();
+  return a;
+}
+
+TEST_F(TraceCacheFixture, ColdCodeIsNeverPromotedAtTheDefaultThreshold) {
+  // 5 loop entries < kDefaultHotThreshold (16): the loop stays at the block
+  // tier and the trace arena stays empty.
+  Assembler a = countdown_loop(5, 1);
+  g_.load(a);
+  EXPECT_EQ(g_.run().reason, ExitReason::kHalt);
+  EXPECT_EQ(g_.vcpu.trace_cache().stats().built, 0u);
+  EXPECT_EQ(g_.vcpu.trace_cache().stats().dispatched, 0u);
+}
+
+TEST_F(TraceCacheFixture, HotLoopIsPromotedAndDispatched) {
+  Assembler a = countdown_loop(200, 1);
+  g_.load(a);
+  EXPECT_EQ(g_.run().reason, ExitReason::kHalt);
+  EXPECT_EQ(g_.vcpu.regs()[Reg::D], 200u);
+  const TraceCache::Stats& stats = g_.vcpu.trace_cache().stats();
+  EXPECT_GT(stats.built, 0u);
+  EXPECT_GT(stats.dispatched, 0u);
+  // The bulk of the loop retired inside trace dispatches, not block steps.
+  EXPECT_GT(stats.trace_insns, 400u);
+  EXPECT_GT(g_.vcpu.trace_cache().size(), 0u);
+}
+
+TEST_F(TraceCacheFixture, TraceTierMatchesUncachedStateCyclesAndTlbMisses) {
+  // sub_imm_a + jnz is the fusable shape (the Jcc consumes exactly the ZF
+  // the ALU half just produced); the fused handler must be invisible in
+  // registers, cycles and TLB charging.
+  auto program = [] {
+    Assembler a;
+    a.mov_imm(Reg::A, 300);
+    a.mov_imm(Reg::C, 0);
+    auto head = a.make_label();
+    a.bind(head);
+    a.add(Reg::C, Reg::A);
+    a.sub_imm_a(1);
+    a.jnz(head);
+    a.hlt();
+    return a;
+  };
+  g_.vcpu.set_trace_hot_threshold(1);
+  Assembler traced = program();
+  g_.load(traced);
+  EXPECT_EQ(g_.run().reason, ExitReason::kHalt);
+
+  MiniGuest plain;
+  plain.vcpu.set_block_cache_enabled(false);
+  Assembler uncached = program();
+  plain.load(uncached);
+  EXPECT_EQ(plain.run().reason, ExitReason::kHalt);
+
+  EXPECT_EQ(plain.vcpu.regs().gpr, g_.vcpu.regs().gpr);
+  EXPECT_EQ(plain.vcpu.regs().pc, g_.vcpu.regs().pc);
+  EXPECT_EQ(plain.vcpu.cycles(), g_.vcpu.cycles());
+  EXPECT_EQ(plain.machine.mmu().stats().tlb_misses,
+            g_.machine.mmu().stats().tlb_misses);
+  EXPECT_GT(g_.vcpu.trace_cache().stats().fused_built, 0u);
+  EXPECT_GT(g_.vcpu.trace_cache().stats().fused_exec, 0u);
+}
+
+// A guest store over the middle constituent frame of a three-page trace:
+// the next probe of that trace retires it (lazy invalidation), while a
+// trace on an unrelated frame stays resident untouched.
+TEST_F(TraceCacheFixture, StoreOverMiddleFrameRetiresOnlyThatTrace) {
+  g_.vcpu.set_trace_hot_threshold(1);
+  Assembler a;
+  a.mov_imm(Reg::A, 40);
+  a.mov_imm(Reg::B, 1);
+  a.mov_imm(Reg::D, 0);
+  auto head = a.make_label();
+  auto p1 = a.make_label();
+  auto p2 = a.make_label();
+  const u32 head_off = a.size();
+  a.bind(head);                // page 0: loop entry (jnz_near target)
+  a.add(Reg::D, Reg::B);
+  a.jmp(p1);
+  a.align(4096);
+  const u32 p1_off = a.size();
+  a.bind(p1);                  // page 1: the middle constituent
+  a.mov_imm(Reg::C, 0x1111);   // immediate lives at p1 + 1
+  a.jmp(p2);
+  a.align(4096);
+  a.bind(p2);                  // page 2: back edge
+  a.sub(Reg::A, Reg::B);
+  a.jnz_near(head);
+  a.hlt();
+  a.align(4096);
+  const u32 b_entry_off = a.size();  // page 3: the unrelated loop
+  a.mov_imm(Reg::A, 30);
+  const u32 b_head_off = a.size();
+  auto bhead = a.make_label();
+  a.bind(bhead);
+  a.add(Reg::D, Reg::B);
+  a.sub(Reg::A, Reg::B);
+  a.jnz(bhead);
+  a.hlt();
+  g_.load(a);
+
+  EXPECT_EQ(g_.run().reason, ExitReason::kHalt);
+  EXPECT_EQ(g_.vcpu.regs()[Reg::C], 0x1111u);
+  EXPECT_EQ(g_.vcpu.regs()[Reg::D], 40u);
+  g_.vcpu.regs().pc = kCodeVa + b_entry_off;
+  EXPECT_EQ(g_.run().reason, ExitReason::kHalt);
+
+  mem::Mmu& mmu = g_.machine.mmu();
+  TraceCache& tc = g_.vcpu.trace_cache();
+  auto frame_a = mmu.translate_page(page_base(kCodeVa + head_off));
+  auto frame_b = mmu.translate_page(page_base(kCodeVa + b_head_off));
+  ASSERT_TRUE(frame_a.has_value());
+  ASSERT_TRUE(frame_b.has_value());
+  ASSERT_NE(tc.find(*frame_a, page_offset(kCodeVa + head_off)), nullptr);
+  Trace* trace_b = tc.find(*frame_b, page_offset(kCodeVa + b_head_off));
+  ASSERT_NE(trace_b, nullptr);
+  const u64 retired_before = tc.stats().retired;
+
+  // Patch the page-1 immediate through the guest store path. Only the
+  // three-page trace holds that frame.
+  mmu.write8(kCodeVa + p1_off + 1, 0x22);
+  mmu.write8(kCodeVa + p1_off + 2, 0x22);
+  EXPECT_GE(tc.stats().inval_guest_write, 1u);
+  EXPECT_EQ(tc.find(*frame_a, page_offset(kCodeVa + head_off)), nullptr);
+  EXPECT_EQ(tc.stats().retired, retired_before + 1);
+  // The unrelated trace survived, same arena entry, still live.
+  EXPECT_EQ(tc.find(*frame_b, page_offset(kCodeVa + b_head_off)), trace_b);
+
+  // Re-running the loop executes (and re-promotes) the patched bytes.
+  g_.vcpu.regs().pc = kCodeVa;
+  EXPECT_EQ(g_.run().reason, ExitReason::kHalt);
+  EXPECT_EQ(g_.vcpu.regs()[Reg::C], 0x2222u);
+  EXPECT_EQ(g_.vcpu.regs()[Reg::D], 40u);
+}
+
+// The recovery path: a code-load rewrite (RecoveryEngine copying pristine
+// bytes over a function body) must retire the traces built from the old
+// bytes; the rerun executes the new semantics at full trace speed.
+TEST_F(TraceCacheFixture, CodeLoadRewriteRetiresTracesOverTheFrame) {
+  g_.vcpu.set_trace_hot_threshold(1);
+  Assembler before = countdown_loop(50, 1);
+  g_.load(before);
+  EXPECT_EQ(g_.run().reason, ExitReason::kHalt);
+  EXPECT_EQ(g_.vcpu.regs()[Reg::D], 50u);
+  const TraceCache::Stats& stats = g_.vcpu.trace_cache().stats();
+  EXPECT_GT(stats.dispatched, 0u);
+  const u64 retired_before = stats.retired;
+
+  {
+    mem::HostMemory::WriteCauseScope cause(g_.machine.host(),
+                                           mem::FrameWriteCause::kCodeLoad);
+    Assembler after = countdown_loop(50, 2);  // same entry, doubled step
+    g_.machine.pwrite_bytes(mem::GuestLayout::kernel_pa(kCodeVa),
+                            after.finish(kCodeVa));
+  }
+  EXPECT_GE(stats.inval_code_load, 1u);
+
+  g_.vcpu.regs().pc = kCodeVa;
+  EXPECT_EQ(g_.run().reason, ExitReason::kHalt);
+  EXPECT_EQ(g_.vcpu.regs()[Reg::D], 100u);  // new bytes, not the stale trace
+  EXPECT_GT(stats.retired, retired_before);
+}
+
+// FACE-CHANGE's no-flush property at the trace tier: repointing the EPT to
+// another view's frame mid-run swings the very next dispatch to that
+// frame's traces (post-EPT keying — nothing to retire, nothing to flush),
+// and switching back revives the original trace without a rebuild.
+TEST_F(TraceCacheFixture, ViewRepointMidRunSwitchesTracesWithoutFlush) {
+  g_.vcpu.set_trace_hot_threshold(1);
+  // The alternate view's frame: the same loop with a doubled step, and the
+  // same prologue so the loop head sits at the same offset. Filled before
+  // any repoint, while the EPT still maps it identity.
+  constexpr GPhys kAltPa = 0x40000;
+  const auto alt_frame = *g_.machine.ept().translate(kAltPa);
+  {
+    Assembler alt = countdown_loop(60, 2);
+    g_.machine.pwrite_bytes(kAltPa, alt.finish(kCodeVa));
+  }
+  Assembler base = countdown_loop(60, 1);
+  g_.load(base);
+
+  // Warm every base-frame block to promotion first (the entry block only
+  // becomes hot on its second entry), so the switch-back phase below can
+  // assert strictly that reviving the original frame builds nothing new.
+  EXPECT_EQ(g_.run().reason, ExitReason::kHalt);
+  g_.vcpu.regs().pc = kCodeVa;
+  EXPECT_EQ(g_.run().reason, ExitReason::kHalt);
+  g_.vcpu.regs().pc = kCodeVa;
+
+  // 3 prologue instructions + 20 iterations x 3 = budget 63 stops exactly
+  // at the loop head, mid-trace, with D == 20.
+  EXPECT_EQ(g_.run(63).reason, ExitReason::kInstructionLimit);
+  EXPECT_EQ(g_.vcpu.regs()[Reg::D], 20u);
+  TraceCache& tc = g_.vcpu.trace_cache();
+  EXPECT_GT(tc.stats().built, 0u);
+  EXPECT_GT(tc.stats().dispatched, 0u);
+  const u64 built_before = tc.stats().built;
+  const u64 retired_before = tc.stats().retired;
+
+  // Repoint the code page to the alternate view's frame (what the engine's
+  // view switch does) and resume mid-loop.
+  g_.machine.ept().map(mem::GuestLayout::kernel_pa(kCodeVa), alt_frame);
+  g_.machine.ept().invalidate();
+  EXPECT_EQ(g_.run().reason, ExitReason::kHalt);
+  // 40 remaining iterations ran the alternate bytes: D = 20 + 40 * 2.
+  EXPECT_EQ(g_.vcpu.regs()[Reg::D], 100u);
+  // A new trace was built for the new frame; the old one was NOT retired —
+  // repoints invalidate nothing at this tier.
+  EXPECT_GT(tc.stats().built, built_before);
+  EXPECT_EQ(tc.stats().retired, retired_before);
+  const u64 built_after_switch = tc.stats().built;
+
+  // Switch back: the original trace is revived as-is — no rebuild.
+  g_.machine.ept().map(mem::GuestLayout::kernel_pa(kCodeVa),
+                       mem::GuestLayout::kernel_pa(kCodeVa) / kPageSize);
+  g_.machine.ept().invalidate();
+  g_.vcpu.regs().pc = kCodeVa;
+  EXPECT_EQ(g_.run().reason, ExitReason::kHalt);
+  EXPECT_EQ(g_.vcpu.regs()[Reg::D], 60u);  // original single-step semantics
+  EXPECT_EQ(tc.stats().built, built_after_switch);
+  EXPECT_EQ(tc.stats().retired, retired_before);
+}
+
+TEST_F(TraceCacheFixture, DisablingDropsResidentTraces) {
+  g_.vcpu.set_trace_hot_threshold(1);
+  Assembler a = countdown_loop(100, 1);
+  g_.load(a);
+  EXPECT_EQ(g_.run().reason, ExitReason::kHalt);
+  EXPECT_GT(g_.vcpu.trace_cache().size(), 0u);
+  g_.vcpu.set_trace_cache_enabled(false);
+  EXPECT_EQ(g_.vcpu.trace_cache().size(), 0u);
+  // Re-enable and re-run: generations survived the clear, so rebuilding
+  // against the same frames is safe.
+  g_.vcpu.set_trace_cache_enabled(true);
+  g_.vcpu.regs().pc = kCodeVa;
+  EXPECT_EQ(g_.run().reason, ExitReason::kHalt);
+  EXPECT_EQ(g_.vcpu.regs()[Reg::D], 100u);
+  EXPECT_GT(g_.vcpu.trace_cache().size(), 0u);
+}
+
+}  // namespace
+}  // namespace fc::cpu

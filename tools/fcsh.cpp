@@ -42,6 +42,7 @@ namespace {
       "  behavior <app> [-n iterations] [-o behavior.cfg]\n"
       "  inspect  <view.cfg>\n"
       "  enforce  <app> -v view.cfg [-n iterations] [--no-block-cache]\n"
+      "           [--no-trace-cache] [--trace-hot-threshold N]\n"
       "           [--closure]  (expand the view by static call-graph "
       "closure)\n"
       "  matrix   [-n iterations]\n"
@@ -85,6 +86,8 @@ struct Options {
   std::string trace_out;  // Chrome trace JSON destination ("" = no capture)
   bool union_view = false;
   bool block_cache = true;
+  bool trace_cache = true;
+  u32 trace_hot_threshold = cpu::TraceCache::kDefaultHotThreshold;
   bool closure = false;  // enforce: expand the view by static closure
   u32 vms = 8;           // fleet: guest count
   u32 jobs = 1;          // fleet: worker threads (0 = one per VM)
@@ -105,6 +108,14 @@ Options parse_flags(int argc, char** argv, int first) {
       options.union_view = true;
     } else if (!std::strcmp(argv[i], "--no-block-cache")) {
       options.block_cache = false;
+    } else if (!std::strcmp(argv[i], "--no-trace-cache")) {
+      options.trace_cache = false;
+    } else if (!std::strcmp(argv[i], "--trace-hot-threshold") && i + 1 < argc) {
+      options.trace_hot_threshold = static_cast<u32>(std::atoi(argv[++i]));
+      if (options.trace_hot_threshold == 0) {
+        std::fprintf(stderr, "fcsh: --trace-hot-threshold must be >= 1\n");
+        std::exit(2);
+      }
     } else if (!std::strcmp(argv[i], "--closure")) {
       options.closure = true;
     } else if (!std::strcmp(argv[i], "--trace-out") && i + 1 < argc) {
@@ -208,6 +219,10 @@ int cmd_enforce(const std::string& app, const Options& options) {
 
   harness::GuestSystem sys;
   sys.vcpu().set_block_cache_enabled(options.block_cache);
+  // The trace tier stacks on the block cache; disabling the latter disables
+  // both regardless of the trace flag.
+  sys.vcpu().set_trace_cache_enabled(options.block_cache && options.trace_cache);
+  sys.vcpu().set_trace_hot_threshold(options.trace_hot_threshold);
   core::FaceChangeEngine engine(sys.hv(), sys.os().kernel());
   engine.enable();
 

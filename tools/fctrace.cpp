@@ -295,6 +295,19 @@ int cmd_aggregate(const std::string& path) {
     }
     std::printf("\n");
   }
+  // Trace-tier rollup: the four kinds above already appear as rows, but the
+  // tier is judged as a unit (how much execution it carried, how often it
+  // bailed), so summarize it on one line.
+  auto kind_count = [&](const char* kind) -> u64 {
+    auto it = by_kind.find(kind);
+    return it == by_kind.end() ? 0 : it->second.count;
+  };
+  std::printf("trace tier: %llu built / %llu dispatched / %llu retired / "
+              "%llu side-exits\n",
+              static_cast<unsigned long long>(kind_count("trace_build")),
+              static_cast<unsigned long long>(kind_count("trace_dispatch")),
+              static_cast<unsigned long long>(kind_count("trace_retire")),
+              static_cast<unsigned long long>(kind_count("trace_side_exit")));
   return 0;
 }
 
