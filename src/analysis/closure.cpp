@@ -38,6 +38,7 @@ ClosureResult profile_closure(const CallGraph& graph,
     if (config_covers_function(graph, config, funcs[i])) {
       seeds.push_back(i);
       is_seed[i] = 1;
+      result.seed_spans.insert(funcs[i].start, funcs[i].end);
     }
   }
   result.seed_functions = seeds.size();

@@ -28,6 +28,10 @@ struct ClosureResult {
   /// Every reachable function span as absolute VAs for this boot's layout —
   /// the engine-side predicate for predicted-benign recovery classification.
   core::RangeList absolute_spans;
+  /// Absolute spans of the seed functions alone — the code the view
+  /// actually loads. The boundary the prober walks is seed → non-seed
+  /// (the closure, being transitively closed, has no out-edges of its own).
+  core::RangeList seed_spans;
   /// Names ("unit:name" for modules) of functions the closure added.
   std::vector<std::string> added;
   u64 added_bytes = 0;

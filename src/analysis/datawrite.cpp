@@ -1,0 +1,237 @@
+#include "analysis/datawrite.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <sstream>
+
+#include "hv/guest_abi.hpp"
+#include "isa/isa.hpp"
+
+namespace fc::analysis {
+
+namespace {
+
+using isa::Instruction;
+using isa::Op;
+using isa::Reg;
+
+/// Per-register known-constant lattice for one straight-line run.
+struct ConstState {
+  std::optional<u32> regs[isa::kNumRegs];
+
+  std::optional<u32>& at(Reg r) { return regs[static_cast<u8>(r)]; }
+  void clobber_all() {
+    for (auto& v : regs) v.reset();
+  }
+  /// Apply one instruction's register effects (no stores, no control flow).
+  void step(const Instruction& insn) {
+    switch (insn.op) {
+      case Op::kMovImm: at(insn.r1) = insn.imm; break;
+      case Op::kMovRR: at(insn.r1) = at(insn.r2); break;
+      case Op::kXor:
+        if (insn.r1 == insn.r2) {
+          at(insn.r1) = 0;
+        } else if (at(insn.r1) && at(insn.r2)) {
+          at(insn.r1) = *at(insn.r1) ^ *at(insn.r2);
+        } else {
+          at(insn.r1).reset();
+        }
+        break;
+      case Op::kAdd:
+        if (at(insn.r1) && at(insn.r2)) {
+          at(insn.r1) = *at(insn.r1) + *at(insn.r2);
+        } else {
+          at(insn.r1).reset();
+        }
+        break;
+      case Op::kSub:
+        if (at(insn.r1) && at(insn.r2)) {
+          at(insn.r1) = *at(insn.r1) - *at(insn.r2);
+        } else {
+          at(insn.r1).reset();
+        }
+        break;
+      case Op::kOr:
+        if (at(insn.r1) && at(insn.r2)) {
+          at(insn.r1) = *at(insn.r1) | *at(insn.r2);
+        } else {
+          at(insn.r1).reset();
+        }
+        break;
+      case Op::kAddImmA:
+        if (at(Reg::A)) at(Reg::A) = *at(Reg::A) + insn.imm;
+        break;
+      case Op::kSubImmA:
+        if (at(Reg::A)) at(Reg::A) = *at(Reg::A) - insn.imm;
+        break;
+      // Loads, pops and environment ops produce unknown values.
+      case Op::kLoad: at(insn.r1).reset(); break;
+      case Op::kLoadAbs: at(Reg::A).reset(); break;
+      case Op::kPop: at(insn.r1).reset(); break;
+      case Op::kLeave:
+        at(Reg::SP).reset();
+        at(Reg::FP).reset();
+        break;
+      case Op::kRdtsc:
+        at(Reg::A).reset();
+        at(Reg::D).reset();
+        break;
+      case Op::kPopa: clobber_all(); break;
+      // Calls and kernel services may clobber anything (no callee-save
+      // contract in the analyzed code).
+      case Op::kCall:
+      case Op::kCallTab:
+      case Op::kKsvc:
+      case Op::kInt:
+        clobber_all();
+        break;
+      default: break;  // flags, pushes, nops: no register constants change
+    }
+  }
+};
+
+struct ProtectedObject {
+  const char* name;
+  GVirt begin, end;
+  bool track_module_nodes;
+};
+
+/// Fixed object table (index order is the policy contract).
+constexpr u32 kSyscallTableObject = 0;
+constexpr u32 kModuleListObject = 1;
+
+std::vector<ProtectedObject> protected_objects() {
+  return {
+      {"syscall-table", abi::kSyscallTableAddr,
+       abi::kSyscallTableAddr + abi::kSyscallTableSlots * 4, false},
+      {"module-list", abi::kModuleListAddr, abi::kModuleListAddr + 4, true},
+  };
+}
+
+int object_hit(const std::vector<ProtectedObject>& objects, GVirt begin,
+               u32 len) {
+  for (u32 i = 0; i < objects.size(); ++i) {
+    if (begin < objects[i].end && objects[i].begin < begin + len)
+      return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::string qualified_name(const FuncNode& f) {
+  return f.unit.empty() ? f.name : f.unit + ":" + f.name;
+}
+
+}  // namespace
+
+std::string WriterSite::key(const CallGraph& graph,
+                            const core::DataViewPolicy& policy) const {
+  const FuncNode& f = graph.functions()[func];
+  std::ostringstream out;
+  out << qualified_name(f) << "+0x" << std::hex << (pc - f.start) << "->"
+      << policy.objects[object].name << (via_ksvc ? " (ksvc)" : "");
+  return out.str();
+}
+
+DataWriteAnalysis analyze_data_writes(const CallGraph& graph,
+                                      const ByteReader& read_bytes) {
+  DataWriteAnalysis out;
+  const std::vector<ProtectedObject> objects = protected_objects();
+  for (const ProtectedObject& o : objects) {
+    core::DataViewPolicy::ObjectRule rule;
+    rule.name = o.name;
+    rule.begin = o.begin;
+    rule.end = o.end;
+    rule.track_module_nodes = o.track_module_nodes;
+    out.policy.objects.push_back(std::move(rule));
+  }
+
+  std::vector<WriterSite> sites;
+  const std::vector<FuncNode>& funcs = graph.functions();
+  std::vector<u8> body;
+  for (u32 fi = 0; fi < funcs.size(); ++fi) {
+    const FuncNode& f = funcs[fi];
+    if (f.end <= f.start) continue;
+    body.resize(f.end - f.start);
+    read_bytes(f.start, body);
+    isa::InstructionCursor cursor(body, f.start);
+    ConstState state;
+    Instruction insn;
+    while (cursor.next(&insn)) {
+      const GVirt pc = cursor.pc() - insn.length;
+      // KSVC effect summaries: module-management services mutate protected
+      // objects host-side, invisibly to the store scan.
+      if (insn.op == Op::kKsvc) {
+        u32 svc = insn.imm;
+        std::vector<u32> touched;
+        if (svc == abi::kKsvcModuleInit) {
+          // Links the list AND parks syscall slot 511 for the init call.
+          touched = {kModuleListObject, kSyscallTableObject};
+        } else if (svc == abi::kKsvcModuleDelete ||
+                   svc == abi::kKsvcModuleHide) {
+          touched = {kModuleListObject};
+        }
+        for (u32 object : touched) {
+          ++out.stats.ksvc_summaries;
+          sites.push_back({fi, pc, 0, 0, object, /*via_ksvc=*/true});
+        }
+      }
+      if (insn.op == Op::kStoreAbs || insn.op == Op::kStore) {
+        ++out.stats.stores_seen;
+        std::optional<GVirt> target;
+        if (insn.op == Op::kStoreAbs) {
+          target = insn.imm;
+        } else if (insn.r1 != Reg::SP && insn.r1 != Reg::FP &&
+                   state.at(insn.r1)) {
+          // Frame/stack-relative stores never reach fixed kernel data;
+          // other bases resolve when const-prop pinned them.
+          target = *state.at(insn.r1) + static_cast<u32>(insn.disp);
+        }
+        if (target) {
+          ++out.stats.stores_resolved;
+          int object = object_hit(objects, *target, 4);
+          if (object >= 0) {
+            sites.push_back({fi, pc, *target, 4, static_cast<u32>(object),
+                             /*via_ksvc=*/false});
+          }
+        } else if (insn.op == Op::kStore && insn.r1 != Reg::SP &&
+                   insn.r1 != Reg::FP) {
+          ++out.stats.stores_unresolved;
+        } else {
+          ++out.stats.stores_resolved;  // stack-relative: known-harmless
+        }
+      }
+      // Constant state survives only straight-line code: a branch target
+      // may be reached from elsewhere with different register contents.
+      if (isa::is_control_flow(insn.op)) {
+        state.clobber_all();
+      } else {
+        state.step(insn);
+      }
+    }
+  }
+
+  // Split by trust and distill the whitelist: base-kernel sites become
+  // writers (one per function, whole span); module sites are the signal.
+  std::sort(sites.begin(), sites.end(),
+            [&](const WriterSite& a, const WriterSite& b) {
+              std::string ka = a.key(graph, out.policy);
+              std::string kb = b.key(graph, out.policy);
+              if (ka != kb) return ka < kb;
+              return a.pc < b.pc;
+            });
+  for (const WriterSite& s : sites) {
+    const FuncNode& f = funcs[s.func];
+    if (!f.unit.empty()) {
+      out.untrusted.push_back(s);
+      continue;
+    }
+    out.trusted.push_back(s);
+    auto& writers = out.policy.objects[s.object].writers;
+    bool dup = false;
+    for (const auto& w : writers) dup = dup || (w.begin == f.start);
+    if (!dup) writers.push_back({f.name, f.start, f.end});
+  }
+  return out;
+}
+
+}  // namespace fc::analysis

@@ -1,0 +1,80 @@
+// Data-view write analysis: a data-flow pass over the assembled kernel
+// image (and every loaded module) that enumerates each in-image store whose
+// target can reach a protected kernel object — the syscall dispatch table
+// and the module list — and distills the result into a per-object *writer
+// whitelist* (core::DataViewPolicy) the runtime monitor enforces.
+//
+// Store targets are resolved with a per-function constant propagation over
+// the decoded bodies (mov-imm tracking, register copies, xor-self zeroing,
+// immediate add/sub on A); absolute stores (A3 imm32) resolve trivially.
+// Stores the propagation cannot resolve are counted, not guessed — the
+// runtime check is pc-based, so an unresolved base-kernel store can at
+// worst surface as a runtime violation to triage, never as a silent pass.
+//
+// Host-side writes (KSVC leaves) never appear as stores in the image, so
+// the pass carries *effect summaries*: a function containing `ksvc N` for a
+// module-management service writes the objects that service mutates
+// (module-init parks syscall slot 511 and links the list; delete/hide
+// unlink it). This is how load_module / sys_delete_module earn their
+// whitelist entries.
+//
+// Trust boundary: only base-kernel functions ("" unit) become whitelist
+// writers. A *module* storing into a protected object is exactly the
+// KBeast/Sebek/Adore table-hook shape — those sites are reported separately
+// as untrusted writer sites (the static rootkit signal).
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "analysis/callgraph.hpp"
+#include "core/dataview.hpp"
+
+namespace fc::analysis {
+
+/// Reads guest-virtual bytes of the assembled image (harness wraps
+/// hv::Vmi::read_bytes). Must fill `out` for any span inside a function the
+/// graph knows.
+using ByteReader = std::function<void(GVirt va, std::span<u8> out)>;
+
+/// One statically-discovered write reaching a protected object.
+struct WriterSite {
+  u32 func = 0;       // index into CallGraph::functions()
+  GVirt pc = 0;       // store (or ksvc) instruction address
+  GVirt target = 0;   // resolved store target (0 for KSVC summaries)
+  u32 len = 0;        // bytes written (0 for KSVC summaries)
+  u32 object = 0;     // index into the produced policy's objects
+  bool via_ksvc = false;
+
+  /// Function-relative key ("load_module+0x12->syscall-table"), stable
+  /// across relayouts — the artifact-diff identity.
+  std::string key(const CallGraph& graph,
+                  const core::DataViewPolicy& policy) const;
+};
+
+struct DataWriteAnalysis {
+  /// Whitelist distilled from trusted (base-kernel) sites. Object order is
+  /// fixed: [0] syscall-table, [1] module-list (track_module_nodes set).
+  core::DataViewPolicy policy;
+  /// Trusted sites backing the policy, sorted by key.
+  std::vector<WriterSite> trusted;
+  /// Module-unit sites reaching a protected object — the static
+  /// table-hooking signal. Empty on a clean boot.
+  std::vector<WriterSite> untrusted;
+
+  struct Stats {
+    u64 stores_seen = 0;        // every kStore/kStoreAbs decoded
+    u64 stores_resolved = 0;    // target known via const-prop / absolute
+    u64 stores_unresolved = 0;  // base register unknown at the store
+    u64 ksvc_summaries = 0;     // effect-summary sites applied
+  };
+  Stats stats;
+};
+
+/// Run the pass over every function in `graph`. `read_bytes` supplies the
+/// image bytes (the graph itself does not retain them).
+DataWriteAnalysis analyze_data_writes(const CallGraph& graph,
+                                      const ByteReader& read_bytes);
+
+}  // namespace fc::analysis

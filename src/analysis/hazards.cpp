@@ -1,5 +1,6 @@
 #include "analysis/hazards.hpp"
 
+#include <algorithm>
 #include <sstream>
 
 #include "analysis/closure.hpp"
@@ -40,7 +41,16 @@ std::vector<HazardSite> enumerate_hazard_sites(const CallGraph& graph) {
     }
     out.push_back(std::move(hazard));
   }
-  return out;  // call_sites() is emitted in ascending site order per unit
+  // Deterministic order independent of unit insertion / kernel layout: sort
+  // by the function-relative baseline key (ties broken by address so equal
+  // keys from duplicate-named units stay stable). CI gates diff this output.
+  std::sort(out.begin(), out.end(),
+            [&graph](const HazardSite& a, const HazardSite& b) {
+              std::string ka = a.key(graph), kb = b.key(graph);
+              if (ka != kb) return ka < kb;
+              return a.site < b.site;
+            });
+  return out;
 }
 
 std::unordered_set<GVirt> hazard_return_set(

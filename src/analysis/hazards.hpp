@@ -36,8 +36,9 @@ struct HazardSite {
   std::string key(const CallGraph& graph) const;
 };
 
-/// Every call site in the graph with an odd return address, in ascending
-/// site order.
+/// Every call site in the graph with an odd return address, sorted by the
+/// function-relative baseline key (deterministic across unit insertion order
+/// and kernel relayouts — CI diffs this enumeration).
 std::vector<HazardSite> enumerate_hazard_sites(const CallGraph& graph);
 
 /// The return-target set of `sites` — the engine-side audit predicate.

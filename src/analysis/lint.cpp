@@ -1,5 +1,6 @@
 #include "analysis/lint.hpp"
 
+#include <algorithm>
 #include <sstream>
 
 #include "analysis/closure.hpp"
@@ -10,9 +11,7 @@ namespace fc::analysis {
 
 using mem::GuestLayout;
 
-namespace {
-
-const char* kind_name(LintFinding::Kind kind) {
+const char* lint_kind_name(LintFinding::Kind kind) {
   switch (kind) {
     case LintFinding::Kind::kUnknownRange: return "unknown-range";
     case LintFinding::Kind::kDeadMember: return "dead-member";
@@ -22,6 +21,8 @@ const char* kind_name(LintFinding::Kind kind) {
   }
   return "?";
 }
+
+namespace {
 
 bool any_function_overlaps(const CallGraph& graph, GVirt begin, GVirt end) {
   for (const FuncNode& f : graph.functions()) {
@@ -34,7 +35,7 @@ bool any_function_overlaps(const CallGraph& graph, GVirt begin, GVirt end) {
 
 std::string LintFinding::render() const {
   std::ostringstream out;
-  out << (error ? "ERROR " : "note  ") << kind_name(kind) << " "
+  out << (error ? "ERROR " : "note  ") << lint_kind_name(kind) << " "
       << hex32(address) << "  " << detail;
   return out.str();
 }
@@ -162,6 +163,25 @@ LintReport lint_view(const CallGraph& graph,
       }
     }
   }
+  // Deterministic enumeration: sort by (kind, function-relative key,
+  // address, detail) so reports are diffable across insertion order and
+  // kernel relayouts — the same contract as enumerate_hazard_sites.
+  auto relative_key = [&graph](const LintFinding& f) -> std::string {
+    const FuncNode* fn = graph.function_at(f.address);
+    if (fn == nullptr) return hex32(f.address);
+    std::ostringstream key;
+    key << (fn->unit.empty() ? fn->name : fn->unit + ":" + fn->name) << "+0x"
+        << std::hex << (f.address - fn->start);
+    return key.str();
+  };
+  std::stable_sort(report.findings.begin(), report.findings.end(),
+                   [&](const LintFinding& a, const LintFinding& b) {
+                     if (a.kind != b.kind) return a.kind < b.kind;
+                     std::string ka = relative_key(a), kb = relative_key(b);
+                     if (ka != kb) return ka < kb;
+                     if (a.address != b.address) return a.address < b.address;
+                     return a.detail < b.detail;
+                   });
   return report;
 }
 

@@ -32,6 +32,10 @@ struct LintFinding {
   std::string render() const;
 };
 
+/// Stable machine-readable kind slug ("live-hazard", "ud2-gap", ...). Used
+/// by fclint --json and the CI artifact diff.
+const char* lint_kind_name(LintFinding::Kind kind);
+
 struct LintReport {
   std::string app;
   std::vector<LintFinding> findings;

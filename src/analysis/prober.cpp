@@ -1,0 +1,127 @@
+#include "analysis/prober.hpp"
+
+#include <algorithm>
+
+#include "hv/guest_abi.hpp"
+
+namespace fc::analysis {
+
+core::RangeList entry_reachable_spans(const CallGraph& graph) {
+  std::vector<u32> roots = graph.dispatch_target_indices();
+  const std::vector<FuncNode>& funcs = graph.functions();
+  for (u32 i = 0; i < funcs.size(); ++i) {
+    // No-frame functions are the hand-written entry stubs (syscall entry,
+    // irq entry, idle): control enters them from hardware, not calls.
+    if (!funcs[i].has_frame) roots.push_back(i);
+  }
+  core::RangeList spans;
+  for (u32 i : graph.reachable_from(roots, /*follow_dispatch=*/true)) {
+    if (funcs[i].end > funcs[i].start)
+      spans.insert(funcs[i].start, funcs[i].end);
+  }
+  return spans;
+}
+
+bool probe_skips_syscall(u32 nr) {
+  switch (nr) {
+    case abi::kSysExit:          // kills the probe process
+    case abi::kSysFork:          // spawns children the plan can't manage
+    case abi::kSysClone:
+    case abi::kSysExecve:        // replaces the probe program
+    case abi::kSysWaitpid:       // blocks with no child to reap
+    case abi::kSysWait4:
+    case abi::kSysSigreturn:     // needs a live signal frame
+    case abi::kSysKill:          // signals can kill the probe
+    case abi::kSysInitModule:    // module management: covered by the
+    case abi::kSysDeleteModule:  //   data-view scenarios, not the prober
+      return true;
+    default:
+      return nr == abi::kSyscallTableSlots - 1;  // reserved parking slot
+  }
+}
+
+ProbePlan plan_boundary_probe(const CallGraph& graph,
+                              const core::RangeList& view_spans,
+                              std::span<const GVirt> table) {
+  ProbePlan plan;
+  const std::vector<FuncNode>& funcs = graph.functions();
+  std::vector<u8> in_view(funcs.size(), 0);
+  for (u32 i = 0; i < funcs.size(); ++i) {
+    if (view_spans.contains(funcs[i].start)) in_view[i] = 1;
+  }
+
+  // Boundary edges: unique in-view caller → out-of-view callee pairs over
+  // the direct-call edges (dispatch fan-out crosses at the handler entry
+  // instead, which the handler_in_view probes cover).
+  std::vector<std::pair<u32, u32>> edges;
+  for (u32 i = 0; i < funcs.size(); ++i) {
+    if (!in_view[i]) continue;
+    for (u32 callee : funcs[i].callees) {
+      if (!in_view[callee]) edges.emplace_back(i, callee);
+    }
+  }
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  plan.boundary_edges = edges.size();
+
+  // Deduplicate slots sharing one handler (unfilled slots all point at
+  // sys_ni_syscall): probe the lowest slot per handler.
+  std::vector<u8> edge_covered(edges.size(), 0);
+  std::vector<u8> handler_probed(funcs.size(), 0);
+  for (u32 nr = 0; nr < table.size(); ++nr) {
+    if (probe_skips_syscall(nr)) {
+      ++plan.slots_skipped;
+      continue;
+    }
+    int handler = graph.index_at(table[nr]);
+    if (handler < 0 || handler_probed[handler]) continue;
+    handler_probed[handler] = 1;
+
+    std::vector<u32> roots{static_cast<u32>(handler)};
+    std::vector<u32> reach =
+        graph.reachable_from(roots, /*follow_dispatch=*/false);
+    std::vector<u8> reachable(funcs.size(), 0);
+    for (u32 i : reach) reachable[i] = 1;
+
+    ProbeCall call;
+    call.nr = nr;
+    call.handler = funcs[handler].name;
+    call.handler_in_view = in_view[handler] != 0;
+    for (std::size_t e = 0; e < edges.size(); ++e) {
+      if (reachable[edges[e].first]) {
+        ++call.edges_reached;
+        edge_covered[e] = 1;
+      }
+    }
+    if (!call.handler_in_view) ++plan.handlers_out_of_view;
+    // Probe every syscall that can reach a boundary edge, plus every
+    // out-of-view handler (entry-instruction crossing). Fully-in-view
+    // handlers reaching no boundary edge cannot trap; skip them.
+    if (call.edges_reached > 0 || !call.handler_in_view)
+      plan.calls.push_back(std::move(call));
+  }
+  plan.covered_edges = static_cast<std::size_t>(
+      std::count(edge_covered.begin(), edge_covered.end(), 1));
+  return plan;
+}
+
+TrapClass classify_trap(const core::StaticAudit& audit, u32 view_id,
+                        GVirt pc) {
+  auto predicted = audit.predicted.find(view_id);
+  if (predicted != audit.predicted.end() && predicted->second.contains(pc))
+    return TrapClass::kClosurePredicted;
+  if (!audit.entry_reachable.empty() && audit.entry_reachable.contains(pc))
+    return TrapClass::kProfileGap;
+  return TrapClass::kTrueHazard;
+}
+
+const char* trap_class_name(TrapClass c) {
+  switch (c) {
+    case TrapClass::kClosurePredicted: return "closure-predicted";
+    case TrapClass::kProfileGap: return "profile-gap";
+    case TrapClass::kTrueHazard: return "true-hazard";
+  }
+  return "?";
+}
+
+}  // namespace fc::analysis

@@ -1,0 +1,73 @@
+// Boundary probe generation (the ACHyb shape: static analysis distills the
+// probes, execution classifies the traps).
+//
+// For one app view, the loaded profile (the closure's seed set) partitions
+// the kernel into in-view and out-of-view functions. Every *boundary edge* — a direct
+// call from an in-view caller to an out-of-view callee — is a place where
+// runtime control flow would walk off the view and trap. The planner walks
+// the syscall dispatch table of a clean boot, computes each handler's
+// static reach, and selects the syscall set that drives execution across
+// every reachable boundary edge (plus every handler that is itself out of
+// view, which crosses the boundary at its first instruction).
+//
+// The run-time half executes the plan through the real engine; every UD2
+// trap is then classified by the extended StaticAudit taxonomy:
+//   closure-predicted  pc inside the view's closure spans
+//   profile-gap        outside the closure but reachable from some kernel
+//                      entry point of the clean boot (training-data gap)
+//   true hazard        neither — control reached code no clean entry path
+//                      reaches (the rootkit-hook signal). CI gates on zero.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "analysis/callgraph.hpp"
+#include "core/rangelist.hpp"
+#include "core/static_audit.hpp"
+
+namespace fc::analysis {
+
+/// Absolute spans of every function reachable from any kernel entry point:
+/// dispatch-table targets plus the no-frame entry stubs, dispatch edges
+/// followed. The StaticAudit::entry_reachable predicate.
+core::RangeList entry_reachable_spans(const CallGraph& graph);
+
+/// One planned probe: a syscall to issue from user mode.
+struct ProbeCall {
+  u32 nr = 0;             // syscall slot
+  std::string handler;    // resolved handler name (diagnostics)
+  bool handler_in_view = false;  // false ⇒ crosses the boundary at entry
+  std::size_t edges_reached = 0;  // boundary edges this probe can drive
+};
+
+struct ProbePlan {
+  std::vector<ProbeCall> calls;    // ascending slot order
+  std::size_t boundary_edges = 0;  // in-view → out-of-view direct calls
+  std::size_t covered_edges = 0;   // reachable from at least one probe
+  std::size_t handlers_out_of_view = 0;
+  std::size_t slots_skipped = 0;   // process-fatal / reserved slots
+};
+
+/// Syscalls a probe process must not issue (they kill or replace it, spawn
+/// children the harness would have to manage, or are module management —
+/// probed separately by the data-view scenarios). Slot 511 is the reserved
+/// module-init parking slot.
+bool probe_skips_syscall(u32 nr);
+
+/// Plan the boundary probe for one view. `view_spans` is the code the view
+/// actually loads (ClosureResult::seed_spans — NOT absolute_spans: the
+/// closure is transitively closed, so it has no boundary out-edges);
+/// `table` is the raw 512-entry syscall dispatch table of a clean boot.
+ProbePlan plan_boundary_probe(const CallGraph& graph,
+                              const core::RangeList& view_spans,
+                              std::span<const GVirt> table);
+
+/// Post-hoc single-trap classifier (mirrors the runtime recovery split).
+enum class TrapClass { kClosurePredicted, kProfileGap, kTrueHazard };
+TrapClass classify_trap(const core::StaticAudit& audit, u32 view_id,
+                        GVirt pc);
+const char* trap_class_name(TrapClass c);
+
+}  // namespace fc::analysis

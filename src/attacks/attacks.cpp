@@ -627,7 +627,79 @@ class AdoreNg : public Attack {
   }
 };
 
+// ---------------------------------------------------------------------------
+// Data-only rootkit variants (DataViewMonitor targets).
+// ---------------------------------------------------------------------------
+
+/// KBeast reduced to its table write: the hook body is a pure pass-through
+/// tail-jump, so even when the hooked syscall fires no out-of-view kernel
+/// path runs. Only the dispatch-table store betrays it.
+class KBeastTableHook : public Attack {
+ public:
+  std::string name() const override { return "KBeast-TableHook"; }
+  std::string infection_method() const override {
+    return "Kernel rootkit (data-only)";
+  }
+  std::string payload() const override {
+    return "Dormant syscall-table hook";
+  }
+  std::string victim() const override { return "bash"; }
+  bool is_rootkit() const override { return true; }
+  void deploy(OsRuntime& osr, u32) override {
+    os::Blueprint bp;
+    bp.add_raw("kbeasthk_sys_stat", "rootkit", [](os::EmitCtx& c) {
+      c.a().jmp_sym("sys_stat64");
+    });
+    bp.add("kbeasthk_init", "rootkit", [](os::EmitCtx& c) {
+      auto& a = c.a();
+      a.mov_imm_sym(Reg::A, "kbeasthk_sys_stat");
+      a.store_abs(abi::kSyscallTableAddr + abi::kSysStat * 4);
+    });
+    u32 id = osr.register_module({"kbeast-hk", std::move(bp), "kbeasthk_init",
+                                  /*publish_symbols=*/true, nullptr});
+    insmod(osr, id);
+  }
+  std::vector<std::vector<std::string>> detection_signature() const override {
+    return {};  // no code-view signal; the data-view monitor detects it
+  }
+};
+
+/// Adore-style DKOM: the module's only act is unlinking itself from the
+/// kernel module list. Nothing executes afterwards; only the list write is
+/// observable.
+class AdoreDkom : public Attack {
+ public:
+  std::string name() const override { return "Adore-DKOM"; }
+  std::string infection_method() const override {
+    return "Kernel rootkit (data-only)";
+  }
+  std::string payload() const override { return "Module hiding (DKOM)"; }
+  std::string victim() const override { return "top"; }
+  bool is_rootkit() const override { return true; }
+  void deploy(OsRuntime& osr, u32) override {
+    os::Blueprint bp;
+    bp.add("adore2_init", "rootkit", [](os::EmitCtx& c) {
+      auto& a = c.a();
+      a.mov_imm_sym(Reg::B, "adore2_init");
+      c.ksvc(abi::kKsvcModuleHide);
+    });
+    u32 id = osr.register_module({"adore-dkom", std::move(bp), "adore2_init",
+                                  /*publish_symbols=*/false, nullptr});
+    insmod(osr, id);
+  }
+  std::vector<std::vector<std::string>> detection_signature() const override {
+    return {};  // no code-view signal; the data-view monitor detects it
+  }
+};
+
 }  // namespace
+
+std::vector<std::unique_ptr<Attack>> make_data_only_attacks() {
+  std::vector<std::unique_ptr<Attack>> all;
+  all.push_back(std::make_unique<KBeastTableHook>());
+  all.push_back(std::make_unique<AdoreDkom>());
+  return all;
+}
 
 std::vector<std::unique_ptr<Attack>> make_all_attacks() {
   std::vector<std::unique_ptr<Attack>> all;

@@ -51,6 +51,14 @@ class Attack {
 std::vector<std::unique_ptr<Attack>> make_all_attacks();
 std::unique_ptr<Attack> make_attack(const std::string& name);
 
+/// Data-only rootkit variants: they tamper with protected kernel *data*
+/// (syscall dispatch table, module list) without running malicious code on
+/// the victim's paths, so the code-view recovery log stays clean — these
+/// are the DataViewMonitor's targets, and their detection_signature() is
+/// empty. Kept out of make_all_attacks(): Table II scoring would trivially
+/// pass them.
+std::vector<std::unique_ptr<Attack>> make_data_only_attacks();
+
 /// Ports the payloads use (attack scenarios feed traffic to them so the
 /// payloads execute their full kernel paths).
 inline constexpr u16 kInjectsoUdpPort = 5555;

@@ -1,0 +1,99 @@
+#include "core/dataview.hpp"
+
+#include <algorithm>
+
+#include "hv/guest_abi.hpp"
+#include "obs/trace.hpp"
+#include "support/check.hpp"
+
+namespace fc::core {
+
+using mem::GuestLayout;
+
+DataViewMonitor::DataViewMonitor(mem::Machine& machine, DataViewPolicy policy,
+                                 PcProvider pc)
+    : machine_(&machine), policy_(std::move(policy)), pc_(std::move(pc)) {}
+
+DataViewMonitor::~DataViewMonitor() {
+  if (armed_) machine_->host().remove_data_write_sink(this);
+}
+
+u32 DataViewMonitor::read_kernel_u32(GVirt va) const {
+  return machine_->pread32(GuestLayout::kernel_pa(va));
+}
+
+void DataViewMonitor::watch_va_range(GVirt begin, GVirt end) {
+  for (GVirt page = begin & ~(kPageSize - 1u); page < end;
+       page += kPageSize) {
+    HostFrame f = machine_->frame_for(GuestLayout::kernel_pa(page));
+    machine_->host().watch_data_frame(f);
+    frame_page_va_.emplace(f, page);
+  }
+}
+
+void DataViewMonitor::arm() {
+  FC_CHECK(!armed_, << "DataViewMonitor armed twice");
+  armed_ = true;
+  for (u32 i = 0; i < policy_.objects.size(); ++i) {
+    const DataViewPolicy::ObjectRule& rule = policy_.objects[i];
+    ranges_.push_back({rule.begin, rule.end, i, /*from_node=*/false});
+    watch_va_range(rule.begin, rule.end);
+    if (rule.track_module_nodes) module_object_ = static_cast<int>(i);
+  }
+  if (module_object_ >= 0)
+    refresh_module_nodes(static_cast<u32>(module_object_));
+  machine_->host().add_data_write_sink(this);
+}
+
+void DataViewMonitor::refresh_module_nodes(u32 object) {
+  ++stats_.node_refreshes;
+  std::erase_if(ranges_, [](const WatchedRange& r) { return r.from_node; });
+  // Walk head → next chain, watching each node's next-pointer word. The
+  // VMI's module_list() drops node addresses, so walk the raw layout.
+  GVirt node = read_kernel_u32(abi::kModuleListAddr);
+  for (u32 guard = 0; node != 0 && guard < 256; ++guard) {
+    GVirt next_word = node + abi::ModuleNode::kNext;
+    ranges_.push_back({next_word, next_word + 4, object, /*from_node=*/true});
+    watch_va_range(next_word, next_word + 4);
+    node = read_kernel_u32(next_word);
+  }
+}
+
+void DataViewMonitor::on_data_frame_write(HostFrame frame, u32 offset,
+                                          u32 len,
+                                          mem::FrameWriteCause cause) {
+  ++stats_.sink_calls;
+  auto page = frame_page_va_.find(frame);
+  if (page == frame_page_va_.end()) return;  // another sink's frame
+  const GVirt begin = page->second + offset;
+  const GVirt end = begin + len;
+  // One write may graze several watched ranges only when it spans them
+  // (zero_frame); classify against the first hit — object granularity is
+  // what the policy speaks.
+  const WatchedRange* hit = nullptr;
+  for (const WatchedRange& r : ranges_) {
+    if (begin < r.end && r.begin < end) {
+      hit = &r;
+      break;
+    }
+  }
+  if (hit == nullptr) return;  // same frame, unprotected offset (jiffies...)
+  ++stats_.writes_checked;
+  const u32 object = hit->object;
+  const GVirt pc = pc_ ? pc_() : 0;
+  const bool ok = policy_.allows(object, pc);
+  FC_TRACE_EVENT(kDataViewWrite, ok ? 0x1 : 0x0, 0, begin, len, pc, object);
+  if (ok) {
+    ++stats_.whitelisted;
+    // A benign module-list update (load/unload) changes the node chain;
+    // re-walk it now — the barrier fires post-mutation, so the new state
+    // is already visible and subsequent stores check against fresh ranges.
+    if (static_cast<int>(object) == module_object_)
+      refresh_module_nodes(object);
+    return;
+  }
+  ++stats_.violations;
+  violations_.push_back({begin, len, pc, object, cause});
+}
+
+}  // namespace fc::core

@@ -1,0 +1,132 @@
+// Data-view integrity: extend FACE-CHANGE's per-app *code* views to the
+// protected *data* objects a code-view cannot defend — the syscall dispatch
+// table and the kernel module list. A table-hooking or module-hiding rootkit
+// executes only in-view code (its own module body), so no UD2 trap ever
+// fires; what betrays it is the *store* into a protected object from code
+// the offline data-flow pass (analysis/datawrite.hpp) did not whitelist.
+//
+// DataViewPolicy is the plain-data bridge from the analyzer into the
+// runtime, exactly like core::StaticAudit: per protected object, the VA
+// range to watch and the code spans statically allowed to write it.
+// DataViewMonitor enforces it through the HostMemory data write barrier
+// (EPT write-tracking stand-in): it watches the host frames backing each
+// object, attributes every store to the executing instruction, and records
+// a violation for any write whose pc falls outside the object's whitelist.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "mem/host_memory.hpp"
+#include "mem/machine.hpp"
+#include "support/types.hpp"
+
+namespace fc::core {
+
+/// Per-object writer whitelist distilled from the static data-flow pass.
+struct DataViewPolicy {
+  /// A whitelisted writer: the absolute span of a function the analyzer
+  /// proved (via a resolved store or a KSVC effect summary) writes the
+  /// object as part of base-kernel operation.
+  struct Writer {
+    std::string name;  // "load_module", "sys_delete_module", ...
+    GVirt begin = 0, end = 0;
+  };
+  struct ObjectRule {
+    std::string name;  // "syscall-table", "module-list"
+    GVirt begin = 0, end = 0;  // protected VA range (fixed kernel data)
+    /// Also track the heap-resident module-list nodes reachable from the
+    /// head word: their next-pointers are what DKOM unlinking rewrites.
+    bool track_module_nodes = false;
+    std::vector<Writer> writers;
+  };
+
+  std::vector<ObjectRule> objects;
+
+  bool empty() const { return objects.empty(); }
+  std::size_t total_writers() const {
+    std::size_t n = 0;
+    for (const ObjectRule& o : objects) n += o.writers.size();
+    return n;
+  }
+  /// Is `pc` inside some whitelisted writer span of `object`?
+  bool allows(std::size_t object, GVirt pc) const {
+    for (const Writer& w : objects[object].writers)
+      if (pc >= w.begin && pc < w.end) return true;
+    return false;
+  }
+};
+
+/// Runtime enforcement of a DataViewPolicy over one guest's memory.
+///
+/// Lifecycle: construct, arm() once the guest has booted (the policy's
+/// objects must be mapped), run the scenario, read violations()/stats().
+/// The monitor registers itself as a HostMemory data sink on arm() and
+/// detaches in the destructor.
+class DataViewMonitor : public mem::DataWriteSink {
+ public:
+  /// `pc` supplies the guest pc of the instruction performing the current
+  /// store (the vCPU keeps it at / just past the executing instruction for
+  /// both guest stores and host-side KSVC writes — whitelist spans are
+  /// whole functions, so either attribution lands in the same span).
+  using PcProvider = std::function<GVirt()>;
+
+  DataViewMonitor(mem::Machine& machine, DataViewPolicy policy,
+                  PcProvider pc);
+  ~DataViewMonitor() override;
+  DataViewMonitor(const DataViewMonitor&) = delete;
+  DataViewMonitor& operator=(const DataViewMonitor&) = delete;
+
+  /// Watch the frames backing every protected object (and the current
+  /// module-list nodes). Call after boot, before the scenario runs.
+  void arm();
+
+  struct Violation {
+    GVirt va = 0;
+    u32 len = 0;
+    GVirt pc = 0;       // attributed writer instruction
+    u32 object = 0;     // index into policy().objects
+    mem::FrameWriteCause cause = mem::FrameWriteCause::kGuestStore;
+  };
+  struct Stats {
+    u64 sink_calls = 0;        // watched-frame writes seen (incl. off-range)
+    u64 writes_checked = 0;    // writes intersecting a protected range
+    u64 whitelisted = 0;
+    u64 violations = 0;
+    u64 node_refreshes = 0;    // module-list re-walks after benign updates
+  };
+
+  const std::vector<Violation>& violations() const { return violations_; }
+  const Stats& stats() const { return stats_; }
+  const DataViewPolicy& policy() const { return policy_; }
+
+  void on_data_frame_write(HostFrame frame, u32 offset, u32 len,
+                           mem::FrameWriteCause cause) override;
+
+ private:
+  struct WatchedRange {
+    GVirt begin = 0, end = 0;
+    u32 object = 0;
+    bool from_node = false;  // module-list node word (rebuilt on refresh)
+  };
+
+  void watch_va_range(GVirt begin, GVirt end);
+  /// Re-walk the module list from the head word, watching each node's
+  /// next-pointer word (bounded; the list is short by construction).
+  void refresh_module_nodes(u32 object);
+  u32 read_kernel_u32(GVirt va) const;
+
+  mem::Machine* machine_;
+  DataViewPolicy policy_;
+  PcProvider pc_;
+  bool armed_ = false;
+  int module_object_ = -1;  // index of the track_module_nodes object, or -1
+  std::vector<WatchedRange> ranges_;
+  std::unordered_map<HostFrame, GVirt> frame_page_va_;  // frame → page VA
+  std::vector<Violation> violations_;
+  Stats stats_;
+};
+
+}  // namespace fc::core

@@ -415,8 +415,8 @@ std::string FaceChangeEngine::render_run_report() const {
         << " off set (static false negatives)";
     if (!audit_.predicted.empty()) {
       out << "\nclosure: " << rs.recoveries_predicted
-          << " recoveries predicted reachable, " << rs.recoveries_unpredicted
-          << " unpredicted";
+          << " recoveries predicted reachable, " << rs.recoveries_profile_gap
+          << " profile gaps, " << rs.recoveries_unpredicted << " unpredicted";
     }
   }
   if (obs::trace_enabled()) out << "\nmetrics: " << metrics_json();
@@ -452,6 +452,7 @@ void FaceChangeEngine::export_metrics(obs::Metrics& out) const {
   out.set("recovery.instant_in_hazard_set", rs.instant_in_hazard_set);
   out.set("recovery.instant_off_hazard_set", rs.instant_off_hazard_set);
   out.set("recovery.predicted", rs.recoveries_predicted);
+  out.set("recovery.profile_gap", rs.recoveries_profile_gap);
   out.set("recovery.unpredicted", rs.recoveries_unpredicted);
 
   const mem::Mmu::Stats& mmu = hv_->machine().mmu().stats();

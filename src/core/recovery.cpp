@@ -192,12 +192,21 @@ bool RecoveryEngine::handle(KernelView& view, GVirt pc) {
   ++stats_.recoveries;
   bool audit_present = audit_ != nullptr;
   bool predicted_reachable = false;
+  bool profile_gap = false;
   if (audit_ != nullptr) {
     auto predicted = audit_->predicted.find(view.id);
     if (predicted != audit_->predicted.end()) {
       if (predicted->second.contains(pc)) {
         ++stats_.recoveries_predicted;
         predicted_reachable = true;
+      } else if (!audit_->entry_reachable.empty() &&
+                 audit_->entry_reachable.contains(pc)) {
+        // Outside the view's closure but reachable from some clean-boot
+        // kernel entry point: the training profile has a gap, not the view
+        // boundary a hazard. Kept distinct from unpredicted so the probe
+        // gate can demand *zero* truly unexplained traps.
+        ++stats_.recoveries_profile_gap;
+        profile_gap = true;
       } else {
         ++stats_.recoveries_unpredicted;
       }
@@ -212,13 +221,14 @@ bool RecoveryEngine::handle(KernelView& view, GVirt pc) {
   FC_TRACE_EVENT(kRecovery,
                  (ev.interrupt_context ? 0x1 : 0) |
                      (predicted_reachable ? 0x2 : 0) |
-                     (audit_present ? 0x4 : 0),
+                     (audit_present ? 0x4 : 0) | (profile_gap ? 0x8 : 0),
                  view.id, pc, ev.recovered_start,
                  ev.recovered_end - ev.recovered_start,
                  vcpu.perf_model().cost_recovery_base);
 #else
   (void)audit_present;
   (void)predicted_reachable;
+  (void)profile_gap;
 #endif
   log_->add(std::move(ev));
   return true;

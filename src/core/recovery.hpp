@@ -96,7 +96,8 @@ class RecoveryEngine {
     u64 instant_in_hazard_set = 0;   // instant recovery at a predicted site
     u64 instant_off_hazard_set = 0;  // static false negative — must stay 0
     u64 recoveries_predicted = 0;    // trap PC inside the view's closure
-    u64 recoveries_unpredicted = 0;
+    u64 recoveries_profile_gap = 0;  // outside closure, entry-reachable
+    u64 recoveries_unpredicted = 0;  // true cross-view hazard candidates
   };
   const Stats& stats() const { return stats_; }
   void reset_stats() {

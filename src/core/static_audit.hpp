@@ -29,8 +29,18 @@ struct StaticAudit {
   std::unordered_set<GVirt> hazard_returns;
   /// View id → statically-reachable absolute spans (profile closure).
   std::map<u32, RangeList> predicted;
+  /// Code spans reachable from *any* kernel entry point (syscall dispatch
+  /// table targets + entry stubs, dispatch edges followed). A trap outside a
+  /// view's closure but inside this set is a *profile gap* — legitimate
+  /// kernel code the app's training profile simply never exercised. A trap
+  /// outside this set too is a *true cross-view hazard*: control reached
+  /// code no clean-boot entry point can reach (e.g. a rootkit hook body).
+  RangeList entry_reachable;
 
-  bool empty() const { return hazard_returns.empty() && predicted.empty(); }
+  bool empty() const {
+    return hazard_returns.empty() && predicted.empty() &&
+           entry_reachable.empty();
+  }
 };
 
 }  // namespace fc::core

@@ -8,8 +8,11 @@
 #include <vector>
 
 #include "analysis/callgraph.hpp"
+#include "analysis/datawrite.hpp"
+#include "analysis/prober.hpp"
 #include "apps/apps.hpp"
 #include "attacks/attacks.hpp"
+#include "core/dataview.hpp"
 #include "core/engine.hpp"
 #include "core/profiler.hpp"
 #include "core/shared_image.hpp"
@@ -92,6 +95,72 @@ analysis::CallGraph build_call_graph(GuestSystem& sys);
 core::StaticAudit build_static_audit(
     const analysis::CallGraph& graph,
     const std::vector<std::pair<u32, core::KernelViewConfig>>& views);
+
+// ---------------------------------------------------------------------------
+// Boundary probing + data-view integrity.
+// ---------------------------------------------------------------------------
+
+/// The clean-boot analysis baseline every probe and data-view scenario
+/// shares: call graph, raw syscall dispatch table, entry-reachable spans
+/// and the data-write analysis. Built from a CLEAN template boot (the
+/// kernel layout is deterministic, so the artifacts are valid in any boot)
+/// — building it from an infected system would launder rootkit code into
+/// the entry-reachable set and its stores into the whitelist. Memoized.
+struct ProbeContext {
+  analysis::CallGraph graph;
+  std::vector<GVirt> syscall_table;  // all 512 raw slots, unresolved
+  core::RangeList entry_reachable;
+  analysis::DataWriteAnalysis data;
+};
+const ProbeContext& probe_context();
+
+struct ProbeRunOptions {
+  Cycles run_budget = 800'000'000;
+};
+
+/// Outcome of one app's boundary probe: the plan plus the runtime trap
+/// classification. `unexplained` is the CI gate — a clean system must
+/// explain every trap as closure-predicted or profile-gap.
+struct ProbeRunResult {
+  std::string app;
+  analysis::ProbePlan plan;
+  bool completed = false;  // probe process exited within budget
+  u64 traps = 0;           // total UD2 recoveries during the run
+  u64 predicted = 0;       // trap pc inside the view closure
+  u64 profile_gap = 0;     // outside closure, entry-reachable (clean boot)
+  u64 unexplained = 0;     // true cross-view hazards — must be 0
+};
+
+/// Execute the boundary probe plan for one app's view through the real
+/// engine: plan the syscall set, boot a guest, bind the probe process to
+/// the app's view, issue every planned call, classify every trap.
+ProbeRunResult run_boundary_probe(const std::string& app,
+                                  const ProbeRunOptions& options = {});
+
+struct DataViewRunOptions {
+  Cycles run_budget = 120'000'000;
+};
+
+/// Outcome of one data-view monitoring scenario.
+struct DataViewRunResult {
+  std::string name;
+  core::DataViewMonitor::Stats stats;
+  std::vector<core::DataViewMonitor::Violation> violations;
+  std::size_t whitelist_writers = 0;  // policy size (CI artifact)
+  /// Post-infection static pass found a module-unit store reaching a
+  /// protected object (the static half of the detection).
+  bool untrusted_static_writer = false;
+};
+
+/// Deploy a kernel rootkit under an armed DataViewMonitor and report the
+/// write violations its installation produces, plus the post-infection
+/// static writer verdict.
+DataViewRunResult run_data_view_attack(attacks::Attack& attack,
+                                       const DataViewRunOptions& options = {});
+
+/// False-positive control: run every Table I app briefly plus one benign
+/// module load under an armed monitor. Must report zero violations.
+DataViewRunResult run_data_view_benign(u32 iterations = 3);
 
 // ---------------------------------------------------------------------------
 // Fleet images.

@@ -36,6 +36,7 @@ void HostMemory::write_bytes(HostFrame f, u32 offset,
   }
   note_frame_write(f);
   std::memcpy(private_[f].get() + offset, bytes.data(), bytes.size());
+  note_data_write(f, offset, static_cast<u32>(bytes.size()));
 }
 
 void HostMemory::zero_frame(HostFrame f) {
@@ -64,6 +65,7 @@ void HostMemory::zero_frame(HostFrame f) {
   }
   backing_[f] = kZeroBacked;
   page_ptr_[f] = zero_page_data();
+  note_data_write(f, 0, kPageSize);
 }
 
 u32 HostMemory::reshare_identical() {

@@ -66,6 +66,20 @@ class CodeWriteSink {
   virtual void on_code_frame_write(HostFrame frame, FrameWriteCause cause) = 0;
 };
 
+/// Data write-barrier observer: notified *after* any byte of a watched data
+/// frame has been modified (unlike CodeWriteSink, which fires before the
+/// mutation — invalidation wants the old state gone, integrity monitoring
+/// wants to read the new state). The core::DataViewMonitor registers here
+/// and watches the frames backing protected kernel objects (syscall dispatch
+/// table, module list), flagging stores from outside the static writer
+/// whitelist.
+class DataWriteSink {
+ public:
+  virtual ~DataWriteSink() = default;
+  virtual void on_data_frame_write(HostFrame frame, u32 offset, u32 len,
+                                   FrameWriteCause cause) = 0;
+};
+
 /// The canonical all-zero page backing fresh frames until first write.
 const u8* zero_page_data();
 
@@ -178,6 +192,7 @@ class HostMemory {
     }
     note_frame_write(f);
     private_[f][offset] = value;
+    note_data_write(f, offset, 1);
   }
 
   u32 read32(HostFrame f, u32 offset) const {
@@ -207,6 +222,7 @@ class HostMemory {
     b[offset + 1] = static_cast<u8>(value >> 8);
     b[offset + 2] = static_cast<u8>(value >> 16);
     b[offset + 3] = static_cast<u8>(value >> 24);
+    note_data_write(f, offset, 4);
   }
 
   /// Bulk write with same-value suppression on zero/shared frames.
@@ -240,6 +256,36 @@ class HostMemory {
     if (f < code_watch_.size() && code_watch_[f] != 0)
       for (CodeWriteSink* sink : sinks_)
         sink->on_code_frame_write(f, write_cause_);
+  }
+
+  // --- data write barrier ------------------------------------------------
+  /// Register a post-mutation observer for watched *data* frames. Separate
+  /// from the code sink list so the integrity monitor never pays for code
+  /// invalidation traffic (and vice versa).
+  void add_data_write_sink(DataWriteSink* sink) {
+    if (sink != nullptr) data_sinks_.push_back(sink);
+  }
+  void remove_data_write_sink(DataWriteSink* sink) {
+    std::erase(data_sinks_, sink);
+  }
+  /// Start reporting mutations of `f` to the data sinks (like code frames,
+  /// data frames are never unwatched; sinks filter by offset instead).
+  void watch_data_frame(HostFrame f) {
+    if (f >= data_watch_.size()) data_watch_.resize(f + 1, 0);
+    data_watch_[f] = 1;
+  }
+  bool data_frame_watched(HostFrame f) const {
+    return f < data_watch_.size() && data_watch_[f] != 0;
+  }
+  /// Fires AFTER the bytes changed, so sinks read the post-write state.
+  /// Raw-span writers that mutate a watched data frame must call this
+  /// themselves (the only such path is the view builder, which touches code
+  /// frames only, so in practice write8/write32/write_bytes/zero_frame
+  /// cover every data mutation).
+  void note_data_write(HostFrame f, u32 offset, u32 len) {
+    if (f < data_watch_.size() && data_watch_[f] != 0)
+      for (DataWriteSink* sink : data_sinks_)
+        sink->on_data_frame_write(f, offset, len, write_cause_);
   }
 
   /// Attribute frame writes inside the scope to `cause` (see FrameWriteCause).
@@ -301,6 +347,8 @@ class HostMemory {
   std::vector<std::pair<u32, i64>> ref_log_;  // batched ref/unref events
   std::vector<u8> code_watch_;  // 1 = frame has (had) cached decodes
   std::vector<CodeWriteSink*> sinks_;
+  std::vector<u8> data_watch_;  // 1 = frame backs a protected kernel object
+  std::vector<DataWriteSink*> data_sinks_;
   FrameWriteCause write_cause_ = FrameWriteCause::kGuestStore;
 };
 

@@ -32,6 +32,7 @@ const char* kind_name(EventKind kind) {
     case EventKind::kTraceDispatch: return "trace_dispatch";
     case EventKind::kTraceSideExit: return "trace_side_exit";
     case EventKind::kTraceRetire: return "trace_retire";
+    case EventKind::kDataViewWrite: return "dataview_write";
   }
   return "unknown";
 }

@@ -39,7 +39,8 @@ enum class EventKind : u8 {
   kUd2Trap,          // view=active view, a0=pc; flags: bit0 unhandled fault
   kRecovery,         // view, a0=fault pc, a1=recovered start, a2=recovered
                      // bytes, a3=cycles charged; flags: bit0 interrupt ctx,
-                     // bit1 closure-predicted, bit2 closure audit present
+                     // bit1 closure-predicted, bit2 closure audit present,
+                     // bit3 profile-gap (entry-reachable, outside closure)
   kInstantRecovery,  // a0=return target; flags: bit0 in static hazard set,
                      // bit1 hazard audit present, bit2 from cross-view scan
   kLazyPending,      // a0=return target left as trappable 0F 0B
@@ -60,6 +61,10 @@ enum class EventKind : u8 {
                      // TraceCache::SideExit)
   kTraceRetire,      // a0=stale frame, a1=entry va; flags: write cause as in
                      // kBlockInvalidate (0 = capacity clear)
+  // Data-view integrity events (appended after the trace-tier kinds; wire
+  // encodings of every earlier kind are unchanged).
+  kDataViewWrite,    // a0=guest va written, a1=bytes, a2=writer pc,
+                     // a3=protected-object index; flags: bit0 whitelisted
 };
 
 /// Human-readable kind name ("view_switch", "ud2_trap", ...).

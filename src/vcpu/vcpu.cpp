@@ -842,6 +842,10 @@ Exit Vcpu::run_traced(u64 budget_end, u64* misses_io, bool* dispatched) {
         }
         case UOp::kStore:
           m0 = executed == 0 ? misses_before : mmu.stats().tlb_misses;
+          // Materialize the architectural pc before the store reaches memory:
+          // data-frame write sinks attribute the store to the executing
+          // instruction, and the trace tier's pc is otherwise lazy.
+          regs_.pc = u.va;
           if (!mmu.try_write32(regs_.gpr[u.r1] + u.imm, regs_.gpr[u.r2]))
             goto mem_fault;
           mem_cost = perf_.cost_default;
@@ -856,6 +860,7 @@ Exit Vcpu::run_traced(u64 budget_end, u64* misses_io, bool* dispatched) {
         }
         case UOp::kStoreAbs:
           m0 = executed == 0 ? misses_before : mmu.stats().tlb_misses;
+          regs_.pc = u.va;  // see kStore: sinks attribute stores by pc
           if (!mmu.try_write32(u.imm, regs_.gpr[u.r2])) goto mem_fault;
           mem_cost = perf_.cost_default;
           goto mem_retire;

@@ -118,6 +118,64 @@ TEST(Hazards, EnumeratesExactlyTheOddReturnSites) {
   EXPECT_TRUE(found);
 }
 
+TEST(Hazards, EnumerationIsDeterministicAndKeySorted) {
+  const analysis::CallGraph& graph = fixture().graph;
+  std::vector<analysis::HazardSite> first =
+      analysis::enumerate_hazard_sites(graph);
+  std::vector<analysis::HazardSite> second =
+      analysis::enumerate_hazard_sites(graph);
+  ASSERT_EQ(first.size(), second.size());
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i].site, second[i].site);
+    EXPECT_EQ(first[i].ret, second[i].ret);
+    EXPECT_EQ(first[i].key(graph), second[i].key(graph));
+  }
+  // Sorted by the function-relative baseline key (site as tiebreak), so the
+  // fclint artifact diffs cleanly across kernel relayouts.
+  for (std::size_t i = 1; i < first.size(); ++i) {
+    std::string prev = first[i - 1].key(graph);
+    std::string cur = first[i].key(graph);
+    EXPECT_TRUE(prev < cur || (prev == cur && first[i - 1].site <= first[i].site))
+        << prev << " !<= " << cur;
+  }
+}
+
+TEST(Lint, FindingsAreDeterministicallyOrdered) {
+  const analysis::CallGraph& graph = fixture().graph;
+  std::vector<analysis::HazardSite> sites =
+      analysis::enumerate_hazard_sites(graph);
+  // A deliberately-broken view that mixes every finding kind: do_sys_poll
+  // without its caller (dead member + the staged Figure 3 hazard goes
+  // live), a page-crossing function, and a bogus range (unknown-range
+  // error).
+  core::KernelViewConfig config;
+  config.app_name = "ordered";
+  for (const char* name : {"sys_read", "vfs_read", "do_sys_poll"}) {
+    int idx = graph.index_of("", name);
+    ASSERT_GE(idx, 0) << name;
+    const analysis::FuncNode& f = graph.functions()[idx];
+    config.base.insert(f.start, f.end);
+  }
+  const analysis::FuncNode* crosser = graph.page_crossing_functions().front();
+  config.base.insert(crosser->start, crosser->end);
+  config.base.insert(0xDEAD0000u, 0xDEAD0040u);
+
+  analysis::LintReport first = analysis::lint_view(graph, sites, config);
+  analysis::LintReport second = analysis::lint_view(graph, sites, config);
+  ASSERT_GT(first.findings.size(), 1u);
+  ASSERT_EQ(first.findings.size(), second.findings.size());
+  for (std::size_t i = 0; i < first.findings.size(); ++i) {
+    EXPECT_EQ(first.findings[i].kind, second.findings[i].kind);
+    EXPECT_EQ(first.findings[i].address, second.findings[i].address);
+    EXPECT_EQ(first.findings[i].detail, second.findings[i].detail);
+  }
+  // Kind-major ordering: the --json artifact groups each kind contiguously.
+  for (std::size_t i = 1; i < first.findings.size(); ++i) {
+    EXPECT_LE(static_cast<int>(first.findings[i - 1].kind),
+              static_cast<int>(first.findings[i].kind));
+  }
+}
+
 TEST(Hazards, LiveSetTracksTheViewConfig) {
   const analysis::CallGraph& graph = fixture().graph;
   std::vector<analysis::HazardSite> sites =

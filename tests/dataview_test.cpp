@@ -1,0 +1,166 @@
+// Data-view integrity tests: the HostMemory data write barrier, the static
+// writer-whitelist distilled by analysis/datawrite, and the end-to-end
+// monitor scenarios (data-only rootkit positive controls + the benign
+// 12-app false-positive control).
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "attacks/attacks.hpp"
+#include "core/dataview.hpp"
+#include "harness/harness.hpp"
+#include "mem/host_memory.hpp"
+#include "obs/trace.hpp"
+
+namespace fc {
+namespace {
+
+struct RecordingSink : mem::DataWriteSink {
+  std::vector<std::tuple<HostFrame, u32, u32>> hits;
+  void on_data_frame_write(HostFrame frame, u32 offset, u32 len,
+                           mem::FrameWriteCause) override {
+    hits.emplace_back(frame, offset, len);
+  }
+};
+
+TEST(DataWriteBarrier, FiresOnWatchedFramesOnly) {
+  mem::HostMemory host;
+  HostFrame watched = host.alloc_frame();
+  HostFrame other = host.alloc_frame();
+  RecordingSink sink;
+  host.watch_data_frame(watched);
+  host.add_data_write_sink(&sink);
+
+  host.write32(watched, 8, 0xDEADBEEF);
+  host.write8(other, 1, 7);  // unwatched: silent
+  const u8 bytes[3] = {1, 2, 3};
+  host.write_bytes(watched, 64, bytes);
+  host.write8(watched, 200, 0x5A);
+
+  ASSERT_EQ(sink.hits.size(), 3u);
+  EXPECT_EQ(sink.hits[0], std::make_tuple(watched, 8u, 4u));
+  EXPECT_EQ(sink.hits[1], std::make_tuple(watched, 64u, 3u));
+  EXPECT_EQ(sink.hits[2], std::make_tuple(watched, 200u, 1u));
+
+  // Post-mutation contract: the sink reads the new bytes.
+  struct PostSink : mem::DataWriteSink {
+    mem::HostMemory* host = nullptr;
+    u32 seen = 0;
+    void on_data_frame_write(HostFrame frame, u32 offset, u32,
+                             mem::FrameWriteCause) override {
+      seen = host->read32(frame, offset);
+    }
+  } post;
+  post.host = &host;
+  host.add_data_write_sink(&post);
+  host.write32(watched, 16, 0xCAFE0001);
+  EXPECT_EQ(post.seen, 0xCAFE0001u);
+
+  // zero_frame on a dirty frame is a (page-wide) data mutation too.
+  sink.hits.clear();
+  host.zero_frame(watched);
+  ASSERT_EQ(sink.hits.size(), 1u);
+  EXPECT_EQ(sink.hits[0], std::make_tuple(watched, 0u, kPageSize));
+
+  // Same-value writes on a zero-backed frame are suppressed entirely.
+  sink.hits.clear();
+  host.write32(watched, 8, 0);
+  EXPECT_TRUE(sink.hits.empty());
+
+  host.remove_data_write_sink(&sink);
+  host.write32(watched, 8, 0x11111111);
+  EXPECT_TRUE(sink.hits.empty());
+}
+
+TEST(DataWriteAnalysis, CleanBootWhitelistsModuleManagementOnly) {
+  const harness::ProbeContext& ctx = harness::probe_context();
+  const core::DataViewPolicy& policy = ctx.data.policy;
+
+  ASSERT_EQ(policy.objects.size(), 2u);
+  EXPECT_EQ(policy.objects[0].name, "syscall-table");
+  EXPECT_EQ(policy.objects[1].name, "module-list");
+  EXPECT_FALSE(policy.objects[0].track_module_nodes);
+  EXPECT_TRUE(policy.objects[1].track_module_nodes);
+
+  auto writer_named = [](const core::DataViewPolicy::ObjectRule& o,
+                         const char* name) {
+    for (const core::DataViewPolicy::Writer& w : o.writers)
+      if (w.name == name) return true;
+    return false;
+  };
+  // load_module parks the init pointer in slot 511 and links the list head;
+  // sys_delete_module unlinks. Nothing else in the base kernel writes
+  // either object.
+  EXPECT_TRUE(writer_named(policy.objects[0], "load_module"));
+  EXPECT_TRUE(writer_named(policy.objects[1], "load_module"));
+  EXPECT_TRUE(writer_named(policy.objects[1], "sys_delete_module"));
+  EXPECT_EQ(policy.total_writers(), 3u);
+
+  // The trust boundary: a clean boot has zero module-unit writer sites.
+  EXPECT_TRUE(ctx.data.untrusted.empty());
+  EXPECT_FALSE(ctx.data.trusted.empty());
+  // The base kernel mutates protected data exclusively through KSVC leaves
+  // (that is why the pass carries effect summaries); every decoded store is
+  // accounted either resolved or unresolved, never dropped.
+  EXPECT_GE(ctx.data.stats.ksvc_summaries, 3u);
+  EXPECT_EQ(ctx.data.stats.stores_seen,
+            ctx.data.stats.stores_resolved + ctx.data.stats.stores_unresolved);
+
+  // Trusted sites arrive sorted by their function-relative key (the
+  // artifact-diff identity).
+  for (std::size_t i = 1; i < ctx.data.trusted.size(); ++i) {
+    EXPECT_LE(ctx.data.trusted[i - 1].key(ctx.graph, policy),
+              ctx.data.trusted[i].key(ctx.graph, policy));
+  }
+}
+
+TEST(DataViewScenarios, DataOnlyRootkitsAreDetected) {
+  std::vector<std::unique_ptr<attacks::Attack>> attacks =
+      attacks::make_data_only_attacks();
+  ASSERT_EQ(attacks.size(), 2u);
+
+  obs::recorder().start();
+  harness::DataViewRunResult hook = harness::run_data_view_attack(*attacks[0]);
+  obs::recorder().stop();
+  EXPECT_EQ(hook.name, "KBeast-TableHook");
+  ASSERT_FALSE(hook.violations.empty());
+  EXPECT_EQ(hook.violations[0].object, 0u) << "syscall-table hook";
+  EXPECT_TRUE(hook.untrusted_static_writer);
+
+  // The violation is visible on the observability plane too: a
+  // dataview_write event with the whitelisted bit clear.
+  bool saw_violation_event = false;
+  for (const obs::TraceEvent& e : obs::recorder().snapshot()) {
+    if (e.kind == obs::EventKind::kDataViewWrite && (e.flags & 1u) == 0)
+      saw_violation_event = true;
+  }
+  EXPECT_TRUE(saw_violation_event);
+
+  harness::DataViewRunResult dkom = harness::run_data_view_attack(*attacks[1]);
+  EXPECT_EQ(dkom.name, "Adore-DKOM");
+  ASSERT_FALSE(dkom.violations.empty());
+  EXPECT_EQ(dkom.violations[0].object, 1u) << "module-list unlink";
+  EXPECT_TRUE(dkom.untrusted_static_writer);
+
+  // Neither variant trips the code-view signature path — that is the whole
+  // point of the data-view tier.
+  EXPECT_TRUE(attacks[0]->detection_signature().empty());
+  EXPECT_TRUE(attacks[1]->detection_signature().empty());
+}
+
+TEST(DataViewScenarios, BenignRunIsViolationFree) {
+  harness::DataViewRunResult r = harness::run_data_view_benign(/*iterations=*/1);
+  EXPECT_TRUE(r.violations.empty());
+  EXPECT_EQ(r.stats.violations, 0u);
+  // The benign module load produces whitelisted protected-object writes
+  // (slot-511 parking + list-head link) — the monitor must see and pass
+  // them, not merely see nothing.
+  EXPECT_GE(r.stats.writes_checked, 2u);
+  EXPECT_EQ(r.stats.whitelisted, r.stats.writes_checked);
+  EXPECT_FALSE(r.untrusted_static_writer);
+  EXPECT_EQ(r.whitelist_writers, 3u);
+}
+
+}  // namespace
+}  // namespace fc

@@ -1,0 +1,164 @@
+// Boundary-probe planner + trap classifier tests (src/analysis/prober):
+// entry-reachable span construction (including dispatch handlers crossing
+// page boundaries), probe planning over a synthetic view boundary, the
+// fatal-syscall skip list, and the punched-profile-gap classification the
+// probe gate relies on.
+#include <gtest/gtest.h>
+
+#include "analysis/closure.hpp"
+#include "analysis/prober.hpp"
+#include "harness/harness.hpp"
+#include "hv/guest_abi.hpp"
+
+namespace fc {
+namespace {
+
+struct ProberFixture {
+  harness::GuestSystem sys;
+  analysis::CallGraph graph = harness::build_call_graph(sys);
+  std::vector<GVirt> table = read_table(sys);
+
+  static std::vector<GVirt> read_table(harness::GuestSystem& sys) {
+    std::vector<GVirt> t;
+    for (u32 i = 0; i < abi::kSyscallTableSlots; ++i)
+      t.push_back(sys.hv().vmi().read_u32(abi::kSyscallTableAddr + i * 4));
+    return t;
+  }
+};
+
+ProberFixture& fixture() {
+  static ProberFixture* f = new ProberFixture();
+  return *f;
+}
+
+TEST(EntryReachable, CoversDispatchHandlersWholeSpanAcrossPages) {
+  const analysis::CallGraph& graph = fixture().graph;
+  core::RangeList spans = analysis::entry_reachable_spans(graph);
+  ASSERT_FALSE(spans.empty());
+
+  // Every dispatch-table handler is an entry root: first AND last byte must
+  // be in the span set, even when the function crosses a page boundary
+  // (the 4 KiB granularity of the view machinery must not truncate the
+  // reachability predicate).
+  std::size_t page_crossing = 0;
+  for (u32 i : graph.dispatch_target_indices()) {
+    const analysis::FuncNode& f = graph.functions()[i];
+    EXPECT_TRUE(spans.contains(f.start)) << f.name;
+    EXPECT_TRUE(spans.contains(f.end - 1)) << f.name;
+  }
+  // And the same both-ends property for every page-crossing function the
+  // entry set reaches transitively.
+  for (const analysis::FuncNode& f : graph.functions()) {
+    if (!spans.contains(f.start)) continue;
+    EXPECT_TRUE(spans.contains(f.end - 1)) << f.name;
+    if (f.start / kPageSize != (f.end - 1) / kPageSize) ++page_crossing;
+  }
+  EXPECT_GT(page_crossing, 0u)
+      << "the kernel image must exercise the page-boundary case";
+}
+
+TEST(ProbePlan, CoversSyntheticViewBoundaryEdges) {
+  const analysis::CallGraph& graph = fixture().graph;
+  // Synthetic one-function view: only sys_read is loaded, so every direct
+  // callee of sys_read is a boundary edge and the read probe must cover
+  // them all.
+  int sys_read = graph.index_of("", "sys_read");
+  ASSERT_GE(sys_read, 0);
+  const analysis::FuncNode& f = graph.functions()[sys_read];
+  core::RangeList view;
+  view.insert(f.start, f.end);
+
+  analysis::ProbePlan plan =
+      analysis::plan_boundary_probe(graph, view, fixture().table);
+  EXPECT_GT(plan.boundary_edges, 0u);
+  EXPECT_EQ(plan.covered_edges, plan.boundary_edges)
+      << "every edge out of sys_read is reachable from the read handler";
+  bool has_read_probe = false;
+  for (const analysis::ProbeCall& call : plan.calls) {
+    if (call.nr == abi::kSysRead) {
+      has_read_probe = true;
+      EXPECT_TRUE(call.handler_in_view);
+      EXPECT_GT(call.edges_reached, 0u);
+    }
+  }
+  EXPECT_TRUE(has_read_probe);
+  EXPECT_GT(plan.handlers_out_of_view, 0u);
+  EXPECT_GT(plan.slots_skipped, 0u);
+}
+
+TEST(ProbePlan, SkipsProcessFatalSyscalls) {
+  for (u32 nr : {abi::kSysExit, abi::kSysFork, abi::kSysClone,
+                 abi::kSysExecve, abi::kSysWaitpid, abi::kSysWait4,
+                 abi::kSysSigreturn, abi::kSysKill, abi::kSysInitModule,
+                 abi::kSysDeleteModule}) {
+    EXPECT_TRUE(analysis::probe_skips_syscall(nr)) << nr;
+  }
+  EXPECT_TRUE(analysis::probe_skips_syscall(abi::kSyscallTableSlots - 1))
+      << "reserved module-init parking slot";
+  for (u32 nr : {abi::kSysRead, abi::kSysOpen, abi::kSysSocket,
+                 abi::kSysNanosleep}) {
+    EXPECT_FALSE(analysis::probe_skips_syscall(nr)) << nr;
+  }
+}
+
+TEST(TrapClassifier, PunchedProfileGapIsNotATrueHazard) {
+  const analysis::CallGraph& graph = fixture().graph;
+  core::StaticAudit audit;
+  audit.entry_reachable = analysis::entry_reachable_spans(graph);
+
+  // Fake a training gap: the view's closure covers every entry-reachable
+  // function EXCEPT one dispatch handler (RangeList has no subtract, so
+  // the punched set is rebuilt span by span).
+  ASSERT_FALSE(graph.dispatch_target_indices().empty());
+  const analysis::FuncNode& punched =
+      graph.functions()[graph.dispatch_target_indices().front()];
+  core::RangeList closure;
+  for (const analysis::FuncNode& f : graph.functions()) {
+    if (f.start == punched.start) continue;
+    if (audit.entry_reachable.contains(f.start))
+      closure.insert(f.start, f.end);
+  }
+  const u32 view_id = 7;
+  audit.predicted[view_id] = closure;
+
+  // A trap at the punched handler: outside the closure but reachable from
+  // a clean entry point — a profile gap, NOT a cross-view hazard.
+  EXPECT_EQ(analysis::classify_trap(audit, view_id, punched.start),
+            analysis::TrapClass::kProfileGap);
+  EXPECT_EQ(analysis::trap_class_name(analysis::TrapClass::kProfileGap),
+            std::string("profile-gap"));
+
+  // A trap inside the closure is the predicted-benign case.
+  bool checked_predicted = false;
+  for (const analysis::FuncNode& f : graph.functions()) {
+    if (f.start != punched.start && closure.contains(f.start)) {
+      EXPECT_EQ(analysis::classify_trap(audit, view_id, f.start),
+                analysis::TrapClass::kClosurePredicted);
+      checked_predicted = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(checked_predicted);
+
+  // An address no clean entry path reaches (a rootkit hook body would live
+  // here): the true-hazard signal.
+  const GVirt nowhere = 0x1000;  // user-space VA, never kernel code
+  EXPECT_EQ(analysis::classify_trap(audit, view_id, nowhere),
+            analysis::TrapClass::kTrueHazard);
+}
+
+TEST(TrapClassifier, EmptyEntrySetDegradesToTwoClassTaxonomy) {
+  // Pre-prober audits carry no entry_reachable set; everything outside the
+  // closure must then stay in the unexplained bucket (no silent widening).
+  core::StaticAudit audit;
+  core::RangeList closure;
+  closure.insert(0xC0100000, 0xC0100040);
+  audit.predicted[1] = closure;
+  EXPECT_EQ(analysis::classify_trap(audit, 1, 0xC0100010),
+            analysis::TrapClass::kClosurePredicted);
+  EXPECT_EQ(analysis::classify_trap(audit, 1, 0xC0200000),
+            analysis::TrapClass::kTrueHazard);
+}
+
+}  // namespace
+}  // namespace fc

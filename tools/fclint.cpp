@@ -10,8 +10,17 @@
 //       With --baseline, hazard sites not listed in FILE are errors too.
 //   fclint graph                  whole-kernel call-graph statistics
 //   fclint hazards                every static 0B 0F hazard site
+//   fclint probe [--json FILE] [app..]
+//       run the boundary probe for each app's view and classify every trap
+//       (closure-predicted / profile-gap / true hazard). Fails on any
+//       unexplained trap or an incomplete probe run.
+//   fclint data [--json FILE]
+//       data-view write integrity: benign 12-app run under the armed
+//       monitor (must be violation-free) plus the data-only rootkit
+//       positive controls (must be detected).
 //
-// Exit status: 0 clean, 1 lint errors or new hazard sites, 2 usage.
+// Exit status: 0 clean, 1 lint errors / new hazards / probe-gate failures,
+// 2 usage.
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
@@ -42,9 +51,37 @@ namespace {
       "       [app...]        lint app views (default: all 12 apps)\n"
       "  graph                call-graph statistics\n"
       "  hazards              list every static 0B 0F hazard site\n"
-      "flags: --log-level LEVEL (or FC_LOG_LEVEL env), --trace-out FILE\n"
+      "  probe [--json FILE] [app...]\n"
+      "                       boundary probe + trap classification\n"
+      "  data [--json FILE]   data-view write monitor gate\n"
+      "flags: --json FILE (lint/probe/data: machine-readable report),\n"
+      "       --log-level LEVEL (or FC_LOG_LEVEL env), --trace-out FILE\n"
       "       (record the profiling runs; writes Chrome trace JSON)\n");
   std::exit(2);
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += ch; break;
+    }
+  }
+  return out;
+}
+
+/// Function-relative key for a finding address ("sys_read+0x12"), falling
+/// back to the raw address outside any known function.
+std::string relative_key(const analysis::CallGraph& graph, GVirt address) {
+  const analysis::FuncNode* fn = graph.function_at(address);
+  if (fn == nullptr) return hex32(address);
+  std::ostringstream out;
+  out << fn->name << "+0x" << std::hex << (address - fn->start);
+  return out.str();
 }
 
 std::set<std::string> read_baseline(const std::string& path) {
@@ -91,8 +128,107 @@ int cmd_hazards() {
   return 0;
 }
 
+int cmd_probe(const std::string& json_path,
+              std::vector<std::string> apps) {
+  if (apps.empty()) apps = apps::all_app_names();
+  bool failed = false;
+  std::vector<harness::ProbeRunResult> results;
+  u64 traps = 0, predicted = 0, gaps = 0, unexplained = 0;
+  for (const std::string& app : apps) {
+    harness::ProbeRunResult r = harness::run_boundary_probe(app);
+    std::printf(
+        "%-10s probes %3zu  edges %3zu/%3zu  traps %5llu  predicted %5llu  "
+        "profile-gap %3llu  unexplained %llu%s\n",
+        r.app.c_str(), r.plan.calls.size(), r.plan.covered_edges,
+        r.plan.boundary_edges, (unsigned long long)r.traps,
+        (unsigned long long)r.predicted, (unsigned long long)r.profile_gap,
+        (unsigned long long)r.unexplained,
+        r.completed ? "" : "  [INCOMPLETE]");
+    failed = failed || r.unexplained > 0 || !r.completed;
+    traps += r.traps;
+    predicted += r.predicted;
+    gaps += r.profile_gap;
+    unexplained += r.unexplained;
+    results.push_back(std::move(r));
+  }
+  std::printf(
+      "total: %llu traps = %llu closure-predicted + %llu profile-gap + "
+      "%llu unexplained\n",
+      (unsigned long long)traps, (unsigned long long)predicted,
+      (unsigned long long)gaps, (unsigned long long)unexplained);
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    out << "{\n  \"apps\": [\n";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      const harness::ProbeRunResult& r = results[i];
+      out << "    {\"app\": \"" << json_escape(r.app) << "\""
+          << ", \"probes\": " << r.plan.calls.size()
+          << ", \"boundary_edges\": " << r.plan.boundary_edges
+          << ", \"covered_edges\": " << r.plan.covered_edges
+          << ", \"traps\": " << r.traps << ", \"predicted\": " << r.predicted
+          << ", \"profile_gap\": " << r.profile_gap
+          << ", \"unexplained\": " << r.unexplained
+          << ", \"completed\": " << (r.completed ? "true" : "false") << "}"
+          << (i + 1 < results.size() ? "," : "") << "\n";
+    }
+    out << "  ],\n  \"totals\": {\"traps\": " << traps
+        << ", \"predicted\": " << predicted << ", \"profile_gap\": " << gaps
+        << ", \"unexplained\": " << unexplained << "}\n}\n";
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return failed ? 1 : 0;
+}
+
+int cmd_data(const std::string& json_path) {
+  harness::DataViewRunResult benign = harness::run_data_view_benign();
+  bool failed = !benign.violations.empty();
+  std::printf(
+      "benign     writers %zu  checked %llu  whitelisted %llu  violations "
+      "%llu%s\n",
+      benign.whitelist_writers, (unsigned long long)benign.stats.writes_checked,
+      (unsigned long long)benign.stats.whitelisted,
+      (unsigned long long)benign.stats.violations,
+      benign.violations.empty() ? "" : "  [FALSE POSITIVE]");
+
+  struct AttackRow {
+    harness::DataViewRunResult r;
+    bool detected;
+  };
+  std::vector<AttackRow> rows;
+  for (const auto& attack : attacks::make_data_only_attacks()) {
+    harness::DataViewRunResult r = harness::run_data_view_attack(*attack);
+    const bool detected = !r.violations.empty() && r.untrusted_static_writer;
+    std::printf("%-18s violations %llu  static-writer %s  %s\n",
+                r.name.c_str(), (unsigned long long)r.stats.violations,
+                r.untrusted_static_writer ? "yes" : "no",
+                detected ? "DETECTED" : "[MISSED]");
+    failed = failed || !detected;
+    rows.push_back({std::move(r), detected});
+  }
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    out << "{\n  \"whitelist_writers\": " << benign.whitelist_writers
+        << ",\n  \"benign\": {\"writes_checked\": "
+        << benign.stats.writes_checked
+        << ", \"whitelisted\": " << benign.stats.whitelisted
+        << ", \"violations\": " << benign.stats.violations
+        << "},\n  \"attacks\": [\n";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      out << "    {\"name\": \"" << json_escape(rows[i].r.name) << "\""
+          << ", \"violations\": " << rows[i].r.stats.violations
+          << ", \"untrusted_static_writer\": "
+          << (rows[i].r.untrusted_static_writer ? "true" : "false")
+          << ", \"detected\": " << (rows[i].detected ? "true" : "false")
+          << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return failed ? 1 : 0;
+}
+
 int cmd_lint(u32 iterations, const std::string& baseline_path,
-             const std::string& update_path,
+             const std::string& update_path, const std::string& json_path,
              const std::vector<std::string>& only_apps) {
   harness::GuestSystem sys;
   analysis::CallGraph graph = harness::build_call_graph(sys);
@@ -130,6 +266,7 @@ int cmd_lint(u32 iterations, const std::string& baseline_path,
   // Build each app's view inside the engine so the UD2-gap check can see
   // the actual shadow frames.
   core::FaceChangeEngine engine(sys.hv(), sys.os().kernel());
+  std::vector<analysis::LintReport> reports;
   for (const core::KernelViewConfig& config :
        harness::profile_all_apps(iterations)) {
     if (!only_apps.empty() &&
@@ -143,6 +280,31 @@ int cmd_lint(u32 iterations, const std::string& baseline_path,
                             &sys.hv().machine().host());
     std::printf("%s\n", report.render().c_str());
     failed = failed || report.failed();
+    reports.push_back(std::move(report));
+  }
+  if (!json_path.empty()) {
+    // Findings are already in deterministic function-relative-key order
+    // (lint_view sorts them), so the artifact diffs cleanly across runs.
+    std::ofstream out(json_path);
+    out << "{\n  \"apps\": [\n";
+    for (std::size_t i = 0; i < reports.size(); ++i) {
+      const analysis::LintReport& report = reports[i];
+      out << "    {\"app\": \"" << json_escape(report.app) << "\""
+          << ", \"member_functions\": " << report.member_functions
+          << ", \"findings\": [\n";
+      for (std::size_t j = 0; j < report.findings.size(); ++j) {
+        const analysis::LintFinding& f = report.findings[j];
+        out << "      {\"kind\": \"" << analysis::lint_kind_name(f.kind)
+            << "\", \"error\": " << (f.error ? "true" : "false")
+            << ", \"key\": \"" << json_escape(relative_key(graph, f.address))
+            << "\", \"address\": \"" << hex32(f.address) << "\""
+            << ", \"detail\": \"" << json_escape(f.detail) << "\"}"
+            << (j + 1 < report.findings.size() ? "," : "") << "\n";
+      }
+      out << "    ]}" << (i + 1 < reports.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+    std::printf("wrote %s\n", json_path.c_str());
   }
   return failed ? 1 : 0;
 }
@@ -158,10 +320,10 @@ int main(int argc, char** argv) {
   }
   if (cmd == "graph") return cmd_graph();
   if (cmd == "hazards") return cmd_hazards();
-  if (cmd != "lint") usage();
+  if (cmd != "lint" && cmd != "probe" && cmd != "data") usage();
 
   u32 iterations = 20;
-  std::string baseline, update, trace_out;
+  std::string baseline, update, trace_out, json_path;
   std::vector<std::string> apps;
   for (int i = first; i < argc; ++i) {
     if (!std::strcmp(argv[i], "-n") && i + 1 < argc) {
@@ -170,6 +332,8 @@ int main(int argc, char** argv) {
       baseline = argv[++i];
     } else if (!std::strcmp(argv[i], "--update-baseline") && i + 1 < argc) {
       update = argv[++i];
+    } else if (!std::strcmp(argv[i], "--json") && i + 1 < argc) {
+      json_path = argv[++i];
     } else if (!std::strcmp(argv[i], "--trace-out") && i + 1 < argc) {
       trace_out = argv[++i];
     } else if (!std::strcmp(argv[i], "--log-level") && i + 1 < argc) {
@@ -186,7 +350,14 @@ int main(int argc, char** argv) {
     }
   }
   if (!trace_out.empty()) obs::recorder().start();
-  int rc = cmd_lint(iterations, baseline, update, apps);
+  int rc = 0;
+  if (cmd == "probe") {
+    rc = cmd_probe(json_path, apps);
+  } else if (cmd == "data") {
+    rc = cmd_data(json_path);
+  } else {
+    rc = cmd_lint(iterations, baseline, update, json_path, apps);
+  }
   if (!trace_out.empty()) {
     obs::recorder().stop();
     std::ofstream out(trace_out);
