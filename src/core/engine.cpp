@@ -10,6 +10,111 @@ namespace fc::core {
 
 using mem::GuestLayout;
 
+// The vCPU's tier encoding is the profiler's wire encoding (fc_vcpu cannot
+// depend on fc_obs consumers of its types, so the constants are mirrored).
+static_assert(cpu::kTierInterp == obs::kSampleTierInterp);
+static_assert(cpu::kTierBlock == obs::kSampleTierBlock);
+static_assert(cpu::kTierTrace == obs::kSampleTierTrace);
+
+/// The telemetry plane's vCPU-facing half: receives every cycle-driven
+/// sample, attributes it (function, view, tier) through the kernel symbol
+/// table, mirrors it into the flight recorder when one is capturing, and
+/// drives the time series off the same trigger. Pure observer — it never
+/// touches guest or vCPU state, so attaching it cannot perturb the
+/// simulation (the interp-throughput bench asserts instruction-count
+/// equality with and without it).
+class EngineTelemetry final : public cpu::SampleSink {
+ public:
+  EngineTelemetry(FaceChangeEngine& engine,
+                  FaceChangeEngine::TelemetryOptions options)
+      : engine_(&engine), options_(std::move(options)) {
+    profile_.set_period(options_.sample_period);
+    profile_.set_kernel_floor(engine.kernel_->text_base);
+    for (const auto& [addr, sym] : engine.kernel_->symbols.by_address())
+      profile_.add_function(sym.name, sym.address, sym.size);
+    if (options_.timeline_interval != 0) {
+      timeline_.configure(options_.timeline_interval,
+                          FaceChangeEngine::timeline_columns());
+      next_snap_ = options_.timeline_interval;
+    }
+  }
+
+  Cycles period() const { return options_.sample_period; }
+  const obs::SampleProfile& profile() const { return profile_; }
+  const obs::TimeSeries& timeline() const { return timeline_; }
+
+  void on_sample(Cycles now, GVirt pc, u8 tier, u64 periods) override {
+    const u16 view = static_cast<u16>(engine_->active_view_);
+    profile_.record(pc, tier, view, periods);
+    FC_TRACE_EVENT(kProfSample, tier, view, pc, periods, 0, 0);
+    if (next_snap_ != 0 && now >= next_snap_) snapshot(now);
+  }
+
+ private:
+  void snapshot(Cycles now) {
+    const Cycles interval = options_.timeline_interval;
+    // One row per crossing, indexed by simulated time. When a time jump
+    // skips whole intervals the missing rows are simply absent — the fleet
+    // rollup counts contributors per interval, so alignment survives.
+    const u64 index = now / interval;
+    const cpu::Vcpu& vcpu = engine_->hv_->vcpu();
+    const mem::HostMemory& host = engine_->hv_->machine().host();
+    const FaceChangeEngine::Stats& es = engine_->stats_;
+    const cpu::BlockCache::Stats& bs = vcpu.block_cache().stats();
+    const cpu::TraceCache::Stats& ts = vcpu.trace_cache().stats();
+    timeline_.append(
+        index, now,
+        {vcpu.instructions_retired(), engine_->recovery_->stats().recoveries,
+         es.view_switches(), es.switches_skipped_same_view, bs.insn_hits,
+         bs.block_misses, ts.dispatched, ts.side_exits,
+         host.cow_promotions(), host.private_frame_count(),
+         options_.queue_depth ? options_.queue_depth() : 0,
+         profile_.total_weight()});
+    next_snap_ = (index + 1) * interval;
+  }
+
+  FaceChangeEngine* engine_;
+  FaceChangeEngine::TelemetryOptions options_;
+  obs::SampleProfile profile_;
+  obs::TimeSeries timeline_;
+  Cycles next_snap_ = 0;  // 0 = no time series
+};
+
+const std::vector<std::string>& FaceChangeEngine::timeline_columns() {
+  // Cumulative counters unless noted; "private_frames" and "queue_depth"
+  // are instantaneous. Append-only: the rollup matches columns by position.
+  static const std::vector<std::string> kColumns = {
+      "instructions",    "recoveries",    "view_switches",
+      "switches_skipped", "block_insn_hits", "block_misses",
+      "trace_dispatched", "trace_side_exits", "cow_promotions",
+      "private_frames",  "queue_depth",   "samples"};
+  return kColumns;
+}
+
+void FaceChangeEngine::attach_telemetry(TelemetryOptions options) {
+  detach_telemetry();
+  if (options.sample_period == 0) return;
+  telemetry_ = std::make_unique<EngineTelemetry>(*this, std::move(options));
+  hv_->vcpu().set_sample_sink(telemetry_.get(), telemetry_->period());
+}
+
+void FaceChangeEngine::detach_telemetry() {
+  if (telemetry_ == nullptr) return;
+  if (hv_->vcpu().sample_sink() == telemetry_.get())
+    hv_->vcpu().set_sample_sink(nullptr, 0);
+  telemetry_.reset();
+}
+
+const obs::SampleProfile& FaceChangeEngine::profile() const {
+  FC_CHECK(telemetry_ != nullptr, << "profile() without attach_telemetry()");
+  return telemetry_->profile();
+}
+
+const obs::TimeSeries& FaceChangeEngine::timeline() const {
+  FC_CHECK(telemetry_ != nullptr, << "timeline() without attach_telemetry()");
+  return telemetry_->timeline();
+}
+
 FaceChangeEngine::FaceChangeEngine(hv::Hypervisor& hv,
                                    const os::KernelImage& kernel,
                                    EngineOptions options)
@@ -25,6 +130,7 @@ FaceChangeEngine::FaceChangeEngine(hv::Hypervisor& hv,
 }
 
 FaceChangeEngine::~FaceChangeEngine() {
+  detach_telemetry();
   if (enabled_) disable();
 }
 
@@ -79,7 +185,7 @@ void FaceChangeEngine::set_predicted_reachable(u32 view_id, RangeList spans) {
 u32 FaceChangeEngine::load_view(const KernelViewConfig& config) {
   u32 id = next_view_id_++;
   views_[id] = builder_.build(config, id);
-  const KernelView& built = *views_[id];
+  [[maybe_unused]] const KernelView& built = *views_[id];
   FC_TRACE_EVENT(kViewLoad, 0, id, built.shadow_frames.size() * kPageSize,
                  built.base_pdes.size(), built.module_ptes.size(), 0);
   return id;
@@ -97,7 +203,7 @@ void FaceChangeEngine::adopt_shared_views(const SharedImage& image) {
   for (const SharedView& sv : image.views) {
     u32 id = next_view_id_++;
     views_[id] = builder_.build_shared(sv, id);
-    const KernelView& built = *views_[id];
+    [[maybe_unused]] const KernelView& built = *views_[id];
     FC_TRACE_EVENT(kViewLoad, 0, id, built.shadow_frames.size() * kPageSize,
                    built.base_pdes.size(), built.module_ptes.size(), 0);
   }
@@ -186,7 +292,7 @@ void FaceChangeEngine::apply_view(const KernelView* next) {
                   mem::EptEntry{true, ov.view_frame});
   }
 
-  const mem::Ept::Stats& written = ept.stats();
+  [[maybe_unused]] const mem::Ept::Stats& written = ept.stats();
   FC_TRACE_EVENT(kEptRepoint, 0, 0, written.pde_writes - before.pde_writes,
                  written.pte_writes - before.pte_writes, 0, 0);
   ept.invalidate();
@@ -209,7 +315,7 @@ void FaceChangeEngine::apply_descriptor(const SwitchDescriptor& descriptor) {
   for (const SwitchDescriptor::PteWrite& tw : descriptor.pte_writes)
     ept.set_pte(tw.table, tw.slot, mem::EptEntry{true, tw.frame});
   {
-    const mem::Ept::Stats& written = ept.stats();
+    [[maybe_unused]] const mem::Ept::Stats& written = ept.stats();
     FC_TRACE_EVENT(kEptRepoint, 1, 0, written.pde_writes - before.pde_writes,
                    written.pte_writes - before.pte_writes, 0, 0);
   }

@@ -5,6 +5,7 @@
 // supports hot load/unload of views.
 #pragma once
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -17,9 +18,13 @@
 #include "core/viewbuilder.hpp"
 #include "hv/hypervisor.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
+#include "obs/timeseries.hpp"
 #include "os/kernel_image.hpp"
 
 namespace fc::core {
+
+class EngineTelemetry;
 
 struct EngineOptions {
   /// Switch views at resume-userspace rather than immediately at the
@@ -88,6 +93,41 @@ class FaceChangeEngine : public hv::ExitHandler {
   }
   RecoveryEngine& recovery() { return *recovery_; }
 
+  // --- telemetry plane (sampling profiler + time series) -----------------
+
+  /// Default profiler period: fine enough for per-function attribution on a
+  /// multi-million-cycle run, coarse enough that the per-sample work is
+  /// noise (the bench gates overhead at <= 5%; measured well under 1%).
+  static constexpr Cycles kDefaultSamplePeriod = 8192;
+  static constexpr Cycles kDefaultTimelineInterval = 1'000'000;
+
+  struct TelemetryOptions {
+    /// Cycles between samples; 0 disables the whole plane.
+    Cycles sample_period = kDefaultSamplePeriod;
+    /// Cycles between time-series snapshot rows; 0 = profiler only. Rows
+    /// fire at the first sample at/after each interval boundary, so keep
+    /// this well above sample_period.
+    Cycles timeline_interval = 0;
+    /// Optional instant gauge for the "queue_depth" column (the engine
+    /// cannot see the OS event queue; callers inject it). Null reads 0.
+    std::function<u64()> queue_depth;
+  };
+
+  /// Attach the cycle-driven sampling profiler (and, with a non-zero
+  /// interval, the metric time series) to this engine's vCPU. The sample
+  /// trigger is simulated time, so everything captured is byte-identical
+  /// across runs and jobs counts. Replaces any previous attachment.
+  void attach_telemetry(TelemetryOptions options);
+  void attach_telemetry() { attach_telemetry(TelemetryOptions{}); }
+  /// Detach and discard the captured telemetry (automatic at destruction).
+  void detach_telemetry();
+  bool telemetry_attached() const { return telemetry_ != nullptr; }
+  /// Captured attribution / time series; FC_CHECKs unless attached.
+  const obs::SampleProfile& profile() const;
+  const obs::TimeSeries& timeline() const;
+  /// The fixed time-series schema (shared by the fleet rollup).
+  static const std::vector<std::string>& timeline_columns();
+
   /// Install the static analyzer's audit (hazard return set + per-view
   /// closure predictions). Replaces any previous audit; the recovery engine
   /// classifies every subsequent decision against it (see static_audit.hpp).
@@ -149,6 +189,8 @@ class FaceChangeEngine : public hv::ExitHandler {
   const SwitchDescriptor& switch_descriptor(u32 from_id, u32 to_id);
 
  private:
+  friend class EngineTelemetry;  // reads active_view_/stats_ at sample time
+
   void switch_to_view(u32 view_id);
   void apply_view(const KernelView* next);  // nullptr = full view
   void apply_descriptor(const SwitchDescriptor& descriptor);
@@ -183,6 +225,7 @@ class FaceChangeEngine : public hv::ExitHandler {
 
   Stats stats_;
   obs::Histogram* switch_cost_hist_ = nullptr;  // engine.switch_cost_cycles
+  std::unique_ptr<EngineTelemetry> telemetry_;
 };
 
 }  // namespace fc::core

@@ -94,7 +94,7 @@ void RecoveryEngine::recover_function(KernelView& view, GVirt addr,
   }
 }
 
-void RecoveryEngine::note_instant(GVirt ret, bool from_scan) {
+void RecoveryEngine::note_instant(GVirt ret, [[maybe_unused]] bool from_scan) {
   ++stats_.instant_recoveries;
   instant_returns_.push_back(ret);
   bool in_set = audit_ != nullptr && audit_->hazard_returns.count(ret) != 0;

@@ -119,6 +119,32 @@ std::vector<u8> FleetReport::merged_trace() const {
   return out;
 }
 
+obs::SampleProfile FleetReport::merged_profile() const {
+  obs::SampleProfile merged;
+  for (const VmResult& vm : vms) merged.merge(vm.profile);
+  return merged;
+}
+
+obs::Histogram FleetReport::merged_switch_cost() const {
+  obs::Histogram merged;
+  for (const VmResult& vm : vms) merged.merge(vm.switch_cost);
+  return merged;
+}
+
+std::string FleetReport::timeline_json() const {
+  std::vector<const obs::TimeSeries*> series;
+  series.reserve(vms.size());
+  for (const VmResult& vm : vms) series.push_back(&vm.timeline);
+  obs::TimelineRollup rollup = obs::TimelineRollup::build(series);
+  obs::Histogram sc = merged_switch_cost();
+  std::ostringstream out;
+  out << "{\"vms\":" << vms.size() << ",\"switch_cost\":{\"count\":"
+      << sc.count << ",\"p50\":" << sc.p50() << ",\"p90\":" << sc.p90()
+      << ",\"p99\":" << sc.p99() << ",\"max\":" << (sc.count ? sc.max : 0)
+      << "},\"timeline\":" << rollup.to_json() << "}";
+  return out.str();
+}
+
 bool parse_fleet_trace(const std::vector<u8>& bytes,
                        std::vector<std::pair<u32, std::vector<u8>>>* out) {
   if (!is_fleet_trace(bytes)) return false;
@@ -213,6 +239,16 @@ VmResult FleetRunner::run_one_vm(u32 vm_id) {
   }
   core::FaceChangeEngine engine(sys->hv(), sys->os().kernel());
   engine.enable();
+  if (options_.capture_telemetry) {
+    core::FaceChangeEngine::TelemetryOptions topt;
+    topt.sample_period = options_.sample_period;
+    topt.timeline_interval = options_.timeline_interval;
+    os::OsRuntime* os_runtime = &sys->os();
+    topt.queue_depth = [os_runtime] {
+      return static_cast<u64>(os_runtime->events().size());
+    };
+    engine.attach_telemetry(std::move(topt));
+  }
 
   u32 view_id = 0;
   if (options_.share_image) {
@@ -259,6 +295,15 @@ VmResult FleetRunner::run_one_vm(u32 vm_id) {
   result.private_frames = host.private_frame_count();
   result.total_frames = host.frame_count();
   result.metrics_json = engine.metrics_json();
+  if (options_.capture_telemetry) {
+    // Copy the captures out before the engine (and the thread-local
+    // registry's next reset) go away; the report slot owns them afterwards.
+    result.profile = engine.profile();
+    result.timeline = engine.timeline();
+    const obs::Histogram* hist =
+        obs::metrics().find_histogram("engine.switch_cost_cycles");
+    if (hist != nullptr) result.switch_cost = *hist;
+  }
   return result;
 }
 

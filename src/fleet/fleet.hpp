@@ -27,6 +27,9 @@
 #include <vector>
 
 #include "core/shared_image.hpp"
+#include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
+#include "obs/timeseries.hpp"
 #include "os/os_runtime.hpp"
 #include "support/types.hpp"
 
@@ -51,6 +54,13 @@ struct FleetOptions {
   /// Capture a per-VM trace ring and carry it into the merged stream.
   bool capture_traces = false;
   u32 trace_capacity = 1u << 14;
+  /// Attach the telemetry plane to every VM: the sampling profiler
+  /// (capture_telemetry) and, on top of it, per-VM time series merged into
+  /// the fleet timeline rollup (timeline_interval != 0). Cycle-driven, so
+  /// the merged outputs are byte-identical across jobs counts.
+  bool capture_telemetry = false;
+  Cycles sample_period = 8192;  // FaceChangeEngine::kDefaultSamplePeriod
+  Cycles timeline_interval = 1'000'000;
   /// false = baseline for the fleet_scale bench: every VM assembles its own
   /// kernel and builds its own views (the pre-SharedImage world).
   bool share_image = true;
@@ -71,6 +81,13 @@ struct VmResult {
   std::string metrics_json;
   /// Serialized per-VM trace stream (empty unless capture_traces).
   std::vector<u8> trace;
+  /// Telemetry capture (populated only under capture_telemetry).
+  obs::SampleProfile profile;
+  obs::TimeSeries timeline;
+  /// This VM's switch-cost distribution (engine.switch_cost_cycles),
+  /// carried out of the thread-local registry so the fleet can merge
+  /// per-VM histograms and extract p50/p90/p99.
+  obs::Histogram switch_cost;
 };
 
 struct FleetReport {
@@ -93,6 +110,17 @@ struct FleetReport {
   /// Deterministic merged trace container ("FCFL": per-VM FCTR streams in
   /// VM-id order). Empty when no VM captured a trace.
   std::vector<u8> merged_trace() const;
+
+  /// Fleet-wide cycle attribution: every VM's profile merged in id order
+  /// (bucket sums are order-independent, so the result is jobs-invariant).
+  /// Empty profile when telemetry was not captured.
+  obs::SampleProfile merged_profile() const;
+  /// Per-VM switch-cost histograms merged into one fleet distribution.
+  obs::Histogram merged_switch_cost() const;
+  /// Fleet timeline: per-interval p50/p90/p99-across-VMs for every
+  /// time-series column, plus the merged switch-cost percentiles.
+  /// Deterministic JSON, byte-identical for any jobs count.
+  std::string timeline_json() const;
 };
 
 /// Parse an FCFL container into (vm id, FCTR stream) pairs. Returns false

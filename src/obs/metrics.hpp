@@ -49,6 +49,33 @@ struct Histogram {
     }
     for (u32 i = 0; i < kBuckets; ++i) buckets[i] += other.buckets[i];
   }
+
+  /// Nearest-rank percentile estimate, integer math only (deterministic).
+  /// Walks to the bucket holding the ceil(p/100 * count)-th value and
+  /// reports that bucket's upper bound ((1<<b)-1; bucket 0 holds exactly 0),
+  /// clamped into [min, max] so single-value and saturated-top-bucket
+  /// histograms answer with the true recorded bound rather than a power of
+  /// two that was never observed. Empty histograms answer 0.
+  u64 percentile(u32 p) const {
+    if (count == 0) return 0;
+    if (p > 100) p = 100;
+    u64 rank = (count * p + 99) / 100;  // ceil; nearest-rank definition
+    if (rank == 0) rank = 1;
+    u64 seen = 0;
+    for (u32 b = 0; b < kBuckets; ++b) {
+      seen += buckets[b];
+      if (seen >= rank) {
+        u64 upper = b == 0 ? 0 : (u64{1} << b) - 1;
+        if (upper > max) upper = max;
+        if (upper < min) upper = min;
+        return upper;
+      }
+    }
+    return max;
+  }
+  u64 p50() const { return percentile(50); }
+  u64 p90() const { return percentile(90); }
+  u64 p99() const { return percentile(99); }
 };
 
 class Metrics {

@@ -1,0 +1,155 @@
+#include "obs/timeseries.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace fc::obs {
+
+u64 sorted_percentile(const std::vector<u64>& sorted, u32 p) {
+  if (sorted.empty()) return 0;
+  if (p > 100) p = 100;
+  u64 rank = (sorted.size() * static_cast<u64>(p) + 99) / 100;
+  if (rank == 0) rank = 1;
+  return sorted[rank - 1];
+}
+
+void TimeSeries::configure(Cycles interval, std::vector<std::string> columns) {
+  FC_CHECK(rows_.empty(), << "configure after rows were appended");
+  interval_ = interval;
+  columns_ = std::move(columns);
+}
+
+void TimeSeries::append(u64 index, Cycles at, std::vector<u64> values) {
+  FC_CHECK(values.size() == columns_.size(),
+           << "row width " << values.size() << " != schema "
+           << columns_.size());
+  FC_CHECK(rows_.empty() || index > rows_.back().index,
+           << "rows must arrive in increasing interval order");
+  rows_.push_back({index, at, std::move(values)});
+}
+
+std::string TimeSeries::to_json() const {
+  std::ostringstream out;
+  out << "{\"interval\":" << interval_ << ",\"columns\":[";
+  for (std::size_t i = 0; i < columns_.size(); ++i) {
+    if (i != 0) out << ",";
+    out << "\"" << columns_[i] << "\"";
+  }
+  out << "],\"rows\":[";
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    const Row& row = rows_[r];
+    if (r != 0) out << ",";
+    out << "{\"t\":" << row.index << ",\"at\":" << row.at << ",\"v\":[";
+    for (std::size_t i = 0; i < row.values.size(); ++i) {
+      if (i != 0) out << ",";
+      out << row.values[i];
+    }
+    out << "]}";
+  }
+  out << "]}";
+  return out.str();
+}
+
+TimelineRollup TimelineRollup::build(const std::vector<const TimeSeries*>& vms) {
+  TimelineRollup rollup;
+  // index -> column -> values across VMs. Ordered map keeps interval order
+  // deterministic; the values are sorted before any statistic is taken, so
+  // VM visit order is irrelevant.
+  std::map<u64, std::vector<std::vector<u64>>> gathered;
+  for (const TimeSeries* ts : vms) {
+    if (ts == nullptr || ts->empty()) continue;
+    if (rollup.columns_.empty()) {
+      rollup.columns_ = ts->columns();
+      rollup.interval_ = ts->interval();
+    }
+    FC_CHECK(ts->columns() == rollup.columns_,
+             << "rollup over mismatched schemas");
+    for (const TimeSeries::Row& row : ts->rows()) {
+      std::vector<std::vector<u64>>& cols = gathered[row.index];
+      if (cols.empty()) cols.resize(rollup.columns_.size());
+      for (std::size_t c = 0; c < row.values.size(); ++c)
+        cols[c].push_back(row.values[c]);
+    }
+  }
+  for (auto& [index, cols] : gathered) {
+    IntervalStats stats;
+    stats.index = index;
+    stats.cells.reserve(cols.size());
+    for (std::vector<u64>& values : cols) {
+      std::sort(values.begin(), values.end());
+      RollupCell cell;
+      cell.n = values.size();
+      for (u64 v : values) cell.sum += v;
+      cell.min = values.front();
+      cell.max = values.back();
+      cell.p50 = sorted_percentile(values, 50);
+      cell.p90 = sorted_percentile(values, 90);
+      cell.p99 = sorted_percentile(values, 99);
+      stats.cells.push_back(cell);
+    }
+    rollup.intervals_.push_back(std::move(stats));
+  }
+  return rollup;
+}
+
+std::string TimelineRollup::to_json() const {
+  std::ostringstream out;
+  out << "{\"interval\":" << interval_ << ",\"columns\":[";
+  for (std::size_t i = 0; i < columns_.size(); ++i) {
+    if (i != 0) out << ",";
+    out << "\"" << columns_[i] << "\"";
+  }
+  out << "],\"rows\":[";
+  for (std::size_t r = 0; r < intervals_.size(); ++r) {
+    const IntervalStats& stats = intervals_[r];
+    if (r != 0) out << ",";
+    out << "{\"t\":" << stats.index << ",\"cols\":[";
+    for (std::size_t c = 0; c < stats.cells.size(); ++c) {
+      const RollupCell& cell = stats.cells[c];
+      if (c != 0) out << ",";
+      out << "{\"n\":" << cell.n << ",\"sum\":" << cell.sum
+          << ",\"min\":" << cell.min << ",\"max\":" << cell.max
+          << ",\"p50\":" << cell.p50 << ",\"p90\":" << cell.p90
+          << ",\"p99\":" << cell.p99 << "}";
+    }
+    out << "]}";
+  }
+  out << "]}";
+  return out.str();
+}
+
+std::string TimelineRollup::render_column(const std::string& column,
+                                          std::size_t max_rows) const {
+  std::size_t col = columns_.size();
+  for (std::size_t i = 0; i < columns_.size(); ++i)
+    if (columns_[i] == column) col = i;
+  if (col == columns_.size()) return {};
+  std::ostringstream out;
+  out << "  interval        vms          sum          p50          p99   ("
+      << column << ")\n";
+  std::size_t shown = 0;
+  for (const IntervalStats& stats : intervals_) {
+    if (shown++ == max_rows) {
+      out << "  ... " << (intervals_.size() - max_rows)
+          << " more intervals\n";
+      break;
+    }
+    const RollupCell& cell = stats.cells[col];
+    char line[160];
+    std::snprintf(line, sizeof(line),
+                  "  %8llu  %9llu  %11llu  %11llu  %11llu\n",
+                  static_cast<unsigned long long>(stats.index),
+                  static_cast<unsigned long long>(cell.n),
+                  static_cast<unsigned long long>(cell.sum),
+                  static_cast<unsigned long long>(cell.p50),
+                  static_cast<unsigned long long>(cell.p99));
+    out << line;
+  }
+  return out.str();
+}
+
+}  // namespace fc::obs

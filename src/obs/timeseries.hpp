@@ -1,0 +1,96 @@
+// Cycle-driven metric time series and the fleet rollup over them.
+//
+// A TimeSeries is one VM's periodic snapshot stream: at (roughly) every
+// `interval` simulated cycles the telemetry adapter appends one row of
+// counter values under a fixed column schema. Rows are indexed by the
+// interval number (cycles / interval), so two VMs' series align by simulated
+// time regardless of when either finished. Snapshot timing derives from the
+// sampling profiler's cycle trigger, never a wall clock — the stream is a
+// pure function of the simulated run and byte-identical across jobs counts.
+//
+// TimelineRollup merges N per-VM series into per-interval fleet statistics:
+// for every (interval, column) it reports sum/min/max plus exact
+// nearest-rank p50/p90/p99 across the VMs that reached that interval
+// (values sorted, integer math only — deterministic, and exact rather than
+// bucketed since a fleet is at most a few hundred VMs per interval).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "support/types.hpp"
+
+namespace fc::obs {
+
+class TimeSeries {
+ public:
+  void configure(Cycles interval, std::vector<std::string> columns);
+  Cycles interval() const { return interval_; }
+  const std::vector<std::string>& columns() const { return columns_; }
+
+  struct Row {
+    u64 index = 0;   // interval number: at / interval
+    Cycles at = 0;   // cycle stamp of the snapshot
+    std::vector<u64> values;  // one per column
+  };
+  /// Append a snapshot row. `values.size()` must equal the column count;
+  /// rows must arrive in increasing index order.
+  void append(u64 index, Cycles at, std::vector<u64> values);
+  const std::vector<Row>& rows() const { return rows_; }
+  bool empty() const { return rows_.empty(); }
+
+  /// Deterministic JSON: {"interval":N,"columns":[...],"rows":[
+  /// {"t":idx,"at":cycles,"v":[...]}...]}.
+  std::string to_json() const;
+
+ private:
+  Cycles interval_ = 0;
+  std::vector<std::string> columns_;
+  std::vector<Row> rows_;
+};
+
+/// Per-(interval, column) fleet statistics across VMs.
+struct RollupCell {
+  u64 n = 0;  // VMs contributing a row at this interval
+  u64 sum = 0;
+  u64 min = 0;
+  u64 max = 0;
+  u64 p50 = 0;
+  u64 p90 = 0;
+  u64 p99 = 0;
+};
+
+class TimelineRollup {
+ public:
+  /// Merge per-VM series (all sharing one schema; empty series are
+  /// skipped). Input order does not matter — every statistic is computed
+  /// over sorted values, so the rollup is identical for any jobs count.
+  static TimelineRollup build(const std::vector<const TimeSeries*>& vms);
+
+  bool empty() const { return intervals_.empty(); }
+  Cycles interval() const { return interval_; }
+  const std::vector<std::string>& columns() const { return columns_; }
+
+  struct IntervalStats {
+    u64 index = 0;
+    std::vector<RollupCell> cells;  // one per column
+  };
+  const std::vector<IntervalStats>& intervals() const { return intervals_; }
+
+  /// Deterministic JSON rollup.
+  std::string to_json() const;
+  /// Human table: one line per interval for the selected column
+  /// (sum / p50 / p99 across VMs). Empty string when the column is unknown.
+  std::string render_column(const std::string& column,
+                            std::size_t max_rows) const;
+
+ private:
+  Cycles interval_ = 0;
+  std::vector<std::string> columns_;
+  std::vector<IntervalStats> intervals_;
+};
+
+/// Exact nearest-rank percentile over an already-sorted value vector.
+u64 sorted_percentile(const std::vector<u64>& sorted, u32 p);
+
+}  // namespace fc::obs

@@ -33,6 +33,7 @@ const char* kind_name(EventKind kind) {
     case EventKind::kTraceSideExit: return "trace_side_exit";
     case EventKind::kTraceRetire: return "trace_retire";
     case EventKind::kDataViewWrite: return "dataview_write";
+    case EventKind::kProfSample: return "prof_sample";
   }
   return "unknown";
 }

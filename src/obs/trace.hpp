@@ -65,6 +65,11 @@ enum class EventKind : u8 {
   // encodings of every earlier kind are unchanged).
   kDataViewWrite,    // a0=guest va written, a1=bytes, a2=writer pc,
                      // a3=protected-object index; flags: bit0 whitelisted
+  // Telemetry-plane events (appended after the data-view kind; wire
+  // encodings of every earlier kind are unchanged).
+  kProfSample,       // view=view at sample time, flags=execution tier
+                     // (0 interp / 1 block / 2 trace), a0=sampled pc,
+                     // a1=whole sample periods this sample stands for
 };
 
 /// Human-readable kind name ("view_switch", "ud2_trap", ...).

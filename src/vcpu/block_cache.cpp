@@ -132,7 +132,7 @@ void BlockCache::on_code_frame_write(HostFrame frame,
   if (frame >= frame_live_.size() || frame_live_[frame] == 0) return;
   frame_live_[frame] = 0;
   ++frame_gens_[frame];
-  u8 cause_flag = 0;
+  [[maybe_unused]] u8 cause_flag = 0;  // consumed by FC_TRACE_EVENT only
   switch (cause) {
     case mem::FrameWriteCause::kGuestStore:
       ++stats_.inval_guest_write;

@@ -461,8 +461,8 @@ const Trace* TraceCache::build(mem::HostMemory& host, const mem::Mmu& mmu,
 
   lower(tr);
 
-  const u32 ops = static_cast<u32>(tr.ops.size());
-  const u32 chained = tr.blocks;
+  [[maybe_unused]] const u32 ops = static_cast<u32>(tr.ops.size());
+  [[maybe_unused]] const u32 chained = tr.blocks;
   const u64 key = trace_key(frame, offset);
   arena_.push_back(std::move(tr));
   const u32 index = static_cast<u32>(arena_.size() - 1);

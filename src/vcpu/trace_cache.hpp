@@ -242,11 +242,12 @@ class TraceCache final : public mem::CodeWriteSink {
                      GVirt va);
 
   // --- dispatcher bookkeeping (called by Vcpu::run_traced) ---------------
-  void note_dispatch(const Trace& tr) {
+  void note_dispatch([[maybe_unused]] const Trace& tr) {
     ++stats_.dispatched;
     FC_TRACE_EVENT(kTraceDispatch, 0, 0, tr.entry_va, 0, tr.frame, 0);
   }
-  void note_side_exit(u8 reason, GVirt pc, u32 executed) {
+  void note_side_exit([[maybe_unused]] u8 reason, [[maybe_unused]] GVirt pc,
+                      u32 executed) {
     ++stats_.side_exits;
     stats_.trace_insns += executed;
     FC_TRACE_EVENT(kTraceSideExit, reason, 0, pc, executed, 0, 0);

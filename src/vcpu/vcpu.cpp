@@ -24,6 +24,17 @@ bool Vcpu::has_breakpoint(GVirt pc) const {
          breakpoints_.end();
 }
 
+void Vcpu::take_sample(GVirt pc, u8 tier) {
+  // Weight = whole periods crossed since the boundary: one retired
+  // instruction can jump simulated time by many periods (HLT idle advance,
+  // KSVC charges), and attribution must stay proportional to cycles. The
+  // sink only observes — it must not touch vCPU state — so the guest's
+  // execution, cycle count and lockstep parity are unaffected.
+  const u64 periods = (cycles_ - sample_at_) / sample_period_ + 1;
+  sample_at_ += periods * sample_period_;
+  sampler_->on_sample(cycles_, pc, tier, periods);
+}
+
 void Vcpu::end_block(GVirt end) {
   if (in_block_ && trace_ != nullptr && end > block_start_) {
     trace_->on_block(block_start_, end);
@@ -146,6 +157,9 @@ Exit Vcpu::step(u64 misses_before) {
     }
     cycles_ += perf_.cost_decode;
     fetched = &dec.insn;
+    exec_tier_ = kTierInterp;
+  } else {
+    exec_tier_ = kTierBlock;
   }
   return exec_insn(*fetched, misses_before);
 }
@@ -423,11 +437,16 @@ Exit Vcpu::exec_insn(const isa::Instruction& insn, u64 misses_before) {
   // cursor parked on the un-retired instruction, which is exactly right: a
   // resume re-serves it.
   block_cache_.advance(regs_.pc);
+  // Sampling profiler boundary: one always-false compare when detached
+  // (sample_at_ parks at ~0), attributed to the retired instruction and the
+  // tier that fetched it.
+  if (cycles_ >= sample_at_) take_sample(pc, exec_tier_);
   return pending_exit;
 }
 
 Exit Vcpu::run_cached_tail(u64 budget_end) {
   mem::Mmu& mmu = machine_->mmu();
+  exec_tier_ = kTierBlock;  // every instruction here comes from the cursor
   while (instructions_ < budget_end) {
     const GVirt pc = regs_.pc;
     // Anything that could alter behaviour sends us back to step(), which
@@ -512,6 +531,7 @@ Exit Vcpu::run_traced(u64 budget_end, u64* misses_io, bool* dispatched) {
     *dispatched = true;
     trace_cache_.note_dispatch(*tr);
     block_cache_.drop_cursor();
+    exec_tier_ = kTierTrace;  // kSlow ops run through exec_insn
     // Snapshots the per-op guards revalidate: while none of these move, every
     // translation the trace skips (block boundaries, the self-loop re-entry)
     // would provably hit, and no code byte under the trace has changed.
@@ -554,6 +574,10 @@ Exit Vcpu::run_traced(u64 budget_end, u64* misses_io, bool* dispatched) {
       }
       if (fast && cycles_ >= fast_until) fast = false;
       if (!fast) {
+        // Pending sample first: fast mode parks on this boundary (fast_until
+        // is clamped to sample_at_ below), so the sample fires here with
+        // trace-tier attribution before the guard can side-exit.
+        if (cycles_ >= sample_at_) take_sample(u.va, kTierTrace);
         // The same bail set as run_cached_tail, applied before the op (and
         // between the halves of a fused pair): side exits hand the
         // architectural state to the block tier exactly as uncached execution
@@ -583,6 +607,10 @@ Exit Vcpu::run_traced(u64 budget_end, u64* misses_io, bool* dispatched) {
                !(pending_irqs_ != 0 && regs_.interrupts_enabled);
         fast_until =
             deferred_irqs_ != 0 ? irq_release_at_ : ~static_cast<u64>(0);
+        // Sampling bound: fast mode must stop at the next sample boundary so
+        // the profiler fires there (sample_at_ > cycles_ after the take_sample
+        // above; ~0 when detached, making this a no-op).
+        if (sample_at_ < fast_until) fast_until = sample_at_;
       }
       if (fast && u.seg > 1) {
         // Straight-line simple run: every op in it retires one instruction
@@ -781,6 +809,7 @@ Exit Vcpu::run_traced(u64 budget_end, u64* misses_io, bool* dispatched) {
           }
           if (fast && cycles_ >= fast_until) fast = false;
           if (!fast) {
+            if (cycles_ >= sample_at_) take_sample(u.jcc_va, kTierTrace);
             u8 pair_guard = 0;
             if ((deferred_irqs_ != 0 && cycles_ >= irq_release_at_) ||
                 (pending_irqs_ != 0 && regs_.interrupts_enabled)) {

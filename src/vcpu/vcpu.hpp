@@ -89,6 +89,28 @@ class TraceSink {
   virtual void on_interrupt(u8 vector, bool hardware) = 0;
 };
 
+/// Execution tier a sample was taken in (numerically matched to
+/// obs::kSampleTier*; the vCPU layer cannot depend on obs).
+inline constexpr u8 kTierInterp = 0;
+inline constexpr u8 kTierBlock = 1;
+inline constexpr u8 kTierTrace = 2;
+
+/// Cycle-driven sampling observer (the telemetry plane's hook). Unlike
+/// TraceSink it never gates the trace tier off and never perturbs
+/// architectural state or simulated time: a sample is a pure read of
+/// (cycles, pc, tier), fired at the first retire/guard boundary at or after
+/// each multiple of the sample period. Because the trigger is the simulated
+/// cycle counter, the sample sequence is byte-identical across runs, hosts
+/// and fleet jobs counts.
+class SampleSink {
+ public:
+  virtual ~SampleSink() = default;
+  /// One sample standing for `periods` whole sample periods (>= 1; time can
+  /// jump several periods across one retired instruction — HLT idle
+  /// advance, KSVC charges — and attribution must stay cycle-proportional).
+  virtual void on_sample(Cycles now, GVirt pc, u8 tier, u64 periods) = 0;
+};
+
 class Vcpu {
  public:
   explicit Vcpu(mem::Machine& machine) : machine_(&machine) {
@@ -113,6 +135,24 @@ class Vcpu {
   void set_trace_sink(TraceSink* sink) { trace_ = sink; }
   void set_perf_model(const PerfModel& pm) { perf_ = pm; }
   const PerfModel& perf_model() const { return perf_; }
+
+  /// Attach (or detach with nullptr / period 0) the sampling profiler. The
+  /// first sample fires at the next period boundary after the current cycle
+  /// count. Disabled cost is one always-false u64 compare per retired
+  /// instruction (sample_at_ parks at ~0).
+  void set_sample_sink(SampleSink* sink, Cycles period) {
+    if (sink == nullptr || period == 0) {
+      sampler_ = nullptr;
+      sample_period_ = 0;
+      sample_at_ = kNeverSample;
+      return;
+    }
+    sampler_ = sink;
+    sample_period_ = period;
+    sample_at_ = (cycles_ / period + 1) * period;
+  }
+  SampleSink* sample_sink() const { return sampler_; }
+  Cycles sample_period() const { return sample_period_; }
 
   /// The decoded basic-block cache (on by default). Disabling drops every
   /// cached block and makes step() decode each instruction afresh — the
@@ -235,11 +275,21 @@ class Vcpu {
   };
   CachedFetch cached_fetch();
   void end_block(GVirt end);
+  /// Fire the pending sample(s): weight = whole periods crossed since
+  /// sample_at_, advance sample_at_ past `cycles_`, notify the sink. Called
+  /// only when cycles_ >= sample_at_ (so sampler_ is non-null).
+  void take_sample(GVirt pc, u8 tier);
+
+  static constexpr Cycles kNeverSample = ~static_cast<Cycles>(0);
 
   mem::Machine* machine_;
   Regs regs_;
   CpuEnv* env_ = nullptr;
   TraceSink* trace_ = nullptr;
+  SampleSink* sampler_ = nullptr;
+  Cycles sample_period_ = 0;
+  Cycles sample_at_ = kNeverSample;  // next sample boundary; ~0 = disabled
+  u8 exec_tier_ = kTierInterp;       // tier attribution for exec_insn samples
   PerfModel perf_;
 
   Cycles cycles_ = 0;

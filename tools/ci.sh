@@ -34,6 +34,17 @@
 #                           record the 12-app scenario twice in separate
 #                           fctrace processes and byte-compare the streams,
 #                           then the in-process ctest variant
+#   tools/ci.sh obs-disabled
+#                           build with -DFC_OBS_DISABLED=ON (tracing/metrics
+#                           emit macros compiled out) and run the full test
+#                           suite, so the compiled-out path cannot rot
+#   tools/ci.sh perf-gate   regression gate: re-run the release benches and
+#                           the profiler attribution, then fcperf-check the
+#                           fresh JSON against the committed baselines in
+#                           bench/baselines/ (exact on deterministic
+#                           metrics, tolerance bands on wall-clock ones).
+#                           Finishes by injecting a synthetic regression
+#                           and requiring the gate to trip on it
 #   tools/ci.sh all         all tiers in sequence
 #
 # Artifacts (bench metrics JSON, trace recordings) land in ci-artifacts/.
@@ -176,6 +187,51 @@ trace_determinism() {
   ctest --test-dir build --output-on-failure -R '^trace_determinism$'
 }
 
+obs_disabled() {
+  cmake -B build-noobs -S . -DFC_OBS_DISABLED=ON -DFC_WERROR=ON
+  cmake --build build-noobs -j "$jobs"
+  # Emit-site-dependent tests skip themselves (SKIP_RETURN_CODE / GTEST_SKIP)
+  # — everything else must still pass with the macros compiled out.
+  ctest --test-dir build-noobs --output-on-failure -j "$jobs"
+  echo "obs-disabled: suite green with tracing/metrics emit compiled out"
+}
+
+perf_gate() {
+  cmake -B build -S . -DFC_WERROR=ON
+  cmake --build build -j "$jobs" \
+    --target interp_throughput fleet_scale fctrace fcperf
+  mkdir -p ci-artifacts
+  # Fresh artifacts: the release throughput bench (also enforces its own
+  # tier + profiler-overhead thresholds), the fleet smoke bench, and the
+  # deterministic cycle attribution of the 12-app scenario.
+  ./build/bench/interp_throughput
+  ./build/bench/fleet_scale --smoke
+  ./build/tools/fctrace flame -o ci-artifacts/flame.collapsed \
+    --json ci-artifacts/prof_flame.json
+  # Gate against the committed baselines. Deterministic metrics must match
+  # exactly; wall-clock metrics only fail on collapse (see the .rules files
+  # for per-metric tolerances). Refreshing a baseline is a reviewed change:
+  # regenerate the JSON and commit it alongside the change that moved it.
+  ./build/tools/fcperf check bench/baselines/BENCH_interp.json \
+    BENCH_interp.json --rules bench/baselines/interp.rules --name interp
+  ./build/tools/fcperf check bench/baselines/BENCH_fleet.json \
+    BENCH_fleet.json --rules bench/baselines/fleet.rules --name fleet
+  ./build/tools/fcperf check bench/baselines/prof_flame.json \
+    ci-artifacts/prof_flame.json --rules bench/baselines/flame.rules \
+    --name flame
+  # The gate must also be able to FAIL: inject a synthetic regression into
+  # a copy of the fresh artifact and require a non-zero exit.
+  sed 's/"trace_geomean_speedup": [0-9.]*/"trace_geomean_speedup": 0.010/' \
+    BENCH_interp.json > ci-artifacts/BENCH_interp_regressed.json
+  if ./build/tools/fcperf check bench/baselines/BENCH_interp.json \
+       ci-artifacts/BENCH_interp_regressed.json \
+       --rules bench/baselines/interp.rules --name injected-regression; then
+    echo "perf-gate: injected regression was NOT caught" >&2
+    exit 1
+  fi
+  echo "perf-gate: baselines hold; injected regression correctly trips"
+}
+
 case "${1:-tier1}" in
   tier1)             tier1 ;;
   lint)              lint ;;
@@ -185,8 +241,11 @@ case "${1:-tier1}" in
   bench-smoke)       bench_smoke ;;
   fleet-scale-smoke) fleet_scale_smoke ;;
   trace-determinism) trace_determinism ;;
+  obs-disabled)      obs_disabled ;;
+  perf-gate)         perf_gate ;;
   all)               tier1; lint; probe_gate; sanitize; tsan; bench_smoke
-                     fleet_scale_smoke; trace_determinism ;;
-  *) echo "usage: tools/ci.sh [tier1|lint|probe-gate|sanitize|tsan|bench-smoke|fleet-scale-smoke|trace-determinism|all]" >&2
+                     fleet_scale_smoke; trace_determinism; obs_disabled
+                     perf_gate ;;
+  *) echo "usage: tools/ci.sh [tier1|lint|probe-gate|sanitize|tsan|bench-smoke|fleet-scale-smoke|trace-determinism|obs-disabled|perf-gate|all]" >&2
      exit 2 ;;
 esac

@@ -13,7 +13,23 @@
 //       containers dump every VM stream (or just --vm N).
 //   fctrace aggregate FILE
 //       Per-kind event counts and cycle totals; for FCFL containers, adds a
-//       per-VM breakdown column and a per-VM summary table.
+//       per-VM breakdown column and a per-VM summary table. Recordings that
+//       carry prof_sample events additionally get a per-view cycle-share
+//       table (weights summed from the sampling profiler's events).
+//   fctrace flame [-n ITER] [--apps a,b,..] [--budget CYCLES]
+//                 [--period CYCLES] [-o FILE] [--json FILE] [--top N]
+//       Run the enforcement scenario with the deterministic sampling
+//       profiler attached; write collapsed-stack lines (flamegraph.pl /
+//       speedscope format) and print the top buckets by cycle weight.
+//       Cycle-driven sampling: the outputs are byte-identical across runs.
+//   fctrace timeline [--vms N] [--jobs N] [-n ITER] [--apps a,b,..]
+//                    [--budget CYCLES] [--period CYCLES]
+//                    [--interval CYCLES] [-o FILE] [--column NAME]
+//       Run a COW fleet with the telemetry plane attached to every VM;
+//       write the fleet timeline rollup (per-interval p50/p99-across-VMs
+//       for every metric column, plus merged switch-cost percentiles) as
+//       JSON and render one column as a table. Byte-identical for any
+//       --jobs value.
 //   fctrace chrome FILE [-o OUT.json] [--vm N]
 //       Convert a recording to Chrome trace_event JSON (Perfetto-loadable).
 //       FCFL containers need --vm to select one stream.
@@ -24,6 +40,7 @@
 //       serialized streams are byte-identical (the determinism contract).
 //       Wired into ctest as `trace_determinism`.
 #include <algorithm>
+#include <array>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -48,9 +65,15 @@ namespace {
       "usage: fctrace <command> [args]\n"
       "  record [-n iterations] [--apps a,b,..] [--ring events]\n"
       "         [--budget cycles] [-o trace.fctrace] [--chrome out.json]\n"
-      "         [--metrics out.json] [--vms n] [--jobs n]\n"
+      "         [--metrics out.json] [--vms n] [--jobs n] [--period cycles]\n"
       "  dump <trace.fctrace> [--kind name] [--view id] [--vm id] [--limit n]\n"
       "  aggregate <trace.fctrace>\n"
+      "  flame [-n iterations] [--apps a,b,..] [--budget cycles]\n"
+      "        [--period cycles] [-o flame.collapsed] [--json out.json]\n"
+      "        [--top n]\n"
+      "  timeline [--vms n] [--jobs n] [-n iterations] [--apps a,b,..]\n"
+      "           [--budget cycles] [--period cycles] [--interval cycles]\n"
+      "           [-o timeline.json] [--column name]\n"
       "  chrome <trace.fctrace> [-o out.json] [--vm id]\n"
       "  diff <a.fctrace> <b.fctrace>\n"
       "  selftest\n"
@@ -96,6 +119,12 @@ struct RecordOptions {
   std::string metrics_out;
   u32 vms = 0;   // > 0: record a COW fleet, write an FCFL container
   u32 jobs = 1;  // fleet worker threads
+  /// Sampling-profiler period for the recorded run; 0 detaches the
+  /// telemetry plane. `record` defaults coarse (64 Ki cycles) so
+  /// prof_sample events season the stream without evicting the ring;
+  /// `flame` overrides to the engine default for real attribution.
+  Cycles sample_period = 65536;
+  Cycles timeline_interval = 0;  // != 0: also capture time-series rows
 };
 
 /// Run the enforcement scenario with the recorder capturing and return the
@@ -103,7 +132,9 @@ struct RecordOptions {
 /// stream contains exactly the enforcement run — which is deterministic,
 /// making the result bit-reproducible.
 std::vector<u8> record_scenario(const RecordOptions& options,
-                                std::string* report) {
+                                std::string* report,
+                                obs::SampleProfile* profile = nullptr,
+                                obs::TimeSeries* timeline = nullptr) {
   std::vector<std::string> apps = options.apps;
   if (apps.empty()) apps = apps::all_app_names();
 
@@ -113,6 +144,15 @@ std::vector<u8> record_scenario(const RecordOptions& options,
   harness::GuestSystem sys;
   core::FaceChangeEngine engine(sys.hv(), sys.os().kernel());
   engine.enable();
+  if (options.sample_period != 0) {
+    core::FaceChangeEngine::TelemetryOptions topt;
+    topt.sample_period = options.sample_period;
+    topt.timeline_interval = options.timeline_interval;
+    topt.queue_depth = [&sys] {
+      return static_cast<u64>(sys.os().events().size());
+    };
+    engine.attach_telemetry(topt);
+  }
 
   obs::metrics().reset();
   obs::recorder().set_capacity(options.ring);
@@ -139,6 +179,10 @@ std::vector<u8> record_scenario(const RecordOptions& options,
   obs::metrics().gauge_set("os.event_queue_max_depth",
                            sys.os().events().max_depth());
   if (report != nullptr) *report = engine.metrics_json();
+  if (profile != nullptr && engine.telemetry_attached())
+    *profile = engine.profile();
+  if (timeline != nullptr && engine.telemetry_attached())
+    *timeline = engine.timeline();
   return obs::recorder().serialize();
 }
 
@@ -155,6 +199,9 @@ int cmd_record_fleet(const RecordOptions& options) {
   fleet_options.run_budget = options.budget;
   fleet_options.capture_traces = true;
   fleet_options.trace_capacity = options.ring;
+  fleet_options.capture_telemetry = options.sample_period != 0;
+  fleet_options.sample_period = options.sample_period;
+  fleet_options.timeline_interval = options.timeline_interval;
   fleet::FleetRunner runner(*image, fleet_options);
   fleet::FleetReport report = runner.run();
 
@@ -250,6 +297,10 @@ int cmd_aggregate(const std::string& path) {
     std::map<u32, u64> per_vm;  // vm id → count (fleet containers)
   };
   std::map<std::string, Agg> by_kind;
+  // view id → per-tier sample weight (interp/block/trace), from the
+  // sampling profiler's prof_sample events (weight = arg1 periods).
+  std::map<u16, std::array<u64, 3>> view_samples;
+  u64 sample_total = 0;
   u64 total_events = 0;
   u64 total_dropped = 0;
   for (const auto& [vm, bytes] : streams) {
@@ -265,6 +316,11 @@ int cmd_aggregate(const std::string& path) {
       if (ev.kind == obs::EventKind::kViewSwitch ||
           ev.kind == obs::EventKind::kRecovery)
         agg.cycles += ev.arg3;
+      if (ev.kind == obs::EventKind::kProfSample) {
+        u8 tier = ev.flags < 3 ? static_cast<u8>(ev.flags) : u8{0};
+        view_samples[ev.view][tier] += ev.arg1;
+        sample_total += ev.arg1;
+      }
     }
     if (is_fleet) {
       Cycles span =
@@ -308,6 +364,114 @@ int cmd_aggregate(const std::string& path) {
               static_cast<unsigned long long>(kind_count("trace_dispatch")),
               static_cast<unsigned long long>(kind_count("trace_retire")),
               static_cast<unsigned long long>(kind_count("trace_side_exit")));
+  // Per-view cycle share from the sampling profiler's events (only present
+  // when the recording ran with telemetry attached). Shares are integer
+  // basis points of the total sample weight — deterministic output.
+  if (sample_total != 0) {
+    std::printf("view cycle share (%llu sample periods):\n",
+                static_cast<unsigned long long>(sample_total));
+    std::printf("%-8s %10s %10s %10s %10s  %7s\n", "view", "interp", "block",
+                "trace", "total", "share");
+    for (const auto& [view, tiers] : view_samples) {
+      u64 row = tiers[0] + tiers[1] + tiers[2];
+      u64 bp = row * 10000 / sample_total;
+      std::printf("%-8u %10llu %10llu %10llu %10llu  %3llu.%02llu%%\n", view,
+                  static_cast<unsigned long long>(tiers[0]),
+                  static_cast<unsigned long long>(tiers[1]),
+                  static_cast<unsigned long long>(tiers[2]),
+                  static_cast<unsigned long long>(row),
+                  static_cast<unsigned long long>(bp / 100),
+                  static_cast<unsigned long long>(bp % 100));
+    }
+  }
+  return 0;
+}
+
+int cmd_flame(RecordOptions options, const std::string& json_out,
+              std::size_t top) {
+  options.timeline_interval = 0;  // profiler only
+  if (options.sample_period == 0) {
+    std::fprintf(stderr, "fctrace: flame needs a non-zero --period\n");
+    return 2;
+  }
+  obs::SampleProfile profile;
+  record_scenario(options, nullptr, &profile, nullptr);
+  if (profile.total_weight() == 0) {
+    std::fprintf(stderr, "fctrace: run too short for period %llu — no "
+                         "samples\n",
+                 static_cast<unsigned long long>(options.sample_period));
+    return 1;
+  }
+  std::string collapsed = profile.collapsed();
+  write_file(options.out, collapsed.data(), collapsed.size());
+  if (!json_out.empty()) {
+    std::string json = profile.to_json();
+    write_file(json_out, json.data(), json.size());
+  }
+  std::printf("%llu sample periods x %llu cycles\n%s",
+              static_cast<unsigned long long>(profile.total_weight()),
+              static_cast<unsigned long long>(profile.period()),
+              profile.render_top(top).c_str());
+  return 0;
+}
+
+struct TimelineOptions {
+  u32 vms = 8;
+  u32 jobs = 1;
+  u32 iterations = 4;
+  Cycles budget = 300'000'000;
+  std::vector<std::string> apps;
+  Cycles sample_period = core::FaceChangeEngine::kDefaultSamplePeriod;
+  Cycles interval = core::FaceChangeEngine::kDefaultTimelineInterval;
+  std::string out = "timeline.json";
+  std::string column = "instructions";
+};
+
+int cmd_timeline(const TimelineOptions& options) {
+  if (options.sample_period == 0 || options.interval == 0) {
+    std::fprintf(stderr,
+                 "fctrace: timeline needs non-zero --period/--interval\n");
+    return 2;
+  }
+  harness::SharedImageOptions img_options;
+  img_options.apps = options.apps;
+  auto image = harness::build_shared_image(img_options);
+
+  fleet::FleetOptions fleet_options;
+  fleet_options.vms = options.vms;
+  fleet_options.jobs = options.jobs;
+  fleet_options.iterations = options.iterations;
+  fleet_options.apps = options.apps;
+  fleet_options.run_budget = options.budget;
+  fleet_options.capture_telemetry = true;
+  fleet_options.sample_period = options.sample_period;
+  fleet_options.timeline_interval = options.interval;
+  fleet::FleetRunner runner(*image, fleet_options);
+  fleet::FleetReport report = runner.run();
+
+  std::string json = report.timeline_json();
+  write_file(options.out, json.data(), json.size());
+
+  obs::Histogram sc = report.merged_switch_cost();
+  std::printf("%zu vms, %llu instructions; switch cost p50/p90/p99 = "
+              "%llu/%llu/%llu cycles (%llu switches)\n",
+              report.vms.size(),
+              static_cast<unsigned long long>(report.total_instructions()),
+              static_cast<unsigned long long>(sc.p50()),
+              static_cast<unsigned long long>(sc.p90()),
+              static_cast<unsigned long long>(sc.p99()),
+              static_cast<unsigned long long>(sc.count));
+  std::vector<const obs::TimeSeries*> series;
+  for (const fleet::VmResult& vm : report.vms) series.push_back(&vm.timeline);
+  obs::TimelineRollup rollup = obs::TimelineRollup::build(series);
+  std::string table = rollup.render_column(options.column, 40);
+  if (table.empty())
+    std::fprintf(stderr, "fctrace: unknown column '%s' (see %s)\n",
+                 options.column.c_str(), options.out.c_str());
+  else
+    std::printf("%s", table.c_str());
+  std::printf("fleet cycle attribution (top 10):\n%s",
+              report.merged_profile().render_top(10).c_str());
   return 0;
 }
 
@@ -491,7 +655,50 @@ int main(int argc, char** argv) {
       options.vms = static_cast<u32>(std::atoi(v->c_str()));
     if (const std::string* v = flag_value("--jobs"))
       options.jobs = static_cast<u32>(std::atoi(v->c_str()));
+    if (const std::string* v = flag_value("--period"))
+      options.sample_period = std::strtoull(v->c_str(), nullptr, 10);
     return cmd_record(options);
+  }
+  if (cmd == "flame") {
+    RecordOptions options;
+    options.out = "flame.collapsed";
+    options.sample_period = core::FaceChangeEngine::kDefaultSamplePeriod;
+    if (const std::string* v = flag_value("-n"))
+      options.iterations = static_cast<u32>(std::atoi(v->c_str()));
+    if (const std::string* v = flag_value("--budget"))
+      options.budget = std::strtoull(v->c_str(), nullptr, 10);
+    if (const std::string* v = flag_value("--apps"))
+      options.apps = split_csv(*v);
+    if (const std::string* v = flag_value("-o")) options.out = *v;
+    if (const std::string* v = flag_value("--period"))
+      options.sample_period = std::strtoull(v->c_str(), nullptr, 10);
+    std::string json_out;
+    std::size_t top = 20;
+    if (const std::string* v = flag_value("--json")) json_out = *v;
+    if (const std::string* v = flag_value("--top"))
+      top = static_cast<std::size_t>(std::atoi(v->c_str()));
+    return cmd_flame(options, json_out, top);
+  }
+  if (cmd == "timeline") {
+    TimelineOptions options;
+    if (const std::string* v = flag_value("--vms"))
+      options.vms = static_cast<u32>(std::atoi(v->c_str()));
+    if (const std::string* v = flag_value("--jobs"))
+      options.jobs = static_cast<u32>(std::atoi(v->c_str()));
+    if (const std::string* v = flag_value("-n"))
+      options.iterations = static_cast<u32>(std::atoi(v->c_str()));
+    if (const std::string* v = flag_value("--budget"))
+      options.budget = std::strtoull(v->c_str(), nullptr, 10);
+    if (const std::string* v = flag_value("--apps"))
+      options.apps = split_csv(*v);
+    if (const std::string* v = flag_value("--period"))
+      options.sample_period = std::strtoull(v->c_str(), nullptr, 10);
+    if (const std::string* v = flag_value("--interval"))
+      options.interval = std::strtoull(v->c_str(), nullptr, 10);
+    if (const std::string* v = flag_value("-o")) options.out = *v;
+    if (const std::string* v = flag_value("--column"))
+      options.column = *v;
+    return cmd_timeline(options);
   }
   if (cmd == "dump") {
     const std::string* path = positional(0);
