@@ -345,8 +345,80 @@ std::shared_ptr<os::AppModel> make_http_server(Cycles per_request_compute) {
   return std::make_shared<HttpServerModel>(per_request_compute);
 }
 
+namespace {
+
+/// See make_udp_compute: bind a UDP port, then spin compute units. The
+/// socket is never read — its queue only exists to attract NIC interrupts.
+class UdpComputeModel : public AppModel {
+ public:
+  UdpComputeModel(u16 port, Cycles per_unit)
+      : port_(port), per_unit_(per_unit) {}
+  AppAction next(u32 last, OsRuntime& osr, u32) override {
+    switch (phase_) {
+      case 0: ++phase_; return sys(abi::kSysSocket, 2, 0);
+      case 1: sock_ = last; ++phase_; return sys(abi::kSysBind, sock_, port_);
+      default:
+        osr.bump_responses();
+        return AppAction::compute_only(per_unit_);
+    }
+  }
+
+ private:
+  u16 port_;
+  Cycles per_unit_;
+  int phase_ = 0;
+  u32 sock_ = 0;
+};
+
+}  // namespace
+
+std::shared_ptr<os::AppModel> make_udp_compute(u16 port, Cycles per_unit) {
+  return std::make_shared<UdpComputeModel>(port, per_unit);
+}
+
+OpenLoopStats run_http_workload(harness::GuestSystem& sys,
+                                double rate_per_second, u32 total_requests,
+                                Cycles per_request_compute) {
+  sys.os().spawn("apache", make_http_server(per_request_compute));
+  sys.run_for(2'000'000);  // server reaches accept()
+
+  std::vector<Cycles> completions;
+  sys.os().set_response_log(&completions);
+  const u64 cps = sys.vcpu().perf_model().cycles_per_second;
+  const Cycles gap =
+      static_cast<Cycles>(static_cast<double>(cps) / rate_per_second);
+  const Cycles start = sys.vcpu().cycles() + 1'000'000;
+  for (u32 i = 0; i < total_requests; ++i)
+    sys.os().schedule_connection(start + i * gap, 80, 512);
+
+  const u64 ops0 = sys.os().counters().responses_completed;
+  const Cycles c0 = sys.vcpu().cycles();
+  const Cycles deadline =
+      start + static_cast<Cycles>(total_requests) * gap + 4ull * cps;
+  sys.hv().run([&] {
+    return sys.os().counters().responses_completed - ops0 >= total_requests ||
+           sys.vcpu().cycles() >= deadline;
+  });
+  sys.os().set_response_log(nullptr);
+
+  OpenLoopStats stats;
+  stats.offered = total_requests;
+  stats.served = sys.os().counters().responses_completed - ops0;
+  stats.seconds = static_cast<double>(sys.vcpu().cycles() - c0) /
+                  static_cast<double>(cps);
+  stats.achieved_rps =
+      stats.seconds > 0 ? static_cast<double>(stats.served) / stats.seconds : 0;
+  stats.latencies.reserve(completions.size());
+  for (std::size_t i = 0; i < completions.size(); ++i) {
+    const Cycles arrival = start + static_cast<Cycles>(i) * gap;
+    stats.latencies.push_back(completions[i] > arrival ? completions[i] - arrival
+                                                       : 0);
+  }
+  return stats;
+}
+
 double run_httperf(double rate_per_second, const HttperfOptions& options) {
-  harness::GuestSystem sys;
+  harness::GuestSystem sys(options.os_config);
   std::unique_ptr<core::FaceChangeEngine> engine;
   if (options.face_change) {
     engine = std::make_unique<core::FaceChangeEngine>(
@@ -371,35 +443,14 @@ double run_httperf(double rate_per_second, const HttperfOptions& options) {
     }
   } printer{engine.get()};
 
-  sys.os().spawn("apache", make_http_server(options.per_request_compute));
-  sys.run_for(2'000'000);  // server reaches accept()
-
-  const u64 cps = sys.vcpu().perf_model().cycles_per_second;
-  const Cycles gap =
-      static_cast<Cycles>(static_cast<double>(cps) / rate_per_second);
-  Cycles start = sys.vcpu().cycles() + 1'000'000;
-  for (u32 i = 0; i < options.total_requests; ++i)
-    sys.os().schedule_connection(start + i * gap, 80, 512);
-
-  u64 ops0 = sys.os().counters().responses_completed;
-  Cycles c0 = sys.vcpu().cycles();
-  // Run until all requests answered or well past the offered-load window.
-  Cycles deadline = start + options.total_requests * gap + 4ull * cps;
-  sys.hv().run([&] {
-    return sys.os().counters().responses_completed - ops0 >=
-               options.total_requests ||
-           sys.vcpu().cycles() >= deadline;
-  });
-  u64 served = sys.os().counters().responses_completed - ops0;
-  double seconds =
-      static_cast<double>(sys.vcpu().cycles() - c0) / static_cast<double>(cps);
+  OpenLoopStats stats = run_http_workload(
+      sys, rate_per_second, options.total_requests, options.per_request_compute);
   if (std::getenv("FC_HTTPERF_DEBUG") != nullptr) {
-    std::fprintf(stderr,
-                 "rate=%.0f served=%llu elapsed=%.2fs gap=%llu start=%llu\n",
-                 rate_per_second, (unsigned long long)served, seconds,
-                 (unsigned long long)gap, (unsigned long long)start);
+    std::fprintf(stderr, "rate=%.0f served=%llu elapsed=%.2fs\n",
+                 rate_per_second, (unsigned long long)stats.served,
+                 stats.seconds);
   }
-  return static_cast<double>(served) / seconds;
+  return stats.achieved_rps;
 }
 
 }  // namespace fc::ubench

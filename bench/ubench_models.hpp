@@ -66,7 +66,37 @@ struct HttperfOptions {
   u32 total_requests = 100;
   Cycles per_request_compute = 1'480'000;
   core::EngineOptions engine;  // ablation knobs
+  /// OS/device tuning (fig7_apache_io runs the same workload over the
+  /// legacy IO path and the virtio data plane by flipping os_config.io).
+  os::OsConfig os_config;
 };
 double run_httperf(double rate_per_second, const HttperfOptions& options);
+
+/// The open-loop drive core shared by run_httperf, fig7_apache_io and
+/// bench/fleet_http: spawn the apache-style server into an already-booted
+/// system, warm it up to accept(), then schedule `total_requests`
+/// connection arrivals at exactly `rate` per simulated second and run to
+/// completion (or a generous deadline). Per-response latency is measured
+/// against the *scheduled* arrival time, the open-loop definition — queueing
+/// delay under overload shows up in full.
+struct OpenLoopStats {
+  u64 offered = 0;
+  u64 served = 0;
+  double seconds = 0;  // simulated seconds across the drive window
+  double achieved_rps = 0;
+  /// completion cycle − scheduled arrival cycle, in completion order (the
+  /// single-vCPU server answers FIFO, so index i is request i).
+  std::vector<Cycles> latencies;
+};
+OpenLoopStats run_http_workload(harness::GuestSystem& sys,
+                                double rate_per_second, u32 total_requests,
+                                Cycles per_request_compute = 1'480'000);
+
+/// The saturation-knee receiver for bench/fleet_http: a UDP socket bound to
+/// `port` plus a pure-compute loop bumping the response counter once per
+/// `per_unit` cycles. Datagram delivery is elastic (the kernel never drops),
+/// so the honest saturation metric is how much compute throughput survives
+/// a given offered interrupt load — the knee is where retention collapses.
+std::shared_ptr<os::AppModel> make_udp_compute(u16 port, Cycles per_unit);
 
 }  // namespace fc::ubench

@@ -69,7 +69,9 @@ class EngineTelemetry final : public cpu::SampleSink {
          bs.block_misses, ts.dispatched, ts.side_exits,
          host.cow_promotions(), host.private_frame_count(),
          options_.queue_depth ? options_.queue_depth() : 0,
-         profile_.total_weight()});
+         profile_.total_weight(),
+         options_.io_events ? options_.io_events() : 0,
+         options_.io_ring_depth ? options_.io_ring_depth() : 0});
     next_snap_ = (index + 1) * interval;
   }
 
@@ -81,13 +83,15 @@ class EngineTelemetry final : public cpu::SampleSink {
 };
 
 const std::vector<std::string>& FaceChangeEngine::timeline_columns() {
-  // Cumulative counters unless noted; "private_frames" and "queue_depth"
-  // are instantaneous. Append-only: the rollup matches columns by position.
+  // Cumulative counters unless noted; "private_frames", "queue_depth" and
+  // "io_ring_depth" are instantaneous. Append-only: the rollup matches
+  // columns by position.
   static const std::vector<std::string> kColumns = {
       "instructions",    "recoveries",    "view_switches",
       "switches_skipped", "block_insn_hits", "block_misses",
       "trace_dispatched", "trace_side_exits", "cow_promotions",
-      "private_frames",  "queue_depth",   "samples"};
+      "private_frames",  "queue_depth",   "samples",
+      "io_events",       "io_ring_depth"};
   return kColumns;
 }
 

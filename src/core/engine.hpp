@@ -111,6 +111,11 @@ class FaceChangeEngine : public hv::ExitHandler {
     /// Optional instant gauge for the "queue_depth" column (the engine
     /// cannot see the OS event queue; callers inject it). Null reads 0.
     std::function<u64()> queue_depth;
+    /// Optional IO data-plane gauges, injected the same way: cumulative
+    /// delivered events ("io_events") and instantaneous un-drained ring
+    /// depth ("io_ring_depth"). Null reads 0.
+    std::function<u64()> io_events;
+    std::function<u64()> io_ring_depth;
   };
 
   /// Attach the cycle-driven sampling profiler (and, with a non-zero

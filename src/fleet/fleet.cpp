@@ -212,9 +212,12 @@ class RecorderQuarantine {
 VmResult FleetRunner::run_one_vm(u32 vm_id) {
   const std::vector<std::string>& apps = options_.apps;
   std::string app =
-      apps.empty()
-          ? image_->views[vm_id % image_->views.size()].config.app_name
-          : apps[vm_id % apps.size()];
+      options_.workload
+          ? options_.workload_app
+          : (apps.empty()
+                 ? image_->views[vm_id % image_->views.size()].config.app_name
+                 : apps[vm_id % apps.size()]);
+  FC_CHECK(!app.empty(), << "fleet workload hook requires workload_app");
 
   VmResult result;
   result.vm = vm_id;
@@ -247,6 +250,13 @@ VmResult FleetRunner::run_one_vm(u32 vm_id) {
     topt.queue_depth = [os_runtime] {
       return static_cast<u64>(os_runtime->events().size());
     };
+    topt.io_events = [os_runtime] {
+      const io::IoPlane::Stats& s = os_runtime->io_plane()->stats();
+      return s.nic_delivered + s.blk_completions;
+    };
+    topt.io_ring_depth = [os_runtime] {
+      return os_runtime->io_plane()->in_flight();
+    };
     engine.attach_telemetry(std::move(topt));
   }
 
@@ -275,11 +285,15 @@ VmResult FleetRunner::run_one_vm(u32 vm_id) {
       options_.iteration_mix.empty()
           ? options_.iterations
           : options_.iteration_mix[vm_id % options_.iteration_mix.size()];
-  apps::AppScenario scenario = apps::make_app(app, iterations);
-  u32 pid = sys->os().spawn(app, scenario.model);
-  scenario.install_environment(sys->os());
-  hv::RunOutcome outcome = sys->run_until_exit(pid, options_.run_budget);
-  result.fault = outcome == hv::RunOutcome::kGuestFault;
+  if (options_.workload) {
+    options_.workload(*sys, engine, vm_id);
+  } else {
+    apps::AppScenario scenario = apps::make_app(app, iterations);
+    u32 pid = sys->os().spawn(app, scenario.model);
+    scenario.install_environment(sys->os());
+    hv::RunOutcome outcome = sys->run_until_exit(pid, options_.run_budget);
+    result.fault = outcome == hv::RunOutcome::kGuestFault;
+  }
 
   if (options_.capture_traces) {
     rec.stop();
@@ -294,6 +308,9 @@ VmResult FleetRunner::run_one_vm(u32 vm_id) {
   const mem::HostMemory& host = sys->hv().machine().host();
   result.private_frames = host.private_frame_count();
   result.total_frames = host.frame_count();
+  // Surface the IO data-plane counters through the thread-local registry so
+  // they ride along in metrics_json (and hence the fleet report).
+  sys->os().io_plane()->export_metrics(obs::metrics());
   result.metrics_json = engine.metrics_json();
   if (options_.capture_telemetry) {
     // Copy the captures out before the engine (and the thread-local

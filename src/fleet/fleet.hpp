@@ -22,6 +22,7 @@
 // --jobs value; the fleet determinism test asserts this at jobs 1/4/8.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -32,6 +33,13 @@
 #include "obs/timeseries.hpp"
 #include "os/os_runtime.hpp"
 #include "support/types.hpp"
+
+namespace fc::core {
+class FaceChangeEngine;
+}
+namespace fc::harness {
+class GuestSystem;
+}
 
 namespace fc::fleet {
 
@@ -64,6 +72,17 @@ struct FleetOptions {
   /// false = baseline for the fleet_scale bench: every VM assembles its own
   /// kernel and builds its own views (the pre-SharedImage world).
   bool share_image = true;
+  /// Custom per-VM workload. When set, the runner boots the VM, binds
+  /// `workload_app`'s view, then hands the whole drive phase (spawn,
+  /// traffic scheduling, run loop) to this hook instead of the stock
+  /// make_app/run_until_exit path. Must be deterministic in vm_id alone —
+  /// the jobs-invariance contract covers hook-driven runs too. Used by
+  /// bench/fleet_http to drive open-loop request load.
+  std::function<void(harness::GuestSystem&, core::FaceChangeEngine&,
+                     u32 vm_id)>
+      workload;
+  /// View/app to bind for workload-driven VMs (required with `workload`).
+  std::string workload_app;
 };
 
 struct VmResult {

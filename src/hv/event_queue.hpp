@@ -32,8 +32,12 @@ class EventQueue {
   u32 run_due(Cycles now) {
     u32 fired = 0;
     while (!heap_.empty() && heap_.top().when <= now) {
-      // Copy out before pop so the action may schedule more events.
-      Action action = heap_.top().action;
+      // Move the action out before pop so it may schedule more events
+      // without invalidating itself. top() is const-qualified, but moving
+      // from the entry is safe: pop() destroys it before anyone can
+      // observe the moved-from closure, and the heap order only depends on
+      // (when, seq), which the move leaves untouched.
+      Action action = std::move(const_cast<Entry&>(heap_.top()).action);
       heap_.pop();
       action();
       ++fired;

@@ -1,0 +1,171 @@
+// Virtio-style descriptor ring resident in guest physical memory.
+//
+// The ring state lives in the guest's pages (written through mem::Machine,
+// so COW fleet VMs promote exactly the ring pages they touch and nothing
+// else); the Virtqueue object itself holds only host-side cursors. Layout
+// follows the virtio split-ring shape — a descriptor table, an avail ring
+// (driver → device) and a used ring (device → driver) — simplified to
+// 32-bit little-endian fields throughout so every access is one aligned
+// pread32/pwrite32 (this is a simulation contract, not the virtio wire
+// format):
+//
+//   desc[i]  @ desc  + 16*i : { addr, len, flags, next }   (flags bit0 = NEXT)
+//   avail    @ avail + 0    : idx, then ring[size] of desc ids (4 bytes each)
+//   used     @ used  + 0    : idx, then ring[size] of { id, len } pairs
+//
+// Indices are free-running u32 counters reduced mod `size` on access, so
+// wrap-around needs no special casing and `idx - cursor` is always the
+// outstanding count. Both sides keep private cursors (the driver's read
+// position in the used ring, the device's read position in the avail ring);
+// the published `idx` fields in guest memory are the cross-side handoff.
+#pragma once
+
+#include <optional>
+
+#include "mem/machine.hpp"
+#include "support/check.hpp"
+#include "support/types.hpp"
+
+namespace fc::io {
+
+struct VirtqueueLayout {
+  GPhys desc = 0;     // descriptor table base
+  GPhys avail = 0;    // avail ring base
+  GPhys used = 0;     // used ring base
+  GPhys buffers = 0;  // buffer pool backing the descriptors
+  u32 size = 64;      // descriptor count (power of two)
+  u32 buf_bytes = 256;
+};
+
+/// One completion as published in the used ring.
+struct UsedElem {
+  u32 id = 0;   // descriptor id
+  u32 len = 0;  // bytes the device wrote into the buffer
+};
+
+inline constexpr u32 kDescFlagNext = 1;  // chain continues at `next`
+
+class Virtqueue {
+ public:
+  Virtqueue() = default;
+  Virtqueue(mem::Machine* machine, VirtqueueLayout layout)
+      : m_(machine), lay_(layout) {
+    FC_CHECK((lay_.size & (lay_.size - 1)) == 0 && lay_.size > 0,
+             << "virtqueue size must be a power of two: " << lay_.size);
+  }
+
+  const VirtqueueLayout& layout() const { return lay_; }
+
+  /// Boot-time initialization: build the descriptor table over the buffer
+  /// pool, publish every descriptor as available (the driver pre-posts all
+  /// RX buffers), and zero the used ring. Deterministic for a given layout,
+  /// so clone VMs replaying boot write the same values (no COW promotion).
+  void init() {
+    avail_head_ = 0;
+    used_idx_ = 0;
+    used_head_ = 0;
+    avail_idx_ = 0;
+    outstanding_ = 0;
+    for (u32 i = 0; i < lay_.size; ++i)
+      write_desc(i, lay_.buffers + static_cast<GPhys>(i) * lay_.buf_bytes,
+                 lay_.buf_bytes, 0, 0);
+    m_->pwrite32(lay_.used, 0);
+    m_->pwrite32(lay_.avail, 0);
+    for (u32 i = 0; i < lay_.size; ++i) driver_post(i);
+  }
+
+  // --- descriptor table ----------------------------------------------------
+  void write_desc(u32 id, GPhys addr, u32 len, u32 flags, u32 next) {
+    GPhys d = desc_pa(id);
+    m_->pwrite32(d + 0, static_cast<u32>(addr));
+    m_->pwrite32(d + 4, len);
+    m_->pwrite32(d + 8, flags);
+    m_->pwrite32(d + 12, next);
+  }
+  GPhys desc_addr(u32 id) const { return m_->pread32(desc_pa(id)); }
+  u32 desc_len(u32 id) const { return m_->pread32(desc_pa(id) + 4); }
+  u32 desc_flags(u32 id) const { return m_->pread32(desc_pa(id) + 8); }
+  u32 desc_next(u32 id) const { return m_->pread32(desc_pa(id) + 12); }
+
+  /// Walk a descriptor chain from `head`, visiting each element's
+  /// (addr, len). Bounded by the ring size to survive corrupt chains.
+  template <typename Fn>
+  u32 walk_chain(u32 head, Fn&& visit) const {
+    u32 id = head, hops = 0;
+    for (; hops < lay_.size; ++hops) {
+      visit(static_cast<GPhys>(desc_addr(id)), desc_len(id));
+      if ((desc_flags(id) & kDescFlagNext) == 0) break;
+      id = desc_next(id) % lay_.size;
+    }
+    return hops + 1;
+  }
+
+  // --- driver side (the guest's half, run host-side as KSVC leaf work) ----
+  /// Post a descriptor into the avail ring for the device to fill.
+  void driver_post(u32 id) {
+    m_->pwrite32(avail_slot_pa(avail_idx_), id);
+    ++avail_idx_;
+    m_->pwrite32(lay_.avail, avail_idx_);
+  }
+  /// Consume the next used-ring completion, if the device published one.
+  std::optional<UsedElem> driver_pop_used() {
+    if (used_head_ == used_idx_) return std::nullopt;
+    GPhys e = used_slot_pa(used_head_);
+    ++used_head_;
+    return UsedElem{m_->pread32(e), m_->pread32(e + 4)};
+  }
+
+  // --- device side ---------------------------------------------------------
+  /// Buffers posted by the driver and not yet claimed by the device.
+  u32 device_avail() const { return avail_idx_ - avail_head_; }
+  /// Claim the next available descriptor id. FC_CHECKs when none is free —
+  /// callers must test device_avail() and back-pressure instead.
+  u32 device_pop_avail() {
+    FC_CHECK(device_avail() > 0, << "virtqueue avail ring empty");
+    u32 id = m_->pread32(avail_slot_pa(avail_head_));
+    ++avail_head_;
+    ++outstanding_;
+    return id % lay_.size;
+  }
+  /// Publish a completion. Out-of-order publication (relative to the avail
+  /// order the ids were claimed in) is legal, exactly as in virtio.
+  void device_push_used(u32 id, u32 len) {
+    GPhys e = used_slot_pa(used_idx_);
+    m_->pwrite32(e, id);
+    m_->pwrite32(e + 4, len);
+    ++used_idx_;
+    m_->pwrite32(lay_.used, used_idx_);
+    FC_CHECK(outstanding_ > 0, << "used push without a claimed descriptor");
+    --outstanding_;
+  }
+
+  // --- gauges --------------------------------------------------------------
+  /// Completions published but not yet consumed by the driver.
+  u32 used_pending() const { return used_idx_ - used_head_; }
+  /// Descriptors claimed by the device and not yet published as used.
+  u32 device_outstanding() const { return outstanding_; }
+
+ private:
+  GPhys desc_pa(u32 id) const {
+    return lay_.desc + static_cast<GPhys>(id % lay_.size) * 16;
+  }
+  GPhys avail_slot_pa(u32 idx) const {
+    return lay_.avail + 4 + static_cast<GPhys>(idx % lay_.size) * 4;
+  }
+  GPhys used_slot_pa(u32 idx) const {
+    return lay_.used + 4 + static_cast<GPhys>(idx % lay_.size) * 8;
+  }
+
+  mem::Machine* m_ = nullptr;
+  VirtqueueLayout lay_;
+  // Free-running cursors (mod size on access). The *_idx_ pair mirrors the
+  // published guest-memory idx fields; the *_head_ pair is each side's
+  // private read position.
+  u32 avail_idx_ = 0;   // driver publish cursor (mirror of avail.idx)
+  u32 avail_head_ = 0;  // device read cursor into the avail ring
+  u32 used_idx_ = 0;    // device publish cursor (mirror of used.idx)
+  u32 used_head_ = 0;   // driver read cursor into the used ring
+  u32 outstanding_ = 0;
+};
+
+}  // namespace fc::io

@@ -34,6 +34,10 @@ const char* kind_name(EventKind kind) {
     case EventKind::kTraceRetire: return "trace_retire";
     case EventKind::kDataViewWrite: return "dataview_write";
     case EventKind::kProfSample: return "prof_sample";
+    case EventKind::kIoRingPublish: return "io_ring_publish";
+    case EventKind::kIoIrqFire: return "io_irq_fire";
+    case EventKind::kIoBackpressure: return "io_backpressure";
+    case EventKind::kIoDrain: return "io_drain";
   }
   return "unknown";
 }

@@ -70,6 +70,15 @@ enum class EventKind : u8 {
   kProfSample,       // view=view at sample time, flags=execution tier
                      // (0 interp / 1 block / 2 trace), a0=sampled pc,
                      // a1=whole sample periods this sample stands for
+  // IO data-plane events (appended after the telemetry kind; wire encodings
+  // of every earlier kind are unchanged).
+  kIoRingPublish,    // a0=queue (0 nic, 1 blk), a1=desc id, a2=payload,
+                     // a3=used-ring depth after; flags bit0=backlog refill
+  kIoIrqFire,        // a0=queue, a1=completions coalesced into this IRQ;
+                     // flags bit0=quantum-timer fire (not count threshold)
+  kIoBackpressure,   // a0=queue, a1=backlog depth after parking
+  kIoDrain,          // a0=queue, a1=entries consumed, a2=backlog refills,
+                     // a3=used-ring depth after (0 unless reset mid-drain)
 };
 
 /// Human-readable kind name ("view_switch", "ud2_trap", ...).

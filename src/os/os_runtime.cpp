@@ -177,6 +177,13 @@ void OsRuntime::boot() {
   files_[kPathHiddenLog] = {abi::FileClass::kExt4, 1 << 20, "/usr/_h4x_.log"};
   files_[kPathMediaFile] = {abi::FileClass::kExt4, 64 << 20, "/home/user/movie.ogv"};
 
+  // 5.5. IO data plane. Ring init happens unconditionally (even with
+  //      io.enabled=false) so the boot image is independent of the IO
+  //      tuning: clones replaying these deterministic writes against a
+  //      shared image see them as same-value no-ops and keep sharing.
+  io_ = std::make_unique<io::IoPlane>(machine, vcpu, events_, config_.io);
+  io_->init_rings();
+
   start_timer();
 
   // 6. Stock e1000 NIC driver module (host-loaded at boot; its interrupt
@@ -723,24 +730,37 @@ void OsRuntime::on_ksvc(u16 service, Vcpu& vcpu) {
       handle_timer_tick();
       break;
     case abi::kKsvcNetRx:
-      while (!nic_queue_.empty()) {
-        PendingPacket pkt = nic_queue_.front();
-        nic_queue_.pop_front();
-        apply_packet(pkt);
-      }
-      A = 0;
-      break;
-    case abi::kKsvcDiskDone:
-      while (!disk_done_queue_.empty()) {
-        u32 pid = disk_done_queue_.front();
-        disk_done_queue_.pop_front();
-        if (pid_slot_.count(pid)) {
-          task(pid).disk_ready = true;
-          wake_channel(chan(kChanDisk, pid));
+      if (io_->enabled()) {
+        io_->drain_nic(
+            [this](const io::IoPlane::Packet& p) { apply_packet(decode_packet(p)); });
+      } else {
+        while (!nic_queue_.empty()) {
+          PendingPacket pkt = nic_queue_.front();
+          nic_queue_.pop_front();
+          apply_packet(pkt);
         }
       }
       A = 0;
       break;
+    case abi::kKsvcDiskDone: {
+      auto complete = [this](u32 pid) {
+        if (pid_slot_.count(pid)) {
+          task(pid).disk_ready = true;
+          wake_channel(chan(kChanDisk, pid));
+        }
+      };
+      if (io_->enabled()) {
+        io_->drain_blk(complete);
+      } else {
+        while (!disk_done_queue_.empty()) {
+          u32 pid = disk_done_queue_.front();
+          disk_done_queue_.pop_front();
+          complete(pid);
+        }
+      }
+      A = 0;
+      break;
+    }
     case abi::kKsvcTtyEvent:
       tty_input_available_ += tty_pending_keys_;
       tty_pending_keys_ = 0;
@@ -804,10 +824,8 @@ void OsRuntime::on_ksvc(u16 service, Vcpu& vcpu) {
         A = kEintr;
       } else {
         u32 pid = t.pid;
-        events_.schedule_at(vcpu.cycles() + config_.disk_latency, [this, pid] {
-          disk_done_queue_.push_back(pid);
-          hv_->vcpu().raise_irq(abi::kIrqDisk);
-        });
+        events_.schedule_at(vcpu.cycles() + config_.disk_latency,
+                            [this, pid] { deliver_disk_done(pid); });
         block_current(chan(kChanDisk, pid));
         A = abi::kEagain;
       }
@@ -975,12 +993,10 @@ void OsRuntime::on_ksvc(u16 service, Vcpu& vcpu) {
           s.conn_pending = true;
           s.port = static_cast<u16>(C);
           u32 sock_id = fd->obj;
-          events_.schedule_at(vcpu.cycles() + config_.net_rtt,
-                              [this, sock_id] {
-                                nic_queue_.push_back(
-                                    {PendingPacket::kConnAck, 0, sock_id, 0});
-                                hv_->vcpu().raise_irq(abi::kIrqNet);
-                              });
+          events_.schedule_at(
+              vcpu.cycles() + config_.net_rtt, [this, sock_id] {
+                deliver_packet({PendingPacket::kConnAck, 0, sock_id, 0});
+              });
         }
         block_current(chan(kChanSockConn, fd->obj));
         A = abi::kEagain;
@@ -1335,10 +1351,8 @@ void OsRuntime::ksvc_file_read(Vcpu& vcpu) {
           fd.offset == 0 || ((fd.offset >> 16) != ((fd.offset + C) >> 16));
       if (need_disk && !t.disk_ready) {
         u32 pid = t.pid;
-        events_.schedule_at(vcpu.cycles() + config_.disk_latency, [this, pid] {
-          disk_done_queue_.push_back(pid);
-          hv_->vcpu().raise_irq(abi::kIrqDisk);
-        });
+        events_.schedule_at(vcpu.cycles() + config_.disk_latency,
+                            [this, pid] { deliver_disk_done(pid); });
         block_current(chan(kChanDisk, pid));
         A = abi::kEagain;
         return;
@@ -1624,10 +1638,48 @@ void OsRuntime::apply_packet(const PendingPacket& pkt) {
   }
 }
 
+io::IoPlane::Packet OsRuntime::encode_packet(const PendingPacket& pkt) {
+  // kDatagram/kSyn select by port; kData/kConnAck by socket id. The ring
+  // payload packs whichever selector the kind uses.
+  u32 sel = (pkt.kind == PendingPacket::kDatagram ||
+             pkt.kind == PendingPacket::kSyn)
+                ? pkt.port
+                : pkt.sock;
+  return {static_cast<u32>(pkt.kind), sel, pkt.len};
+}
+
+OsRuntime::PendingPacket OsRuntime::decode_packet(const io::IoPlane::Packet& p) {
+  PendingPacket pkt;
+  pkt.kind = static_cast<PendingPacket::Kind>(p.kind);
+  pkt.len = p.len;
+  if (pkt.kind == PendingPacket::kDatagram || pkt.kind == PendingPacket::kSyn)
+    pkt.port = static_cast<u16>(p.sel);
+  else
+    pkt.sock = p.sel;
+  return pkt;
+}
+
+void OsRuntime::deliver_packet(const PendingPacket& pkt) {
+  if (io_->enabled()) {
+    io_->nic_rx(encode_packet(pkt));
+  } else {
+    nic_queue_.push_back(pkt);
+    hv_->vcpu().raise_irq(abi::kIrqNet);
+  }
+}
+
+void OsRuntime::deliver_disk_done(u32 pid) {
+  if (io_->enabled()) {
+    io_->blk_complete(pid);
+  } else {
+    disk_done_queue_.push_back(pid);
+    hv_->vcpu().raise_irq(abi::kIrqDisk);
+  }
+}
+
 void OsRuntime::schedule_datagram(Cycles at, u16 port, u32 len) {
   events_.schedule_at(at, [this, port, len] {
-    nic_queue_.push_back({PendingPacket::kDatagram, port, 0, len});
-    hv_->vcpu().raise_irq(abi::kIrqNet);
+    deliver_packet({PendingPacket::kDatagram, port, 0, len});
   });
 }
 
@@ -1636,16 +1688,32 @@ void OsRuntime::schedule_connection(Cycles at, u16 port, u32 request_len) {
     if (std::getenv("FC_NET_DEBUG") != nullptr)
       std::fprintf(stderr, "syn fire at %llu\n",
                    (unsigned long long)hv_->vcpu().cycles());
-    nic_queue_.push_back({PendingPacket::kSyn, port, 0, request_len});
-    hv_->vcpu().raise_irq(abi::kIrqNet);
+    deliver_packet({PendingPacket::kSyn, port, 0, request_len});
   });
 }
 
 void OsRuntime::schedule_stream_data(Cycles at, u32 sock_id, u32 len) {
   events_.schedule_at(at, [this, sock_id, len] {
-    nic_queue_.push_back({PendingPacket::kData, 0, sock_id, len});
-    hv_->vcpu().raise_irq(abi::kIrqNet);
+    deliver_packet({PendingPacket::kData, 0, sock_id, len});
   });
+}
+
+void OsRuntime::schedule_datagram_stream(Cycles start, Cycles gap, u32 count,
+                                         u16 port, u32 len) {
+  if (count == 0) return;
+  events_.schedule_at(start, [this, start, gap, count, port, len] {
+    deliver_packet({PendingPacket::kDatagram, port, 0, len});
+    // Reschedule off the *scheduled* time, not the fire time, so the
+    // arrival process stays exactly open-loop even when the guest falls
+    // behind and events fire late.
+    schedule_datagram_stream(start + gap, gap, count - 1, port, len);
+  });
+}
+
+void OsRuntime::bump_responses() {
+  ++counters_.responses_completed;
+  if (response_log_ != nullptr)
+    response_log_->push_back(hv_->vcpu().cycles());
 }
 
 void OsRuntime::schedule_keystrokes(Cycles start, Cycles period, u32 count) {

@@ -20,6 +20,7 @@
 #include "hv/event_queue.hpp"
 #include "hv/guest_abi.hpp"
 #include "hv/hypervisor.hpp"
+#include "io/io_plane.hpp"
 #include "os/app_model.hpp"
 #include "os/kbuilder.hpp"
 #include "os/kernel_image.hpp"
@@ -33,6 +34,12 @@ struct OsConfig {
   u32 clocksource = 0;       // 0 = tsc (QEMU profiling), 1 = kvm-clock (KVM)
   Cycles disk_latency = 120'000;
   Cycles net_rtt = 60'000;
+  /// IO data-plane tuning. The ring arena is initialized at boot with the
+  /// same layout regardless of these knobs (so the memoized boot image is
+  /// shared across tunings); only runtime delivery behaviour differs. The
+  /// defaults are the parity configuration — ring transport, cycle-exact
+  /// with io.enabled=false (see src/io/io_plane.hpp).
+  io::IoTuning io;
 };
 
 /// Registered on-disk/in-proc files the guest can open by path id.
@@ -152,6 +159,16 @@ class OsRuntime : public cpu::CpuEnv {
   void schedule_connection(Cycles at, u16 port, u32 request_len);
   void schedule_stream_data(Cycles at, u32 sock_id, u32 len);
   void schedule_keystrokes(Cycles start, Cycles period, u32 count);
+  /// Open-loop datagram generator: `count` arrivals at exactly `start`,
+  /// `start + gap`, ... Self-rescheduling, so the event-queue depth stays
+  /// O(1) no matter the rate (the saturation benches drive hundreds of
+  /// thousands of arrivals through this).
+  void schedule_datagram_stream(Cycles start, Cycles gap, u32 count, u16 port,
+                                u32 len);
+  /// The virtio-style data plane (valid after boot()). Delivery routes
+  /// through its rings when config().io.enabled, through the legacy
+  /// per-event deques otherwise.
+  io::IoPlane* io_plane() { return io_.get(); }
   /// Called whenever the guest sends on a connected socket; may schedule
   /// reply traffic. (The "other end" of every connection.)
   using SendResponder = std::function<void(OsRuntime&, u32 sock_id, u32 len)>;
@@ -173,7 +190,11 @@ class OsRuntime : public cpu::CpuEnv {
     u64 forks = 0;
   };
   IoCounters& counters() { return counters_; }
-  void bump_responses() { ++counters_.responses_completed; }
+  void bump_responses();
+  /// Record the completion cycle of every bump_responses() into `log`
+  /// (null disables). The open-loop benches pair these with their known
+  /// arrival schedule to compute response-latency percentiles.
+  void set_response_log(std::vector<Cycles>* log) { response_log_ = log; }
 
   u32 fds_class(u32 pid, u32 fd) const;  // test helper
   u32 register_file(FsFileSpec spec);
@@ -311,6 +332,12 @@ class OsRuntime : public cpu::CpuEnv {
   void start_timer();
   void handle_timer_tick();
   void apply_packet(const PendingPacket& pkt);
+  // Delivery seam between the device models and the guest: virtio ring when
+  // config().io.enabled, legacy deque + per-event IRQ otherwise.
+  void deliver_packet(const PendingPacket& pkt);
+  void deliver_disk_done(u32 pid);
+  static io::IoPlane::Packet encode_packet(const PendingPacket& pkt);
+  static PendingPacket decode_packet(const io::IoPlane::Packet& pkt);
 
   // KSVC implementations.
   void ksvc_sched_decide(cpu::Vcpu& vcpu);
@@ -346,6 +373,8 @@ class OsRuntime : public cpu::CpuEnv {
   std::deque<u32> disk_done_queue_;  // pids
   u32 tty_pending_keys_ = 0;
   SendResponder send_responder_;
+  std::unique_ptr<io::IoPlane> io_;
+  std::vector<Cycles>* response_log_ = nullptr;
 
   struct LoadedModule {
     std::string name;

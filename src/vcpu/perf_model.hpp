@@ -59,6 +59,15 @@ struct PerfModel {
   u32 cost_tlb_scoped_base = 600;
   u32 cost_tlb_scoped_per_entry = 18;
   u32 cost_recovery_base = 9000; // decode+search+copy on a UD2 recovery
+
+  // Metered DMA (the virtio-style IO data plane, src/io). Charged per
+  // descriptor the device fills plus per 256-byte chunk of modeled payload,
+  // but only when the plane's tuning enables metering (IoTuning::meter_dma)
+  // — the parity configuration charges nothing, which is what keeps the
+  // ring transport cycle-exact with the legacy per-event path (the io
+  // lockstep test depends on that identity).
+  u32 cost_dma_per_desc = 40;
+  u32 cost_dma_per_256b = 8;
   /// How long a "missed" interrupt edge stays lost when views are switched
   /// immediately at the context switch (§III-B2's hazard; the deferred
   /// switch point avoids it).

@@ -17,7 +17,8 @@
 #                           determinism gate for the work-stealing fleet
 #                           scheduler: bench/fleet_scale --smoke must emit
 #                           byte-identical 8-VM report JSON + merged FCFL
-#                           traces for jobs 1/4/8
+#                           traces for jobs 1/4/8, and bench/fleet_http
+#                           --smoke the same for the IO-heavy HTTP fleet
 #   tools/ci.sh lint        clang-tidy over src/ with the repo .clang-tidy
 #                           profile, then the fclint view audit. A missing
 #                           clang-tidy fails the tier (CI images must ship
@@ -156,7 +157,7 @@ bench_smoke() {
 
 fleet_scale_smoke() {
   cmake -B build -S . -DFC_WERROR=ON
-  cmake --build build -j "$jobs" --target fleet_scale
+  cmake --build build -j "$jobs" --target fleet_scale fleet_http
   mkdir -p ci-artifacts
   # The bench re-runs the 8-VM fleet at jobs 1/4/8 with traces on, asserts
   # the merged outputs match internally, and writes them out; the cmp here
@@ -169,6 +170,18 @@ fleet_scale_smoke() {
         "ci-artifacts/fleet-trace-jobs$j.fcfl"
   done
   echo "fleet-scale-smoke: report + FCFL trace byte-identical at jobs 1/4/8"
+  # Same gate for the IO-heavy fleet: the open-loop HTTP bench replays its
+  # ring-transport fleet at jobs 1/4/8 and the merged report + trace must
+  # not depend on worker interleaving.
+  ./build/bench/fleet_http --smoke --determinism-out ci-artifacts
+  for j in 4 8; do
+    cmp "ci-artifacts/io-report-jobs1.json" \
+        "ci-artifacts/io-report-jobs$j.json"
+    cmp "ci-artifacts/io-trace-jobs1.fcfl" \
+        "ci-artifacts/io-trace-jobs$j.fcfl"
+  done
+  echo "fleet-scale-smoke: IO fleet report + FCFL trace byte-identical" \
+       "at jobs 1/4/8"
 }
 
 trace_determinism() {
@@ -199,13 +212,15 @@ obs_disabled() {
 perf_gate() {
   cmake -B build -S . -DFC_WERROR=ON
   cmake --build build -j "$jobs" \
-    --target interp_throughput fleet_scale fctrace fcperf
+    --target interp_throughput fleet_scale fleet_http fctrace fcperf
   mkdir -p ci-artifacts
   # Fresh artifacts: the release throughput bench (also enforces its own
-  # tier + profiler-overhead thresholds), the fleet smoke bench, and the
-  # deterministic cycle attribution of the 12-app scenario.
+  # tier + profiler-overhead thresholds), the fleet smoke bench, the IO
+  # saturation-knee bench (enforces its own >= 3x batched-over-legacy
+  # gate), and the deterministic cycle attribution of the 12-app scenario.
   ./build/bench/interp_throughput
   ./build/bench/fleet_scale --smoke
+  ./build/bench/fleet_http --smoke
   ./build/tools/fctrace flame -o ci-artifacts/flame.collapsed \
     --json ci-artifacts/prof_flame.json
   # Gate against the committed baselines. Deterministic metrics must match
@@ -216,6 +231,8 @@ perf_gate() {
     BENCH_interp.json --rules bench/baselines/interp.rules --name interp
   ./build/tools/fcperf check bench/baselines/BENCH_fleet.json \
     BENCH_fleet.json --rules bench/baselines/fleet.rules --name fleet
+  ./build/tools/fcperf check bench/baselines/BENCH_io.json \
+    BENCH_io.json --rules bench/baselines/io.rules --name io
   ./build/tools/fcperf check bench/baselines/prof_flame.json \
     ci-artifacts/prof_flame.json --rules bench/baselines/flame.rules \
     --name flame
